@@ -1,0 +1,155 @@
+//! Brute-force ground truth: verify every size-compatible pair.
+//!
+//! This is the `REL` oracle of the evaluation figures — it applies only the
+//! size filter and computes exact TED for everything else, so its result
+//! set is the similarity join by definition. A crossbeam-parallel variant
+//! is provided because ground truth at harness scale is otherwise the
+//! bottleneck of every experiment.
+
+use crate::common::{filter_verify_join, SizeOrder};
+use std::time::Instant;
+use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::Tree;
+
+/// Per-worker result: found pairs, pairs examined, TED calls.
+type WorkerResult = (Vec<(TreeIdx, TreeIdx)>, u64, u64);
+
+/// Sequential brute-force self-join (size filter + exact TED only).
+pub fn brute_force_join(trees: &[Tree], tau: u32) -> JoinOutcome {
+    filter_verify_join(trees, tau, || (), |_, _, _| true)
+}
+
+/// Parallel brute-force self-join over `threads` workers.
+///
+/// Probe positions are dealt round-robin to workers; each worker owns a
+/// private [`TedEngine`] and scans its probes' size windows. Results are
+/// identical to [`brute_force_join`] (the outcome normalizes pair order).
+pub fn brute_force_join_parallel(trees: &[Tree], tau: u32, threads: usize) -> JoinOutcome {
+    let threads = threads.max(1);
+    if threads == 1 || trees.len() < 64 {
+        return brute_force_join(trees, tau);
+    }
+
+    let start = Instant::now();
+    let ordering = SizeOrder::new(trees);
+    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    let setup = start.elapsed();
+
+    let verify_start = Instant::now();
+    let mut all_pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+    let mut examined = 0u64;
+    let mut ted_calls = 0u64;
+
+    let results: Vec<WorkerResult> = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|worker| {
+                let ordering = &ordering;
+                let prepared = &prepared;
+                scope.spawn(move |_| {
+                    let mut engine = TedEngine::unit();
+                    let mut pairs = Vec::new();
+                    let mut examined = 0u64;
+                    for pos in (worker..ordering.order.len()).step_by(threads) {
+                        let probe = ordering.order[pos];
+                        let probe_size = ordering.sizes[probe as usize];
+                        // Scan the size window ending at this position.
+                        for back in (0..pos).rev() {
+                            let other = ordering.order[back];
+                            if ordering.sizes[other as usize] + tau < probe_size {
+                                break;
+                            }
+                            examined += 1;
+                            let d = engine
+                                .distance(&prepared[probe as usize], &prepared[other as usize]);
+                            if d <= tau {
+                                pairs.push((other, probe));
+                            }
+                        }
+                    }
+                    (pairs, examined, engine.computations())
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("worker panicked"))
+            .collect()
+    })
+    .expect("crossbeam scope failed");
+
+    for (pairs, ex, calls) in results {
+        all_pairs.extend(pairs);
+        examined += ex;
+        ted_calls += calls;
+    }
+
+    let stats = JoinStats {
+        pairs_examined: examined,
+        candidates: examined,
+        results: 0, // set by JoinOutcome::new
+        candidate_time: setup,
+        verify_time: verify_start.elapsed(),
+        ted_calls,
+    };
+    JoinOutcome::new(all_pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(specs: &[&str]) -> Vec<Tree> {
+        let mut labels = LabelInterner::new();
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn brute_force_is_exact() {
+        let trees = collection(&[
+            "{a{b}{c}}",
+            "{a{b}{c}}",
+            "{a{b}{z}}",
+            "{a{b{c}{d}}}",
+            "{q{w}{e}{r}}",
+        ]);
+        let outcome = brute_force_join(&trees, 1);
+        assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+        let outcome2 = brute_force_join(&trees, 2);
+        assert!(outcome2.pairs.len() >= outcome.pairs.len());
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Generate a deterministic pseudo-random mix of bracket trees.
+        let specs: Vec<String> = (0..90)
+            .map(|i| match i % 5 {
+                0 => "{a{b}{c}}".to_string(),
+                1 => "{a{b}{c{d}}}".to_string(),
+                2 => "{a{b}{z}}".to_string(),
+                3 => "{a{b{c}{d}}{e}}".to_string(),
+                _ => "{q{w}{e}}".to_string(),
+            })
+            .collect();
+        let mut labels = LabelInterner::new();
+        let trees: Vec<Tree> = specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        for tau in [0, 1, 2] {
+            let seq = brute_force_join(&trees, tau);
+            let par = brute_force_join_parallel(&trees, tau, 4);
+            assert_eq!(seq.pairs, par.pairs, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn parallel_small_input_falls_back() {
+        let trees = collection(&["{a}", "{a}"]);
+        let outcome = brute_force_join_parallel(&trees, 0, 8);
+        assert_eq!(outcome.pairs, vec![(0, 1)]);
+    }
+}

@@ -1,0 +1,108 @@
+//! The `KAI` histogram baseline (Kailing et al., reference [16] of the
+//! paper): prune a pair when any of the cheap histogram lower bounds —
+//! size, label multiset, degree multiset — exceeds `τ`.
+//!
+//! The paper discusses this family in §2/§5 ("three lower bounds for TED,
+//! based on some simple statistics") but does not carry it into the
+//! evaluation because its pruning is weaker than STR/SET; it is included
+//! here as an extension baseline so the trade-off can be measured.
+
+use crate::common::filter_verify_join;
+use tsj_ted::{degree_bound, degree_histogram, histogram_bound, label_histogram, JoinOutcome};
+use tsj_tree::{Label, Tree};
+
+/// Per-tree histograms for the KAI filter.
+#[derive(Debug, Clone)]
+pub struct Histograms {
+    labels: Vec<Label>,
+    degrees: Vec<u32>,
+}
+
+impl Histograms {
+    /// Extracts the label and degree histograms of `tree`.
+    pub fn new(tree: &Tree) -> Histograms {
+        Histograms {
+            labels: label_histogram(tree),
+            degrees: degree_histogram(tree),
+        }
+    }
+
+    /// The combined histogram lower bound against `other`.
+    pub fn bound(&self, other: &Histograms) -> u32 {
+        histogram_bound(&self.labels, &other.labels)
+            .max(degree_bound(&self.degrees, &other.degrees))
+    }
+}
+
+/// Evaluates the KAI similarity self-join at threshold `tau`.
+pub fn kailing_join(trees: &[Tree], tau: u32) -> JoinOutcome {
+    filter_verify_join(
+        trees,
+        tau,
+        || trees.iter().map(Histograms::new).collect::<Vec<_>>(),
+        |hists, i, j| hists[i].bound(&hists[j]) <= tau,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bruteforce::brute_force_join;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(specs: &[&str]) -> Vec<Tree> {
+        let mut labels = LabelInterner::new();
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn kai_join_is_exact() {
+        let trees = collection(&[
+            "{a{b}{c}}",
+            "{a{b}{c}}",
+            "{a{b}{z}}",
+            "{a{b{c}}}",
+            "{q{w}{e}{r}{t}}",
+        ]);
+        for tau in 0..=3u32 {
+            let expected = brute_force_join(&trees, tau);
+            let outcome = kailing_join(&trees, tau);
+            assert_eq!(outcome.pairs, expected.pairs, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn kai_filter_prunes_label_disjoint_pairs() {
+        let trees = collection(&["{a{b}{c}{d}}", "{w{x}{y}{z}}"]);
+        let outcome = kailing_join(&trees, 1);
+        assert!(outcome.pairs.is_empty());
+        // The label bound alone (4 disjoint labels → L1 = 8 → bound 4)
+        // prunes the pair without a TED call.
+        assert_eq!(outcome.stats.ted_calls, 0);
+    }
+
+    #[test]
+    fn kai_filter_prunes_shape_mismatches() {
+        // Same labels, very different shape: star vs path.
+        let trees = collection(&["{r{a}{b}{c}{d}{e}}", "{r{a{b{c{d{e}}}}}}"]);
+        let outcome = kailing_join(&trees, 1);
+        assert!(outcome.pairs.is_empty());
+        assert_eq!(
+            outcome.stats.ted_calls, 0,
+            "degree histograms must prune star-vs-path at tau 1"
+        );
+    }
+
+    #[test]
+    fn kai_is_weaker_than_str_on_reordered_trees() {
+        // Sibling reversal: identical histograms (candidates survive KAI)
+        // but large TED — KAI must verify what STR would often prune.
+        let trees = collection(&["{r{a{x}}{b{y}}{c{z}}}", "{r{c{z}}{b{y}}{a{x}}}"]);
+        let kai = kailing_join(&trees, 1);
+        assert_eq!(kai.stats.candidates, 1, "histograms cannot see order");
+        assert!(kai.pairs.is_empty());
+    }
+}

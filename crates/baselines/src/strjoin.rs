@@ -1,0 +1,99 @@
+//! The `STR` baseline: traversal-string lower-bound join (Guha et al.).
+//!
+//! Each tree is flattened into its preorder and postorder label sequences;
+//! the string edit distance between either pair of sequences lower-bounds
+//! the tree edit distance (§2, reference [13]). A pair survives the filter
+//! only if *both* banded string distances stay within `τ`; survivors are
+//! verified with exact TED. String distances are computed with the
+//! threshold-banded DP (`O(τ·n)` per pair), mirroring the optimized string
+//! join of Li et al. [19] that the paper's `STR` implementation adopts.
+
+use crate::common::filter_verify_join;
+use tsj_ted::{traversal_within, JoinOutcome, TraversalStrings};
+use tsj_tree::Tree;
+
+/// Evaluates the STR similarity self-join at threshold `tau`.
+pub fn str_join(trees: &[Tree], tau: u32) -> JoinOutcome {
+    filter_verify_join(
+        trees,
+        tau,
+        || {
+            trees
+                .iter()
+                .map(TraversalStrings::new)
+                .collect::<Vec<_>>()
+        },
+        |strings, i, j| traversal_within(&strings[i], &strings[j], tau),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_ted::ted;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(specs: &[&str]) -> Vec<Tree> {
+        let mut labels = LabelInterner::new();
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn finds_identical_and_near_trees() {
+        let trees = collection(&[
+            "{a{b}{c}}",
+            "{a{b}{c}}",
+            "{a{b}{z}}",
+            "{q{w{e{r{t}}}}}",
+        ]);
+        let outcome = str_join(&trees, 1);
+        assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn empty_at_tau_zero_for_distinct_trees() {
+        let trees = collection(&["{a{b}}", "{a{c}}", "{b{a}}"]);
+        let outcome = str_join(&trees, 0);
+        assert!(outcome.pairs.is_empty());
+    }
+
+    #[test]
+    fn figure3_pair_requires_tau_three() {
+        let trees = collection(&["{1{2}{1{3}}}", "{1{2{1}{3}}}"]);
+        assert_eq!(ted(&trees[0], &trees[1]), 3);
+        assert!(str_join(&trees, 2).pairs.is_empty());
+        assert_eq!(str_join(&trees, 3).pairs, vec![(0, 1)]);
+        // The traversal bound is 2 < 3, so at τ=2 the pair *is* a
+        // candidate (false positive) but verification rejects it.
+        let at2 = str_join(&trees, 2);
+        assert_eq!(at2.stats.candidates, 1);
+        assert_eq!(at2.stats.results, 0);
+    }
+
+    #[test]
+    fn candidates_bounded_by_examined_pairs() {
+        let trees = collection(&[
+            "{a{b}{c}}",
+            "{a{b}{c}{d}}",
+            "{a{x}{y}}",
+            "{a{b{c{d{e}}}}}",
+            "{z}",
+        ]);
+        for tau in 0..4 {
+            let outcome = str_join(&trees, tau);
+            assert!(outcome.stats.candidates <= outcome.stats.pairs_examined);
+            assert!(outcome.stats.results <= outcome.stats.candidates);
+        }
+    }
+
+    #[test]
+    fn single_tree_collection() {
+        let trees = collection(&["{a{b}}"]);
+        let outcome = str_join(&trees, 5);
+        assert!(outcome.pairs.is_empty());
+        assert_eq!(outcome.stats.pairs_examined, 0);
+    }
+}

@@ -1,0 +1,98 @@
+//! Property-based tests for the baseline joins: result equivalence against
+//! brute force, the Yang `BIB ≤ 5·TED` bound, and filter monotonicity.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsj_baselines::{
+    bib_distance, brute_force_join, brute_force_join_parallel, set_join, str_join,
+    tree_branch_bag,
+};
+use tsj_datagen::{grow_tree, random_edit_script, ShapeProfile};
+use tsj_ted::ted;
+use tsj_tree::Tree;
+
+fn random_tree(seed: u64, max_size: usize) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = rng.gen_range(1..=max_size.max(1));
+    let profile = ShapeProfile {
+        max_fanout: 4,
+        max_depth: 9,
+        deepen_prob: rng.gen_range(0.0..0.7),
+    };
+    grow_tree(&mut rng, size, 5, &profile)
+}
+
+fn random_collection(seed: u64, count: usize) -> Vec<Tree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trees: Vec<Tree> = Vec::with_capacity(count);
+    for i in 0..count {
+        if i >= 2 && rng.gen_bool(0.5) {
+            let base = rng.gen_range(0..trees.len());
+            let edits = rng.gen_range(0..4usize);
+            let (edited, _) = random_edit_script(&trees[base], edits, &mut rng, 5);
+            trees.push(edited);
+        } else {
+            trees.push(random_tree(rng.gen(), 24));
+        }
+    }
+    trees
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// STR, SET and brute force agree exactly.
+    #[test]
+    fn baselines_equal_brute_force(seed in any::<u64>(), tau in 1u32..4) {
+        let trees = random_collection(seed, 24);
+        let expected = brute_force_join(&trees, tau);
+        let str_out = str_join(&trees, tau);
+        let set_out = set_join(&trees, tau);
+        prop_assert_eq!(&str_out.pairs, &expected.pairs, "STR diverged");
+        prop_assert_eq!(&set_out.pairs, &expected.pairs, "SET diverged");
+        // Both filters only *reduce* verification work.
+        prop_assert!(str_out.stats.candidates <= str_out.stats.pairs_examined);
+        prop_assert!(set_out.stats.candidates <= set_out.stats.pairs_examined);
+    }
+
+    /// Yang et al.'s bound: BIB ≤ 5·TED for arbitrary tree pairs.
+    #[test]
+    fn bib_bound_holds(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (random_tree(a, 22), random_tree(b, 22));
+        let bib = bib_distance(&tree_branch_bag(&ta), &tree_branch_bag(&tb));
+        let real = ted(&ta, &tb) as u64;
+        prop_assert!(bib <= 5 * real, "BIB {} > 5·TED {}", bib, real);
+    }
+
+    /// A tree has exactly |T| binary branches, and identical trees have
+    /// BIB 0 (it is a pseudo-metric on bags).
+    #[test]
+    fn branch_bag_shape(seed in any::<u64>()) {
+        let tree = random_tree(seed, 30);
+        let bag = tree_branch_bag(&tree);
+        prop_assert_eq!(bag.len(), tree.len());
+        prop_assert_eq!(bib_distance(&bag, &bag), 0);
+    }
+
+    /// Result sets grow monotonically with τ.
+    #[test]
+    fn results_monotone_in_tau(seed in any::<u64>()) {
+        let trees = random_collection(seed, 18);
+        let mut previous = 0usize;
+        for tau in 0..4u32 {
+            let outcome = brute_force_join(&trees, tau);
+            prop_assert!(outcome.pairs.len() >= previous);
+            previous = outcome.pairs.len();
+        }
+    }
+
+    /// The parallel oracle equals the sequential oracle.
+    #[test]
+    fn parallel_oracle_agrees(seed in any::<u64>(), tau in 0u32..3) {
+        let trees = random_collection(seed, 70);
+        let seq = brute_force_join(&trees, tau);
+        let par = brute_force_join_parallel(&trees, tau, 3);
+        prop_assert_eq!(seq.pairs, par.pairs);
+    }
+}

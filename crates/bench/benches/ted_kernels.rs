@@ -1,0 +1,81 @@
+//! Micro-benchmarks of the distance kernels: Zhang–Shasha left/right
+//! decompositions, the RTED-inspired dynamic choice, and banded vs full
+//! string edit distance. These are the per-pair costs that dominate the
+//! verification bars of Figures 10/12/14.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use tsj_datagen::{grow_tree, ShapeProfile};
+use tsj_ted::{
+    sed, sed_within, tree_distance, CostModel, Strategy, TedEngine, TedTree, TedWorkspace,
+};
+use tsj_tree::Tree;
+
+fn tree_of_shape(seed: u64, size: usize, deepen: f64) -> Tree {
+    let profile = ShapeProfile {
+        max_fanout: 4,
+        max_depth: 40,
+        deepen_prob: deepen,
+    };
+    grow_tree(&mut StdRng::seed_from_u64(seed), size, 12, &profile)
+}
+
+fn bench_ted_sizes(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ted/size");
+    for size in [20usize, 40, 80, 160] {
+        let a = tree_of_shape(1, size, 0.3);
+        let b = tree_of_shape(2, size, 0.3);
+        let (ta, tb) = (TedTree::new(&a), TedTree::new(&b));
+        let mut ws = TedWorkspace::new();
+        group.bench_with_input(BenchmarkId::new("zhang_shasha", size), &size, |bench, _| {
+            bench.iter(|| {
+                black_box(tree_distance(
+                    black_box(&ta),
+                    black_box(&tb),
+                    &CostModel::UNIT,
+                    &mut ws,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_ted_strategies(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ted/strategy");
+    // Deep right-leaning combs penalize the left decomposition; the
+    // dynamic strategy should track the better side.
+    let a = tree_of_shape(3, 80, 0.8);
+    let b = tree_of_shape(4, 80, 0.8);
+    for (name, strategy) in [
+        ("left", Strategy::Left),
+        ("right", Strategy::Right),
+        ("dynamic", Strategy::Dynamic),
+    ] {
+        group.bench_function(name, |bench| {
+            let mut engine = TedEngine::new(CostModel::UNIT, strategy);
+            bench.iter(|| black_box(engine.distance_trees(black_box(&a), black_box(&b))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_sed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sed");
+    let a = tree_of_shape(5, 120, 0.2).preorder_labels();
+    let b = tree_of_shape(6, 120, 0.2).preorder_labels();
+    group.bench_function("full", |bench| {
+        bench.iter(|| black_box(sed(black_box(&a), black_box(&b))))
+    });
+    for tau in [1u32, 3, 5] {
+        group.bench_with_input(BenchmarkId::new("banded", tau), &tau, |bench, &tau| {
+            bench.iter(|| black_box(sed_within(black_box(&a), black_box(&b), tau)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ted_sizes, bench_ted_strategies, bench_sed);
+criterion_main!(benches);

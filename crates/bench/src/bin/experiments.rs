@@ -1,0 +1,414 @@
+//! Regenerates every table and figure of the paper's evaluation (§4).
+//!
+//! ```bash
+//! cargo run --release -p tsj-bench --bin experiments -- <command> [options]
+//! ```
+//!
+//! Commands:
+//!
+//! * `table1`              — dataset statistics (realized vs paper)
+//! * `fig10`               — runtime vs τ (candgen/TED split), 4 datasets
+//! * `fig11`               — #candidates vs τ (+ REL), 4 datasets
+//! * `fig12`               — runtime vs cardinality at τ = 3
+//! * `fig13`               — #candidates vs cardinality at τ = 3
+//! * `fig14 --param P`     — sensitivity, P ∈ fanout|depth|labels|size
+//! * `ablation-partition`  — max-min vs random partitioning (§4.3 note)
+//! * `ablation-window`     — postorder window policies (correction study)
+//! * `ablation-matching`   — exact vs embedding subgraph matching
+//! * `all`                 — everything above in sequence
+//!
+//! Options: `--scale F` multiplies the default cardinalities (default 1.0;
+//! the paper's full scale is reached around `--scale 50` for Swissprot),
+//! `--seed N` changes the generator seed (default 2015).
+
+use partsj::{
+    partsj_join_detailed, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
+    WindowPolicy,
+};
+use std::time::Instant;
+use tsj_bench::{dataset_with_stats, render_table, secs, stats_row, Dataset, Method};
+use tsj_datagen::{synthetic, SyntheticParams};
+use tsj_ted::JoinOutcome;
+use tsj_tree::Tree;
+
+#[derive(Debug, Clone)]
+struct Options {
+    scale: f64,
+    seed: u64,
+    param: Option<String>,
+}
+
+fn parse_args() -> (String, Options) {
+    let mut args = std::env::args().skip(1);
+    let command = args.next().unwrap_or_else(|| {
+        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|all> [--scale F] [--seed N] [--param P]");
+        std::process::exit(2);
+    });
+    let mut options = Options {
+        scale: 1.0,
+        seed: 2015,
+        param: None,
+    };
+    while let Some(flag) = args.next() {
+        let mut value = || {
+            args.next().unwrap_or_else(|| {
+                eprintln!("missing value for {flag}");
+                std::process::exit(2);
+            })
+        };
+        match flag.as_str() {
+            "--scale" => options.scale = value().parse().expect("numeric --scale"),
+            "--seed" => options.seed = value().parse().expect("integer --seed"),
+            "--param" => options.param = Some(value()),
+            other => {
+                eprintln!("unknown option {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    (command, options)
+}
+
+fn scaled(n: usize, scale: f64) -> usize {
+    ((n as f64 * scale).round() as usize).max(10)
+}
+
+fn main() {
+    let (command, options) = parse_args();
+    match command.as_str() {
+        "table1" => table1(&options),
+        "fig10" => fig10_11(&options, true),
+        "fig11" => fig10_11(&options, false),
+        "fig12" => fig12_13(&options, true),
+        "fig13" => fig12_13(&options, false),
+        "fig14" => {
+            let param = options.param.clone().unwrap_or_else(|| {
+                eprintln!("fig14 requires --param fanout|depth|labels|size");
+                std::process::exit(2);
+            });
+            fig14(&options, &param);
+        }
+        "ablation-partition" => ablation_partition(&options),
+        "ablation-window" => ablation_window(&options),
+        "ablation-matching" => ablation_matching(&options),
+        "all" => {
+            table1(&options);
+            fig10_11(&options, true);
+            fig10_11(&options, false);
+            fig12_13(&options, true);
+            fig12_13(&options, false);
+            for param in ["fanout", "depth", "labels", "size"] {
+                fig14(&options, param);
+            }
+            ablation_partition(&options);
+            ablation_window(&options);
+            ablation_matching(&options);
+        }
+        other => {
+            eprintln!("unknown command {other}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// Dataset statistics: the realized simulator stats against the paper's.
+fn table1(options: &Options) {
+    println!("\n== Dataset statistics (cf. §4 dataset descriptions & Table 1) ==");
+    println!(
+        "(simulated stand-ins for the real datasets; --scale {} of harness defaults)\n",
+        options.scale
+    );
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let n = scaled(dataset.default_cardinality(), options.scale);
+        let (_, stats) = dataset_with_stats(dataset, n, options.seed);
+        rows.push(stats_row(dataset, &stats));
+    }
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "trees", "avg size", "labels", "avg depth", "max depth"],
+            &rows
+        )
+    );
+}
+
+/// Figures 10 & 11: τ sweep per dataset; runtime split and candidates.
+fn fig10_11(options: &Options, runtime: bool) {
+    let which = if runtime { "Figure 10 (runtime vs τ)" } else { "Figure 11 (candidates vs τ)" };
+    println!("\n== {which} ==\n");
+    for dataset in Dataset::ALL {
+        let n = scaled(dataset.default_cardinality(), options.scale);
+        let trees = dataset.generate(n, options.seed);
+        println!("-- {} ({} trees) --", dataset.name(), n);
+        let mut rows = Vec::new();
+        for tau in 1..=5u32 {
+            let mut rel = None;
+            for method in Method::ALL {
+                let outcome = method.run(&trees, tau);
+                rel.get_or_insert(outcome.stats.results);
+                if runtime {
+                    rows.push(vec![
+                        format!("{tau}"),
+                        method.name().into(),
+                        secs(outcome.stats.candidate_time),
+                        secs(outcome.stats.verify_time),
+                        secs(outcome.stats.total_time()),
+                    ]);
+                } else {
+                    rows.push(vec![
+                        format!("{tau}"),
+                        method.name().into(),
+                        format!("{}", outcome.stats.candidates),
+                        format!("{}", outcome.stats.results),
+                    ]);
+                }
+            }
+        }
+        if runtime {
+            println!(
+                "{}",
+                render_table(&["tau", "method", "candgen(s)", "ted(s)", "total(s)"], &rows)
+            );
+        } else {
+            println!(
+                "{}",
+                render_table(&["tau", "method", "candidates", "REL"], &rows)
+            );
+        }
+    }
+}
+
+/// Figures 12 & 13: cardinality sweep at τ = 3.
+fn fig12_13(options: &Options, runtime: bool) {
+    let which = if runtime {
+        "Figure 12 (runtime vs cardinality, tau = 3)"
+    } else {
+        "Figure 13 (candidates vs cardinality, tau = 3)"
+    };
+    println!("\n== {which} ==\n");
+    let tau = 3;
+    for dataset in Dataset::ALL {
+        let full = scaled(dataset.default_cardinality(), options.scale);
+        // The paper sweeps five cardinalities up to the full size.
+        let steps: Vec<usize> = (1..=5).map(|i| full * i / 5).collect();
+        let trees = dataset.generate(full, options.seed);
+        println!("-- {} (up to {} trees) --", dataset.name(), full);
+        let mut rows = Vec::new();
+        for &n in &steps {
+            let slice = &trees[..n];
+            for method in Method::ALL {
+                let outcome = method.run(slice, tau);
+                if runtime {
+                    rows.push(vec![
+                        format!("{n}"),
+                        method.name().into(),
+                        secs(outcome.stats.candidate_time),
+                        secs(outcome.stats.verify_time),
+                        secs(outcome.stats.total_time()),
+                    ]);
+                } else {
+                    rows.push(vec![
+                        format!("{n}"),
+                        method.name().into(),
+                        format!("{}", outcome.stats.candidates),
+                        format!("{}", outcome.stats.results),
+                    ]);
+                }
+            }
+        }
+        if runtime {
+            println!(
+                "{}",
+                render_table(&["trees", "method", "candgen(s)", "ted(s)", "total(s)"], &rows)
+            );
+        } else {
+            println!(
+                "{}",
+                render_table(&["trees", "method", "candidates", "REL"], &rows)
+            );
+        }
+    }
+}
+
+/// Figure 14: sensitivity to one synthetic parameter (runtime and
+/// candidates in one table — the paper splits them into subfigure pairs).
+fn fig14(options: &Options, param: &str) {
+    let (values, label): (Vec<usize>, &str) = match param {
+        "fanout" => (vec![2, 3, 4, 5, 6], "max fanout f (Fig. 14a/b)"),
+        "depth" => (vec![4, 5, 6, 7, 8], "max depth d (Fig. 14c/d)"),
+        "labels" => (vec![3, 5, 10, 20, 50], "labels l (Fig. 14e/f)"),
+        "size" => (vec![40, 80, 120, 160, 200], "avg size t (Fig. 14g/h)"),
+        other => {
+            eprintln!("unknown --param {other}");
+            std::process::exit(2);
+        }
+    };
+    let tau = 3;
+    let n = scaled(Dataset::Synthetic.default_cardinality(), options.scale);
+    println!("\n== Figure 14: sensitivity to {label} ({n} trees, tau = {tau}) ==\n");
+    let mut rows = Vec::new();
+    for &value in &values {
+        let mut params = SyntheticParams::default();
+        match param {
+            "fanout" => params.fanout = value,
+            "depth" => params.depth = value,
+            "labels" => params.labels = value as u32,
+            _ => params.avg_size = value,
+        }
+        let trees = synthetic(n, &params, options.seed);
+        for method in Method::ALL {
+            let outcome = method.run(&trees, tau);
+            rows.push(vec![
+                format!("{value}"),
+                method.name().into(),
+                secs(outcome.stats.candidate_time),
+                secs(outcome.stats.verify_time),
+                secs(outcome.stats.total_time()),
+                format!("{}", outcome.stats.candidates),
+                format!("{}", outcome.stats.results),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &[param, "method", "candgen(s)", "ted(s)", "total(s)", "candidates", "REL"],
+            &rows
+        )
+    );
+}
+
+/// §4.3 closing note: the max-min partitioning scheme vs random cuts.
+fn ablation_partition(options: &Options) {
+    println!("\n== Partitioning-scheme ablation (§4.3 closing note) ==\n");
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let n = scaled(dataset.default_cardinality(), options.scale) / 2;
+        let trees = dataset.generate(n, options.seed);
+        for tau in [1u32, 3] {
+            let schemes = [
+                ("max-min", PartitionScheme::MaxMin),
+                ("random", PartitionScheme::Random { seed: options.seed }),
+            ];
+            for (name, scheme) in schemes {
+                let config = PartSjConfig {
+                    partitioning: scheme,
+                    ..Default::default()
+                };
+                let start = Instant::now();
+                let (outcome, detail) = partsj_join_detailed(&trees, tau, &config);
+                rows.push(vec![
+                    dataset.name().into(),
+                    format!("{tau}"),
+                    name.into(),
+                    format!("{}", outcome.stats.candidates),
+                    format!("{}", detail.match_attempts),
+                    format!("{}", outcome.stats.results),
+                    secs(start.elapsed()),
+                ]);
+            }
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "tau", "scheme", "candidates", "match attempts", "REL", "total(s)"],
+            &rows
+        )
+    );
+    println!("The paper reports 50%-300% improvement of the max-min scheme over random cuts.");
+}
+
+/// Window-policy ablation: the reproduction's §3.4 correction.
+fn ablation_window(options: &Options) {
+    println!("\n== Postorder-window ablation (reproduction correction of §3.4) ==\n");
+    println!(
+        "Safe   = general-postorder suffix keys, width tau (provably complete; default)\n\
+         Tight  = paper's width tau - floor(k/2) in corrected coordinates\n\
+         Paper  = literal absolute-postorder keys, paper width\n"
+    );
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let n = scaled(dataset.default_cardinality(), options.scale) / 2;
+        let trees = dataset.generate(n, options.seed);
+        let tau = 3;
+        let reference: JoinOutcome =
+            partsj_join_with(&trees, tau, &PartSjConfig::default());
+        for (name, window) in [
+            ("Safe", WindowPolicy::Safe),
+            ("Tight", WindowPolicy::Tight),
+            ("Paper", WindowPolicy::PaperAbsolute),
+        ] {
+            let config = PartSjConfig {
+                window,
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let (outcome, detail) = partsj_join_detailed(&trees, tau, &config);
+            let missed = reference
+                .pairs
+                .iter()
+                .filter(|p| !outcome.pairs.contains(p))
+                .count();
+            rows.push(vec![
+                dataset.name().into(),
+                name.into(),
+                format!("{}", outcome.stats.candidates),
+                format!("{}", detail.index_registrations),
+                format!("{}", outcome.stats.results),
+                format!("{missed}"),
+                secs(start.elapsed()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "window", "candidates", "registrations", "REL", "missed", "total(s)"],
+            &rows
+        )
+    );
+}
+
+/// Matching-semantics ablation: how much do the exact absence constraints
+/// prune compared to prefix-embedding matching?
+fn ablation_matching(options: &Options) {
+    println!("\n== Matching-semantics ablation (Exact vs Embedding, tau = 3) ==\n");
+    let mut rows = Vec::new();
+    for dataset in Dataset::ALL {
+        let n = scaled(dataset.default_cardinality(), options.scale) / 2;
+        let trees = dataset.generate(n, options.seed);
+        for (name, matching) in [
+            ("exact", MatchSemantics::Exact),
+            ("embedding", MatchSemantics::Embedding),
+        ] {
+            let config = PartSjConfig {
+                matching,
+                ..Default::default()
+            };
+            let start = Instant::now();
+            let (outcome, detail) = partsj_join_detailed(&trees, 3, &config);
+            rows.push(vec![
+                dataset.name().into(),
+                name.into(),
+                format!("{}", outcome.stats.candidates),
+                format!("{}", detail.match_attempts),
+                format!("{}", outcome.stats.results),
+                secs(start.elapsed()),
+            ]);
+        }
+    }
+    println!(
+        "{}",
+        render_table(
+            &["dataset", "matching", "candidates", "match attempts", "REL", "total(s)"],
+            &rows
+        )
+    );
+}
+
+// Silence the unused-import lint for Tree, which only appears in
+// signatures above under some feature selections.
+#[allow(dead_code)]
+fn _assert_types(_: &[Tree]) {}

@@ -1,0 +1,103 @@
+//! Configuration of the PartSJ join.
+
+/// How subgraphs are assigned to postorder-pruning groups (§3.4).
+///
+/// The paper assigns subgraph `s_k` (postorder identifier `p_k` in its
+/// container tree) to every group key `v ∈ [p_k − ∆′, p_k + ∆′]` with
+/// `∆′ = τ − ⌊k/2⌋`, and probes with the postorder number `p` of the
+/// examined node.
+///
+/// Two details are under-specified in the text, and our reproduction (and
+/// its brute-force equivalence tests) shows both matter for completeness
+/// (see DESIGN.md for the full analysis):
+///
+/// 1. **Which postorder?** Positions must be *general-tree* postorder
+///    numbers (as drawn in the paper's Figure 7), not binary-tree ones.
+///    General postorder is edit-stable — an insertion/deletion changes the
+///    sequence by exactly one element and preserves all relative orders —
+///    so an untouched subgraph root moves by at most one position per
+///    operation. Binary (LC-RS) postorder is *not* edit-stable: deleting a
+///    node with `m` children reorders `m` nodes past entire subtrees, so
+///    no `τ`-sized window is sound in binary coordinates.
+/// 2. **Which window?** With general-postorder *suffix* keys (`n − p_k`),
+///    the conservative half-width `∆′ = τ` is provably complete: at most
+///    `τ` operations land after the untouched root. The paper's tighter
+///    `∆′ = τ − ⌊k/2⌋` additionally relies on a dichotomy argument whose
+///    step "nodes after `p_k` belong only to subgraphs after `s_k`" does
+///    not hold once binary discovery order and general postorder disagree,
+///    so we default to the provable window and keep the tight one as an
+///    ablation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum WindowPolicy {
+    /// General-postorder suffix keys with the conservative window
+    /// `∆′ = τ`. Provably complete; the default.
+    #[default]
+    Safe,
+    /// General-postorder suffix keys with the paper's tight window
+    /// `∆′ = τ − ⌊k/2⌋`. **Incomplete**: the dichotomy argument's gap is
+    /// real — the randomized sweep (`tests/window_sweep.rs`) observes
+    /// missed results at a ~0.2% rate. Ablation only.
+    Tight,
+    /// Absolute general-postorder keys with the tight window — the most
+    /// literal reading of §3.4. **Incomplete** whenever near-duplicate
+    /// trees differ in size; kept to demonstrate the correction.
+    PaperAbsolute,
+}
+
+/// How a tree is decomposed into `δ = 2τ + 1` subgraphs (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum PartitionScheme {
+    /// The paper's scheme: maximize the minimum subgraph size via the
+    /// greedy `(δ, γ)`-partitionable test and binary search on `γ`.
+    #[default]
+    MaxMin,
+    /// Cut `δ − 1` uniformly random edges — the baseline the paper's §4.3
+    /// closing note compares against ("50%–300%" improvement for MaxMin).
+    Random {
+        /// Seed for the per-tree cut selection.
+        seed: u64,
+    },
+}
+
+/// How a subgraph's *absent* child slots are matched (§3.2's "s matches
+/// the structure at the top of the subtree").
+///
+/// Both are sound: an untouched subgraph keeps its exact edge structure
+/// (any operation granting one of its nodes a child would change the
+/// subgraph, cf. Lemma 1), so requiring absences to stay absent never
+/// prunes a true result. `Exact` is the stronger filter and the default;
+/// `Embedding` tolerates extra children below component leaves and exists
+/// to measure how much the absence constraints prune.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MatchSemantics {
+    /// A component node without a child/bridge on a side requires the
+    /// matched node to also lack a child there.
+    #[default]
+    Exact,
+    /// Absent slots are unconstrained (prefix-embedding).
+    Embedding,
+}
+
+/// Full configuration of a PartSJ run.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct PartSjConfig {
+    /// Postorder-pruning window policy.
+    pub window: WindowPolicy,
+    /// Partitioning scheme.
+    pub partitioning: PartitionScheme,
+    /// Matching semantics for absent child slots.
+    pub matching: MatchSemantics,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_provably_complete() {
+        let config = PartSjConfig::default();
+        assert_eq!(config.window, WindowPolicy::Safe);
+        assert_eq!(config.partitioning, PartitionScheme::MaxMin);
+        assert_eq!(config.matching, MatchSemantics::Exact);
+    }
+}

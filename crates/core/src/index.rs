@@ -1,0 +1,316 @@
+//! The on-the-fly two-layer subgraph index (§3.4).
+//!
+//! Subgraphs are first grouped by their container tree's size `n` (the
+//! inverted size index `I_n` of Algorithm 1), then by *postorder group*
+//! (layer 1) and finally by *label twig* (layer 2):
+//!
+//! * **Postorder layer.** Subgraph `s_k` with window half-width `∆′`
+//!   (policy-dependent, see `WindowPolicy`) is registered under every
+//!   position key in `[pos_k − ∆′, pos_k + ∆′]`, where `pos_k` is the
+//!   subgraph root's *general-tree* postorder position — as a suffix
+//!   (`n − p_k`, edit-stable and provably sound) or absolute (`p_k`, the
+//!   paper's literal text) coordinate. A probe node with position `p`
+//!   reads exactly one group: key `p`.
+//! * **Label twig layer.** Within a postorder group, subgraphs are hashed
+//!   by their packed root twig `(ℓ, ℓ_left, ℓ_right)` (`ε` for bridges and
+//!   absences). A probe with twig `(ℓ, ℓ_l, ℓ_r)` inspects up to four
+//!   groups: `ℓℓ_lℓ_r`, `ℓℓ_lε`, `ℓεℓ_r`, `ℓεε` — the keys whose
+//!   subgraphs can still embed at the node.
+//!
+//! The index owns the subgraph pool; groups store `u32` handles into it.
+
+use crate::config::WindowPolicy;
+use crate::subgraph::Subgraph;
+use tsj_tree::{pack_twig, FxHashMap, Label};
+
+/// Handle into the index's subgraph pool.
+pub type SubgraphHandle = u32;
+
+#[derive(Debug, Default)]
+struct TwigLayer {
+    groups: FxHashMap<u64, Vec<SubgraphHandle>>,
+}
+
+#[derive(Debug, Default)]
+struct PostorderLayer {
+    groups: FxHashMap<u32, TwigLayer>,
+}
+
+/// Two-layer inverted index over the subgraphs of already-processed trees.
+#[derive(Debug)]
+pub struct SubgraphIndex {
+    tau: u32,
+    window: WindowPolicy,
+    /// `I_n`: one postorder layer per container tree size.
+    by_size: FxHashMap<u32, PostorderLayer>,
+    pool: Vec<Subgraph>,
+    /// Total group registrations (a subgraph appears in `2∆′ + 1` groups).
+    registrations: u64,
+}
+
+impl SubgraphIndex {
+    /// Creates an empty index for threshold `tau` under `window`.
+    pub fn new(tau: u32, window: WindowPolicy) -> SubgraphIndex {
+        SubgraphIndex {
+            tau,
+            window,
+            by_size: FxHashMap::default(),
+            pool: Vec::new(),
+            registrations: 0,
+        }
+    }
+
+    /// The position key of a subgraph under the active policy.
+    fn subgraph_position(&self, sg: &Subgraph) -> u32 {
+        match self.window {
+            WindowPolicy::PaperAbsolute => sg.root_post,
+            WindowPolicy::Tight | WindowPolicy::Safe => sg.suffix,
+        }
+    }
+
+    /// The position key of a probe node with 1-based *general-tree*
+    /// postorder `p` in a probing tree of size `probe_size`.
+    pub fn probe_position(&self, p: u32, probe_size: u32) -> u32 {
+        match self.window {
+            WindowPolicy::PaperAbsolute => p,
+            WindowPolicy::Tight | WindowPolicy::Safe => probe_size - p,
+        }
+    }
+
+    /// Window half-width `∆′` for subgraph ordinal `k` (1-based).
+    fn half_width(&self, ordinal: u16) -> u32 {
+        match self.window {
+            WindowPolicy::Safe => self.tau,
+            WindowPolicy::Tight | WindowPolicy::PaperAbsolute => {
+                self.tau - (ordinal as u32 / 2).min(self.tau)
+            }
+        }
+    }
+
+    /// Inserts all subgraphs of a processed tree of size `tree_size`.
+    pub fn insert_tree(&mut self, tree_size: u32, subgraphs: Vec<Subgraph>) {
+        for sg in subgraphs {
+            let position = self.subgraph_position(&sg);
+            let dw = self.half_width(sg.ordinal);
+            let twig = sg.twig;
+            let handle = self.pool.len() as SubgraphHandle;
+            self.pool.push(sg);
+            let layer = self.by_size.entry(tree_size).or_default();
+            let lo = position.saturating_sub(dw);
+            for key in lo..=position + dw {
+                layer
+                    .groups
+                    .entry(key)
+                    .or_default()
+                    .groups
+                    .entry(twig)
+                    .or_default()
+                    .push(handle);
+                self.registrations += 1;
+            }
+        }
+    }
+
+    /// Probes for subgraphs of trees with exactly `tree_size` nodes that
+    /// may embed at a node with postorder position key `position` (already
+    /// converted via [`SubgraphIndex::probe_position`]) and twig labels
+    /// `(label, left, right)` (`ε` for missing children).
+    ///
+    /// Calls `visit` for every handle in the up-to-four twig groups.
+    pub fn probe<F: FnMut(SubgraphHandle)>(
+        &self,
+        tree_size: u32,
+        position: u32,
+        label: Label,
+        left: Label,
+        right: Label,
+        mut visit: F,
+    ) {
+        let Some(layer) = self.by_size.get(&tree_size) else {
+            return;
+        };
+        let Some(group) = layer.groups.get(&position) else {
+            return;
+        };
+        let keys = [
+            pack_twig(label, left, right),
+            pack_twig(label, left, Label::EPSILON),
+            pack_twig(label, Label::EPSILON, right),
+            pack_twig(label, Label::EPSILON, Label::EPSILON),
+        ];
+        for (i, &key) in keys.iter().enumerate() {
+            // Skip duplicate keys when the node itself has ε children.
+            if keys[..i].contains(&key) {
+                continue;
+            }
+            if let Some(handles) = group.groups.get(&key) {
+                for &h in handles {
+                    visit(h);
+                }
+            }
+        }
+    }
+
+    /// Resolves a handle to its subgraph.
+    #[inline]
+    pub fn subgraph(&self, handle: SubgraphHandle) -> &Subgraph {
+        &self.pool[handle as usize]
+    }
+
+    /// Number of subgraphs stored.
+    pub fn len(&self) -> usize {
+        self.pool.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.pool.is_empty()
+    }
+
+    /// Total `(position, twig)` group registrations.
+    pub fn registrations(&self) -> u64 {
+        self.registrations
+    }
+
+    /// The configured window policy.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// `∆′` as exposed for diagnostics and tests.
+    pub fn window_half_width(&self, ordinal: u16) -> u32 {
+        self.half_width(ordinal)
+    }
+
+    /// Position key a subgraph is centered on (diagnostics and tests).
+    pub fn position_of(&self, sg: &Subgraph) -> u32 {
+        self.subgraph_position(sg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::{max_min_size, select_cuts};
+    use crate::subgraph::build_subgraphs;
+    use tsj_tree::{parse_bracket, BinaryTree, LabelInterner};
+
+    fn subgraphs_of(
+        input: &str,
+        tau: u32,
+    ) -> (tsj_tree::Tree, BinaryTree, Vec<Subgraph>, LabelInterner) {
+        let mut labels = LabelInterner::new();
+        let tree = parse_bracket(input, &mut labels).unwrap();
+        let binary = BinaryTree::from_tree(&tree);
+        let delta = 2 * tau as usize + 1;
+        let gamma = max_min_size(&binary, delta);
+        let cuts = select_cuts(&binary, delta, gamma);
+        let sgs = build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, 0);
+        (tree, binary, sgs, labels)
+    }
+
+    #[test]
+    fn window_half_widths() {
+        let index = SubgraphIndex::new(2, WindowPolicy::Tight);
+        // ∆′ = τ − ⌊k/2⌋ with τ = 2: k=1 → 2, k=2 → 1, k=3 → 1, k=4 → 0, k=5 → 0.
+        assert_eq!(index.window_half_width(1), 2);
+        assert_eq!(index.window_half_width(2), 1);
+        assert_eq!(index.window_half_width(3), 1);
+        assert_eq!(index.window_half_width(4), 0);
+        assert_eq!(index.window_half_width(5), 0);
+        let safe = SubgraphIndex::new(2, WindowPolicy::Safe);
+        for k in 1..=5 {
+            assert_eq!(safe.window_half_width(k), 2);
+        }
+    }
+
+    #[test]
+    fn insert_and_probe_own_tree() {
+        let tau = 1;
+        let (tree, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let general_post = tree.postorder_numbers();
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Tight);
+        let n = binary.len() as u32;
+        index.insert_tree(n, sgs.clone());
+        assert_eq!(index.len(), 3);
+
+        // Probing each subgraph root with its own twig must surface it.
+        for sg in &sgs {
+            let root = sg.root;
+            let left = binary
+                .left(root)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right = binary
+                .right(root)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let position = index.probe_position(general_post[root.index()], n);
+            let mut found = false;
+            index.probe(n, position, binary.label(root), left, right, |h| {
+                if index.subgraph(h).ordinal == sg.ordinal {
+                    found = true;
+                }
+            });
+            assert!(found, "subgraph {} not found by self-probe", sg.ordinal);
+        }
+    }
+
+    #[test]
+    fn probe_wrong_size_is_empty() {
+        let tau = 1;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Tight);
+        let n = binary.len() as u32;
+        index.insert_tree(n, sgs);
+        let mut count = 0;
+        index.probe(n + 5, 0, Label::from_raw(1), Label::EPSILON, Label::EPSILON, |_| {
+            count += 1
+        });
+        assert_eq!(count, 0);
+    }
+
+    #[test]
+    fn registrations_count_window_entries() {
+        let tau = 1;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        // k=1: ∆′=1 → 3 entries; k=2: ∆′=0 → 1; k=3: ∆′=0 → 1. Total 5.
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Tight);
+        index.insert_tree(binary.len() as u32, sgs.clone());
+        assert_eq!(index.registrations(), 5);
+
+        let mut safe = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        safe.insert_tree(binary.len() as u32, sgs);
+        // Safe: every subgraph gets 2τ+1 = 3 entries (minus clamping at 0).
+        assert!(safe.registrations() >= 7, "{}", safe.registrations());
+    }
+
+    #[test]
+    fn twig_key_dedup_probes_each_group_once() {
+        // A probe with ε children must not visit the same group twice.
+        let tau = 0;
+        let (_, binary, sgs, _) = subgraphs_of("{a}", tau);
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Tight);
+        let n = binary.len() as u32;
+        index.insert_tree(n, sgs);
+        let mut visits = 0;
+        let root_label = binary.label(binary.root());
+        index.probe(n, 0, root_label, Label::EPSILON, Label::EPSILON, |_| {
+            visits += 1
+        });
+        assert_eq!(visits, 1);
+    }
+
+    #[test]
+    fn paper_absolute_uses_raw_postorder() {
+        let tau = 1;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let index = SubgraphIndex::new(tau, WindowPolicy::PaperAbsolute);
+        for sg in &sgs {
+            assert_eq!(index.position_of(sg), sg.root_post);
+        }
+        assert_eq!(index.probe_position(7, binary.len() as u32), 7);
+        let tight = SubgraphIndex::new(tau, WindowPolicy::Tight);
+        for sg in &sgs {
+            assert_eq!(tight.position_of(sg), sg.suffix);
+        }
+    }
+}

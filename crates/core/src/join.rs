@@ -1,0 +1,326 @@
+//! The PartSJ join loop (§3.2, Algorithm 1).
+//!
+//! Trees are processed in ascending size order. For each tree `T_i`:
+//!
+//! 1. **Probe.** Every node `N` of `T_i`'s LC-RS representation probes the
+//!    two-layer index of every size list `I_n`, `n ∈ [|T_i| − τ, |T_i|]`.
+//!    Retrieved subgraphs are matched at `N`; the first successful match
+//!    for a container tree `T_j` makes `(T_i, T_j)` a candidate pair.
+//! 2. **Verify.** Candidates are checked with exact TED (`≤ τ`).
+//! 3. **Insert.** `T_i` is δ-partitioned (`δ = 2τ + 1`) with the
+//!    max-min-size scheme and its subgraphs join the index for subsequent
+//!    probes. Trees smaller than `δ` cannot be δ-partitioned; they go to a
+//!    size-keyed side list and are verified directly by later probes
+//!    (Lemma 2 offers no filter for them — the paper leaves this case
+//!    implicit).
+//!
+//! No offline index is built: the index grows while the join runs, so each
+//! unordered pair is considered exactly once (when its larger tree probes).
+
+use crate::config::{PartSjConfig, PartitionScheme, WindowPolicy};
+use crate::index::SubgraphIndex;
+use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use std::time::Instant;
+use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+
+/// PartSJ-specific instrumentation beyond the common [`JoinStats`].
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PartSjDetail {
+    /// Subgraphs built and inserted into the index.
+    pub subgraphs_built: u64,
+    /// Total `(position, twig)` group registrations in the index.
+    pub index_registrations: u64,
+    /// Index probes issued (node × size-list combinations).
+    pub probes: u64,
+    /// Subgraph match attempts (handles surfaced by the index).
+    pub match_attempts: u64,
+    /// Match attempts that succeeded (≥ candidates; one pair can match
+    /// several times before it is stamped).
+    pub matches: u64,
+    /// Candidate pairs contributed by the small-tree side list.
+    pub small_tree_candidates: u64,
+}
+
+/// Runs PartSJ with the default configuration (max-min partitioning,
+/// provably complete general-postorder window).
+pub fn partsj_join(trees: &[Tree], tau: u32) -> JoinOutcome {
+    partsj_join_with(trees, tau, &PartSjConfig::default())
+}
+
+/// Runs PartSJ with an explicit configuration.
+pub fn partsj_join_with(trees: &[Tree], tau: u32, config: &PartSjConfig) -> JoinOutcome {
+    partsj_join_detailed(trees, tau, config).0
+}
+
+/// Runs PartSJ and also returns the detailed instrumentation.
+pub fn partsj_join_detailed(
+    trees: &[Tree],
+    tau: u32,
+    config: &PartSjConfig,
+) -> (JoinOutcome, PartSjDetail) {
+    let delta = 2 * tau as usize + 1;
+    let mut stats = JoinStats::default();
+    let mut detail = PartSjDetail::default();
+
+    // Preprocessing: LC-RS representations for probing/partitioning and
+    // prepared trees for verification (charged to candidate generation,
+    // like the baselines' traversal strings and branch bags).
+    let setup_start = Instant::now();
+    let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
+    let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
+    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
+    order.sort_by_key(|&i| (trees[i as usize].len(), i));
+    stats.candidate_time += setup_start.elapsed();
+
+    let mut index = SubgraphIndex::new(tau, config.window);
+    let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+    // Pair-dedup stamps: stamp[j] == i means (i, j) is already a candidate
+    // of the current probe i.
+    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
+    let mut engine = TedEngine::unit();
+    let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+    let mut candidates: Vec<TreeIdx> = Vec::new();
+
+    for &i in &order {
+        let binary = &binaries[i as usize];
+        let size_i = binary.len() as u32;
+        let lo = size_i.saturating_sub(tau).max(1);
+
+        let cand_start = Instant::now();
+        candidates.clear();
+
+        // Small trees cannot be δ-partitioned: every size-compatible one is
+        // a direct candidate.
+        for n in lo..=size_i {
+            if let Some(list) = small_by_size.get(&n) {
+                for &j in list {
+                    if stamp[j as usize] != i {
+                        stamp[j as usize] = i;
+                        candidates.push(j);
+                        detail.small_tree_candidates += 1;
+                    }
+                }
+            }
+        }
+
+        // Index probes: every node of T_i against every candidate size.
+        // Positions are general-tree postorder numbers (edit-stable); twig
+        // children come from the LC-RS structure.
+        let posts_i = &general_posts[i as usize];
+        for node in binary.node_ids() {
+            let label = binary.label(node);
+            let left = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right = binary
+                .right(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let position = index.probe_position(posts_i[node.index()], size_i);
+            for n in lo..=size_i {
+                detail.probes += 1;
+                index.probe(n, position, label, left, right, |handle| {
+                    let sg = index.subgraph(handle);
+                    if stamp[sg.tree as usize] == i {
+                        return; // pair already a candidate
+                    }
+                    detail.match_attempts += 1;
+                    if subgraph_matches_with(sg, binary, node, config.matching) {
+                        detail.matches += 1;
+                        stamp[sg.tree as usize] = i;
+                        candidates.push(sg.tree);
+                    }
+                });
+            }
+        }
+        stats.candidates += candidates.len() as u64;
+        stats.pairs_examined += candidates.len() as u64;
+        stats.candidate_time += cand_start.elapsed();
+
+        // Verification.
+        let verify_start = Instant::now();
+        for &j in &candidates {
+            let d = engine.distance(&prepared[i as usize], &prepared[j as usize]);
+            if d <= tau {
+                pairs.push((j, i));
+            }
+        }
+        stats.verify_time += verify_start.elapsed();
+
+        // Partition T_i and publish its subgraphs (or side-list it).
+        let insert_start = Instant::now();
+        if (size_i as usize) < delta {
+            small_by_size.entry(size_i).or_default().push(i);
+        } else {
+            let cuts = match config.partitioning {
+                PartitionScheme::MaxMin => {
+                    let gamma = max_min_size(binary, delta);
+                    select_cuts(binary, delta, gamma)
+                }
+                PartitionScheme::Random { seed } => {
+                    select_random_cuts(binary, delta, seed ^ u64::from(i))
+                }
+            };
+            let subgraphs = build_subgraphs(binary, posts_i, &cuts, i);
+            detail.subgraphs_built += subgraphs.len() as u64;
+            index.insert_tree(size_i, subgraphs);
+        }
+        stats.candidate_time += insert_start.elapsed();
+    }
+
+    detail.index_registrations = index.registrations();
+    stats.ted_calls = engine.computations();
+    (JoinOutcome::new(pairs, stats), detail)
+}
+
+/// Convenience: PartSJ with the literal-paper absolute-postorder window
+/// (incomplete; for the correction ablation only).
+pub fn partsj_join_paper_window(trees: &[Tree], tau: u32) -> JoinOutcome {
+    partsj_join_with(
+        trees,
+        tau,
+        &PartSjConfig {
+            window: WindowPolicy::PaperAbsolute,
+            ..Default::default()
+        },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(specs: &[&str]) -> Vec<Tree> {
+        let mut labels = LabelInterner::new();
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn finds_exact_duplicates_at_tau_zero() {
+        let trees = collection(&["{a{b}{c}}", "{a{b}{c}}", "{a{b}{d}}", "{a{b}{c}}"]);
+        let outcome = partsj_join(&trees, 0);
+        assert_eq!(outcome.pairs, vec![(0, 1), (0, 3), (1, 3)]);
+    }
+
+    #[test]
+    fn finds_near_duplicates_small_tau() {
+        let trees = collection(&[
+            "{a{b}{c}{d}}",
+            "{a{b}{c}{e}}", // one rename away from 0
+            "{a{b}{c}}",    // one delete away from 0
+            "{z{y}{x}{w}{v}{u}}",
+        ]);
+        let outcome = partsj_join(&trees, 1);
+        assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+    }
+
+    #[test]
+    fn small_trees_are_joined_via_side_list() {
+        // With τ = 2, δ = 5: trees below 5 nodes use the side list.
+        let trees = collection(&["{a}", "{a{b}}", "{a{b}{c}}", "{x}"]);
+        let (outcome, detail) = partsj_join_detailed(&trees, 2, &PartSjConfig::default());
+        // d({a},{a{b}})=1, d({a},{a{b}{c}})=2, d({a{b}},{a{b}{c}})=1,
+        // d({a},{x})=1, d({a{b}},{x})=2, d({a{b}{c}},{x})=3 (too far).
+        assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (0, 3), (1, 2), (1, 3)]);
+        assert!(detail.small_tree_candidates > 0);
+        assert_eq!(detail.subgraphs_built, 0, "no tree reaches δ = 5 nodes");
+    }
+
+    #[test]
+    fn mixed_small_and_large_trees() {
+        let trees = collection(&[
+            "{a{b{c}{d}}{e{f}{g}}}", // 7 nodes
+            "{a{b{c}{d}}{e{f}{h}}}", // 7 nodes, one rename away
+            "{a{b}}",                // 2 nodes
+            "{a}",                   // 1 node
+        ]);
+        let outcome = partsj_join(&trees, 1);
+        assert_eq!(outcome.pairs, vec![(0, 1), (2, 3)]);
+    }
+
+    #[test]
+    fn candidate_counts_are_sane() {
+        let trees = collection(&[
+            "{a{b}{c}{d}}",
+            "{a{b}{c}{e}}",
+            "{a{b}{c}}",
+            "{q{w}{e}{r}}",
+            "{q{w}{e}{r}}",
+        ]);
+        let (outcome, detail) = partsj_join_detailed(&trees, 1, &PartSjConfig::default());
+        assert!(outcome.stats.candidates >= outcome.stats.results);
+        assert!(detail.match_attempts >= detail.matches);
+        assert!(outcome.stats.ted_calls == outcome.stats.candidates);
+    }
+
+    #[test]
+    fn all_window_policies_agree_here() {
+        // Equal-sized trees: absolute and suffix coordinates coincide, so
+        // even the literal paper window is complete on this input.
+        let trees = collection(&[
+            "{a{b}{c}{d}}",
+            "{a{b}{c}{e}}",
+            "{a{b}{x}{d}}",
+            "{m{n}{o}{p}}",
+        ]);
+        let tight = partsj_join(&trees, 1);
+        let safe = partsj_join_with(
+            &trees,
+            1,
+            &PartSjConfig {
+                window: WindowPolicy::Safe,
+                ..Default::default()
+            },
+        );
+        let paper = partsj_join_paper_window(&trees, 1);
+        assert_eq!(tight.pairs, safe.pairs);
+        assert_eq!(tight.pairs, paper.pairs);
+    }
+
+    #[test]
+    fn random_partitioning_is_correct_but_weaker() {
+        let trees = collection(&[
+            "{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}",
+            "{a{b{c}{d}}{e{f}{g}}{h{i}{k}}}",
+            "{z{y{x}{w}}{v{u}{t}}{s{r}{q}}}",
+        ]);
+        let maxmin = partsj_join(&trees, 1);
+        let random = partsj_join_with(
+            &trees,
+            1,
+            &PartSjConfig {
+                partitioning: PartitionScheme::Random { seed: 7 },
+                ..Default::default()
+            },
+        );
+        assert_eq!(maxmin.pairs, random.pairs, "schemes must agree on results");
+    }
+
+    #[test]
+    fn empty_and_singleton_collections() {
+        let outcome = partsj_join(&[], 2);
+        assert!(outcome.pairs.is_empty());
+        let trees = collection(&["{a{b}}"]);
+        let outcome = partsj_join(&trees, 2);
+        assert!(outcome.pairs.is_empty());
+    }
+
+    #[test]
+    fn detail_counters_populate() {
+        let trees = collection(&[
+            "{a{b{c}{d}}{e{f}{g}}}",
+            "{a{b{c}{d}}{e{f}{g}}}",
+            "{a{b{c}{d}}{e{f}{h}}}",
+        ]);
+        let (_, detail) = partsj_join_detailed(&trees, 1, &PartSjConfig::default());
+        assert!(detail.subgraphs_built >= 6, "{detail:?}");
+        assert!(detail.index_registrations >= detail.subgraphs_built);
+        assert!(detail.probes > 0);
+    }
+}

@@ -1,0 +1,57 @@
+//! # partsj
+//!
+//! **PartSJ** — the partition-based similarity join over tree-structured
+//! data of Tang, Cai & Mamoulis, *Scaling Similarity Joins over
+//! Tree-Structured Data*, PVLDB 8(11), 2015. This crate is the paper's
+//! primary contribution:
+//!
+//! * δ-partitioning of LC-RS binary trees with the max-min subgraph size
+//!   scheme (§3.3, Algorithms 2–3) — [`partition`];
+//! * subgraph extraction with bridging edges and embedding matching
+//!   (§3.1/§3.4) — [`subgraph`];
+//! * the on-the-fly two-layer (postorder × label-twig) inverted index
+//!   (§3.4) — [`index`];
+//! * the join loop itself (§3.2, Algorithm 1) — [`join`], plus a
+//!   crossbeam-parallel verification variant — [`parallel`].
+//!
+//! ```
+//! use partsj::partsj_join;
+//! use tsj_tree::{parse_bracket, LabelInterner};
+//!
+//! let mut labels = LabelInterner::new();
+//! let trees: Vec<_> = ["{a{b}{c}}", "{a{b}{c}}", "{a{b}{z}}", "{x{y}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//! let outcome = partsj_join(&trees, 1);
+//! assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+//! ```
+//!
+//! The filtering principle (Lemma 2): if `TED(T1, T2) ≤ τ`, any
+//! `δ = 2τ + 1`-partitioning of `T1`'s binary representation contains at
+//! least one subgraph that also appears in `T2`'s — so a pair without a
+//! shared subgraph is pruned without computing TED.
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod index;
+pub mod join;
+pub mod parallel;
+pub mod partition;
+pub mod rs_join;
+pub mod search;
+pub mod streaming;
+pub mod subgraph;
+
+pub use config::{MatchSemantics, PartSjConfig, PartitionScheme, WindowPolicy};
+pub use index::{SubgraphHandle, SubgraphIndex};
+pub use join::{
+    partsj_join, partsj_join_detailed, partsj_join_paper_window, partsj_join_with, PartSjDetail,
+};
+pub use parallel::partsj_join_parallel;
+pub use rs_join::partsj_join_rs;
+pub use search::SearchIndex;
+pub use streaming::StreamingJoin;
+pub use partition::{max_min_size, partitionable, select_cuts, select_random_cuts};
+pub use subgraph::{build_subgraphs, subgraph_matches, subgraph_matches_with, ChildKind, SgNode, Subgraph};

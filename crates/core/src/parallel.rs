@@ -1,0 +1,203 @@
+//! Multi-core PartSJ (§6's future-work direction, built as an extension).
+//!
+//! Candidate generation is inherently sequential — the index is populated
+//! while the join runs, so probe order matters — but verification is
+//! embarrassingly parallel. This variant runs the standard candidate
+//! pipeline on the caller's thread and streams candidate pairs through a
+//! crossbeam channel to a pool of verifier threads, each owning a private
+//! [`TedEngine`]. Result sets are identical to the sequential join.
+
+use crate::config::{PartSjConfig, PartitionScheme};
+use crate::index::SubgraphIndex;
+use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use crossbeam::channel;
+use std::time::Instant;
+use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+
+/// PartSJ with parallel verification over `threads` workers.
+///
+/// Falls back to the sequential join for tiny inputs or `threads ≤ 1`.
+pub fn partsj_join_parallel(
+    trees: &[Tree],
+    tau: u32,
+    config: &PartSjConfig,
+    threads: usize,
+) -> JoinOutcome {
+    let threads = threads.max(1);
+    if threads == 1 || trees.len() < 64 {
+        return crate::join::partsj_join_with(trees, tau, config);
+    }
+
+    let delta = 2 * tau as usize + 1;
+    let mut stats = JoinStats::default();
+
+    let total_start = Instant::now();
+    let setup_start = Instant::now();
+    let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
+    let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
+    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
+    order.sort_by_key(|&i| (trees[i as usize].len(), i));
+    let mut candidate_time = setup_start.elapsed();
+
+    let (tx, rx) = channel::unbounded::<(TreeIdx, TreeIdx)>();
+
+    let (pairs, candidates_total, ted_calls) = crossbeam::scope(|scope| {
+        let workers: Vec<_> = (0..threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let prepared = &prepared;
+                scope.spawn(move |_| {
+                    let mut engine = TedEngine::unit();
+                    let mut found = Vec::new();
+                    while let Ok((i, j)) = rx.recv() {
+                        let d =
+                            engine.distance(&prepared[i as usize], &prepared[j as usize]);
+                        if d <= tau {
+                            found.push((j, i));
+                        }
+                    }
+                    (found, engine.computations())
+                })
+            })
+            .collect();
+        drop(rx);
+
+        // Candidate generation on this thread (identical to the
+        // sequential join, but candidates are sent instead of buffered).
+        let mut index = SubgraphIndex::new(tau, config.window);
+        let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+        let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
+        let mut candidates_total = 0u64;
+
+        for &i in &order {
+            let phase_start = Instant::now();
+            let binary = &binaries[i as usize];
+            let size_i = binary.len() as u32;
+            let lo = size_i.saturating_sub(tau).max(1);
+
+            for n in lo..=size_i {
+                if let Some(list) = small_by_size.get(&n) {
+                    for &j in list {
+                        if stamp[j as usize] != i {
+                            stamp[j as usize] = i;
+                            candidates_total += 1;
+                            tx.send((i, j)).expect("verifier pool alive");
+                        }
+                    }
+                }
+            }
+
+            let posts_i = &general_posts[i as usize];
+            for node in binary.node_ids() {
+                let label = binary.label(node);
+                let left = binary
+                    .left(node)
+                    .map_or(Label::EPSILON, |c| binary.label(c));
+                let right = binary
+                    .right(node)
+                    .map_or(Label::EPSILON, |c| binary.label(c));
+                let position = index.probe_position(posts_i[node.index()], size_i);
+                for n in lo..=size_i {
+                    let mut hits: Vec<TreeIdx> = Vec::new();
+                    index.probe(n, position, label, left, right, |handle| {
+                        let sg = index.subgraph(handle);
+                        if stamp[sg.tree as usize] != i
+                            && subgraph_matches_with(sg, binary, node, config.matching)
+                        {
+                            hits.push(sg.tree);
+                        }
+                    });
+                    for j in hits {
+                        if stamp[j as usize] != i {
+                            stamp[j as usize] = i;
+                            candidates_total += 1;
+                            tx.send((i, j)).expect("verifier pool alive");
+                        }
+                    }
+                }
+            }
+
+            if (size_i as usize) < delta {
+                small_by_size.entry(size_i).or_default().push(i);
+            } else {
+                let cuts = match config.partitioning {
+                    PartitionScheme::MaxMin => {
+                        let gamma = max_min_size(binary, delta);
+                        select_cuts(binary, delta, gamma)
+                    }
+                    PartitionScheme::Random { seed } => {
+                        select_random_cuts(binary, delta, seed ^ u64::from(i))
+                    }
+                };
+                index.insert_tree(
+                    size_i,
+                    build_subgraphs(binary, &general_posts[i as usize], &cuts, i),
+                );
+            }
+            candidate_time += phase_start.elapsed();
+        }
+        drop(tx);
+
+        let mut pairs = Vec::new();
+        let mut ted_calls = 0u64;
+        for worker in workers {
+            let (found, calls) = worker.join().expect("verifier panicked");
+            pairs.extend(found);
+            ted_calls += calls;
+        }
+        (pairs, candidates_total, ted_calls)
+    })
+    .expect("crossbeam scope failed");
+
+    stats.candidate_time = candidate_time;
+    stats.verify_time = total_start.elapsed().saturating_sub(candidate_time);
+    stats.candidates = candidates_total;
+    stats.pairs_examined = candidates_total;
+    stats.ted_calls = ted_calls;
+    JoinOutcome::new(pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::partsj_join_with;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    #[test]
+    fn parallel_matches_sequential() {
+        // Build a collection large enough to avoid the fallback.
+        let mut labels = LabelInterner::new();
+        let base = [
+            "{a{b}{c}{d}}",
+            "{a{b}{c}{e}}",
+            "{a{b}{c}}",
+            "{q{w}{e}{r}}",
+            "{q{w}{e}{r}{t}}",
+            "{m{n{o}{p}}}",
+        ];
+        let trees: Vec<_> = (0..120)
+            .map(|i| parse_bracket(base[i % base.len()], &mut labels).unwrap())
+            .collect();
+        for tau in [0u32, 1, 2] {
+            let config = PartSjConfig::default();
+            let seq = partsj_join_with(&trees, tau, &config);
+            let par = partsj_join_parallel(&trees, tau, &config, 4);
+            assert_eq!(seq.pairs, par.pairs, "tau = {tau}");
+            assert_eq!(seq.stats.candidates, par.stats.candidates, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn small_input_falls_back() {
+        let mut labels = LabelInterner::new();
+        let trees = vec![
+            parse_bracket("{a{b}}", &mut labels).unwrap(),
+            parse_bracket("{a{b}}", &mut labels).unwrap(),
+        ];
+        let outcome = partsj_join_parallel(&trees, 0, &PartSjConfig::default(), 8);
+        assert_eq!(outcome.pairs, vec![(0, 1)]);
+    }
+}

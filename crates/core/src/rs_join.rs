@@ -1,0 +1,204 @@
+//! Non-self (R×S) similarity join — the paper notes in §1 that the
+//! framework "is directly applicable for non-self joins"; this module
+//! makes that concrete.
+//!
+//! Unlike the self-join, the index can be built offline: every tree of the
+//! *left* collection is δ-partitioned and inserted first, then each
+//! *right* tree probes all size lists within `[|s| − τ, |s| + τ]` (both
+//! directions, since left trees may be larger or smaller). Lemma 2 applies
+//! with `T1` the indexed left tree: if `TED(r, s) ≤ τ`, some subgraph of
+//! `r` appears in `s`, so probing `s`'s nodes finds the pair.
+
+use crate::config::{PartSjConfig, PartitionScheme};
+use crate::index::SubgraphIndex;
+use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use std::time::Instant;
+use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+
+/// R×S similarity join: all pairs `(i, j)` with `TED(left[i], right[j]) ≤
+/// tau`. Pair indices refer to the respective input collections.
+pub fn partsj_join_rs(
+    left: &[Tree],
+    right: &[Tree],
+    tau: u32,
+    config: &PartSjConfig,
+) -> JoinOutcome {
+    let delta = 2 * tau as usize + 1;
+    let mut stats = JoinStats::default();
+
+    // Build phase: partition and index every left tree.
+    let build_start = Instant::now();
+    let mut index = SubgraphIndex::new(tau, config.window);
+    let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+    let left_prepared: Vec<PreparedTree> = left.iter().map(PreparedTree::new).collect();
+    for (i, tree) in left.iter().enumerate() {
+        let size = tree.len() as u32;
+        if (size as usize) < delta {
+            small_by_size.entry(size).or_default().push(i as TreeIdx);
+            continue;
+        }
+        let binary = BinaryTree::from_tree(tree);
+        let cuts = match config.partitioning {
+            PartitionScheme::MaxMin => {
+                let gamma = max_min_size(&binary, delta);
+                select_cuts(&binary, delta, gamma)
+            }
+            PartitionScheme::Random { seed } => {
+                select_random_cuts(&binary, delta, seed ^ i as u64)
+            }
+        };
+        let subgraphs = build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
+        index.insert_tree(size, subgraphs);
+    }
+    stats.candidate_time += build_start.elapsed();
+
+    // Probe phase: each right tree searches the left index.
+    let mut engine = TedEngine::unit();
+    let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+    let mut stamp: Vec<u32> = vec![u32::MAX; left.len()];
+    let mut candidates: Vec<TreeIdx> = Vec::new();
+
+    for (j, tree) in right.iter().enumerate() {
+        let probe_start = Instant::now();
+        let marker = j as u32;
+        candidates.clear();
+        let size_j = tree.len() as u32;
+        let lo = size_j.saturating_sub(tau).max(1);
+        let hi = size_j + tau;
+
+        for n in lo..=hi {
+            if let Some(list) = small_by_size.get(&n) {
+                for &i in list {
+                    if stamp[i as usize] != marker {
+                        stamp[i as usize] = marker;
+                        candidates.push(i);
+                    }
+                }
+            }
+        }
+
+        let binary = BinaryTree::from_tree(tree);
+        let posts = tree.postorder_numbers();
+        for node in binary.node_ids() {
+            let label = binary.label(node);
+            let left_lbl = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right_lbl = binary
+                .right(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let position = index.probe_position(posts[node.index()], size_j);
+            for n in lo..=hi {
+                index.probe(n, position, label, left_lbl, right_lbl, |handle| {
+                    let sg = index.subgraph(handle);
+                    if stamp[sg.tree as usize] == marker {
+                        return;
+                    }
+                    if subgraph_matches_with(sg, &binary, node, config.matching) {
+                        stamp[sg.tree as usize] = marker;
+                        candidates.push(sg.tree);
+                    }
+                });
+            }
+        }
+        stats.candidates += candidates.len() as u64;
+        stats.pairs_examined += candidates.len() as u64;
+        stats.candidate_time += probe_start.elapsed();
+
+        let verify_start = Instant::now();
+        let prepared_j = PreparedTree::new(tree);
+        for &i in &candidates {
+            if engine
+                .within(&left_prepared[i as usize], &prepared_j, tau)
+                .is_some()
+            {
+                pairs.push((i, j as TreeIdx));
+            }
+        }
+        stats.verify_time += verify_start.elapsed();
+    }
+
+    stats.ted_calls = engine.computations();
+    JoinOutcome::new_bipartite(pairs, stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(labels: &mut LabelInterner, specs: &[&str]) -> Vec<Tree> {
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, labels).unwrap())
+            .collect()
+    }
+
+    fn brute_force_rs(left: &[Tree], right: &[Tree], tau: u32) -> Vec<(TreeIdx, TreeIdx)> {
+        let mut engine = TedEngine::unit();
+        let mut pairs = Vec::new();
+        for (i, l) in left.iter().enumerate() {
+            for (j, r) in right.iter().enumerate() {
+                if l.len().abs_diff(r.len()) as u32 <= tau
+                    && engine.distance_trees(l, r) <= tau
+                {
+                    pairs.push((i as TreeIdx, j as TreeIdx));
+                }
+            }
+        }
+        pairs
+    }
+
+    #[test]
+    fn rs_join_matches_brute_force() {
+        let mut labels = LabelInterner::new();
+        let left = collection(
+            &mut labels,
+            &["{a{b}{c}}", "{a{b}{c}{d}}", "{q{w{e}{r}}}", "{z}"],
+        );
+        let right = collection(
+            &mut labels,
+            &["{a{b}{c}}", "{a{b}{x}}", "{q{w{e}{r}{t}}}", "{z{y}}", "{m{n{o{p}}}}"],
+        );
+        for tau in 0..=3u32 {
+            let expected = brute_force_rs(&left, &right, tau);
+            let outcome = partsj_join_rs(&left, &right, tau, &PartSjConfig::default());
+            assert_eq!(outcome.pairs, expected, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn rs_join_handles_asymmetric_sizes() {
+        // Right trees larger than every left tree and vice versa.
+        let mut labels = LabelInterner::new();
+        let left = collection(&mut labels, &["{a{b}}", "{a{b}{c}{d}{e}{f}{g}}"]);
+        let right = collection(&mut labels, &["{a{b}{c}}", "{a{b}{c}{d}{e}{f}}"]);
+        for tau in 1..=2u32 {
+            let expected = brute_force_rs(&left, &right, tau);
+            let outcome = partsj_join_rs(&left, &right, tau, &PartSjConfig::default());
+            assert_eq!(outcome.pairs, expected, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn rs_join_with_empty_side() {
+        let mut labels = LabelInterner::new();
+        let trees = collection(&mut labels, &["{a}"]);
+        let outcome = partsj_join_rs(&trees, &[], 2, &PartSjConfig::default());
+        assert!(outcome.pairs.is_empty());
+        let outcome = partsj_join_rs(&[], &trees, 2, &PartSjConfig::default());
+        assert!(outcome.pairs.is_empty());
+    }
+
+    #[test]
+    fn rs_join_is_bipartite_not_symmetric_normalized() {
+        // Pair (3, 0) must stay (3, 0) — left index 3, right index 0.
+        let mut labels = LabelInterner::new();
+        let left = collection(&mut labels, &["{x}", "{y}", "{z}", "{a{b}}"]);
+        let right = collection(&mut labels, &["{a{b}}"]);
+        let outcome = partsj_join_rs(&left, &right, 0, &PartSjConfig::default());
+        assert_eq!(outcome.pairs, vec![(3, 0)]);
+    }
+}

@@ -1,0 +1,256 @@
+//! Similarity *search* over an indexed collection — the query type the
+//! paper's introduction defines before generalizing to joins: "given a
+//! query tree `Tq` and a distance threshold `τ`, a similarity search query
+//! finds in the database all trees `Ti` such that `TED(Tq, Ti) ≤ τ`".
+//!
+//! [`SearchIndex::build`] partitions and indexes the collection once;
+//! each [`SearchIndex::query`] then probes with the query tree's nodes
+//! exactly like one iteration of Algorithm 1, so repeated queries amortize
+//! the index construction — the offline-index regime the join
+//! deliberately avoids but search workloads want.
+
+use crate::config::{PartSjConfig, PartitionScheme};
+use crate::index::SubgraphIndex;
+use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+
+/// A similarity-search index over a fixed collection.
+///
+/// ```
+/// use partsj::{PartSjConfig, SearchIndex};
+/// use tsj_tree::{parse_bracket, LabelInterner};
+///
+/// let mut labels = LabelInterner::new();
+/// let collection: Vec<_> = ["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}"]
+///     .iter()
+///     .map(|s| parse_bracket(s, &mut labels).unwrap())
+///     .collect();
+/// let index = SearchIndex::build(&collection, 1, PartSjConfig::default());
+///
+/// let query = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+/// let hits = index.query(&query);
+/// assert_eq!(hits, vec![(0, 0), (1, 1)]); // (tree index, distance)
+/// ```
+#[derive(Debug)]
+pub struct SearchIndex {
+    tau: u32,
+    config: PartSjConfig,
+    index: SubgraphIndex,
+    small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
+    prepared: Vec<PreparedTree>,
+}
+
+impl SearchIndex {
+    /// Partitions and indexes every tree of `collection` for threshold
+    /// `tau` queries.
+    pub fn build(collection: &[Tree], tau: u32, config: PartSjConfig) -> SearchIndex {
+        let delta = 2 * tau as usize + 1;
+        let mut index = SubgraphIndex::new(tau, config.window);
+        let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+        for (i, tree) in collection.iter().enumerate() {
+            let size = tree.len() as u32;
+            if (size as usize) < delta {
+                small_by_size.entry(size).or_default().push(i as TreeIdx);
+                continue;
+            }
+            let binary = BinaryTree::from_tree(tree);
+            let cuts = match config.partitioning {
+                PartitionScheme::MaxMin => {
+                    let gamma = max_min_size(&binary, delta);
+                    select_cuts(&binary, delta, gamma)
+                }
+                PartitionScheme::Random { seed } => {
+                    select_random_cuts(&binary, delta, seed ^ i as u64)
+                }
+            };
+            let subgraphs =
+                build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
+            index.insert_tree(size, subgraphs);
+        }
+        SearchIndex {
+            tau,
+            config,
+            index,
+            small_by_size,
+            prepared: collection.iter().map(PreparedTree::new).collect(),
+        }
+    }
+
+    /// Number of indexed trees.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Whether the collection is empty.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// The search threshold the index was built for.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Finds all collection trees within `τ` of `query`, as ascending
+    /// `(tree index, exact distance)` pairs.
+    pub fn query(&self, query: &Tree) -> Vec<(TreeIdx, u32)> {
+        let mut engine = TedEngine::unit();
+        self.query_with_engine(query, &mut engine)
+    }
+
+    /// Like [`SearchIndex::query`] but reusing a caller-owned engine
+    /// (avoids repeated workspace allocation across many queries).
+    pub fn query_with_engine(
+        &self,
+        query: &Tree,
+        engine: &mut TedEngine,
+    ) -> Vec<(TreeIdx, u32)> {
+        let size_q = query.len() as u32;
+        let lo = size_q.saturating_sub(self.tau).max(1);
+        let hi = size_q + self.tau;
+        let mut seen: FxHashMap<TreeIdx, ()> = FxHashMap::default();
+        let mut candidates: Vec<TreeIdx> = Vec::new();
+
+        for n in lo..=hi {
+            if let Some(list) = self.small_by_size.get(&n) {
+                for &j in list {
+                    if seen.insert(j, ()).is_none() {
+                        candidates.push(j);
+                    }
+                }
+            }
+        }
+
+        let binary = BinaryTree::from_tree(query);
+        let posts = query.postorder_numbers();
+        for node in binary.node_ids() {
+            let label = binary.label(node);
+            let left = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right = binary
+                .right(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let position = self.index.probe_position(posts[node.index()], size_q);
+            for n in lo..=hi {
+                self.index.probe(n, position, label, left, right, |handle| {
+                    let sg = self.index.subgraph(handle);
+                    if seen.contains_key(&sg.tree) {
+                        return;
+                    }
+                    if subgraph_matches_with(sg, &binary, node, self.config.matching) {
+                        seen.insert(sg.tree, ());
+                        candidates.push(sg.tree);
+                    }
+                });
+            }
+        }
+
+        let prepared_q = PreparedTree::new(query);
+        let mut hits: Vec<(TreeIdx, u32)> = candidates
+            .into_iter()
+            .filter_map(|j| {
+                engine
+                    .within(&self.prepared[j as usize], &prepared_q, self.tau)
+                    .map(|d| (j, d))
+            })
+            .collect();
+        hits.sort_unstable();
+        hits
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_ted::ted;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(labels: &mut LabelInterner, specs: &[&str]) -> Vec<Tree> {
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, labels).unwrap())
+            .collect()
+    }
+
+    #[test]
+    fn query_matches_linear_scan() {
+        let mut labels = LabelInterner::new();
+        let trees = collection(
+            &mut labels,
+            &[
+                "{a{b}{c}}",
+                "{a{b}{d}}",
+                "{a{b{c}}{d}}",
+                "{x{y{z}}}",
+                "{a}",
+                "{a{b}}",
+            ],
+        );
+        for tau in 0..=3u32 {
+            let index = SearchIndex::build(&trees, tau, PartSjConfig::default());
+            for query_src in ["{a{b}{c}}", "{a{b}}", "{x{y}}", "{q{q}{q}{q}}"] {
+                let query = parse_bracket(query_src, &mut labels).unwrap();
+                let expected: Vec<(TreeIdx, u32)> = trees
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, t)| {
+                        let d = ted(t, &query);
+                        (d <= tau).then_some((i as TreeIdx, d))
+                    })
+                    .collect();
+                assert_eq!(
+                    index.query(&query),
+                    expected,
+                    "tau = {tau}, query = {query_src}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn repeated_queries_reuse_engine() {
+        let mut labels = LabelInterner::new();
+        let trees = collection(&mut labels, &["{a{b}{c}}", "{a{b}{d}}"]);
+        let index = SearchIndex::build(&trees, 1, PartSjConfig::default());
+        let mut engine = TedEngine::unit();
+        let q = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+        let first = index.query_with_engine(&q, &mut engine);
+        let second = index.query_with_engine(&q, &mut engine);
+        assert_eq!(first, second);
+        assert!(engine.computations() >= 2);
+    }
+
+    #[test]
+    fn search_on_generated_collection() {
+        let trees = tsj_datagen::synthetic(
+            60,
+            &tsj_datagen::SyntheticParams {
+                avg_size: 25,
+                ..Default::default()
+            },
+            31,
+        );
+        let tau = 2;
+        let index = SearchIndex::build(&trees, tau, PartSjConfig::default());
+        // Query with each collection member: must at least find itself.
+        for (i, tree) in trees.iter().enumerate() {
+            let hits = index.query(tree);
+            assert!(
+                hits.iter().any(|&(j, d)| j as usize == i && d == 0),
+                "tree {i} must find itself"
+            );
+        }
+    }
+
+    #[test]
+    fn empty_collection() {
+        let index = SearchIndex::build(&[], 2, PartSjConfig::default());
+        assert!(index.is_empty());
+        let mut labels = LabelInterner::new();
+        let q = parse_bracket("{a}", &mut labels).unwrap();
+        assert!(index.query(&q).is_empty());
+    }
+}

@@ -1,0 +1,261 @@
+//! Incremental (streaming) similarity join.
+//!
+//! The paper's §4.3 closes by motivating "streaming workloads where tree
+//! objects (e.g., XML and HTML entities) are inserted and updated at a
+//! high rate". Algorithm 1's inner loop is naturally incremental — the
+//! index is built on the fly — but it relies on ascending size order to
+//! probe only `[|T| − τ, |T|]`. A stream arrives in arbitrary order, so
+//! [`StreamingJoin::insert`] probes the symmetric window
+//! `[|T| − τ, |T| + τ]` and then publishes the new tree's subgraphs,
+//! reporting the partners found among all previously inserted trees.
+
+use crate::config::{PartSjConfig, PartitionScheme};
+use crate::index::SubgraphIndex;
+use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+
+/// An online similarity self-join: insert trees one at a time and learn,
+/// immediately, which earlier trees are within `τ`.
+///
+/// ```
+/// use partsj::{PartSjConfig, StreamingJoin};
+/// use tsj_tree::{parse_bracket, LabelInterner};
+///
+/// let mut labels = LabelInterner::new();
+/// let mut join = StreamingJoin::new(1, PartSjConfig::default());
+/// let t0 = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+/// let t1 = parse_bracket("{a{b}{z}}", &mut labels).unwrap();
+/// let t2 = parse_bracket("{q{r{s{t}}}}", &mut labels).unwrap();
+/// assert!(join.insert(&t0).is_empty());
+/// assert_eq!(join.insert(&t1), vec![0]); // one rename away from t0
+/// assert!(join.insert(&t2).is_empty());
+/// assert_eq!(join.len(), 3);
+/// ```
+#[derive(Debug)]
+pub struct StreamingJoin {
+    tau: u32,
+    config: PartSjConfig,
+    index: SubgraphIndex,
+    small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
+    prepared: Vec<PreparedTree>,
+    stamp: Vec<u32>,
+    engine: TedEngine,
+    pairs_found: u64,
+}
+
+impl StreamingJoin {
+    /// Creates an empty streaming join at threshold `tau`.
+    pub fn new(tau: u32, config: PartSjConfig) -> StreamingJoin {
+        StreamingJoin {
+            tau,
+            config,
+            index: SubgraphIndex::new(tau, config.window),
+            small_by_size: FxHashMap::default(),
+            prepared: Vec::new(),
+            stamp: Vec::new(),
+            engine: TedEngine::unit(),
+            pairs_found: 0,
+        }
+    }
+
+    /// Number of trees inserted so far.
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Whether no trees have been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// Total result pairs reported so far.
+    pub fn pairs_found(&self) -> u64 {
+        self.pairs_found
+    }
+
+    /// Exact TED computations performed so far.
+    pub fn ted_calls(&self) -> u64 {
+        self.engine.computations()
+    }
+
+    /// Inserts `tree` and returns the indices (insertion order, 0-based)
+    /// of all previously inserted trees within `τ`, ascending.
+    pub fn insert(&mut self, tree: &Tree) -> Vec<TreeIdx> {
+        let delta = 2 * self.tau as usize + 1;
+        let id = self.prepared.len() as TreeIdx;
+        let marker = id;
+        let size = tree.len() as u32;
+        let lo = size.saturating_sub(self.tau).max(1);
+        let hi = size + self.tau;
+
+        let mut candidates: Vec<TreeIdx> = Vec::new();
+        for n in lo..=hi {
+            if let Some(list) = self.small_by_size.get(&n) {
+                for &j in list {
+                    if self.stamp[j as usize] != marker {
+                        self.stamp[j as usize] = marker;
+                        candidates.push(j);
+                    }
+                }
+            }
+        }
+
+        let binary = BinaryTree::from_tree(tree);
+        let posts = tree.postorder_numbers();
+        for node in binary.node_ids() {
+            let label = binary.label(node);
+            let left = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right = binary
+                .right(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let position = self.index.probe_position(posts[node.index()], size);
+            for n in lo..=hi {
+                // Split borrows: the probe closure reads the index while
+                // stamping/collecting locally.
+                let index = &self.index;
+                let stamp = &mut self.stamp;
+                let matching = self.config.matching;
+                index.probe(n, position, label, left, right, |handle| {
+                    let sg = index.subgraph(handle);
+                    if stamp[sg.tree as usize] == marker {
+                        return;
+                    }
+                    if subgraph_matches_with(sg, &binary, node, matching) {
+                        stamp[sg.tree as usize] = marker;
+                        candidates.push(sg.tree);
+                    }
+                });
+            }
+        }
+
+        let prepared = PreparedTree::new(tree);
+        let mut partners: Vec<TreeIdx> = candidates
+            .into_iter()
+            .filter(|&j| {
+                self.engine
+                    .within(&self.prepared[j as usize], &prepared, self.tau)
+                    .is_some()
+            })
+            .collect();
+        partners.sort_unstable();
+        self.pairs_found += partners.len() as u64;
+
+        // Publish the new tree.
+        if (size as usize) < delta {
+            self.small_by_size.entry(size).or_default().push(id);
+        } else {
+            let cuts = match self.config.partitioning {
+                PartitionScheme::MaxMin => {
+                    let gamma = max_min_size(&binary, delta);
+                    select_cuts(&binary, delta, gamma)
+                }
+                PartitionScheme::Random { seed } => {
+                    select_random_cuts(&binary, delta, seed ^ u64::from(id))
+                }
+            };
+            let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
+            self.index.insert_tree(size, subgraphs);
+        }
+        self.prepared.push(prepared);
+        self.stamp.push(u32::MAX);
+        partners
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::join::partsj_join;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn collection(specs: &[&str]) -> Vec<Tree> {
+        let mut labels = LabelInterner::new();
+        specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect()
+    }
+
+    /// Streaming over any insertion order must reproduce the batch join.
+    fn check_stream_matches_batch(trees: &[Tree], tau: u32) {
+        let batch = partsj_join(trees, tau);
+        let mut stream = StreamingJoin::new(tau, PartSjConfig::default());
+        let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+        for (i, tree) in trees.iter().enumerate() {
+            for j in stream.insert(tree) {
+                pairs.push((j.min(i as u32), j.max(i as u32)));
+            }
+        }
+        pairs.sort_unstable();
+        assert_eq!(pairs, batch.pairs);
+        assert_eq!(stream.pairs_found(), batch.pairs.len() as u64);
+    }
+
+    #[test]
+    fn stream_matches_batch_in_given_order() {
+        let trees = collection(&[
+            "{a{b}{c}{d}}",
+            "{a{b}{c}{e}}",
+            "{a{b}{c}}",
+            "{z{y}{x}{w}{v}}",
+            "{a}",
+            "{a{b}}",
+        ]);
+        for tau in 0..=3 {
+            check_stream_matches_batch(&trees, tau);
+        }
+    }
+
+    #[test]
+    fn stream_matches_batch_in_descending_size_order() {
+        // The batch algorithm sorts ascending; the stream must cope with
+        // the opposite order (larger trees first probe an empty window,
+        // smaller trees later must still find them via the +tau side).
+        let mut trees = collection(&[
+            "{a{b}{c}{d}{e}}",
+            "{a{b}{c}{d}}",
+            "{a{b}{c}}",
+            "{a{b}}",
+            "{a}",
+        ]);
+        for tau in 1..=2 {
+            check_stream_matches_batch(&trees, tau);
+        }
+        trees.reverse();
+        for tau in 1..=2 {
+            check_stream_matches_batch(&trees, tau);
+        }
+    }
+
+    #[test]
+    fn streaming_on_generated_collection() {
+        let trees = tsj_datagen::synthetic(
+            80,
+            &tsj_datagen::SyntheticParams {
+                avg_size: 30,
+                ..Default::default()
+            },
+            13,
+        );
+        for tau in [1u32, 2] {
+            check_stream_matches_batch(&trees, tau);
+        }
+    }
+
+    #[test]
+    fn counters_track_work() {
+        let trees = collection(&["{a{b}{c}}", "{a{b}{c}}", "{a{b}{d}}"]);
+        let mut stream = StreamingJoin::new(1, PartSjConfig::default());
+        for tree in &trees {
+            stream.insert(tree);
+        }
+        assert_eq!(stream.len(), 3);
+        assert!(!stream.is_empty());
+        assert_eq!(stream.pairs_found(), 3);
+        assert!(stream.ted_calls() >= 3);
+    }
+}

@@ -1,0 +1,54 @@
+//! Heavy randomized sweep comparing Tight/PaperAbsolute vs brute force.
+use partsj::{partsj_join_with, PartSjConfig, WindowPolicy};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsj_baselines::brute_force_join;
+use tsj_datagen::{grow_tree, random_edit_script, ShapeProfile};
+use tsj_tree::Tree;
+
+fn random_collection(seed: u64, count: usize, labels: u32) -> Vec<Tree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut trees: Vec<Tree> = Vec::with_capacity(count);
+    for i in 0..count {
+        if i >= 2 && rng.gen_bool(0.55) {
+            let base_idx = rng.gen_range(0..trees.len());
+            let edits = rng.gen_range(0..5usize);
+            let (edited, _) = random_edit_script(&trees[base_idx], edits, &mut rng, labels);
+            trees.push(edited);
+        } else {
+            let size = rng.gen_range(4..40usize);
+            let profile = ShapeProfile { max_fanout: 5, max_depth: 12, deepen_prob: rng.gen_range(0.0..0.7) };
+            let t = grow_tree(&mut StdRng::seed_from_u64(rng.gen()), size, labels, &profile);
+            trees.push(t);
+        }
+    }
+    trees
+}
+
+#[test]
+#[ignore = "heavy randomized sweep; run explicitly"]
+fn window_policy_sweep() {
+    let mut tight_misses = 0u32;
+    let mut paper_misses = 0u32;
+    let mut total = 0u32;
+    for seed in 0..200u64 {
+        let trees = random_collection(seed.wrapping_mul(0x9e3779b97f4a7c15), 24, 5);
+        for tau in 1..=3u32 {
+            total += 1;
+            let expected = brute_force_join(&trees, tau);
+            for (window, counter) in [
+                (WindowPolicy::Tight, &mut tight_misses),
+                (WindowPolicy::PaperAbsolute, &mut paper_misses),
+            ] {
+                let outcome = partsj_join_with(&trees, tau, &PartSjConfig { window, ..Default::default() });
+                if outcome.pairs != expected.pairs {
+                    *counter += 1;
+                    if outcome.pairs.len() > expected.pairs.len() {
+                        eprintln!("!!! {window:?} produced EXTRA pairs at seed {seed} tau {tau}");
+                    }
+                }
+            }
+        }
+    }
+    println!("runs: {total}, tight misses: {tight_misses}, paper-absolute misses: {paper_misses}");
+}

@@ -1,0 +1,181 @@
+//! Core random tree growth.
+//!
+//! All collection generators share one growth process: starting from a
+//! root, nodes are attached one at a time to a randomly chosen *open* node
+//! (one whose fanout and depth constraints still allow children). A
+//! `deepen_prob` knob skews the choice toward the most recently added open
+//! node, which produces chain-like deep trees (Treebank-style parses) at
+//! high values and bushy flat trees (Swissprot-style records) at zero.
+
+use rand::Rng;
+use tsj_tree::{Label, Tree, TreeBuilder};
+
+/// Shape constraints and bias for [`grow_tree`].
+#[derive(Debug, Clone, Copy)]
+pub struct ShapeProfile {
+    /// Maximum number of children per node.
+    pub max_fanout: usize,
+    /// Maximum node depth (root = 0), i.e. the paper's "maximum depth".
+    pub max_depth: usize,
+    /// Probability of attaching to the deepest open node instead of a
+    /// uniformly random one. 0 = uniform (flat), near 1 = chains (deep).
+    pub deepen_prob: f64,
+}
+
+impl ShapeProfile {
+    /// Validates the profile (non-zero fanout, probability in `[0, 1]`).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_fanout == 0 {
+            return Err("max_fanout must be at least 1".into());
+        }
+        if !(0.0..=1.0).contains(&self.deepen_prob) {
+            return Err(format!("deepen_prob {} not in [0, 1]", self.deepen_prob));
+        }
+        Ok(())
+    }
+}
+
+/// Grows a random tree with up to `target_size` nodes.
+///
+/// The tree may be smaller than `target_size` when the shape constraints
+/// exhaust all open slots (e.g. fanout 2 and depth 5 admit at most 63
+/// nodes). Labels are drawn uniformly from `1..=num_labels`.
+pub fn grow_tree<R: Rng>(
+    rng: &mut R,
+    target_size: usize,
+    num_labels: u32,
+    profile: &ShapeProfile,
+) -> Tree {
+    debug_assert!(profile.validate().is_ok());
+    debug_assert!(num_labels >= 1);
+    let random_label = |rng: &mut R| Label::from_raw(rng.gen_range(1..=num_labels));
+
+    let mut builder = TreeBuilder::with_capacity(target_size.max(1));
+    let root = builder.root(random_label(rng));
+
+    // Open nodes: (node, depth, children_so_far). The most recently pushed
+    // entry is the "deepest frontier" used by the deepen bias.
+    struct Open {
+        node: tsj_tree::NodeId,
+        depth: usize,
+        children: usize,
+    }
+    let mut open: Vec<Open> = vec![Open {
+        node: root,
+        depth: 0,
+        children: 0,
+    }];
+
+    while builder.len() < target_size && !open.is_empty() {
+        let slot = if rng.gen_bool(profile.deepen_prob) {
+            open.len() - 1
+        } else {
+            rng.gen_range(0..open.len())
+        };
+        let depth = open[slot].depth;
+        let child = builder.child(open[slot].node, random_label(rng));
+        open[slot].children += 1;
+        if open[slot].children >= profile.max_fanout {
+            open.swap_remove(slot);
+        }
+        if depth + 1 < profile.max_depth {
+            open.push(Open {
+                node: child,
+                depth: depth + 1,
+                children: 0,
+            });
+        } else if depth + 1 == profile.max_depth {
+            // Node at max depth may still exist but takes no children.
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn profile(fanout: usize, depth: usize, deepen: f64) -> ShapeProfile {
+        ShapeProfile {
+            max_fanout: fanout,
+            max_depth: depth,
+            deepen_prob: deepen,
+        }
+    }
+
+    #[test]
+    fn grows_to_target_size_when_feasible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..20 {
+            let tree = grow_tree(&mut rng, 80, 20, &profile(3, 5, 0.3));
+            assert_eq!(tree.len(), 80);
+            tree.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn respects_fanout_and_depth() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..20 {
+            let tree = grow_tree(&mut rng, 100, 10, &profile(3, 4, 0.2));
+            assert!(tree.max_fanout() <= 3);
+            assert!(tree.max_depth() <= 4);
+        }
+    }
+
+    #[test]
+    fn stops_when_shape_is_exhausted() {
+        // Fanout 2, depth 3: at most 1 + 2 + 4 + 8 = 15 nodes.
+        let mut rng = StdRng::seed_from_u64(1);
+        let tree = grow_tree(&mut rng, 1000, 5, &profile(2, 3, 0.0));
+        assert!(tree.len() <= 15);
+        assert!(tree.max_depth() <= 3);
+    }
+
+    #[test]
+    fn deepen_bias_increases_depth() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let mut flat_depths = 0u32;
+        let mut deep_depths = 0u32;
+        for _ in 0..30 {
+            flat_depths += grow_tree(&mut rng, 60, 10, &profile(4, 40, 0.0)).max_depth();
+            deep_depths += grow_tree(&mut rng, 60, 10, &profile(4, 40, 0.85)).max_depth();
+        }
+        assert!(
+            deep_depths > flat_depths,
+            "deepen bias must yield deeper trees ({deep_depths} vs {flat_depths})"
+        );
+    }
+
+    #[test]
+    fn labels_within_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let tree = grow_tree(&mut rng, 200, 7, &profile(5, 10, 0.4));
+        for node in tree.node_ids() {
+            let raw = tree.label(node).raw();
+            assert!((1..=7).contains(&raw));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let t1 = grow_tree(&mut StdRng::seed_from_u64(1234), 50, 10, &profile(3, 6, 0.5));
+        let t2 = grow_tree(&mut StdRng::seed_from_u64(1234), 50, 10, &profile(3, 6, 0.5));
+        assert!(t1.structurally_eq(&t2));
+    }
+
+    #[test]
+    fn single_node_target() {
+        let tree = grow_tree(&mut StdRng::seed_from_u64(0), 1, 3, &profile(2, 2, 0.0));
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn profile_validation() {
+        assert!(profile(0, 3, 0.5).validate().is_err());
+        assert!(profile(2, 3, 1.5).validate().is_err());
+        assert!(profile(2, 3, 0.5).validate().is_ok());
+    }
+}

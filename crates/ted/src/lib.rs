@@ -1,0 +1,33 @@
+//! # tsj-ted
+//!
+//! Exact tree edit distance (TED) and string edit distance kernels for the
+//! reproduction of *Scaling Similarity Joins over Tree-Structured Data*
+//! (Tang, Cai & Mamoulis, VLDB 2015).
+//!
+//! * [`zs`] — the Zhang–Shasha O(n²)-space dynamic program;
+//! * [`hybrid`] — an RTED-inspired engine that dynamically picks between
+//!   left-path and mirrored (right-path) decompositions per tree pair (see
+//!   DESIGN.md for the substitution note);
+//! * [`sed`] — full and banded (threshold-aware) string edit distance;
+//! * [`bounds`] — the TED lower bounds used by the filtering baselines.
+
+#![warn(missing_docs)]
+
+pub mod bounds;
+pub mod outcome;
+pub mod cost;
+pub mod hybrid;
+pub mod sed;
+pub mod ted_tree;
+pub mod zs;
+
+pub use bounds::{
+    degree_bound, degree_histogram, histogram_bound, label_histogram, size_bound,
+    traversal_bound, traversal_within, TraversalStrings,
+};
+pub use cost::CostModel;
+pub use outcome::{JoinOutcome, JoinStats, TreeIdx};
+pub use hybrid::{ted, PreparedTree, Strategy, TedEngine};
+pub use sed::{sed, sed_within};
+pub use ted_tree::TedTree;
+pub use zs::{tree_distance, zhang_shasha, TedWorkspace};

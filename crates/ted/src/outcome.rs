@@ -1,0 +1,105 @@
+//! Shared result and instrumentation types for similarity joins.
+//!
+//! The paper's evaluation reports, for every join method, (i) the result
+//! pairs, (ii) the number of candidate pairs that reached exact TED
+//! verification (Figures 11/13), and (iii) runtime split into *candidate
+//! generation* and *TED computation* (the stacked bars of Figures 10/12/
+//! 14). All join implementations in this workspace — STR, SET, brute force
+//! and PartSJ — return the same [`JoinOutcome`] so the harness and the
+//! equivalence tests can treat them uniformly.
+
+use std::time::Duration;
+
+/// Index of a tree within the joined collection.
+pub type TreeIdx = u32;
+
+/// Counters and timings collected while evaluating a join.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct JoinStats {
+    /// Pairs that passed the size filter and were examined at all.
+    pub pairs_examined: u64,
+    /// Candidate pairs handed to exact TED verification (the series
+    /// plotted in Figures 11 and 13).
+    pub candidates: u64,
+    /// Result pairs (`REL` in the figures).
+    pub results: u64,
+    /// Wall time spent generating candidates (filters, index probes).
+    pub candidate_time: Duration,
+    /// Wall time spent on exact TED verification.
+    pub verify_time: Duration,
+    /// Exact TED computations performed (≤ `candidates`; a verifier-side
+    /// size filter can skip some).
+    pub ted_calls: u64,
+}
+
+impl JoinStats {
+    /// Total measured time (candidate generation + verification).
+    pub fn total_time(&self) -> Duration {
+        self.candidate_time + self.verify_time
+    }
+}
+
+/// The output of a similarity self-join.
+#[derive(Debug, Clone)]
+pub struct JoinOutcome {
+    /// Result pairs as `(i, j)` indices into the input collection with
+    /// `i < j`, sorted lexicographically.
+    pub pairs: Vec<(TreeIdx, TreeIdx)>,
+    /// Instrumentation.
+    pub stats: JoinStats,
+}
+
+impl JoinOutcome {
+    /// Builds a self-join outcome, normalizing each pair to `(min, max)`
+    /// and sorting, so join implementations can be compared with
+    /// `assert_eq!`.
+    pub fn new(mut pairs: Vec<(TreeIdx, TreeIdx)>, mut stats: JoinStats) -> JoinOutcome {
+        for pair in &mut pairs {
+            if pair.0 > pair.1 {
+                *pair = (pair.1, pair.0);
+            }
+        }
+        pairs.sort_unstable();
+        pairs.dedup();
+        stats.results = pairs.len() as u64;
+        JoinOutcome { pairs, stats }
+    }
+
+    /// Builds a bipartite (R×S) outcome: pairs are `(left index, right
+    /// index)` in *different* index spaces, so components are never
+    /// swapped — only sorted and deduplicated.
+    pub fn new_bipartite(
+        mut pairs: Vec<(TreeIdx, TreeIdx)>,
+        mut stats: JoinStats,
+    ) -> JoinOutcome {
+        pairs.sort_unstable();
+        pairs.dedup();
+        stats.results = pairs.len() as u64;
+        JoinOutcome { pairs, stats }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn outcome_normalizes_pairs() {
+        let outcome = JoinOutcome::new(
+            vec![(3, 1), (0, 2), (1, 3), (2, 0)],
+            JoinStats::default(),
+        );
+        assert_eq!(outcome.pairs, vec![(0, 2), (1, 3)]);
+        assert_eq!(outcome.stats.results, 2);
+    }
+
+    #[test]
+    fn total_time_adds_phases() {
+        let stats = JoinStats {
+            candidate_time: Duration::from_millis(30),
+            verify_time: Duration::from_millis(70),
+            ..Default::default()
+        };
+        assert_eq!(stats.total_time(), Duration::from_millis(100));
+    }
+}

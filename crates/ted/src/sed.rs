@@ -1,0 +1,197 @@
+//! String (sequence) edit distance over label sequences.
+//!
+//! The STR baseline (Guha et al., reference [13]) lower-bounds TED by the
+//! string edit distance between preorder/postorder label sequences. Joins
+//! only care whether that bound exceeds the threshold `τ`, so besides the
+//! full two-row DP we provide a banded computation that touches only the
+//! `2τ + 1` diagonals around the main diagonal (Ukkonen's observation: a
+//! cell `(i, j)` with `|i − j| > τ` can never be part of an alignment of
+//! cost ≤ τ under unit costs).
+
+use tsj_tree::Label;
+
+/// Sentinel larger than any real distance but safe to add to.
+const INF: u32 = u32::MAX / 4;
+
+/// Full unit-cost string edit distance (Levenshtein) between two label
+/// sequences, using the two-row dynamic program.
+pub fn sed(a: &[Label], b: &[Label]) -> u32 {
+    // Keep the inner loop over the shorter sequence for cache friendliness.
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let n = b.len();
+    let mut prev: Vec<u32> = (0..=n as u32).collect();
+    let mut cur: Vec<u32> = vec![0; n + 1];
+    for (i, &ca) in a.iter().enumerate() {
+        cur[0] = i as u32 + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let subst = prev[j] + u32::from(ca != cb);
+            cur[j + 1] = subst.min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[n]
+}
+
+/// Banded string edit distance with early rejection.
+///
+/// Returns `Some(d)` iff `sed(a, b) = d ≤ tau`, and `None` when the
+/// distance exceeds `tau`. Runs in `O((τ + 1) · min(|a|, |b|))` time.
+pub fn sed_within(a: &[Label], b: &[Label], tau: u32) -> Option<u32> {
+    if a.len().abs_diff(b.len()) as u32 > tau {
+        return None;
+    }
+    let (a, b) = if a.len() < b.len() { (b, a) } else { (a, b) };
+    let (m, n) = (a.len(), b.len());
+    let band = tau as usize;
+
+    // Row i covers columns [i.saturating_sub(band), min(n, i + band)].
+    let width = 2 * band + 1;
+    let mut prev = vec![INF; width + 2];
+    let mut cur = vec![INF; width + 2];
+    // prev/cur[k] holds cell (i, j) with k = j + band - i + 1 (1-based
+    // inside the buffer so k-1 / k+1 never go out of bounds).
+    let idx = |i: usize, j: usize| j + band + 1 - i;
+
+    // Row 0: cells (0, j) = j for j ≤ band.
+    for j in 0..=band.min(n) {
+        prev[idx(0, j)] = j as u32;
+    }
+    if m == 0 {
+        let d = prev[idx(0, n)];
+        return (d <= tau).then_some(d);
+    }
+
+    for i in 1..=m {
+        cur.fill(INF);
+        let lo = i.saturating_sub(band);
+        let hi = (i + band).min(n);
+        if lo > hi {
+            return None;
+        }
+        let mut row_min = INF;
+        for j in lo..=hi {
+            let k = idx(i, j);
+            let mut best = INF;
+            if j > 0 {
+                // (i-1, j-1) sits at the same k in the previous row.
+                let subst = prev[k] + u32::from(a[i - 1] != b[j - 1]);
+                best = best.min(subst);
+                // (i, j-1): left neighbour in the current row.
+                best = best.min(cur[k - 1].saturating_add(1));
+            } else {
+                best = best.min(i as u32); // (i, 0) boundary: delete i items
+            }
+            // (i-1, j): one diagonal to the right in the previous row.
+            best = best.min(prev[k + 1].saturating_add(1));
+            cur[k] = best;
+            row_min = row_min.min(best);
+        }
+        if row_min > tau {
+            return None; // the band can only grow costs downward
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    let d = prev[idx(m, n)];
+    (d <= tau).then_some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn labels(ids: &[u32]) -> Vec<Label> {
+        ids.iter().map(|&i| Label::from_raw(i)).collect()
+    }
+
+    #[test]
+    fn empty_and_trivial_cases() {
+        assert_eq!(sed(&[], &[]), 0);
+        assert_eq!(sed(&labels(&[1, 2, 3]), &[]), 3);
+        assert_eq!(sed(&[], &labels(&[1, 2])), 2);
+        assert_eq!(sed(&labels(&[1]), &labels(&[1])), 0);
+        assert_eq!(sed(&labels(&[1]), &labels(&[2])), 1);
+    }
+
+    #[test]
+    fn classic_cases() {
+        // kitten -> sitting analog with label ids.
+        let kitten = labels(&[11, 9, 20, 20, 5, 14]);
+        let sitting = labels(&[19, 9, 20, 20, 9, 14, 7]);
+        assert_eq!(sed(&kitten, &sitting), 3);
+        assert_eq!(sed(&sitting, &kitten), 3);
+    }
+
+    #[test]
+    fn paper_figure3_sequences() {
+        // Preorder sequences of Figure 3 are identical: SED = 0.
+        let pre = labels(&[1, 2, 1, 3]);
+        assert_eq!(sed(&pre, &pre), 0);
+        // Postorder sequences ℓ2ℓ3ℓ1ℓ1 vs ℓ1ℓ3ℓ2ℓ1: SED = 2.
+        let post1 = labels(&[2, 3, 1, 1]);
+        let post2 = labels(&[1, 3, 2, 1]);
+        assert_eq!(sed(&post1, &post2), 2);
+    }
+
+    #[test]
+    fn banded_agrees_with_full_when_within() {
+        let a = labels(&[1, 2, 3, 4, 5, 6, 7, 8]);
+        let b = labels(&[1, 9, 3, 4, 6, 7, 8, 8]);
+        let full = sed(&a, &b);
+        for tau in full..full + 3 {
+            assert_eq!(sed_within(&a, &b, tau), Some(full), "tau = {tau}");
+        }
+        for tau in 0..full {
+            assert_eq!(sed_within(&a, &b, tau), None, "tau = {tau}");
+        }
+    }
+
+    #[test]
+    fn banded_rejects_on_length_gap() {
+        let a = labels(&[1, 2, 3, 4, 5, 6]);
+        let b = labels(&[1]);
+        assert_eq!(sed_within(&a, &b, 3), None);
+        assert_eq!(sed_within(&a, &b, 5), Some(5));
+    }
+
+    #[test]
+    fn banded_zero_tau() {
+        let a = labels(&[1, 2, 3]);
+        assert_eq!(sed_within(&a, &a, 0), Some(0));
+        let b = labels(&[1, 2, 4]);
+        assert_eq!(sed_within(&a, &b, 0), None);
+    }
+
+    #[test]
+    fn banded_empty_sequences() {
+        assert_eq!(sed_within(&[], &[], 0), Some(0));
+        assert_eq!(sed_within(&labels(&[1, 2]), &[], 2), Some(2));
+        assert_eq!(sed_within(&labels(&[1, 2]), &[], 1), None);
+    }
+
+    #[test]
+    fn randomized_banded_equals_full() {
+        // Deterministic pseudo-random sweep (no external RNG needed here).
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _ in 0..200 {
+            let la = (next() % 12) as usize;
+            let lb = (next() % 12) as usize;
+            let a: Vec<Label> = (0..la).map(|_| Label::from_raw((next() % 4) as u32 + 1)).collect();
+            let b: Vec<Label> = (0..lb).map(|_| Label::from_raw((next() % 4) as u32 + 1)).collect();
+            let full = sed(&a, &b);
+            for tau in 0..8 {
+                let banded = sed_within(&a, &b, tau);
+                if full <= tau {
+                    assert_eq!(banded, Some(full));
+                } else {
+                    assert_eq!(banded, None);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,235 @@
+//! Preprocessed trees for the tree edit distance dynamic programs.
+//!
+//! Zhang–Shasha's algorithm works on 1-based postorder arrays: node labels,
+//! leftmost-leaf descendants (`lld`) and *keyroots* (nodes whose leftmost
+//! leaf differs from their parent's — the roots of the "relevant subtrees"
+//! whose forest distances must be computed).
+//!
+//! [`TedTree::mirrored`] builds the same arrays for the mirror image of the
+//! tree (children reversed at every node). Running Zhang–Shasha on two
+//! mirrored inputs computes the *right-path* decomposition of the original
+//! pair — the second half of the RTED-inspired hybrid in
+//! [`crate::hybrid`].
+
+use tsj_tree::{Label, Tree};
+
+/// A tree preprocessed for the Zhang–Shasha dynamic program.
+///
+/// All arrays are 1-based (slot 0 is unused padding) and ordered by the
+/// tree's postorder — possibly the mirrored postorder, see
+/// [`TedTree::mirrored`].
+#[derive(Debug, Clone)]
+pub struct TedTree {
+    n: usize,
+    /// `labels[i]`: label of the node with postorder number `i`.
+    labels: Vec<Label>,
+    /// `lld[i]`: postorder number of the leftmost leaf descendant of `i`.
+    lld: Vec<usize>,
+    /// Keyroots in ascending postorder.
+    keyroots: Vec<usize>,
+    /// Σ over keyroots of their relevant-forest span; the number of
+    /// forest-distance cells this decomposition touches scales with this,
+    /// so it drives the hybrid's left-vs-right choice.
+    decomposition_cost: u64,
+}
+
+impl TedTree {
+    /// Preprocesses `tree` with its natural (left-to-right) child order.
+    pub fn new(tree: &Tree) -> TedTree {
+        Self::build(tree, false)
+    }
+
+    /// Preprocesses the mirror image of `tree` (children reversed).
+    ///
+    /// `TED(a, b) == TED(mirror(a), mirror(b))` because edit mappings are
+    /// preserved under simultaneous mirroring, so Zhang–Shasha over two
+    /// mirrored `TedTree`s yields the same distance while decomposing along
+    /// right paths of the original trees.
+    pub fn mirrored(tree: &Tree) -> TedTree {
+        Self::build(tree, true)
+    }
+
+    fn build(tree: &Tree, mirror: bool) -> TedTree {
+        let n = tree.len();
+        let mut labels = vec![Label::EPSILON; n + 1];
+        let mut lld = vec![0usize; n + 1];
+        let mut post_of = vec![0usize; n];
+
+        // Iterative (possibly mirrored) postorder.
+        let mut order = Vec::with_capacity(n);
+        let mut stack: Vec<(tsj_tree::NodeId, usize)> = vec![(tree.root(), 0)];
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = tree.children(node);
+            if *next < children.len() {
+                let child = if mirror {
+                    children[children.len() - 1 - *next]
+                } else {
+                    children[*next]
+                };
+                *next += 1;
+                stack.push((child, 0));
+            } else {
+                post_of[node.index()] = order.len() + 1;
+                order.push(node);
+                stack.pop();
+            }
+        }
+
+        for (i, &node) in order.iter().enumerate() {
+            let post = i + 1;
+            labels[post] = tree.label(node);
+            let children = tree.children(node);
+            let first = if mirror {
+                children.last()
+            } else {
+                children.first()
+            };
+            lld[post] = match first {
+                // The leftmost leaf of an inner node is the leftmost leaf
+                // of its first (in visit order) child, which was already
+                // numbered because postorder visits children first.
+                Some(&c) => lld[post_of[c.index()]],
+                None => post,
+            };
+        }
+
+        // Keyroots: nodes with no higher-postorder node sharing their lld.
+        let mut seen = vec![false; n + 1];
+        let mut keyroots = Vec::new();
+        for i in (1..=n).rev() {
+            if !seen[lld[i]] {
+                seen[lld[i]] = true;
+                keyroots.push(i);
+            }
+        }
+        keyroots.reverse();
+
+        let decomposition_cost = keyroots
+            .iter()
+            .map(|&k| (k - lld[k] + 1) as u64)
+            .sum();
+
+        TedTree {
+            n,
+            labels,
+            lld,
+            keyroots,
+            decomposition_cost,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Trees are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Label of the node with postorder number `i` (1-based).
+    #[inline]
+    pub fn label(&self, i: usize) -> Label {
+        self.labels[i]
+    }
+
+    /// Leftmost-leaf descendant (postorder number) of node `i` (1-based).
+    #[inline]
+    pub fn lld(&self, i: usize) -> usize {
+        self.lld[i]
+    }
+
+    /// Keyroots in ascending postorder; the last one is the root.
+    #[inline]
+    pub fn keyroots(&self) -> &[usize] {
+        &self.keyroots
+    }
+
+    /// Work estimate of decomposing along this tree's paths (Σ keyroot
+    /// spans). Used by the hybrid strategy.
+    #[inline]
+    pub fn decomposition_cost(&self) -> u64 {
+        self.decomposition_cost
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn t(input: &str) -> Tree {
+        let mut labels = LabelInterner::new();
+        parse_bracket(input, &mut labels).unwrap()
+    }
+
+    #[test]
+    fn postorder_arrays_for_small_tree() {
+        // {f {d {a} {c {b}}} {e}} — the classic Zhang–Shasha example tree.
+        let tree = t("{f{d{a}{c{b}}}{e}}");
+        let tt = TedTree::new(&tree);
+        assert_eq!(tt.len(), 6);
+        // Postorder: a(1), b(2), c(3), d(4), e(5), f(6).
+        // llds:      a:1, b:2, c:2, d:1, e:5, f:1.
+        assert_eq!(
+            (1..=6).map(|i| tt.lld(i)).collect::<Vec<_>>(),
+            vec![1, 2, 2, 1, 5, 1]
+        );
+        // Keyroots: highest-postorder node per distinct lld = {c(3), e(5), f(6)}.
+        assert_eq!(tt.keyroots(), &[3, 5, 6]);
+    }
+
+    #[test]
+    fn mirrored_swaps_decomposition() {
+        let tree = t("{f{d{a}{c{b}}}{e}}");
+        let tt = TedTree::mirrored(&tree);
+        // Mirrored postorder: e(1), b(2), c(3), a(4), d(5), f(6).
+        // In the mirror, "first child" is the original last child.
+        assert_eq!(tt.lld(6), 1, "root's mirrored leftmost leaf is e");
+        assert_eq!(tt.len(), 6);
+        // Root is always a keyroot.
+        assert_eq!(*tt.keyroots().last().unwrap(), 6);
+    }
+
+    #[test]
+    fn leaf_tree() {
+        let tree = t("{x}");
+        let tt = TedTree::new(&tree);
+        assert_eq!(tt.len(), 1);
+        assert_eq!(tt.lld(1), 1);
+        assert_eq!(tt.keyroots(), &[1]);
+        assert_eq!(tt.decomposition_cost(), 1);
+    }
+
+    #[test]
+    fn path_tree_has_single_keyroot() {
+        // A path collapses to one keyroot (the root) under left
+        // decomposition: every node shares the same leftmost leaf.
+        let tree = t("{a{b{c{d}}}}");
+        let tt = TedTree::new(&tree);
+        assert_eq!(tt.keyroots(), &[4]);
+        assert_eq!(tt.decomposition_cost(), 4);
+    }
+
+    #[test]
+    fn star_tree_keyroots() {
+        // Root with k children: every non-first child is a keyroot.
+        let tree = t("{r{a}{b}{c}{d}}");
+        let tt = TedTree::new(&tree);
+        assert_eq!(tt.keyroots().len(), 4); // b, c, d, root
+        assert_eq!(tt.decomposition_cost(), 1 + 1 + 1 + 5);
+    }
+
+    #[test]
+    fn decomposition_costs_differ_for_skewed_trees() {
+        // A left-deep comb is cheap for left decomposition and expensive
+        // for right decomposition; the mirror flips this.
+        let comb = t("{a{b{c{d{e}}}{x3}}{x2}}");
+        let left = TedTree::new(&comb);
+        let right = TedTree::mirrored(&comb);
+        assert_ne!(left.decomposition_cost(), right.decomposition_cost());
+    }
+}

@@ -1,0 +1,256 @@
+//! The Zhang–Shasha tree edit distance dynamic program.
+//!
+//! This is the classic O(n²)-space algorithm ("Simple fast algorithms for
+//! the editing distance between trees", SIAM J. Comput. 1989, reference
+//! [29] of the paper): for every pair of keyroots, a forest-distance matrix
+//! is filled; tree distances of nested relevant subtrees are memoized in a
+//! full `n₁ × n₂` table. Worst-case time is O(n₁²·n₂²) but for realistic
+//! shapes it behaves like the O(n³) algorithms the paper builds on.
+//!
+//! Matrices live in a reusable [`TedWorkspace`] so joins that verify
+//! millions of candidate pairs do not allocate per pair (workhorse-buffer
+//! pattern from the performance guide).
+
+use crate::cost::CostModel;
+use crate::ted_tree::TedTree;
+
+/// Reusable scratch matrices for [`tree_distance`].
+///
+/// Create once per thread and pass to every distance computation.
+#[derive(Debug, Default)]
+pub struct TedWorkspace {
+    /// Tree-distance table, `(n1+1) × (n2+1)`, row-major.
+    td: Vec<u32>,
+    /// Forest-distance table for the current keyroot pair.
+    fd: Vec<u32>,
+}
+
+impl TedWorkspace {
+    /// Creates an empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+#[inline]
+fn min3(a: u32, b: u32, c: u32) -> u32 {
+    a.min(b).min(c)
+}
+
+/// Computes the exact tree edit distance between two preprocessed trees.
+///
+/// Both trees must be preprocessed the same way (both [`TedTree::new`] or
+/// both [`TedTree::mirrored`]); mixing decompositions silently computes the
+/// distance between one tree and the mirror of the other.
+pub fn tree_distance(
+    a: &TedTree,
+    b: &TedTree,
+    costs: &CostModel,
+    ws: &mut TedWorkspace,
+) -> u32 {
+    let n1 = a.len();
+    let n2 = b.len();
+    let td_stride = n2 + 1;
+    ws.td.clear();
+    ws.td.resize((n1 + 1) * td_stride, 0);
+    // Forest matrix is at most (n1+1) x (n2+1) for the root keyroot pair.
+    ws.fd.clear();
+    ws.fd.resize((n1 + 1) * (n2 + 1), 0);
+
+    for &k1 in a.keyroots() {
+        for &k2 in b.keyroots() {
+            forest_distance(a, b, k1, k2, costs, &mut ws.fd, &mut ws.td, td_stride);
+        }
+    }
+    ws.td[n1 * td_stride + n2]
+}
+
+/// Fills the forest-distance matrix for keyroot pair `(i, j)`, recording
+/// tree distances for all node pairs whose relevant forests are prefixes.
+#[allow(clippy::too_many_arguments)]
+fn forest_distance(
+    a: &TedTree,
+    b: &TedTree,
+    i: usize,
+    j: usize,
+    costs: &CostModel,
+    fd: &mut [u32],
+    td: &mut [u32],
+    td_stride: usize,
+) {
+    let l1 = a.lld(i);
+    let l2 = b.lld(j);
+    let m = i - l1 + 1; // number of nodes in the left relevant forest
+    let n = j - l2 + 1;
+    let fs = n + 1; // forest matrix stride
+
+    fd[0] = 0;
+    for x in 1..=m {
+        fd[x * fs] = fd[(x - 1) * fs] + costs.delete;
+    }
+    for y in 1..=n {
+        fd[y] = fd[y - 1] + costs.insert;
+    }
+
+    for x in 1..=m {
+        let node_i = l1 + x - 1;
+        let row = x * fs;
+        let prev_row = row - fs;
+        for y in 1..=n {
+            let node_j = l2 + y - 1;
+            if a.lld(node_i) == l1 && b.lld(node_j) == l2 {
+                // Both prefixes are whole trees rooted at node_i / node_j.
+                let rename = costs.rename(a.label(node_i), b.label(node_j));
+                let d = min3(
+                    fd[prev_row + y] + costs.delete,
+                    fd[row + y - 1] + costs.insert,
+                    fd[prev_row + y - 1] + rename,
+                );
+                fd[row + y] = d;
+                td[node_i * td_stride + node_j] = d;
+            } else {
+                // Split off the complete subtrees rooted at node_i/node_j
+                // and look their distance up in the memo table.
+                let p = a.lld(node_i) - l1; // forest prefix before subtree(node_i)
+                let q = b.lld(node_j) - l2;
+                fd[row + y] = min3(
+                    fd[prev_row + y] + costs.delete,
+                    fd[row + y - 1] + costs.insert,
+                    fd[p * fs + q] + td[node_i * td_stride + node_j],
+                );
+            }
+        }
+    }
+}
+
+/// One-shot Zhang–Shasha distance between two [`tsj_tree::Tree`]s with
+/// unit costs. Prefer [`crate::TedEngine`] when computing many distances.
+pub fn zhang_shasha(a: &tsj_tree::Tree, b: &tsj_tree::Tree) -> u32 {
+    let ta = TedTree::new(a);
+    let tb = TedTree::new(b);
+    let mut ws = TedWorkspace::new();
+    tree_distance(&ta, &tb, &CostModel::UNIT, &mut ws)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::{parse_bracket, LabelInterner, Tree};
+
+    fn pair(a: &str, b: &str) -> (Tree, Tree) {
+        let mut labels = LabelInterner::new();
+        (
+            parse_bracket(a, &mut labels).unwrap(),
+            parse_bracket(b, &mut labels).unwrap(),
+        )
+    }
+
+    fn dist(a: &str, b: &str) -> u32 {
+        let (ta, tb) = pair(a, b);
+        zhang_shasha(&ta, &tb)
+    }
+
+    #[test]
+    fn identical_trees_have_distance_zero() {
+        assert_eq!(dist("{a{b}{c{d}}}", "{a{b}{c{d}}}"), 0);
+        assert_eq!(dist("{x}", "{x}"), 0);
+    }
+
+    #[test]
+    fn single_rename() {
+        assert_eq!(dist("{a{b}{c}}", "{a{b}{z}}"), 1);
+        assert_eq!(dist("{a}", "{b}"), 1);
+    }
+
+    #[test]
+    fn single_insert_delete() {
+        assert_eq!(dist("{a{b}}", "{a{b}{c}}"), 1);
+        assert_eq!(dist("{a{b}{c}}", "{a{b}}"), 1);
+        // Deleting an inner node splices its children upward: one op.
+        assert_eq!(dist("{a{m{b}{c}}}", "{a{b}{c}}"), 1);
+    }
+
+    #[test]
+    fn classic_zhang_shasha_example() {
+        // The worked example from the original ZS paper:
+        // d({f{d{a}{c{b}}}{e}}, {f{c{d{a}{b}}}{e}}) = 2.
+        assert_eq!(dist("{f{d{a}{c{b}}}{e}}", "{f{c{d{a}{b}}}{e}}"), 2);
+    }
+
+    #[test]
+    fn paper_figure3_distance_is_three() {
+        // §2 of the paper: "It is easy to verify that TED(T1, T2) = 3" for
+        // T1 = {1{2}{1{3}}} and T2 = {1{2{1}{3}}}.
+        assert_eq!(dist("{1{2}{1{3}}}", "{1{2{1}{3}}}"), 3);
+    }
+
+    #[test]
+    fn disjoint_trees_cost_everything() {
+        // No shared labels: cheapest script renames min(n,m) nodes when the
+        // shapes line up, plus size-difference insertions.
+        assert_eq!(dist("{a}", "{b{c}{d}}"), 3); // 1 rename + 2 inserts
+        assert_eq!(dist("{a{b}}", "{x{y}}"), 2);
+    }
+
+    #[test]
+    fn distance_to_empty_like_leaf() {
+        // Tree vs its root alone: delete every other node.
+        assert_eq!(dist("{a{b{c}}{d}}", "{a}"), 3);
+    }
+
+    #[test]
+    fn sibling_shift() {
+        // Moving a subtree between siblings requires delete + insert.
+        assert_eq!(dist("{r{a{x}}{b}}", "{r{a}{b{x}}}"), 2);
+    }
+
+    #[test]
+    fn mirrored_pair_gives_same_distance() {
+        let cases = [
+            ("{f{d{a}{c{b}}}{e}}", "{f{c{d{a}{b}}}{e}}"),
+            ("{1{2}{1{3}}}", "{1{2{1}{3}}}"),
+            ("{a{b{c}{d}{e}}{f}}", "{a{f}{b{e}{d}{c}}}"),
+            ("{r{a{x}}{b}}", "{r{a}{b{x}}}"),
+        ];
+        for (sa, sb) in cases {
+            let (ta, tb) = pair(sa, sb);
+            let left = {
+                let (pa, pb) = (TedTree::new(&ta), TedTree::new(&tb));
+                tree_distance(&pa, &pb, &CostModel::UNIT, &mut TedWorkspace::new())
+            };
+            let right = {
+                let (pa, pb) = (TedTree::mirrored(&ta), TedTree::mirrored(&tb));
+                tree_distance(&pa, &pb, &CostModel::UNIT, &mut TedWorkspace::new())
+            };
+            assert_eq!(left, right, "left/right decomposition disagree on {sa} vs {sb}");
+        }
+    }
+
+    #[test]
+    fn workspace_reuse_is_sound() {
+        let mut ws = TedWorkspace::new();
+        let (t1, t2) = pair("{f{d{a}{c{b}}}{e}}", "{f{c{d{a}{b}}}{e}}");
+        let (t3, t4) = pair("{a}", "{b{c}{d}}");
+        let (p1, p2) = (TedTree::new(&t1), TedTree::new(&t2));
+        let (p3, p4) = (TedTree::new(&t3), TedTree::new(&t4));
+        // Interleave differently-sized computations through one workspace.
+        assert_eq!(tree_distance(&p1, &p2, &CostModel::UNIT, &mut ws), 2);
+        assert_eq!(tree_distance(&p3, &p4, &CostModel::UNIT, &mut ws), 3);
+        assert_eq!(tree_distance(&p1, &p2, &CostModel::UNIT, &mut ws), 2);
+        assert_eq!(tree_distance(&p1, &p1, &CostModel::UNIT, &mut ws), 0);
+    }
+
+    #[test]
+    fn weighted_costs_respected() {
+        let (ta, tb) = pair("{a{b}}", "{a{c}}");
+        let costs = CostModel {
+            insert: 1,
+            delete: 1,
+            relabel: 5,
+        };
+        let mut ws = TedWorkspace::new();
+        let d = tree_distance(&TedTree::new(&ta), &TedTree::new(&tb), &costs, &mut ws);
+        // Rename would cost 5; delete b + insert c costs 2.
+        assert_eq!(d, 2);
+    }
+}

@@ -1,0 +1,109 @@
+//! Property-based tests for the distance kernels: metric axioms, the
+//! published lower bounds, and cross-decomposition agreement.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsj_datagen::{grow_tree, random_edit_script, ShapeProfile};
+use tsj_ted::{
+    histogram_bound, label_histogram, sed, sed_within, size_bound, ted, traversal_bound,
+    CostModel, Strategy, TedEngine, TraversalStrings,
+};
+use tsj_tree::Tree;
+
+fn random_tree(seed: u64, max_size: usize) -> Tree {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = rng.gen_range(1..=max_size.max(1));
+    let profile = ShapeProfile {
+        max_fanout: 4,
+        max_depth: 8,
+        deepen_prob: rng.gen_range(0.0..0.8),
+    };
+    grow_tree(&mut rng, size, 5, &profile)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// TED is a metric: identity, symmetry, triangle inequality.
+    #[test]
+    fn ted_is_a_metric(a in any::<u64>(), b in any::<u64>(), c in any::<u64>()) {
+        let (ta, tb, tc) = (random_tree(a, 20), random_tree(b, 20), random_tree(c, 20));
+        let mut engine = TedEngine::unit();
+
+        prop_assert_eq!(engine.distance_trees(&ta, &ta), 0);
+        let dab = engine.distance_trees(&ta, &tb);
+        let dba = engine.distance_trees(&tb, &ta);
+        prop_assert_eq!(dab, dba, "symmetry");
+        if ta.structurally_eq(&tb) {
+            prop_assert_eq!(dab, 0);
+        } else {
+            prop_assert!(dab > 0, "distinct trees must have positive distance");
+        }
+        let dac = engine.distance_trees(&ta, &tc);
+        let dcb = engine.distance_trees(&tc, &tb);
+        prop_assert!(dab <= dac + dcb, "triangle: {} > {} + {}", dab, dac, dcb);
+    }
+
+    /// Left, right, and dynamic decompositions compute the same value.
+    #[test]
+    fn decompositions_agree(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (random_tree(a, 24), random_tree(b, 24));
+        let left = TedEngine::new(CostModel::UNIT, Strategy::Left).distance_trees(&ta, &tb);
+        let right = TedEngine::new(CostModel::UNIT, Strategy::Right).distance_trees(&ta, &tb);
+        let dynamic = TedEngine::unit().distance_trees(&ta, &tb);
+        prop_assert_eq!(left, right);
+        prop_assert_eq!(left, dynamic);
+    }
+
+    /// A script of k random edits never yields a distance above k, and the
+    /// size/histogram/traversal bounds never exceed the true distance.
+    #[test]
+    fn bounds_sandwich_ted(seed in any::<u64>(), k in 0usize..6) {
+        let tree = random_tree(seed, 22);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0xabcdef);
+        let (edited, _) = random_edit_script(&tree, k, &mut rng, 5);
+        let d = ted(&tree, &edited);
+        prop_assert!(d <= k as u32, "TED {} > edit script length {}", d, k);
+
+        prop_assert!(size_bound(tree.len(), edited.len()) <= d);
+        let (ha, hb) = (label_histogram(&tree), label_histogram(&edited));
+        prop_assert!(histogram_bound(&ha, &hb) <= d, "histogram bound violated");
+        let (sa, sb) = (TraversalStrings::new(&tree), TraversalStrings::new(&edited));
+        prop_assert!(traversal_bound(&sa, &sb) <= d, "Guha bound violated");
+    }
+
+    /// The traversal bound also holds for unrelated trees.
+    #[test]
+    fn guha_bound_on_unrelated_trees(a in any::<u64>(), b in any::<u64>()) {
+        let (ta, tb) = (random_tree(a, 18), random_tree(b, 18));
+        let d = ted(&ta, &tb);
+        let (sa, sb) = (TraversalStrings::new(&ta), TraversalStrings::new(&tb));
+        prop_assert!(traversal_bound(&sa, &sb) <= d);
+    }
+
+    /// Banded SED agrees with the full DP at every threshold.
+    #[test]
+    fn banded_sed_agrees(a in any::<u64>(), b in any::<u64>(), tau in 0u32..8) {
+        let (ta, tb) = (random_tree(a, 20), random_tree(b, 20));
+        let (pa, pb) = (ta.preorder_labels(), tb.preorder_labels());
+        let full = sed(&pa, &pb);
+        match sed_within(&pa, &pb, tau) {
+            Some(d) => {
+                prop_assert_eq!(d, full);
+                prop_assert!(d <= tau);
+            }
+            None => prop_assert!(full > tau),
+        }
+    }
+
+    /// TED against a single-leaf tree equals (almost) the tree size: keep
+    /// the root if labels match, otherwise one more op.
+    #[test]
+    fn distance_to_leaf(seed in any::<u64>()) {
+        let tree = random_tree(seed, 20);
+        let leaf = Tree::leaf(tree.label(tree.root()));
+        let d = ted(&tree, &leaf);
+        prop_assert_eq!(d as usize, tree.len() - 1);
+    }
+}

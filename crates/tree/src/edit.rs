@@ -1,0 +1,313 @@
+//! Node edit operations on general trees (§2 of the paper).
+//!
+//! Three operations are defined on rooted ordered labeled trees:
+//!
+//! * **Insertion** adds a node `Nx` between a parent `Np` and a consecutive
+//!   run of `Np`'s children, which become `Nx`'s children.
+//! * **Deletion** removes a non-root node, splicing its children into its
+//!   parent's child list in place (the inverse of insertion).
+//! * **Renaming** changes a node's label.
+//!
+//! Applying an operation produces a *new* tree with fresh (preorder) node
+//! ids; id stability across edits is deliberately not promised because
+//! deletions compact the arena.
+//!
+//! These operations drive the decay-factor data generator and, crucially,
+//! the property tests for Lemma 1/2: `TED(t, apply_edits(t, ops)) ≤
+//! ops.len()` because each operation is a unit-cost edit.
+
+use crate::error::EditError;
+use crate::label::Label;
+use crate::tree::{NodeId, Tree, TreeBuilder};
+
+/// A single node edit operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditOp {
+    /// Change the label of `node` to `label`.
+    Rename {
+        /// Node to relabel.
+        node: NodeId,
+        /// New label.
+        label: Label,
+    },
+    /// Remove `node` (non-root), splicing its children into its parent.
+    Delete {
+        /// Node to remove.
+        node: NodeId,
+    },
+    /// Insert a new node labeled `label` as a child of `parent` at child
+    /// position `start`, adopting the `count` consecutive existing children
+    /// `children[start .. start + count]`.
+    Insert {
+        /// Parent under which the new node is placed.
+        parent: NodeId,
+        /// Position in the parent's child list.
+        start: usize,
+        /// Number of consecutive children adopted by the new node.
+        count: usize,
+        /// Label of the inserted node.
+        label: Label,
+    },
+}
+
+/// Applies one edit operation, returning the edited tree.
+pub fn apply_edit(tree: &Tree, op: &EditOp) -> Result<Tree, EditError> {
+    // Work on an explicit mutable copy of the child structure; node ids
+    // index these vectors. Slot `labels.len()` is reserved for an insert.
+    let n = tree.len();
+    let mut labels: Vec<Label> = tree.node_ids().map(|id| tree.label(id)).collect();
+    let mut children: Vec<Vec<NodeId>> =
+        tree.node_ids().map(|id| tree.children(id).to_vec()).collect();
+    let root = tree.root();
+
+    let check = |node: NodeId| -> Result<(), EditError> {
+        if node.index() < n {
+            Ok(())
+        } else {
+            Err(EditError::UnknownNode)
+        }
+    };
+
+    match *op {
+        EditOp::Rename { node, label } => {
+            check(node)?;
+            labels[node.index()] = label;
+        }
+        EditOp::Delete { node } => {
+            check(node)?;
+            let parent = tree.parent(node).ok_or(EditError::DeleteRoot)?;
+            let pos = children[parent.index()]
+                .iter()
+                .position(|&c| c == node)
+                .expect("child link consistent with parent link");
+            let grandchildren = std::mem::take(&mut children[node.index()]);
+            children[parent.index()].splice(pos..=pos, grandchildren);
+        }
+        EditOp::Insert {
+            parent,
+            start,
+            count,
+            label,
+        } => {
+            check(parent)?;
+            let available = children[parent.index()].len();
+            if start > available || start + count > available {
+                return Err(EditError::BadChildRange {
+                    start,
+                    count,
+                    available,
+                });
+            }
+            let new_id = NodeId::from_index(labels.len());
+            labels.push(label);
+            let adopted: Vec<NodeId> = children[parent.index()]
+                .splice(start..start + count, [new_id])
+                .collect();
+            children.push(adopted);
+        }
+    }
+
+    // Rebuild a compact tree in preorder over the edited structure.
+    let mut builder = TreeBuilder::with_capacity(labels.len());
+    let new_root = builder.root(labels[root.index()]);
+    let mut stack: Vec<(NodeId, crate::tree::NodeId)> = children[root.index()]
+        .iter()
+        .rev()
+        .map(|&c| (c, new_root))
+        .collect();
+    while let Some((old, parent)) = stack.pop() {
+        let id = builder.child(parent, labels[old.index()]);
+        for &c in children[old.index()].iter().rev() {
+            stack.push((c, id));
+        }
+    }
+    Ok(builder.build())
+}
+
+/// Applies a sequence of operations left to right.
+///
+/// Node ids in each operation refer to the tree produced by the *previous*
+/// operation, so callers generating random scripts should derive each op
+/// from the intermediate tree.
+pub fn apply_edits(tree: &Tree, ops: &[EditOp]) -> Result<Tree, EditError> {
+    let mut current = tree.clone();
+    for op in ops {
+        current = apply_edit(&current, op)?;
+    }
+    Ok(current)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+    use crate::parser::{parse_bracket, to_bracket};
+
+    fn t(input: &str, labels: &mut LabelInterner) -> Tree {
+        parse_bracket(input, labels).unwrap()
+    }
+
+    #[test]
+    fn rename_changes_one_label() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{a{b}{c}}", &mut labels);
+        let b_node = tree.children(tree.root())[0];
+        let new = apply_edit(
+            &tree,
+            &EditOp::Rename {
+                node: b_node,
+                label: labels.intern("z"),
+            },
+        )
+        .unwrap();
+        assert_eq!(to_bracket(&new, &labels), "{a{z}{c}}");
+    }
+
+    #[test]
+    fn delete_splices_children() {
+        // Figure 2: T1 -> T2 deletes N4; N4's child N5 takes its place.
+        let mut labels = LabelInterner::new();
+        let tree = t("{1{2{3}{4{5}}{6}}{7}}", &mut labels);
+        let n2 = tree.children(tree.root())[0];
+        let n4 = tree.children(n2)[1];
+        let new = apply_edit(&tree, &EditOp::Delete { node: n4 }).unwrap();
+        assert_eq!(to_bracket(&new, &labels), "{1{2{3}{5}{6}}{7}}");
+        new.validate().unwrap();
+    }
+
+    #[test]
+    fn delete_leaf() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{a{b}{c}}", &mut labels);
+        let c_node = tree.children(tree.root())[1];
+        let new = apply_edit(&tree, &EditOp::Delete { node: c_node }).unwrap();
+        assert_eq!(to_bracket(&new, &labels), "{a{b}}");
+    }
+
+    #[test]
+    fn delete_root_rejected() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{a{b}}", &mut labels);
+        let err = apply_edit(&tree, &EditOp::Delete { node: tree.root() });
+        assert_eq!(err.unwrap_err(), EditError::DeleteRoot);
+    }
+
+    #[test]
+    fn insert_adopts_consecutive_children() {
+        // Figure 2: T2 -> T3 inserts N8 between N1 and {N6, N7}.
+        let mut labels = LabelInterner::new();
+        let tree = t("{1{2{3}{5}{6}}{7}}", &mut labels);
+        let n2 = tree.children(tree.root())[0];
+        // Insert "8" as child of node 2, adopting children [1..3) = {5, 6}.
+        let new = apply_edit(
+            &tree,
+            &EditOp::Insert {
+                parent: n2,
+                start: 1,
+                count: 2,
+                label: labels.intern("8"),
+            },
+        )
+        .unwrap();
+        assert_eq!(to_bracket(&new, &labels), "{1{2{3}{8{5}{6}}}{7}}");
+        new.validate().unwrap();
+    }
+
+    #[test]
+    fn insert_leaf_adopting_nothing() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{a{b}}", &mut labels);
+        let new = apply_edit(
+            &tree,
+            &EditOp::Insert {
+                parent: tree.root(),
+                start: 1,
+                count: 0,
+                label: labels.intern("x"),
+            },
+        )
+        .unwrap();
+        assert_eq!(to_bracket(&new, &labels), "{a{b}{x}}");
+    }
+
+    #[test]
+    fn insert_bad_range_rejected() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{a{b}}", &mut labels);
+        let err = apply_edit(
+            &tree,
+            &EditOp::Insert {
+                parent: tree.root(),
+                start: 0,
+                count: 2,
+                label: labels.intern("x"),
+            },
+        );
+        assert!(matches!(err, Err(EditError::BadChildRange { .. })));
+    }
+
+    #[test]
+    fn unknown_node_rejected() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{a}", &mut labels);
+        let bogus = NodeId::from_index(99);
+        assert!(matches!(
+            apply_edit(&tree, &EditOp::Delete { node: bogus }),
+            Err(EditError::UnknownNode)
+        ));
+    }
+
+    #[test]
+    fn insert_then_delete_round_trips() {
+        let mut labels = LabelInterner::new();
+        let tree = t("{r{a}{b}{c}}", &mut labels);
+        let inserted = apply_edit(
+            &tree,
+            &EditOp::Insert {
+                parent: tree.root(),
+                start: 0,
+                count: 3,
+                label: labels.intern("m"),
+            },
+        )
+        .unwrap();
+        assert_eq!(to_bracket(&inserted, &labels), "{r{m{a}{b}{c}}}");
+        // Deleting the inserted node restores the original structure.
+        let m_node = inserted.children(inserted.root())[0];
+        let restored = apply_edit(&inserted, &EditOp::Delete { node: m_node }).unwrap();
+        assert!(restored.structurally_eq(&tree));
+    }
+
+    #[test]
+    fn figure2_full_sequence() {
+        // T1 --delete N4--> T2 --insert N8--> T3 --rename N5--> T4.
+        let mut labels = LabelInterner::new();
+        let t1 = t("{1{2{3}{4{5}}{6}}{7}}", &mut labels);
+        let n2 = t1.children(t1.root())[0];
+        let n4 = t1.children(n2)[1];
+        let t2 = apply_edit(&t1, &EditOp::Delete { node: n4 }).unwrap();
+        let n2 = t2.children(t2.root())[0];
+        let t3 = apply_edit(
+            &t2,
+            &EditOp::Insert {
+                parent: n2,
+                start: 1,
+                count: 2,
+                label: labels.intern("8"),
+            },
+        )
+        .unwrap();
+        let n2 = t3.children(t3.root())[0];
+        let n8 = t3.children(n2)[1];
+        let n5 = t3.children(n8)[0];
+        let t4 = apply_edit(
+            &t3,
+            &EditOp::Rename {
+                node: n5,
+                label: labels.intern("9"),
+            },
+        )
+        .unwrap();
+        assert_eq!(to_bracket(&t4, &labels), "{1{2{3}{8{9}{6}}}{7}}");
+    }
+}

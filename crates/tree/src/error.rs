@@ -1,0 +1,92 @@
+//! Error types for parsing and tree editing.
+
+use std::fmt;
+
+/// A parse failure with the byte offset where it was detected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Byte offset into the input where parsing failed.
+    pub position: usize,
+    /// Human-readable description of the failure.
+    pub message: String,
+}
+
+impl ParseError {
+    /// Creates a parse error at `position`.
+    pub fn new(position: usize, message: impl Into<String>) -> ParseError {
+        ParseError {
+            position,
+            message: message.into(),
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// A rejected node edit operation (see [`crate::edit`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EditError {
+    /// The referenced node id does not exist in the tree.
+    UnknownNode,
+    /// Attempted to delete the root node, which the paper's operation
+    /// model (§2) does not allow.
+    DeleteRoot,
+    /// An insertion's child range `[start, start + count)` does not fall
+    /// within the parent's child list.
+    BadChildRange {
+        /// First adopted child position.
+        start: usize,
+        /// Number of adopted children.
+        count: usize,
+        /// Actual number of children of the parent.
+        available: usize,
+    },
+}
+
+impl fmt::Display for EditError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EditError::UnknownNode => write!(f, "edit references an unknown node"),
+            EditError::DeleteRoot => write!(f, "the root node cannot be deleted"),
+            EditError::BadChildRange {
+                start,
+                count,
+                available,
+            } => write!(
+                f,
+                "insertion adopts children [{start}, {}) but parent has {available}",
+                start + count
+            ),
+        }
+    }
+}
+
+impl std::error::Error for EditError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_displays_position() {
+        let e = ParseError::new(17, "expected '{'");
+        assert_eq!(e.to_string(), "parse error at byte 17: expected '{'");
+    }
+
+    #[test]
+    fn edit_error_displays() {
+        assert!(EditError::DeleteRoot.to_string().contains("root"));
+        let e = EditError::BadChildRange {
+            start: 2,
+            count: 3,
+            available: 4,
+        };
+        assert!(e.to_string().contains("[2, 5)"));
+    }
+}

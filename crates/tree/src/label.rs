@@ -1,0 +1,227 @@
+//! Node labels and label interning.
+//!
+//! All tree algorithms in this workspace compare labels by identity, so
+//! labels are interned once into dense `u32` ids. Id `0` is reserved for the
+//! dummy label `ε` used by binary branches and label-twig index keys (a
+//! missing child is represented by `ε`, following Yang et al. and §3.4 of
+//! the paper).
+
+use crate::hash::FxHashMap;
+use std::fmt;
+
+/// An interned node label.
+///
+/// `Label::EPSILON` (id 0) denotes the dummy/empty label; real labels start
+/// at id 1. Labels are meaningful only relative to the [`LabelInterner`]
+/// that produced them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Label(u32);
+
+impl Label {
+    /// The dummy label `ε` attached to missing children.
+    pub const EPSILON: Label = Label(0);
+
+    /// Maximum number of distinct real labels supported.
+    ///
+    /// Twig keys pack three label ids into a `u64` (21 bits each), so ids
+    /// must stay below `2^21`.
+    pub const MAX_LABELS: u32 = (1 << 21) - 1;
+
+    /// Creates a label from a raw interned id.
+    ///
+    /// Intended for tests and generators that manage their own id space;
+    /// prefer [`LabelInterner::intern`] for string labels.
+    ///
+    /// # Panics
+    /// Panics if `id` exceeds [`Label::MAX_LABELS`].
+    #[inline]
+    pub fn from_raw(id: u32) -> Label {
+        assert!(id <= Self::MAX_LABELS, "label id {id} out of range");
+        Label(id)
+    }
+
+    /// The raw interned id.
+    #[inline]
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+
+    /// Whether this is the dummy label `ε`.
+    #[inline]
+    pub fn is_epsilon(self) -> bool {
+        self.0 == 0
+    }
+}
+
+/// Packs a `(root, left, right)` label triple into one `u64` key.
+///
+/// Used both for binary branches (SET baseline, §2) and the label-twig
+/// layer of the two-layer subgraph index (§3.4). Each label id fits in 21
+/// bits (enforced by [`Label::MAX_LABELS`]); `ε` packs as 0.
+#[inline]
+pub fn pack_twig(root: Label, left: Label, right: Label) -> u64 {
+    ((root.0 as u64) << 42) | ((left.0 as u64) << 21) | right.0 as u64
+}
+
+impl fmt::Display for Label {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_epsilon() {
+            write!(f, "ε")
+        } else {
+            write!(f, "ℓ{}", self.0)
+        }
+    }
+}
+
+/// Bidirectional map between label strings and dense [`Label`] ids.
+///
+/// ```
+/// use tsj_tree::LabelInterner;
+/// let mut interner = LabelInterner::new();
+/// let a = interner.intern("html");
+/// let b = interner.intern("body");
+/// assert_ne!(a, b);
+/// assert_eq!(interner.intern("html"), a);
+/// assert_eq!(interner.resolve(a), Some("html"));
+/// ```
+#[derive(Debug, Default, Clone)]
+pub struct LabelInterner {
+    map: FxHashMap<Box<str>, Label>,
+    /// `names[i]` is the string for label id `i + 1` (id 0 is `ε`).
+    names: Vec<Box<str>>,
+}
+
+impl LabelInterner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Interns `name`, returning the existing id if already present.
+    ///
+    /// # Panics
+    /// Panics if more than [`Label::MAX_LABELS`] distinct labels are
+    /// interned.
+    pub fn intern(&mut self, name: &str) -> Label {
+        if let Some(&label) = self.map.get(name) {
+            return label;
+        }
+        let id = self.names.len() as u32 + 1;
+        assert!(id <= Label::MAX_LABELS, "too many distinct labels");
+        let label = Label(id);
+        self.names.push(name.into());
+        self.map.insert(name.into(), label);
+        label
+    }
+
+    /// Looks up a label by string without interning.
+    pub fn get(&self, name: &str) -> Option<Label> {
+        self.map.get(name).copied()
+    }
+
+    /// Resolves a label back to its string; `None` for `ε` and foreign ids.
+    pub fn resolve(&self, label: Label) -> Option<&str> {
+        if label.is_epsilon() {
+            return None;
+        }
+        self.names.get(label.0 as usize - 1).map(|s| s.as_ref())
+    }
+
+    /// Number of distinct interned labels (excluding `ε`).
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether no labels have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates over `(Label, &str)` pairs in interning order.
+    pub fn iter(&self) -> impl Iterator<Item = (Label, &str)> {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, s)| (Label(i as u32 + 1), s.as_ref()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = LabelInterner::new();
+        let a1 = i.intern("a");
+        let b = i.intern("b");
+        let a2 = i.intern("a");
+        assert_eq!(a1, a2);
+        assert_ne!(a1, b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trip() {
+        let mut i = LabelInterner::new();
+        for name in ["x", "y", "z", "a longer label", "ℓ-unicode"] {
+            let l = i.intern(name);
+            assert_eq!(i.resolve(l), Some(name));
+        }
+    }
+
+    #[test]
+    fn epsilon_is_reserved() {
+        let mut i = LabelInterner::new();
+        let first = i.intern("first");
+        assert_eq!(first.raw(), 1);
+        assert!(Label::EPSILON.is_epsilon());
+        assert!(!first.is_epsilon());
+        assert_eq!(i.resolve(Label::EPSILON), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Label::EPSILON.to_string(), "ε");
+        assert_eq!(Label::from_raw(7).to_string(), "ℓ7");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn from_raw_rejects_oversized_ids() {
+        let _ = Label::from_raw(Label::MAX_LABELS + 1);
+    }
+
+    #[test]
+    fn pack_twig_is_injective_on_samples() {
+        let mut seen = std::collections::HashSet::new();
+        for a in 0..8u32 {
+            for b in 0..8u32 {
+                for c in 0..8u32 {
+                    let key = pack_twig(Label(a), Label(b), Label(c));
+                    assert!(seen.insert(key), "collision at ({a},{b},{c})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn pack_twig_boundaries() {
+        let max = Label(Label::MAX_LABELS);
+        let key = pack_twig(max, max, max);
+        assert_eq!(key >> 63, 0, "top bit stays clear");
+        assert_eq!(
+            pack_twig(Label::EPSILON, Label::EPSILON, Label::EPSILON),
+            0
+        );
+    }
+
+    #[test]
+    fn iter_preserves_order() {
+        let mut i = LabelInterner::new();
+        i.intern("p");
+        i.intern("q");
+        let collected: Vec<_> = i.iter().map(|(_, s)| s.to_string()).collect();
+        assert_eq!(collected, vec!["p", "q"]);
+    }
+}

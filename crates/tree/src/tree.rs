@@ -1,0 +1,486 @@
+//! Rooted ordered labeled trees stored in a flat arena.
+//!
+//! This is the "general tree" of the paper (§2): a directed acyclic graph
+//! where every node has one parent (except the unique root), a label, and an
+//! ordered list of children. Nodes are identified by dense [`NodeId`]s into
+//! the arena, which makes traversals allocation-free and lets companion
+//! structures (postorder numbers, subtree sizes, the LC-RS representation)
+//! be plain vectors indexed by node id.
+
+use crate::label::Label;
+use std::fmt;
+
+/// Index of a node inside a [`Tree`] arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The arena slot of this node.
+    #[inline]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Creates a `NodeId` from a raw arena slot.
+    #[inline]
+    pub fn from_index(index: usize) -> NodeId {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "N{}", self.0)
+    }
+}
+
+#[derive(Debug, Clone)]
+struct NodeData {
+    label: Label,
+    parent: Option<NodeId>,
+    children: Vec<NodeId>,
+}
+
+/// A rooted ordered labeled tree.
+///
+/// Construct with [`TreeBuilder`] or one of the parsers in
+/// [`crate::parser`]. Trees always contain at least one node (the root);
+/// the empty tree is not representable.
+#[derive(Debug, Clone)]
+pub struct Tree {
+    nodes: Vec<NodeData>,
+    root: NodeId,
+}
+
+impl Tree {
+    /// Creates a single-node tree.
+    pub fn leaf(label: Label) -> Tree {
+        Tree {
+            nodes: vec![NodeData {
+                label,
+                parent: None,
+                children: Vec::new(),
+            }],
+            root: NodeId(0),
+        }
+    }
+
+    /// Number of nodes, written `|T|` in the paper.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Trees are never empty, so this is always `false`; provided for
+    /// clippy-idiomatic pairing with [`Tree::len`].
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// The root node.
+    #[inline]
+    pub fn root(&self) -> NodeId {
+        self.root
+    }
+
+    /// The label of `node`.
+    #[inline]
+    pub fn label(&self, node: NodeId) -> Label {
+        self.nodes[node.index()].label
+    }
+
+    /// The parent of `node`, or `None` for the root.
+    #[inline]
+    pub fn parent(&self, node: NodeId) -> Option<NodeId> {
+        self.nodes[node.index()].parent
+    }
+
+    /// The ordered children of `node`.
+    #[inline]
+    pub fn children(&self, node: NodeId) -> &[NodeId] {
+        &self.nodes[node.index()].children
+    }
+
+    /// Whether `node` has no children.
+    #[inline]
+    pub fn is_leaf(&self, node: NodeId) -> bool {
+        self.children(node).is_empty()
+    }
+
+    /// Iterates over all node ids in arena order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.nodes.len() as u32).map(NodeId)
+    }
+
+    /// Nodes in preorder (node before its children, children left to right).
+    pub fn preorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        let mut stack = vec![self.root];
+        while let Some(node) = stack.pop() {
+            order.push(node);
+            // Push children reversed so the leftmost child is popped first.
+            for &child in self.children(node).iter().rev() {
+                stack.push(child);
+            }
+        }
+        order
+    }
+
+    /// Nodes in postorder (children left to right, then the node).
+    pub fn postorder(&self) -> Vec<NodeId> {
+        let mut order = Vec::with_capacity(self.len());
+        // (node, next child index to visit)
+        let mut stack: Vec<(NodeId, usize)> = vec![(self.root, 0)];
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = self.children(node);
+            if *next < children.len() {
+                let child = children[*next];
+                *next += 1;
+                stack.push((child, 0));
+            } else {
+                order.push(node);
+                stack.pop();
+            }
+        }
+        order
+    }
+
+    /// 1-based postorder numbers indexed by node id.
+    ///
+    /// `postorder_numbers()[n.index()]` is the position (starting at 1) of
+    /// node `n` in [`Tree::postorder`]. These are the "numbers in
+    /// parentheses" of the paper's Figure 7.
+    pub fn postorder_numbers(&self) -> Vec<u32> {
+        let mut numbers = vec![0u32; self.len()];
+        for (i, node) in self.postorder().into_iter().enumerate() {
+            numbers[node.index()] = i as u32 + 1;
+        }
+        numbers
+    }
+
+    /// Labels in preorder, the traversal string of Guha et al. (§2).
+    pub fn preorder_labels(&self) -> Vec<Label> {
+        self.preorder().into_iter().map(|n| self.label(n)).collect()
+    }
+
+    /// Labels in postorder, the traversal string of Guha et al. (§2).
+    pub fn postorder_labels(&self) -> Vec<Label> {
+        self.postorder()
+            .into_iter()
+            .map(|n| self.label(n))
+            .collect()
+    }
+
+    /// Number of nodes in the subtree rooted at each node, indexed by id.
+    pub fn subtree_sizes(&self) -> Vec<u32> {
+        let mut sizes = vec![1u32; self.len()];
+        for node in self.postorder() {
+            let total: u32 = self
+                .children(node)
+                .iter()
+                .map(|c| sizes[c.index()])
+                .sum();
+            sizes[node.index()] += total;
+        }
+        sizes
+    }
+
+    /// Depth of each node (root = 0), indexed by id.
+    pub fn depths(&self) -> Vec<u32> {
+        let mut depths = vec![0u32; self.len()];
+        for node in self.preorder() {
+            if let Some(parent) = self.parent(node) {
+                depths[node.index()] = depths[parent.index()] + 1;
+            }
+        }
+        depths
+    }
+
+    /// Maximum node depth (a single-node tree has depth 0).
+    pub fn max_depth(&self) -> u32 {
+        self.depths().into_iter().max().unwrap_or(0)
+    }
+
+    /// Maximum number of children over all nodes.
+    pub fn max_fanout(&self) -> usize {
+        self.node_ids()
+            .map(|n| self.children(n).len())
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// The position of `node` among its parent's children, or `None` for
+    /// the root.
+    pub fn child_position(&self, node: NodeId) -> Option<usize> {
+        let parent = self.parent(node)?;
+        self.children(parent).iter().position(|&c| c == node)
+    }
+
+    /// Structural + label equality (node ids are ignored).
+    pub fn structurally_eq(&self, other: &Tree) -> bool {
+        if self.len() != other.len() {
+            return false;
+        }
+        let mut stack = vec![(self.root, other.root)];
+        while let Some((a, b)) = stack.pop() {
+            if self.label(a) != other.label(b) {
+                return false;
+            }
+            let ca = self.children(a);
+            let cb = other.children(b);
+            if ca.len() != cb.len() {
+                return false;
+            }
+            stack.extend(ca.iter().copied().zip(cb.iter().copied()));
+        }
+        true
+    }
+
+    /// Consistency check used by tests and debug builds: parent/child links
+    /// agree, every non-root node is reachable from the root exactly once.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut seen = vec![false; self.len()];
+        let mut stack = vec![self.root];
+        if self.parent(self.root).is_some() {
+            return Err("root has a parent".into());
+        }
+        let mut count = 0usize;
+        while let Some(node) = stack.pop() {
+            if seen[node.index()] {
+                return Err(format!("{node} reachable twice"));
+            }
+            seen[node.index()] = true;
+            count += 1;
+            for &child in self.children(node) {
+                if self.parent(child) != Some(node) {
+                    return Err(format!("{child} has wrong parent link"));
+                }
+                stack.push(child);
+            }
+        }
+        if count != self.len() {
+            return Err(format!(
+                "{} of {} nodes reachable from root",
+                count,
+                self.len()
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Incremental builder for [`Tree`].
+///
+/// Nodes must be added parent-before-child (e.g. in preorder):
+///
+/// ```
+/// use tsj_tree::{LabelInterner, TreeBuilder};
+/// let mut labels = LabelInterner::new();
+/// let mut builder = TreeBuilder::new();
+/// let root = builder.root(labels.intern("a"));
+/// let b = builder.child(root, labels.intern("b"));
+/// builder.child(b, labels.intern("c"));
+/// builder.child(root, labels.intern("d"));
+/// let tree = builder.build();
+/// assert_eq!(tree.len(), 4);
+/// ```
+#[derive(Debug, Default)]
+pub struct TreeBuilder {
+    nodes: Vec<NodeData>,
+}
+
+impl TreeBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a builder with room for `capacity` nodes.
+    pub fn with_capacity(capacity: usize) -> Self {
+        TreeBuilder {
+            nodes: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Adds the root node. Must be called exactly once, first.
+    ///
+    /// # Panics
+    /// Panics if a root was already added.
+    pub fn root(&mut self, label: Label) -> NodeId {
+        assert!(self.nodes.is_empty(), "root must be the first node");
+        self.nodes.push(NodeData {
+            label,
+            parent: None,
+            children: Vec::new(),
+        });
+        NodeId(0)
+    }
+
+    /// Appends a new rightmost child under `parent`.
+    ///
+    /// # Panics
+    /// Panics if `parent` was not returned by this builder.
+    pub fn child(&mut self, parent: NodeId, label: Label) -> NodeId {
+        assert!(
+            parent.index() < self.nodes.len(),
+            "unknown parent {parent}"
+        );
+        let id = NodeId(self.nodes.len() as u32);
+        self.nodes.push(NodeData {
+            label,
+            parent: Some(parent),
+            children: Vec::new(),
+        });
+        self.nodes[parent.index()].children.push(id);
+        id
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the tree.
+    ///
+    /// # Panics
+    /// Panics if no root was added.
+    pub fn build(self) -> Tree {
+        assert!(!self.nodes.is_empty(), "tree must have a root");
+        Tree {
+            nodes: self.nodes,
+            root: NodeId(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::label::LabelInterner;
+
+    fn figure1_tree() -> (Tree, LabelInterner) {
+        // The HTML fragment of the paper's Figure 1.
+        let mut labels = LabelInterner::new();
+        let mut b = TreeBuilder::new();
+        let html = b.root(labels.intern("html"));
+        let title = b.child(html, labels.intern("title"));
+        b.child(title, labels.intern("Test page"));
+        let body = b.child(html, labels.intern("body"));
+        let p = b.child(body, labels.intern("p"));
+        b.child(p, labels.intern("This is a"));
+        let dfn = b.child(p, labels.intern("dfn"));
+        b.child(dfn, labels.intern("dfn"));
+        b.child(p, labels.intern("tag example."));
+        (b.build(), labels)
+    }
+
+    #[test]
+    fn builder_produces_valid_tree() {
+        let (tree, _) = figure1_tree();
+        assert_eq!(tree.len(), 9);
+        tree.validate().unwrap();
+        assert_eq!(tree.children(tree.root()).len(), 2);
+    }
+
+    #[test]
+    fn preorder_visits_parent_first() {
+        let (tree, _) = figure1_tree();
+        let pre = tree.preorder();
+        assert_eq!(pre.len(), tree.len());
+        assert_eq!(pre[0], tree.root());
+        let position: Vec<usize> = {
+            let mut pos = vec![0; tree.len()];
+            for (i, n) in pre.iter().enumerate() {
+                pos[n.index()] = i;
+            }
+            pos
+        };
+        for node in tree.node_ids() {
+            if let Some(parent) = tree.parent(node) {
+                assert!(position[parent.index()] < position[node.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_visits_children_first() {
+        let (tree, _) = figure1_tree();
+        let post = tree.postorder();
+        assert_eq!(post.len(), tree.len());
+        assert_eq!(*post.last().unwrap(), tree.root());
+        let numbers = tree.postorder_numbers();
+        for node in tree.node_ids() {
+            for &child in tree.children(node) {
+                assert!(numbers[child.index()] < numbers[node.index()]);
+            }
+        }
+    }
+
+    #[test]
+    fn postorder_numbers_are_a_permutation() {
+        let (tree, _) = figure1_tree();
+        let mut numbers = tree.postorder_numbers();
+        numbers.sort_unstable();
+        let expected: Vec<u32> = (1..=tree.len() as u32).collect();
+        assert_eq!(numbers, expected);
+    }
+
+    #[test]
+    fn subtree_sizes_sum_correctly() {
+        let (tree, _) = figure1_tree();
+        let sizes = tree.subtree_sizes();
+        assert_eq!(sizes[tree.root().index()] as usize, tree.len());
+        for node in tree.node_ids() {
+            let expected: u32 = 1 + tree
+                .children(node)
+                .iter()
+                .map(|c| sizes[c.index()])
+                .sum::<u32>();
+            assert_eq!(sizes[node.index()], expected);
+        }
+    }
+
+    #[test]
+    fn depths_and_fanout() {
+        let (tree, _) = figure1_tree();
+        // html -> body -> p -> dfn -> "dfn" is the deepest path.
+        assert_eq!(tree.max_depth(), 4);
+        assert_eq!(tree.max_fanout(), 3); // node `p` has three children
+        let depths = tree.depths();
+        assert_eq!(depths[tree.root().index()], 0);
+    }
+
+    #[test]
+    fn structural_equality() {
+        let (t1, _) = figure1_tree();
+        let (t2, _) = figure1_tree();
+        assert!(t1.structurally_eq(&t2));
+        let mut labels = LabelInterner::new();
+        let other = Tree::leaf(labels.intern("x"));
+        assert!(!t1.structurally_eq(&other));
+    }
+
+    #[test]
+    fn leaf_tree() {
+        let tree = Tree::leaf(Label::from_raw(5));
+        assert_eq!(tree.len(), 1);
+        assert!(tree.is_leaf(tree.root()));
+        assert_eq!(tree.max_depth(), 0);
+        tree.validate().unwrap();
+    }
+
+    #[test]
+    fn child_position() {
+        let (tree, _) = figure1_tree();
+        assert_eq!(tree.child_position(tree.root()), None);
+        let kids = tree.children(tree.root());
+        assert_eq!(tree.child_position(kids[0]), Some(0));
+        assert_eq!(tree.child_position(kids[1]), Some(1));
+    }
+}

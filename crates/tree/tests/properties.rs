@@ -1,0 +1,137 @@
+//! Property-based tests for the tree substrate: parser round-trips, the
+//! Knuth transform, traversal invariants and edit-operation validity on
+//! randomly generated trees.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsj_tree::{
+    apply_edit, parse_bracket, to_bracket, BinaryTree, EditOp, Label, LabelInterner, NodeId,
+    Tree, TreeBuilder,
+};
+
+/// Builds a random tree directly with the builder (no datagen dependency
+/// here — the tree crate sits below it).
+fn random_tree(seed: u64, max_size: usize) -> (Tree, LabelInterner) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let size = rng.gen_range(1..=max_size.max(1));
+    let mut labels = LabelInterner::new();
+    let names: Vec<String> = (0..6).map(|i| format!("l{i}")).collect();
+    let mut builder = TreeBuilder::new();
+    let root = builder.root(labels.intern(&names[rng.gen_range(0..names.len())]));
+    let mut nodes = vec![root];
+    for _ in 1..size {
+        let parent = nodes[rng.gen_range(0..nodes.len())];
+        let child = builder.child(parent, labels.intern(&names[rng.gen_range(0..names.len())]));
+        nodes.push(child);
+    }
+    (builder.build(), labels)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Bracket serialization round-trips structurally.
+    #[test]
+    fn bracket_round_trip(seed in any::<u64>()) {
+        let (tree, labels) = random_tree(seed, 40);
+        let text = to_bracket(&tree, &labels);
+        let mut labels2 = LabelInterner::new();
+        let reparsed = parse_bracket(&text, &mut labels2).unwrap();
+        prop_assert_eq!(reparsed.len(), tree.len());
+        // Re-serializing with the new interner gives the same text.
+        prop_assert_eq!(to_bracket(&reparsed, &labels2), text);
+    }
+
+    /// Knuth transform round-trips through its inverse.
+    #[test]
+    fn lcrs_round_trip(seed in any::<u64>()) {
+        let (tree, _) = random_tree(seed, 50);
+        let binary = BinaryTree::from_tree(&tree);
+        prop_assert_eq!(binary.len(), tree.len());
+        prop_assert!(binary.to_general().structurally_eq(&tree));
+    }
+
+    /// LC-RS structural invariants: the root has no right child; every
+    /// node's binary children agree with the general structure.
+    #[test]
+    fn lcrs_invariants(seed in any::<u64>()) {
+        let (tree, _) = random_tree(seed, 50);
+        let binary = BinaryTree::from_tree(&tree);
+        prop_assert!(binary.right(binary.root()).is_none());
+        for node in tree.node_ids() {
+            prop_assert_eq!(binary.left(node), tree.children(node).first().copied());
+            let next_sibling = tree.parent(node).and_then(|p| {
+                let siblings = tree.children(p);
+                let pos = siblings.iter().position(|&c| c == node).unwrap();
+                siblings.get(pos + 1).copied()
+            });
+            prop_assert_eq!(binary.right(node), next_sibling);
+        }
+    }
+
+    /// Postorder numbers: children precede parents; numbers form 1..=n;
+    /// the binary postorder ends at the root.
+    #[test]
+    fn postorder_invariants(seed in any::<u64>()) {
+        let (tree, _) = random_tree(seed, 50);
+        let numbers = tree.postorder_numbers();
+        let mut sorted = numbers.clone();
+        sorted.sort_unstable();
+        prop_assert_eq!(sorted, (1..=tree.len() as u32).collect::<Vec<_>>());
+        for node in tree.node_ids() {
+            for &child in tree.children(node) {
+                prop_assert!(numbers[child.index()] < numbers[node.index()]);
+            }
+        }
+        let binary = BinaryTree::from_tree(&tree);
+        prop_assert_eq!(binary.post_of(binary.root()) as usize, tree.len());
+    }
+
+    /// Subtree sizes and depths are mutually consistent.
+    #[test]
+    fn size_and_depth_consistency(seed in any::<u64>()) {
+        let (tree, _) = random_tree(seed, 50);
+        let sizes = tree.subtree_sizes();
+        prop_assert_eq!(sizes[tree.root().index()] as usize, tree.len());
+        let depths = tree.depths();
+        let max = tree.max_depth();
+        prop_assert_eq!(depths.iter().copied().max().unwrap_or(0), max);
+        // Total size = sum over depth-0 root of everything; every leaf has
+        // subtree size 1.
+        for node in tree.node_ids() {
+            if tree.is_leaf(node) {
+                prop_assert_eq!(sizes[node.index()], 1);
+            }
+        }
+    }
+
+    /// Randomly chosen valid edits keep the tree valid and change its size
+    /// by exactly one (insert/delete) or zero (rename).
+    #[test]
+    fn edits_change_size_by_at_most_one(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (tree, _) = random_tree(seed ^ 0x1234, 30);
+        let node = NodeId::from_index(rng.gen_range(0..tree.len()));
+        let ops = [
+            EditOp::Rename { node, label: Label::from_raw(1) },
+            EditOp::Insert {
+                parent: node,
+                start: 0,
+                count: tree.children(node).len(),
+                label: Label::from_raw(2),
+            },
+        ];
+        for op in ops {
+            let edited = apply_edit(&tree, &op).unwrap();
+            edited.validate().unwrap();
+            let delta = edited.len() as i64 - tree.len() as i64;
+            prop_assert!(delta.abs() <= 1);
+        }
+        if tree.len() > 1 && node != tree.root() {
+            let edited = apply_edit(&tree, &EditOp::Delete { node }).unwrap();
+            edited.validate().unwrap();
+            prop_assert_eq!(edited.len(), tree.len() - 1);
+        }
+    }
+}

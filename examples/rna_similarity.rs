@@ -1,0 +1,132 @@
+//! Similar RNA secondary structures — the paper's biology motivation:
+//! "biologists are often interested in finding similar pairs of RNA
+//! secondary structures (which are modeled as trees) from various sources".
+//!
+//! RNA secondary structure in dot-bracket notation maps naturally to a
+//! rooted ordered tree: each base pair `( ... )` becomes an internal
+//! `pair` node whose children are the structures it encloses; unpaired
+//! bases `.` become leaves labeled by the region they sit in. We generate
+//! a few structure families (hairpins, multiloops), derive mutated family
+//! members, and join.
+//!
+//! ```bash
+//! cargo run --release --example rna_similarity
+//! ```
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tree_similarity_join::prelude::*;
+
+/// Parses dot-bracket notation into a tree: `(` opens a `pair` node, `)`
+/// closes it, `.` adds an `unpaired` leaf under the current node.
+fn dot_bracket_to_tree(structure: &str, labels: &mut LabelInterner) -> Tree {
+    let pair = labels.intern("pair");
+    let unpaired = labels.intern("unpaired");
+    let root_label = labels.intern("rna");
+    let mut builder = TreeBuilder::new();
+    let root = builder.root(root_label);
+    let mut stack = vec![root];
+    for c in structure.chars() {
+        match c {
+            '(' => {
+                let node = builder.child(*stack.last().expect("rooted"), pair);
+                stack.push(node);
+            }
+            ')' => {
+                assert!(stack.len() > 1, "unbalanced dot-bracket: {structure}");
+                stack.pop();
+            }
+            '.' => {
+                builder.child(*stack.last().expect("rooted"), unpaired);
+            }
+            other => panic!("unexpected character {other:?} in dot-bracket"),
+        }
+    }
+    assert_eq!(stack.len(), 1, "unbalanced dot-bracket: {structure}");
+    builder.build()
+}
+
+/// Mutates a dot-bracket string: flips an unpaired base in/out or grows/
+/// shrinks a stem, keeping brackets balanced.
+fn mutate_structure(structure: &str, rng: &mut StdRng) -> String {
+    let mut chars: Vec<char> = structure.chars().collect();
+    match rng.gen_range(0..3) {
+        0 => {
+            // Insert an unpaired base at a random position.
+            let pos = rng.gen_range(0..=chars.len());
+            chars.insert(pos, '.');
+        }
+        1 => {
+            // Remove a random unpaired base, if any.
+            let dots: Vec<usize> = chars
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c == '.')
+                .map(|(i, _)| i)
+                .collect();
+            if let Some(&pos) = dots.get(rng.gen_range(0..dots.len().max(1)).min(dots.len().saturating_sub(1))) {
+                chars.remove(pos);
+            }
+        }
+        _ => {
+            // Wrap the whole structure in one more base pair (stem growth).
+            chars.insert(0, '(');
+            chars.push(')');
+        }
+    }
+    chars.into_iter().collect()
+}
+
+fn main() {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut labels = LabelInterner::new();
+
+    // Three families: a hairpin, a double hairpin, and a multiloop.
+    let families = [
+        ("hairpin", "(((((....)))))..."),
+        ("double-hairpin", "..((((...))))..(((....)))"),
+        ("multiloop", "((..((...))..((....))..((..))..))"),
+    ];
+
+    let mut structures: Vec<(String, String)> = Vec::new(); // (family, dotbracket)
+    for (family, base) in families {
+        structures.push((family.to_string(), base.to_string()));
+        let mut current = base.to_string();
+        for _ in 0..5 {
+            current = mutate_structure(&current, &mut rng);
+            structures.push((family.to_string(), current.clone()));
+        }
+    }
+
+    let trees: Vec<Tree> = structures
+        .iter()
+        .map(|(_, s)| dot_bracket_to_tree(s, &mut labels))
+        .collect();
+    let stats = collection_stats(&trees);
+    println!(
+        "{} structures, avg tree size {:.1}, max depth {}\n",
+        stats.cardinality, stats.avg_size, stats.max_depth
+    );
+
+    for tau in [1u32, 2, 4] {
+        let outcome = partsj_join(&trees, tau);
+        let same_family = outcome
+            .pairs
+            .iter()
+            .filter(|(a, b)| structures[*a as usize].0 == structures[*b as usize].0)
+            .count();
+        println!(
+            "tau = {tau}: {} similar pairs, {} within the same family \
+             ({} candidates, {} TED calls)",
+            outcome.pairs.len(),
+            same_family,
+            outcome.stats.candidates,
+            outcome.stats.ted_calls
+        );
+    }
+
+    println!(
+        "\nsmall thresholds recover family structure: most similar pairs\n\
+         are mutations of the same base fold."
+    );
+}

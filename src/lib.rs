@@ -1,0 +1,65 @@
+//! # tree-similarity-join
+//!
+//! A complete reproduction of **“Scaling Similarity Joins over
+//! Tree-Structured Data”** (Yu Tang, Yilun Cai, Nikos Mamoulis — PVLDB
+//! 8(11), VLDB 2015) as a production-quality Rust workspace.
+//!
+//! Given a collection of rooted ordered labeled trees and a threshold `τ`,
+//! the similarity self-join reports every pair within tree edit distance
+//! (TED) `τ`. The paper's contribution — **PartSJ** — dynamically
+//! partitions each tree's left-child right-sibling representation into
+//! `δ = 2τ + 1` balanced subgraphs and indexes them in a two-layer
+//! (postorder × label-twig) structure; a pair is only verified when one
+//! tree contains a subgraph of the other.
+//!
+//! This facade re-exports the workspace crates:
+//!
+//! * [`tree`] (`tsj-tree`) — trees, labels, parsers, LC-RS transform;
+//! * [`ted`] (`tsj-ted`) — Zhang–Shasha / hybrid TED, string edit
+//!   distance, lower bounds;
+//! * [`baselines`] (`tsj-baselines`) — the paper's competitors `STR` and
+//!   `SET`, plus the brute-force oracle;
+//! * [`partsj`] — the partition-based join itself;
+//! * [`datagen`] (`tsj-datagen`) — workload generators for all four
+//!   evaluation datasets.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use tree_similarity_join::prelude::*;
+//!
+//! let mut labels = LabelInterner::new();
+//! let trees: Vec<_> = ["{a{b}{c}}", "{a{b}{c}}", "{a{b}{z}}", "{x{y}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//!
+//! // All pairs within TED 1:
+//! let outcome = partsj_join(&trees, 1);
+//! assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
+//! ```
+
+pub use partsj;
+pub use tsj_baselines as baselines;
+pub use tsj_datagen as datagen;
+pub use tsj_ted as ted;
+pub use tsj_tree as tree;
+
+/// The most common imports in one place.
+pub mod prelude {
+    pub use partsj::{
+        partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_rs,
+        partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme, SearchIndex, StreamingJoin,
+        WindowPolicy,
+    };
+    pub use tsj_baselines::{brute_force_join, set_join, str_join};
+    pub use tsj_datagen::{
+        collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like,
+        SyntheticParams,
+    };
+    pub use tsj_ted::{ted, JoinOutcome, JoinStats, TedEngine};
+    pub use tsj_tree::{
+        parse_bracket, parse_xmlish, to_bracket, BinaryTree, Label, LabelInterner, Tree,
+        TreeBuilder,
+    };
+}

@@ -1,0 +1,83 @@
+//! Integration checks of the workload generators against the paper's
+//! dataset descriptions — the statistics that drive the filters' relative
+//! behaviour must be in the right regime at harness scale.
+
+use tree_similarity_join::prelude::*;
+
+#[test]
+fn swissprot_like_statistics() {
+    let stats = collection_stats(&swissprot_like(400, 1));
+    assert!(
+        (45.0..80.0).contains(&stats.avg_size),
+        "avg size {} vs paper 62.37",
+        stats.avg_size
+    );
+    assert!(stats.distinct_labels <= 84);
+    assert!(stats.avg_depth < 3.6, "avg depth {} vs paper 2.65", stats.avg_depth);
+}
+
+#[test]
+fn treebank_like_statistics() {
+    let stats = collection_stats(&treebank_like(400, 2));
+    assert!(
+        (33.0..58.0).contains(&stats.avg_size),
+        "avg size {} vs paper 45.12",
+        stats.avg_size
+    );
+    assert!(stats.distinct_labels <= 218 && stats.distinct_labels > 100);
+    assert!(stats.avg_depth > 3.5, "deep parses expected, got {}", stats.avg_depth);
+}
+
+#[test]
+fn sentiment_like_statistics() {
+    let stats = collection_stats(&sentiment_like(400, 3));
+    assert!(
+        (26.0..50.0).contains(&stats.avg_size),
+        "avg size {} vs paper 37.31",
+        stats.avg_size
+    );
+    assert_eq!(stats.distinct_labels.min(5), stats.distinct_labels);
+    assert!(stats.avg_depth > 5.0, "binarized parses are deep, got {}", stats.avg_depth);
+}
+
+#[test]
+fn synthetic_follows_table1_parameters() {
+    let params = SyntheticParams::default();
+    let stats = collection_stats(&synthetic(400, &params, 4));
+    assert!((55.0..105.0).contains(&stats.avg_size));
+    assert!(stats.distinct_labels <= 20);
+}
+
+#[test]
+fn joins_have_results_at_every_threshold() {
+    // The τ-sweep figures need non-trivial REL series everywhere.
+    for (name, trees) in [
+        ("swissprot", swissprot_like(300, 5)),
+        ("treebank", treebank_like(300, 6)),
+        ("sentiment", sentiment_like(300, 7)),
+    ] {
+        let r1 = partsj_join(&trees, 1).stats.results;
+        let r5 = partsj_join(&trees, 5).stats.results;
+        assert!(r1 > 0, "{name}: no results at tau 1");
+        assert!(r5 > r1, "{name}: results must grow with tau ({r1} -> {r5})");
+    }
+}
+
+#[test]
+fn sensitivity_parameters_change_the_workload() {
+    // Fig. 14 sweeps must actually vary the collection.
+    let base = SyntheticParams::default();
+    let narrow = SyntheticParams {
+        fanout: 2,
+        ..base
+    };
+    let wide = SyntheticParams {
+        fanout: 6,
+        ..base
+    };
+    let stats_narrow = collection_stats(&synthetic(150, &narrow, 8));
+    let stats_wide = collection_stats(&synthetic(150, &wide, 8));
+    // Fanout 2 with depth 5 caps trees at 63 nodes.
+    assert!(stats_narrow.avg_size < stats_wide.avg_size);
+    assert!(stats_narrow.max_size <= 63 + 10);
+}
