@@ -19,8 +19,8 @@
 #![warn(missing_docs)]
 
 pub mod bruteforce;
-pub mod kailing;
 pub mod common;
+pub mod kailing;
 pub mod setjoin;
 pub mod strjoin;
 

@@ -23,7 +23,9 @@ pub fn binary_branch_bag(binary: &BinaryTree) -> Vec<u64> {
     let mut bag: Vec<u64> = binary
         .node_ids()
         .map(|node| {
-            let left = binary.left(node).map_or(Label::EPSILON, |c| binary.label(c));
+            let left = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
             let right = binary
                 .right(node)
                 .map_or(Label::EPSILON, |c| binary.label(c));

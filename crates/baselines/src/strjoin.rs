@@ -17,12 +17,7 @@ pub fn str_join(trees: &[Tree], tau: u32) -> JoinOutcome {
     filter_verify_join(
         trees,
         tau,
-        || {
-            trees
-                .iter()
-                .map(TraversalStrings::new)
-                .collect::<Vec<_>>()
-        },
+        || trees.iter().map(TraversalStrings::new).collect::<Vec<_>>(),
         |strings, i, j| traversal_within(&strings[i], &strings[j], tau),
     )
 }
@@ -43,12 +38,7 @@ mod tests {
 
     #[test]
     fn finds_identical_and_near_trees() {
-        let trees = collection(&[
-            "{a{b}{c}}",
-            "{a{b}{c}}",
-            "{a{b}{z}}",
-            "{q{w{e{r{t}}}}}",
-        ]);
+        let trees = collection(&["{a{b}{c}}", "{a{b}{c}}", "{a{b}{z}}", "{q{w{e{r{t}}}}}"]);
         let outcome = str_join(&trees, 1);
         assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
     }

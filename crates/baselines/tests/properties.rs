@@ -5,8 +5,7 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsj_baselines::{
-    bib_distance, brute_force_join, brute_force_join_parallel, set_join, str_join,
-    tree_branch_bag,
+    bib_distance, brute_force_join, brute_force_join_parallel, set_join, str_join, tree_branch_bag,
 };
 use tsj_datagen::{grow_tree, random_edit_script, ShapeProfile};
 use tsj_ted::ted;

@@ -91,10 +91,5 @@ fn bench_ablations(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(
-    benches,
-    bench_tau_sweep,
-    bench_cardinality,
-    bench_ablations
-);
+criterion_group!(benches, bench_tau_sweep, bench_cardinality, bench_ablations);
 criterion_main!(benches);

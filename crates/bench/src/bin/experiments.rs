@@ -41,7 +41,7 @@ struct Options {
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| {
-        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|all> [--scale F] [--seed N] [--param P]");
+        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|all> [--scale F] [--seed N] [--param P]");
         std::process::exit(2);
     });
     let mut options = Options {
@@ -127,7 +127,14 @@ fn table1(options: &Options) {
     println!(
         "{}",
         render_table(
-            &["dataset", "trees", "avg size", "labels", "avg depth", "max depth"],
+            &[
+                "dataset",
+                "trees",
+                "avg size",
+                "labels",
+                "avg depth",
+                "max depth"
+            ],
             &rows
         )
     );
@@ -135,7 +142,11 @@ fn table1(options: &Options) {
 
 /// Figures 10 & 11: τ sweep per dataset; runtime split and candidates.
 fn fig10_11(options: &Options, runtime: bool) {
-    let which = if runtime { "Figure 10 (runtime vs τ)" } else { "Figure 11 (candidates vs τ)" };
+    let which = if runtime {
+        "Figure 10 (runtime vs τ)"
+    } else {
+        "Figure 11 (candidates vs τ)"
+    };
     println!("\n== {which} ==\n");
     for dataset in Dataset::ALL {
         let n = scaled(dataset.default_cardinality(), options.scale);
@@ -168,7 +179,10 @@ fn fig10_11(options: &Options, runtime: bool) {
         if runtime {
             println!(
                 "{}",
-                render_table(&["tau", "method", "candgen(s)", "ted(s)", "total(s)"], &rows)
+                render_table(
+                    &["tau", "method", "candgen(s)", "ted(s)", "total(s)"],
+                    &rows
+                )
             );
         } else {
             println!(
@@ -220,7 +234,10 @@ fn fig12_13(options: &Options, runtime: bool) {
         if runtime {
             println!(
                 "{}",
-                render_table(&["trees", "method", "candgen(s)", "ted(s)", "total(s)"], &rows)
+                render_table(
+                    &["trees", "method", "candgen(s)", "ted(s)", "total(s)"],
+                    &rows
+                )
             );
         } else {
             println!(
@@ -273,7 +290,15 @@ fn fig14(options: &Options, param: &str) {
     println!(
         "{}",
         render_table(
-            &[param, "method", "candgen(s)", "ted(s)", "total(s)", "candidates", "REL"],
+            &[
+                param,
+                "method",
+                "candgen(s)",
+                "ted(s)",
+                "total(s)",
+                "candidates",
+                "REL"
+            ],
             &rows
         )
     );
@@ -313,7 +338,15 @@ fn ablation_partition(options: &Options) {
     println!(
         "{}",
         render_table(
-            &["dataset", "tau", "scheme", "candidates", "match attempts", "REL", "total(s)"],
+            &[
+                "dataset",
+                "tau",
+                "scheme",
+                "candidates",
+                "match attempts",
+                "REL",
+                "total(s)"
+            ],
             &rows
         )
     );
@@ -333,8 +366,7 @@ fn ablation_window(options: &Options) {
         let n = scaled(dataset.default_cardinality(), options.scale) / 2;
         let trees = dataset.generate(n, options.seed);
         let tau = 3;
-        let reference: JoinOutcome =
-            partsj_join_with(&trees, tau, &PartSjConfig::default());
+        let reference: JoinOutcome = partsj_join_with(&trees, tau, &PartSjConfig::default());
         for (name, window) in [
             ("Safe", WindowPolicy::Safe),
             ("Tight", WindowPolicy::Tight),
@@ -365,7 +397,15 @@ fn ablation_window(options: &Options) {
     println!(
         "{}",
         render_table(
-            &["dataset", "window", "candidates", "registrations", "REL", "missed", "total(s)"],
+            &[
+                "dataset",
+                "window",
+                "candidates",
+                "registrations",
+                "REL",
+                "missed",
+                "total(s)"
+            ],
             &rows
         )
     );
@@ -402,7 +442,14 @@ fn ablation_matching(options: &Options) {
     println!(
         "{}",
         render_table(
-            &["dataset", "matching", "candidates", "match attempts", "REL", "total(s)"],
+            &[
+                "dataset",
+                "matching",
+                "candidates",
+                "match attempts",
+                "REL",
+                "total(s)"
+            ],
             &rows
         )
     );

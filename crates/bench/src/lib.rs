@@ -10,8 +10,8 @@
 use partsj::{partsj_join_with, PartSjConfig};
 use std::time::Duration;
 use tsj_datagen::{
-    collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like,
-    CollectionStats, SyntheticParams,
+    collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, CollectionStats,
+    SyntheticParams,
 };
 use tsj_ted::JoinOutcome;
 use tsj_tree::Tree;

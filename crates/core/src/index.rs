@@ -262,9 +262,14 @@ mod tests {
         let n = binary.len() as u32;
         index.insert_tree(n, sgs);
         let mut count = 0;
-        index.probe(n + 5, 0, Label::from_raw(1), Label::EPSILON, Label::EPSILON, |_| {
-            count += 1
-        });
+        index.probe(
+            n + 5,
+            0,
+            Label::from_raw(1),
+            Label::EPSILON,
+            Label::EPSILON,
+            |_| count += 1,
+        );
         assert_eq!(count, 0);
     }
 

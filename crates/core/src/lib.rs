@@ -27,6 +27,13 @@
 //! assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
 //! ```
 //!
+//! Result pairs are always `(i, j)` with `i < j`, sorted
+//! lexicographically and deduplicated ([`JoinOutcome::new`] normalizes
+//! them), so outcomes compare with `assert_eq!` across join methods,
+//! thread counts and runs.
+//!
+//! [`JoinOutcome::new`]: tsj_ted::JoinOutcome::new
+//!
 //! The filtering principle (Lemma 2): if `TED(T1, T2) ≤ τ`, any
 //! `δ = 2τ + 1`-partitioning of `T1`'s binary representation contains at
 //! least one subgraph that also appears in `T2`'s — so a pair without a
@@ -50,8 +57,10 @@ pub use join::{
     partsj_join, partsj_join_detailed, partsj_join_paper_window, partsj_join_with, PartSjDetail,
 };
 pub use parallel::partsj_join_parallel;
+pub use partition::{max_min_size, partitionable, select_cuts, select_random_cuts};
 pub use rs_join::partsj_join_rs;
 pub use search::SearchIndex;
 pub use streaming::StreamingJoin;
-pub use partition::{max_min_size, partitionable, select_cuts, select_random_cuts};
-pub use subgraph::{build_subgraphs, subgraph_matches, subgraph_matches_with, ChildKind, SgNode, Subgraph};
+pub use subgraph::{
+    build_subgraphs, subgraph_matches, subgraph_matches_with, ChildKind, SgNode, Subgraph,
+};

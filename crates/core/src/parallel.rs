@@ -53,8 +53,7 @@ pub fn partsj_join_parallel(
                     let mut engine = TedEngine::unit();
                     let mut found = Vec::new();
                     while let Ok((i, j)) = rx.recv() {
-                        let d =
-                            engine.distance(&prepared[i as usize], &prepared[j as usize]);
+                        let d = engine.distance(&prepared[i as usize], &prepared[j as usize]);
                         if d <= tau {
                             found.push((j, i));
                         }

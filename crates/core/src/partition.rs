@@ -128,10 +128,7 @@ pub fn select_random_cuts(binary: &BinaryTree, delta: usize, seed: u64) -> Vec<N
     let mut rng = rand::rngs::StdRng::seed_from_u64(
         seed ^ (binary.len() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15),
     );
-    let mut non_root: Vec<NodeId> = binary
-        .node_ids()
-        .filter(|&n| n != binary.root())
-        .collect();
+    let mut non_root: Vec<NodeId> = binary.node_ids().filter(|&n| n != binary.root()).collect();
     non_root.shuffle(&mut rng);
     let mut cuts: Vec<NodeId> = non_root.into_iter().take(wanted).collect();
     // Keep cuts in ascending postorder so subgraph ordinals are well defined.
@@ -164,9 +161,7 @@ mod tests {
         // The exact figure topology matters less than the greedy trace; we
         // use the preimage below and verify the trace properties.
         let mut labels = LabelInterner::new();
-        let l: Vec<_> = (1..=11)
-            .map(|i| labels.intern(&format!("l{i}")))
-            .collect();
+        let l: Vec<_> = (1..=11).map(|i| labels.intern(&format!("l{i}"))).collect();
         let mut b = tsj_tree::TreeBuilder::new();
         let n1 = b.root(l[0]);
         let n2 = b.child(n1, l[1]);

@@ -45,9 +45,7 @@ pub fn partsj_join_rs(
                 let gamma = max_min_size(&binary, delta);
                 select_cuts(&binary, delta, gamma)
             }
-            PartitionScheme::Random { seed } => {
-                select_random_cuts(&binary, delta, seed ^ i as u64)
-            }
+            PartitionScheme::Random { seed } => select_random_cuts(&binary, delta, seed ^ i as u64),
         };
         let subgraphs = build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
         index.insert_tree(size, subgraphs);
@@ -141,9 +139,7 @@ mod tests {
         let mut pairs = Vec::new();
         for (i, l) in left.iter().enumerate() {
             for (j, r) in right.iter().enumerate() {
-                if l.len().abs_diff(r.len()) as u32 <= tau
-                    && engine.distance_trees(l, r) <= tau
-                {
+                if l.len().abs_diff(r.len()) as u32 <= tau && engine.distance_trees(l, r) <= tau {
                     pairs.push((i as TreeIdx, j as TreeIdx));
                 }
             }
@@ -160,7 +156,13 @@ mod tests {
         );
         let right = collection(
             &mut labels,
-            &["{a{b}{c}}", "{a{b}{x}}", "{q{w{e}{r}{t}}}", "{z{y}}", "{m{n{o{p}}}}"],
+            &[
+                "{a{b}{c}}",
+                "{a{b}{x}}",
+                "{q{w{e}{r}{t}}}",
+                "{z{y}}",
+                "{m{n{o{p}}}}",
+            ],
         );
         for tau in 0..=3u32 {
             let expected = brute_force_rs(&left, &right, tau);

@@ -102,11 +102,7 @@ impl SearchIndex {
 
     /// Like [`SearchIndex::query`] but reusing a caller-owned engine
     /// (avoids repeated workspace allocation across many queries).
-    pub fn query_with_engine(
-        &self,
-        query: &Tree,
-        engine: &mut TedEngine,
-    ) -> Vec<(TreeIdx, u32)> {
+    pub fn query_with_engine(&self, query: &Tree, engine: &mut TedEngine) -> Vec<(TreeIdx, u32)> {
         let size_q = query.len() as u32;
         let lo = size_q.saturating_sub(self.tau).max(1);
         let hi = size_q + self.tau;

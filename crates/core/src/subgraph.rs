@@ -110,7 +110,11 @@ pub fn build_subgraphs(
 
     let n = binary.len() as u32;
     let mut subgraphs = Vec::with_capacity(cuts.len() + 1);
-    for (pos, &root) in cuts.iter().chain(std::iter::once(&binary.root())).enumerate() {
+    for (pos, &root) in cuts
+        .iter()
+        .chain(std::iter::once(&binary.root()))
+        .enumerate()
+    {
         let nodes = collect_component(binary, root, &is_cut);
         let root_node = nodes[0];
         let left_label = component_child_label(binary, root, Side::Left, root_node.left);
@@ -130,12 +134,7 @@ pub fn build_subgraphs(
     subgraphs
 }
 
-fn component_child_label(
-    binary: &BinaryTree,
-    node: NodeId,
-    side: Side,
-    kind: ChildKind,
-) -> Label {
+fn component_child_label(binary: &BinaryTree, node: NodeId, side: Side, kind: ChildKind) -> Label {
     match kind {
         ChildKind::Component => {
             let child = binary.child(node, side).expect("component child exists");
@@ -256,9 +255,7 @@ mod tests {
     /// The Figure 4 general tree; its LC-RS image is Figure 4(b).
     fn figure4() -> (Tree, BinaryTree, LabelInterner) {
         let mut labels = LabelInterner::new();
-        let l: Vec<_> = (1..=10)
-            .map(|i| labels.intern(&format!("l{i}")))
-            .collect();
+        let l: Vec<_> = (1..=10).map(|i| labels.intern(&format!("l{i}"))).collect();
         let mut b = TreeBuilder::new();
         let n1 = b.root(l[0]);
         let n2 = b.child(n1, l[1]);
@@ -375,11 +372,7 @@ mod tests {
         // child b, b with nothing) matches a tree where b has further
         // children; under Exact it must not.
         let mut labels = LabelInterner::new();
-        let (a, b_lbl, c) = (
-            labels.intern("a"),
-            labels.intern("b"),
-            labels.intern("c"),
-        );
+        let (a, b_lbl, c) = (labels.intern("a"), labels.intern("b"), labels.intern("c"));
         // Container: a -> b (leaf). Cut nothing; single subgraph of 2 nodes.
         let mut builder = TreeBuilder::new();
         let root = builder.root(a);
@@ -420,12 +413,7 @@ mod tests {
         // Cut the single child: subgraph s2 (root component) has a left
         // bridge at its root.
         let child = container.left(container.root()).unwrap();
-        let sgs = build_subgraphs(
-            &container,
-            &container_tree.postorder_numbers(),
-            &[child],
-            0,
-        );
+        let sgs = build_subgraphs(&container, &container_tree.postorder_numbers(), &[child], 0);
         let root_sg = &sgs[1];
         assert_eq!(root_sg.nodes[0].left, ChildKind::Bridge);
 

@@ -36,8 +36,7 @@ fn random_collection(seed: u64, count: usize, labels: u32) -> Vec<Tree> {
         if i >= 2 && rng.gen_bool(0.5) {
             let base_idx = rng.gen_range(0..trees.len());
             let edits = rng.gen_range(0..4usize);
-            let (edited, _) =
-                random_edit_script(&trees[base_idx], edits, &mut rng, labels);
+            let (edited, _) = random_edit_script(&trees[base_idx], edits, &mut rng, labels);
             trees.push(edited);
         } else {
             let size = rng.gen_range(4..28usize);

@@ -17,8 +17,17 @@ fn random_collection(seed: u64, count: usize, labels: u32) -> Vec<Tree> {
             trees.push(edited);
         } else {
             let size = rng.gen_range(4..40usize);
-            let profile = ShapeProfile { max_fanout: 5, max_depth: 12, deepen_prob: rng.gen_range(0.0..0.7) };
-            let t = grow_tree(&mut StdRng::seed_from_u64(rng.gen()), size, labels, &profile);
+            let profile = ShapeProfile {
+                max_fanout: 5,
+                max_depth: 12,
+                deepen_prob: rng.gen_range(0.0..0.7),
+            };
+            let t = grow_tree(
+                &mut StdRng::seed_from_u64(rng.gen()),
+                size,
+                labels,
+                &profile,
+            );
             trees.push(t);
         }
     }
@@ -40,7 +49,14 @@ fn window_policy_sweep() {
                 (WindowPolicy::Tight, &mut tight_misses),
                 (WindowPolicy::PaperAbsolute, &mut paper_misses),
             ] {
-                let outcome = partsj_join_with(&trees, tau, &PartSjConfig { window, ..Default::default() });
+                let outcome = partsj_join_with(
+                    &trees,
+                    tau,
+                    &PartSjConfig {
+                        window,
+                        ..Default::default()
+                    },
+                );
                 if outcome.pairs != expected.pairs {
                     *counter += 1;
                     if outcome.pairs.len() > expected.pairs.len() {

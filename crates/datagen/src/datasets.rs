@@ -223,7 +223,10 @@ mod tests {
         assert_eq!(trees.len(), 200);
         let stats = collection_stats(&trees);
         assert!(stats.avg_size > 50.0 && stats.avg_size < 110.0, "{stats:?}");
-        assert!(stats.max_depth <= 5 + 3, "decay inserts may deepen slightly");
+        assert!(
+            stats.max_depth <= 5 + 3,
+            "decay inserts may deepen slightly"
+        );
         assert!(stats.distinct_labels <= 20);
         for tree in &trees {
             tree.validate().unwrap();

@@ -161,8 +161,18 @@ mod tests {
 
     #[test]
     fn deterministic_for_fixed_seed() {
-        let t1 = grow_tree(&mut StdRng::seed_from_u64(1234), 50, 10, &profile(3, 6, 0.5));
-        let t2 = grow_tree(&mut StdRng::seed_from_u64(1234), 50, 10, &profile(3, 6, 0.5));
+        let t1 = grow_tree(
+            &mut StdRng::seed_from_u64(1234),
+            50,
+            10,
+            &profile(3, 6, 0.5),
+        );
+        let t2 = grow_tree(
+            &mut StdRng::seed_from_u64(1234),
+            50,
+            10,
+            &profile(3, 6, 0.5),
+        );
         assert!(t1.structurally_eq(&t2));
     }
 

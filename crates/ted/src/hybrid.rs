@@ -234,7 +234,10 @@ mod tests {
     fn within_applies_size_filter() {
         let (ta, tb) = pair("{a{b}{c}{d}{e}}", "{a}");
         let mut engine = TedEngine::unit();
-        assert_eq!(engine.within(&PreparedTree::new(&ta), &PreparedTree::new(&tb), 2), None);
+        assert_eq!(
+            engine.within(&PreparedTree::new(&ta), &PreparedTree::new(&tb), 2),
+            None
+        );
         // Size filter rejected the pair before any DP ran.
         assert_eq!(engine.computations(), 0);
         assert_eq!(

@@ -14,20 +14,20 @@
 #![warn(missing_docs)]
 
 pub mod bounds;
-pub mod outcome;
 pub mod cost;
 pub mod hybrid;
+pub mod outcome;
 pub mod sed;
 pub mod ted_tree;
 pub mod zs;
 
 pub use bounds::{
-    degree_bound, degree_histogram, histogram_bound, label_histogram, size_bound,
-    traversal_bound, traversal_within, TraversalStrings,
+    degree_bound, degree_histogram, histogram_bound, label_histogram, size_bound, traversal_bound,
+    traversal_within, TraversalStrings,
 };
 pub use cost::CostModel;
-pub use outcome::{JoinOutcome, JoinStats, TreeIdx};
 pub use hybrid::{ted, PreparedTree, Strategy, TedEngine};
+pub use outcome::{JoinOutcome, JoinStats, TreeIdx};
 pub use sed::{sed, sed_within};
 pub use ted_tree::TedTree;
 pub use zs::{tree_distance, zhang_shasha, TedWorkspace};

@@ -68,10 +68,7 @@ impl JoinOutcome {
     /// Builds a bipartite (R×S) outcome: pairs are `(left index, right
     /// index)` in *different* index spaces, so components are never
     /// swapped — only sorted and deduplicated.
-    pub fn new_bipartite(
-        mut pairs: Vec<(TreeIdx, TreeIdx)>,
-        mut stats: JoinStats,
-    ) -> JoinOutcome {
+    pub fn new_bipartite(mut pairs: Vec<(TreeIdx, TreeIdx)>, mut stats: JoinStats) -> JoinOutcome {
         pairs.sort_unstable();
         pairs.dedup();
         stats.results = pairs.len() as u64;
@@ -85,10 +82,7 @@ mod tests {
 
     #[test]
     fn outcome_normalizes_pairs() {
-        let outcome = JoinOutcome::new(
-            vec![(3, 1), (0, 2), (1, 3), (2, 0)],
-            JoinStats::default(),
-        );
+        let outcome = JoinOutcome::new(vec![(3, 1), (0, 2), (1, 3), (2, 0)], JoinStats::default());
         assert_eq!(outcome.pairs, vec![(0, 2), (1, 3)]);
         assert_eq!(outcome.stats.results, 2);
     }

@@ -181,8 +181,12 @@ mod tests {
         for _ in 0..200 {
             let la = (next() % 12) as usize;
             let lb = (next() % 12) as usize;
-            let a: Vec<Label> = (0..la).map(|_| Label::from_raw((next() % 4) as u32 + 1)).collect();
-            let b: Vec<Label> = (0..lb).map(|_| Label::from_raw((next() % 4) as u32 + 1)).collect();
+            let a: Vec<Label> = (0..la)
+                .map(|_| Label::from_raw((next() % 4) as u32 + 1))
+                .collect();
+            let b: Vec<Label> = (0..lb)
+                .map(|_| Label::from_raw((next() % 4) as u32 + 1))
+                .collect();
             let full = sed(&a, &b);
             for tau in 0..8 {
                 let banded = sed_within(&a, &b, tau);

@@ -104,10 +104,7 @@ impl TedTree {
         }
         keyroots.reverse();
 
-        let decomposition_cost = keyroots
-            .iter()
-            .map(|&k| (k - lld[k] + 1) as u64)
-            .sum();
+        let decomposition_cost = keyroots.iter().map(|&k| (k - lld[k] + 1) as u64).sum();
 
         TedTree {
             n,

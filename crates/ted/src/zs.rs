@@ -42,12 +42,7 @@ fn min3(a: u32, b: u32, c: u32) -> u32 {
 /// Both trees must be preprocessed the same way (both [`TedTree::new`] or
 /// both [`TedTree::mirrored`]); mixing decompositions silently computes the
 /// distance between one tree and the mirror of the other.
-pub fn tree_distance(
-    a: &TedTree,
-    b: &TedTree,
-    costs: &CostModel,
-    ws: &mut TedWorkspace,
-) -> u32 {
+pub fn tree_distance(a: &TedTree, b: &TedTree, costs: &CostModel, ws: &mut TedWorkspace) -> u32 {
     let n1 = a.len();
     let n2 = b.len();
     let td_stride = n2 + 1;
@@ -222,7 +217,10 @@ mod tests {
                 let (pa, pb) = (TedTree::mirrored(&ta), TedTree::mirrored(&tb));
                 tree_distance(&pa, &pb, &CostModel::UNIT, &mut TedWorkspace::new())
             };
-            assert_eq!(left, right, "left/right decomposition disagree on {sa} vs {sb}");
+            assert_eq!(
+                left, right,
+                "left/right decomposition disagree on {sa} vs {sb}"
+            );
         }
     }
 

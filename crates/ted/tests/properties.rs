@@ -6,8 +6,8 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsj_datagen::{grow_tree, random_edit_script, ShapeProfile};
 use tsj_ted::{
-    histogram_bound, label_histogram, sed, sed_within, size_bound, ted, traversal_bound,
-    CostModel, Strategy, TedEngine, TraversalStrings,
+    histogram_bound, label_histogram, sed, sed_within, size_bound, ted, traversal_bound, CostModel,
+    Strategy, TedEngine, TraversalStrings,
 };
 use tsj_tree::Tree;
 

@@ -320,9 +320,7 @@ mod tests {
     /// N3 children N4(ℓ4), N5(ℓ5); N7 child N8(ℓ8); N8 children N9, N10.
     fn figure4_tree() -> (Tree, LabelInterner) {
         let mut labels = LabelInterner::new();
-        let l: Vec<_> = (1..=10)
-            .map(|i| labels.intern(&format!("l{i}")))
-            .collect();
+        let l: Vec<_> = (1..=10).map(|i| labels.intern(&format!("l{i}"))).collect();
         let mut b = TreeBuilder::new();
         let n1 = b.root(l[0]);
         let n2 = b.child(n1, l[1]);

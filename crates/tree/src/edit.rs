@@ -56,8 +56,10 @@ pub fn apply_edit(tree: &Tree, op: &EditOp) -> Result<Tree, EditError> {
     // index these vectors. Slot `labels.len()` is reserved for an insert.
     let n = tree.len();
     let mut labels: Vec<Label> = tree.node_ids().map(|id| tree.label(id)).collect();
-    let mut children: Vec<Vec<NodeId>> =
-        tree.node_ids().map(|id| tree.children(id).to_vec()).collect();
+    let mut children: Vec<Vec<NodeId>> = tree
+        .node_ids()
+        .map(|id| tree.children(id).to_vec())
+        .collect();
     let root = tree.root();
 
     let check = |node: NodeId| -> Result<(), EditError> {

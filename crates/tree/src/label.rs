@@ -210,10 +210,7 @@ mod tests {
         let max = Label(Label::MAX_LABELS);
         let key = pack_twig(max, max, max);
         assert_eq!(key >> 63, 0, "top bit stays clear");
-        assert_eq!(
-            pack_twig(Label::EPSILON, Label::EPSILON, Label::EPSILON),
-            0
-        );
+        assert_eq!(pack_twig(Label::EPSILON, Label::EPSILON, Label::EPSILON), 0);
     }
 
     #[test]

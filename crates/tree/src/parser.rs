@@ -80,11 +80,7 @@ fn expect_close(bytes: &[u8], pos: &mut usize) -> Result<(), ParseError> {
 }
 
 /// Reads label text up to an unescaped `{` or `}`.
-fn parse_label_text(
-    input: &str,
-    bytes: &[u8],
-    pos: &mut usize,
-) -> Result<String, ParseError> {
+fn parse_label_text(input: &str, bytes: &[u8], pos: &mut usize) -> Result<String, ParseError> {
     let mut label = String::new();
     while *pos < bytes.len() {
         match bytes[*pos] {
@@ -375,11 +371,7 @@ mod tests {
     #[test]
     fn xml_self_closing_and_attrs() {
         let mut labels = LabelInterner::new();
-        let tree = parse_xmlish(
-            r#"<a x="1"><b/><c key="v">text</c></a>"#,
-            &mut labels,
-        )
-        .unwrap();
+        let tree = parse_xmlish(r#"<a x="1"><b/><c key="v">text</c></a>"#, &mut labels).unwrap();
         assert_eq!(tree.len(), 4);
         let root = tree.root();
         assert_eq!(tree.children(root).len(), 2);

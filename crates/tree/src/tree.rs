@@ -176,11 +176,7 @@ impl Tree {
     pub fn subtree_sizes(&self) -> Vec<u32> {
         let mut sizes = vec![1u32; self.len()];
         for node in self.postorder() {
-            let total: u32 = self
-                .children(node)
-                .iter()
-                .map(|c| sizes[c.index()])
-                .sum();
+            let total: u32 = self.children(node).iter().map(|c| sizes[c.index()]).sum();
             sizes[node.index()] += total;
         }
         sizes
@@ -322,10 +318,7 @@ impl TreeBuilder {
     /// # Panics
     /// Panics if `parent` was not returned by this builder.
     pub fn child(&mut self, parent: NodeId, label: Label) -> NodeId {
-        assert!(
-            parent.index() < self.nodes.len(),
-            "unknown parent {parent}"
-        );
+        assert!(parent.index() < self.nodes.len(), "unknown parent {parent}");
         let id = NodeId(self.nodes.len() as u32);
         self.nodes.push(NodeData {
             label,

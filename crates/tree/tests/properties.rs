@@ -6,8 +6,8 @@ use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsj_tree::{
-    apply_edit, parse_bracket, to_bracket, BinaryTree, EditOp, Label, LabelInterner, NodeId,
-    Tree, TreeBuilder,
+    apply_edit, parse_bracket, to_bracket, BinaryTree, EditOp, Label, LabelInterner, NodeId, Tree,
+    TreeBuilder,
 };
 
 /// Builds a random tree directly with the builder (no datagen dependency

@@ -48,9 +48,18 @@ fn sv_pp(labels: &mut LabelInterner, words: [&str; 6]) -> Tree {
 fn main() {
     let mut labels = LabelInterner::new();
     let sentences = [
-        ("the cat chased the mouse", svo(&mut labels, ["the", "cat", "chased", "the", "mouse"])),
-        ("the dog chased the cat", svo(&mut labels, ["the", "dog", "chased", "the", "cat"])),
-        ("a bird watched the sky", svo(&mut labels, ["a", "bird", "watched", "the", "sky"])),
+        (
+            "the cat chased the mouse",
+            svo(&mut labels, ["the", "cat", "chased", "the", "mouse"]),
+        ),
+        (
+            "the dog chased the cat",
+            svo(&mut labels, ["the", "dog", "chased", "the", "cat"]),
+        ),
+        (
+            "a bird watched the sky",
+            svo(&mut labels, ["a", "bird", "watched", "the", "sky"]),
+        ),
         (
             "the cat slept on the mat",
             sv_pp(&mut labels, ["the", "cat", "slept", "on", "the", "mat"]),

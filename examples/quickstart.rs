@@ -24,7 +24,10 @@ fn main() {
         .collect();
 
     let tau = 2;
-    println!("similarity self-join of {} trees at tau = {tau}\n", trees.len());
+    println!(
+        "similarity self-join of {} trees at tau = {tau}\n",
+        trees.len()
+    );
 
     // Exact pairwise distances, for reference.
     let mut engine = TedEngine::unit();

@@ -64,7 +64,10 @@ fn mutate_structure(structure: &str, rng: &mut StdRng) -> String {
                 .filter(|(_, &c)| c == '.')
                 .map(|(i, _)| i)
                 .collect();
-            if let Some(&pos) = dots.get(rng.gen_range(0..dots.len().max(1)).min(dots.len().saturating_sub(1))) {
+            if let Some(&pos) = dots.get(
+                rng.gen_range(0..dots.len().max(1))
+                    .min(dots.len().saturating_sub(1)),
+            ) {
                 chars.remove(pos);
             }
         }

@@ -17,12 +17,30 @@ fn main() {
     // A feed of incoming product pages; some are re-submissions with
     // small edits (the near-duplicates a marketplace wants to flag live).
     let feed = [
-        ("v1 listing A", "{item{name{kbd}}{price{49}}{specs{color}{warranty}}}"),
-        ("fresh B", "{item{name{dock}}{price{99}}{ports{usbc}{hdmi}{jack}}}"),
-        ("v2 listing A", "{item{name{kbd}}{price{54}}{specs{color}{warranty}}}"),
-        ("fresh C", "{page{header{nav}}{body{article{p}{p}}}{footer}}"),
-        ("v2 listing B", "{item{name{dock}}{price{89}}{ports{usbc}{hdmi}{jack}}}"),
-        ("v3 listing A", "{item{name{kbd}}{price{54}}{specs{color}{warranty}{rgb}}}"),
+        (
+            "v1 listing A",
+            "{item{name{kbd}}{price{49}}{specs{color}{warranty}}}",
+        ),
+        (
+            "fresh B",
+            "{item{name{dock}}{price{99}}{ports{usbc}{hdmi}{jack}}}",
+        ),
+        (
+            "v2 listing A",
+            "{item{name{kbd}}{price{54}}{specs{color}{warranty}}}",
+        ),
+        (
+            "fresh C",
+            "{page{header{nav}}{body{article{p}{p}}}{footer}}",
+        ),
+        (
+            "v2 listing B",
+            "{item{name{dock}}{price{89}}{ports{usbc}{hdmi}{jack}}}",
+        ),
+        (
+            "v3 listing A",
+            "{item{name{kbd}}{price{54}}{specs{color}{warranty}{rgb}}}",
+        ),
     ];
 
     let mut labels = LabelInterner::new();

@@ -34,12 +34,10 @@ fn listing(product: usize, variant: usize, rng: &mut StdRng) -> String {
     xml.push_str(&format!("<price>{}</price>", 40 + product * 13));
     xml.push_str("<specs>");
     match product % 4 {
-        0 => xml.push_str(
-            "<layout>ansi</layout><switches><brown/><red/></switches><keys>87</keys>",
-        ),
-        1 => xml.push_str(
-            "<ports><usbc/><usbc/><hdmi/><ethernet/></ports><power>90w</power>",
-        ),
+        0 => {
+            xml.push_str("<layout>ansi</layout><switches><brown/><red/></switches><keys>87</keys>")
+        }
+        1 => xml.push_str("<ports><usbc/><usbc/><hdmi/><ethernet/></ports><power>90w</power>"),
         2 => xml.push_str("<material>aluminum</material><angles><a15/><a30/><a45/></angles>"),
         _ => xml.push_str("<resolution>1080p</resolution><fov>78</fov><mic><stereo/></mic>"),
     }

@@ -38,6 +38,10 @@
 //! let outcome = partsj_join(&trees, 1);
 //! assert_eq!(outcome.pairs, vec![(0, 1), (0, 2), (1, 2)]);
 //! ```
+//!
+//! `JoinOutcome::pairs` is deterministic: every pair is normalized to
+//! `(i, j)` with `i < j`, sorted lexicographically and deduplicated, so
+//! results can be compared directly across methods and runs.
 
 pub use partsj;
 pub use tsj_baselines as baselines;
@@ -48,14 +52,12 @@ pub use tsj_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use partsj::{
-        partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_rs,
-        partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme, SearchIndex, StreamingJoin,
-        WindowPolicy,
+        partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_rs, partsj_join_with,
+        MatchSemantics, PartSjConfig, PartitionScheme, SearchIndex, StreamingJoin, WindowPolicy,
     };
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
     pub use tsj_datagen::{
-        collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like,
-        SyntheticParams,
+        collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, SyntheticParams,
     };
     pub use tsj_ted::{ted, JoinOutcome, JoinStats, TedEngine};
     pub use tsj_tree::{

@@ -13,7 +13,11 @@ fn swissprot_like_statistics() {
         stats.avg_size
     );
     assert!(stats.distinct_labels <= 84);
-    assert!(stats.avg_depth < 3.6, "avg depth {} vs paper 2.65", stats.avg_depth);
+    assert!(
+        stats.avg_depth < 3.6,
+        "avg depth {} vs paper 2.65",
+        stats.avg_depth
+    );
 }
 
 #[test]
@@ -25,7 +29,11 @@ fn treebank_like_statistics() {
         stats.avg_size
     );
     assert!(stats.distinct_labels <= 218 && stats.distinct_labels > 100);
-    assert!(stats.avg_depth > 3.5, "deep parses expected, got {}", stats.avg_depth);
+    assert!(
+        stats.avg_depth > 3.5,
+        "deep parses expected, got {}",
+        stats.avg_depth
+    );
 }
 
 #[test]
@@ -37,7 +45,11 @@ fn sentiment_like_statistics() {
         stats.avg_size
     );
     assert_eq!(stats.distinct_labels.min(5), stats.distinct_labels);
-    assert!(stats.avg_depth > 5.0, "binarized parses are deep, got {}", stats.avg_depth);
+    assert!(
+        stats.avg_depth > 5.0,
+        "binarized parses are deep, got {}",
+        stats.avg_depth
+    );
 }
 
 #[test]
@@ -67,14 +79,8 @@ fn joins_have_results_at_every_threshold() {
 fn sensitivity_parameters_change_the_workload() {
     // Fig. 14 sweeps must actually vary the collection.
     let base = SyntheticParams::default();
-    let narrow = SyntheticParams {
-        fanout: 2,
-        ..base
-    };
-    let wide = SyntheticParams {
-        fanout: 6,
-        ..base
-    };
+    let narrow = SyntheticParams { fanout: 2, ..base };
+    let wide = SyntheticParams { fanout: 6, ..base };
     let stats_narrow = collection_stats(&synthetic(150, &narrow, 8));
     let stats_wide = collection_stats(&synthetic(150, &wide, 8));
     // Fanout 2 with depth 5 caps trees at 63 nodes.

@@ -10,8 +10,14 @@ fn check_dataset(name: &str, trees: &[Tree]) {
         let str_out = str_join(trees, tau);
         let set_out = set_join(trees, tau);
         assert_eq!(prt.pairs, oracle.pairs, "{name}: PRT diverged at tau {tau}");
-        assert_eq!(str_out.pairs, oracle.pairs, "{name}: STR diverged at tau {tau}");
-        assert_eq!(set_out.pairs, oracle.pairs, "{name}: SET diverged at tau {tau}");
+        assert_eq!(
+            str_out.pairs, oracle.pairs,
+            "{name}: STR diverged at tau {tau}"
+        );
+        assert_eq!(
+            set_out.pairs, oracle.pairs,
+            "{name}: SET diverged at tau {tau}"
+        );
         // The filters must not do more verification work than brute force.
         assert!(prt.stats.ted_calls <= oracle.stats.ted_calls);
         assert!(str_out.stats.ted_calls <= oracle.stats.ted_calls);
@@ -56,7 +62,10 @@ fn parallel_variants_agree_with_sequential() {
     for tau in [1u32, 3] {
         let seq = partsj_join(&trees, tau);
         let par = partsj_join_parallel(&trees, tau, &PartSjConfig::default(), 4);
-        assert_eq!(seq.pairs, par.pairs, "parallel PartSJ diverged at tau {tau}");
+        assert_eq!(
+            seq.pairs, par.pairs,
+            "parallel PartSJ diverged at tau {tau}"
+        );
         let oracle_par = tree_similarity_join::baselines::brute_force_join_parallel(&trees, tau, 4);
         assert_eq!(seq.pairs, oracle_par.pairs);
     }

@@ -1,0 +1,244 @@
+//! Offline-vendored minimal subset of the `criterion` API.
+//!
+//! The build container has no access to crates.io, so this path crate
+//! stands in for the registry crate. It implements the benchmark surface
+//! this workspace uses — [`Criterion::benchmark_group`],
+//! [`BenchmarkGroup::bench_function`] / [`bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`criterion_group!`] and
+//! [`criterion_main!`] — with a lightweight warm-up + fixed-budget
+//! measurement loop instead of criterion's full statistical machinery.
+//! Results print as `name … median ns/iter` lines, and also append
+//! machine-readable JSON lines to the file named by the
+//! `CRITERION_JSON_OUT` environment variable when set (used to record
+//! perf baselines). Append mode is deliberate — `cargo bench` runs each
+//! bench target as a separate process sharing one output file — so
+//! delete the file before a fresh run, or stale entries accumulate. Swap it for the real `criterion` by pointing the
+//! workspace dependency back at the registry.
+//!
+//! [`bench_with_input`]: BenchmarkGroup::bench_with_input
+
+use std::fmt::{self, Display};
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Label for one benchmark within a group: a function name plus an
+/// optional parameter.
+pub struct BenchmarkId {
+    function: String,
+    parameter: Option<String>,
+}
+
+impl BenchmarkId {
+    /// `function/parameter` id.
+    pub fn new(function: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: function.into(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+
+    /// Id with only a parameter, for single-function groups.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            function: String::new(),
+            parameter: Some(parameter.to_string()),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.parameter {
+            Some(p) if self.function.is_empty() => write!(f, "{p}"),
+            Some(p) => write!(f, "{}/{}", self.function, p),
+            None => write!(f, "{}", self.function),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(function: &str) -> Self {
+        BenchmarkId {
+            function: function.to_string(),
+            parameter: None,
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(function: String) -> Self {
+        BenchmarkId {
+            function,
+            parameter: None,
+        }
+    }
+}
+
+/// Runs timing loops for one benchmark.
+pub struct Bencher {
+    /// Median nanoseconds per iteration, filled by [`Bencher::iter`].
+    median_ns: f64,
+}
+
+impl Bencher {
+    /// Times `routine`: a short warm-up, then batches within a fixed
+    /// budget, recording the median batch cost per iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm up and size the batch so one batch costs ≳100 µs.
+        let warmup_start = Instant::now();
+        black_box(routine());
+        let once = warmup_start.elapsed().max(Duration::from_nanos(1));
+        let batch =
+            (Duration::from_micros(100).as_nanos() / once.as_nanos()).clamp(1, 10_000) as u64;
+
+        let budget = Duration::from_millis(200);
+        let mut samples: Vec<f64> = Vec::new();
+        let bench_start = Instant::now();
+        while bench_start.elapsed() < budget || samples.len() < 3 {
+            let t = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            samples.push(t.elapsed().as_nanos() as f64 / batch as f64);
+            if samples.len() >= 200 {
+                break;
+            }
+        }
+        samples.sort_by(|a, b| a.total_cmp(b));
+        self.median_ns = samples[samples.len() / 2];
+    }
+}
+
+fn run_benchmark(full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut bencher = Bencher {
+        median_ns: f64::NAN,
+    };
+    f(&mut bencher);
+    println!("bench: {full_name:<50} {:>14.1} ns/iter", bencher.median_ns);
+    if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
+        if let Ok(mut file) = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+        {
+            let _ = writeln!(
+                file,
+                "{{\"name\": \"{}\", \"median_ns\": {:.1}}}",
+                full_name.replace('"', "'"),
+                bencher.median_ns
+            );
+        }
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for API compatibility; the stub's fixed time budget
+    /// ignores the requested sample count.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Accepted for API compatibility; ignored by the stub.
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `group/id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, &mut f);
+        self
+    }
+
+    /// Benchmarks `f` with `input` under `group/id`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into());
+        run_benchmark(&full, &mut |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (a no-op in the stub; results print as they run).
+    pub fn finish(self) {}
+}
+
+/// Top-level benchmark driver.
+#[derive(Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Starts a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            _criterion: self,
+        }
+    }
+
+    /// Benchmarks `f` under a bare name, outside any group.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_benchmark(name, &mut f);
+        self
+    }
+}
+
+/// Bundles benchmark functions under one runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_format() {
+        assert_eq!(BenchmarkId::new("zs", 40).to_string(), "zs/40");
+        assert_eq!(BenchmarkId::from("full").to_string(), "full");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut group = Criterion::default();
+        let mut group = group.benchmark_group("t");
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+    }
+}

@@ -1,0 +1,247 @@
+//! Offline-vendored minimal subset of the `crossbeam` API.
+//!
+//! The build container has no access to crates.io, so this path crate
+//! stands in for the registry crate. It provides [`scope`] (built on
+//! `std::thread::scope`) and an MPMC [`channel`] — the two pieces the
+//! workspace's parallel verification paths use. Swap it for the real
+//! `crossbeam` by pointing the workspace dependency back at the registry.
+
+use std::any::Any;
+
+/// Scoped-thread handle passed to the [`scope`] closure.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives `()` where the real
+    /// crossbeam passes a nested `&Scope`; every call site in this
+    /// workspace ignores the argument (`|_| …`).
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(()) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        ScopedJoinHandle {
+            inner: self.inner.spawn(move || f(())),
+        }
+    }
+}
+
+/// Handle returned by [`Scope::spawn`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<T> ScopedJoinHandle<'_, T> {
+    /// Waits for the thread to finish, returning its result or the
+    /// panic payload.
+    pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+        self.inner.join()
+    }
+}
+
+/// Runs `f` with a scope in which borrowed-data threads can be spawned;
+/// all spawned threads are joined before `scope` returns.
+///
+/// Mirrors `crossbeam::scope`'s `Result` return. With `std::thread::scope`
+/// underneath, an unjoined panicking child propagates its panic instead of
+/// surfacing as `Err`; the workspace joins every handle, so `Err` is never
+/// produced in practice.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+}
+
+pub mod channel {
+    //! A minimal MPMC channel with the `crossbeam_channel` call surface
+    //! used here: [`unbounded`], cloneable senders **and receivers**,
+    //! blocking [`Receiver::recv`] that disconnects when all senders drop.
+
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex};
+
+    struct Shared<T> {
+        queue: Mutex<Inner<T>>,
+        ready: Condvar,
+    }
+
+    struct Inner<T> {
+        items: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Inner {
+                items: VecDeque::new(),
+                senders: 1,
+                receivers: 1,
+            }),
+            ready: Condvar::new(),
+        });
+        (
+            Sender {
+                shared: Arc::clone(&shared),
+            },
+            Receiver { shared },
+        )
+    }
+
+    /// Sending half; cloneable.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Receiving half; cloneable (MPMC).
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty and disconnected channel")
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing only if all receivers have dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.items.push_back(value);
+            drop(inner);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().senders += 1;
+            Sender {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.queue.lock().unwrap();
+            inner.senders -= 1;
+            if inner.senders == 0 {
+                drop(inner);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Blocks until an item arrives or all senders disconnect.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = inner.items.pop_front() {
+                    return Ok(item);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.ready.wait(inner).unwrap();
+            }
+        }
+
+        /// Non-blocking receive; `None` when currently empty (regardless
+        /// of disconnection).
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap().items.pop_front()
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.queue.lock().unwrap().receivers += 1;
+            Receiver {
+                shared: Arc::clone(&self.shared),
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.shared.queue.lock().unwrap().receivers -= 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = [1u32, 2, 3];
+        let sum = super::scope(|s| {
+            let h = s.spawn(|_| data.iter().sum::<u32>());
+            h.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(sum, 6);
+    }
+
+    #[test]
+    fn channel_fans_out_and_disconnects() {
+        let (tx, rx) = channel::unbounded::<u32>();
+        let total = super::scope(|s| {
+            let workers: Vec<_> = (0..4)
+                .map(|_| {
+                    let rx = rx.clone();
+                    s.spawn(move |_| {
+                        let mut local = 0u64;
+                        while let Ok(v) = rx.recv() {
+                            local += u64::from(v);
+                        }
+                        local
+                    })
+                })
+                .collect();
+            drop(rx);
+            for v in 0..1000u32 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            workers.into_iter().map(|w| w.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn send_after_all_receivers_dropped_errors() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(rx);
+        assert!(tx.send(1).is_err());
+    }
+}
