@@ -4,7 +4,8 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use partsj::{
-    build_subgraphs, max_min_size, select_cuts, subgraph_matches, SubgraphIndex, WindowPolicy,
+    build_subgraphs, max_min_size, select_cuts, MatchCache, MatchSemantics, SubgraphIndex,
+    TwigKeys, WindowPolicy,
 };
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -78,8 +79,14 @@ fn bench_probe(c: &mut Criterion) {
         let posts = probe_tree.postorder_numbers();
         let size = probe_tree.len() as u32;
         group.bench_function(name, |bench| {
+            // The production probe shape: size layers resolved once per
+            // tree, twig keys once per node, match scratch reused.
             bench.iter(|| {
                 let mut hits = 0u64;
+                let layers: Vec<_> = (size.saturating_sub(tau)..=size)
+                    .filter_map(|n| index.layer_id(n))
+                    .collect();
+                let mut match_cache = MatchCache::new();
                 for node in probe_bin.node_ids() {
                     let label = probe_bin.label(node);
                     let left = probe_bin
@@ -88,10 +95,18 @@ fn bench_probe(c: &mut Criterion) {
                     let right = probe_bin
                         .right(node)
                         .map_or(Label::EPSILON, |ch| probe_bin.label(ch));
+                    let keys = TwigKeys::new(label, left, right);
+                    match_cache.begin_node();
                     let pos = index.probe_position(posts[node.index()], size);
-                    for n in size.saturating_sub(tau)..=size {
-                        index.probe(n, pos, label, left, right, |handle| {
-                            if subgraph_matches(index.subgraph(handle), &probe_bin, node) {
+                    for &layer in &layers {
+                        index.layer(layer).probe(pos, &keys, |handle| {
+                            if index.matches_at(
+                                handle,
+                                &probe_bin,
+                                node,
+                                MatchSemantics::Exact,
+                                &mut match_cache,
+                            ) {
                                 hits += 1;
                             }
                         });

@@ -79,7 +79,7 @@ pub enum MatchSemantics {
 }
 
 /// Full configuration of a PartSJ run.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Copy)]
 pub struct PartSjConfig {
     /// Postorder-pruning window policy.
     pub window: WindowPolicy,
@@ -87,6 +87,25 @@ pub struct PartSjConfig {
     pub partitioning: PartitionScheme,
     /// Matching semantics for absent child slots.
     pub matching: MatchSemantics,
+    /// Collections smaller than this run [`crate::partsj_join_parallel`]
+    /// sequentially — thread/channel setup costs more than it saves on
+    /// tiny inputs.
+    pub parallel_fallback: usize,
+    /// Candidate pairs per batch sent to the parallel verifier pool.
+    /// Batching amortizes channel synchronization across many pairs.
+    pub verify_batch: usize,
+}
+
+impl Default for PartSjConfig {
+    fn default() -> PartSjConfig {
+        PartSjConfig {
+            window: WindowPolicy::default(),
+            partitioning: PartitionScheme::default(),
+            matching: MatchSemantics::default(),
+            parallel_fallback: 64,
+            verify_batch: 64,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -99,5 +118,7 @@ mod tests {
         assert_eq!(config.window, WindowPolicy::Safe);
         assert_eq!(config.partitioning, PartitionScheme::MaxMin);
         assert_eq!(config.matching, MatchSemantics::Exact);
+        assert!(config.parallel_fallback > 0);
+        assert!(config.verify_batch > 0);
     }
 }

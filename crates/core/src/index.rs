@@ -1,39 +1,266 @@
-//! The on-the-fly two-layer subgraph index (§3.4).
+//! The on-the-fly two-layer subgraph index (§3.4), in dense,
+//! cache-friendly storage.
 //!
 //! Subgraphs are first grouped by their container tree's size `n` (the
 //! inverted size index `I_n` of Algorithm 1), then by *postorder group*
-//! (layer 1) and finally by *label twig* (layer 2):
+//! (layer 1) and finally by *label twig* (layer 2). The logical structure
+//! is the paper's; the physical layout is flat:
 //!
-//! * **Postorder layer.** Subgraph `s_k` with window half-width `∆′`
-//!   (policy-dependent, see `WindowPolicy`) is registered under every
-//!   position key in `[pos_k − ∆′, pos_k + ∆′]`, where `pos_k` is the
-//!   subgraph root's *general-tree* postorder position — as a suffix
-//!   (`n − p_k`, edit-stable and provably sound) or absolute (`p_k`, the
-//!   paper's literal text) coordinate. A probe node with position `p`
-//!   reads exactly one group: key `p`.
-//! * **Label twig layer.** Within a postorder group, subgraphs are hashed
-//!   by their packed root twig `(ℓ, ℓ_left, ℓ_right)` (`ε` for bridges and
-//!   absences). A probe with twig `(ℓ, ℓ_l, ℓ_r)` inspects up to four
-//!   groups: `ℓℓ_lℓ_r`, `ℓℓ_lε`, `ℓεℓ_r`, `ℓεε` — the keys whose
-//!   subgraphs can still embed at the node.
+//! * **Size layer.** `I_n` is one [`PostorderLayer`] per distinct
+//!   container size, resolved through a single small hash map — once per
+//!   *probing tree* (via [`SubgraphIndex::layer_id`]), not once per
+//!   node×size as a nested-map design would.
+//! * **Postorder layer.** Position keys are bounded by the container tree
+//!   size (plus the window half-width), so the layer is a flat `Vec` of
+//!   position buckets indexed directly by key — no hashing. Subgraph `s_k`
+//!   with window half-width `∆′` (policy-dependent, see `WindowPolicy`) is
+//!   registered under every key in `[pos_k − ∆′, pos_k + ∆′]`, where
+//!   `pos_k` is the subgraph root's *general-tree* postorder position — as
+//!   a suffix (`n − p_k`, edit-stable and provably sound) or absolute
+//!   (`p_k`, the paper's literal text) coordinate. A probe node with
+//!   position `p` reads exactly one bucket: index `p`.
+//! * **Label twig layer.** A bucket is a compact array of
+//!   `(twig, handle)` postings kept sorted by packed root twig
+//!   `(ℓ, ℓ_left, ℓ_right)` (`ε` for bridges and absences). A probe with
+//!   twig `(ℓ, ℓ_l, ℓ_r)` matches up to four keys — `ℓℓ_lℓ_r`, `ℓℓ_lε`,
+//!   `ℓεℓ_r`, `ℓεε`, the keys whose subgraphs can still embed at the node
+//!   (precomputed once per node as [`TwigKeys`]). Small buckets are
+//!   scanned linearly in one pass over contiguous memory; large buckets
+//!   binary-search each key's posting run.
 //!
-//! The index owns the subgraph pool; groups store `u32` handles into it.
+//! The index owns the subgraph pool in struct-of-arrays form: per-handle
+//! metadata ([`SubgraphMeta`]) in one `Vec`, component shapes *interned*
+//! into a deduplicated table ([`Component`]), and all component nodes
+//! flattened into a single [`SgNode`] arena, so `probe → matches_at`
+//! walks contiguous memory instead of chasing one boxed slice per
+//! subgraph.
+//!
+//! Interning is what makes verification scale on near-duplicate
+//! collections — the workload similarity joins exist for: structurally
+//! identical subgraphs from different container trees share one
+//! [`ComponentId`], and the probe loop memoizes match verdicts per
+//! component in a [`MatchCache`], so a component surfaced by `k` trees at
+//! a node is walked once, not `k` times.
 
-use crate::config::WindowPolicy;
-use crate::subgraph::Subgraph;
-use tsj_tree::{pack_twig, FxHashMap, Label};
+use crate::config::{MatchSemantics, WindowPolicy};
+use crate::subgraph::{nodes_match_at, SgNode, Subgraph, TreeIdx};
+use tsj_tree::{pack_twig, BinaryTree, FxHashMap, Label, NodeId, Side};
 
 /// Handle into the index's subgraph pool.
 pub type SubgraphHandle = u32;
 
-#[derive(Debug, Default)]
-struct TwigLayer {
-    groups: FxHashMap<u64, Vec<SubgraphHandle>>,
+/// Handle to a resolved per-size [`PostorderLayer`]. Plain data (no
+/// borrow), so consumers can cache the layer ids of a probe window in a
+/// scratch buffer that survives index insertions.
+pub type LayerId = u32;
+
+/// Buckets at or below this size are scanned linearly (one pass matching
+/// all twig keys at once); larger buckets binary-search per key.
+const LINEAR_SCAN_MAX: usize = 16;
+
+/// One registration: a subgraph handle filed under its packed root twig.
+#[derive(Debug, Clone, Copy)]
+struct Posting {
+    twig: u64,
+    handle: SubgraphHandle,
 }
 
+/// The up-to-four packed twig keys a probe node can match (§3.4),
+/// deduplicated, specific-first. Compute once per node and reuse across
+/// the node's whole size window.
+#[derive(Debug, Clone, Copy)]
+pub struct TwigKeys {
+    keys: [u64; 4],
+    len: u8,
+}
+
+impl TwigKeys {
+    /// Keys for a probe node with `label` and child labels `left`/`right`
+    /// (`ε` for missing children): `ℓℓ_lℓ_r`, `ℓℓ_lε`, `ℓεℓ_r`, `ℓεε`,
+    /// skipping duplicates when the node itself has `ε` children.
+    #[inline]
+    pub fn new(label: Label, left: Label, right: Label) -> TwigKeys {
+        let mut keys = [pack_twig(label, left, right); 4];
+        let mut len = 1u8;
+        if right != Label::EPSILON {
+            keys[len as usize] = pack_twig(label, left, Label::EPSILON);
+            len += 1;
+        }
+        if left != Label::EPSILON {
+            keys[len as usize] = pack_twig(label, Label::EPSILON, right);
+            len += 1;
+            if right != Label::EPSILON {
+                keys[len as usize] = pack_twig(label, Label::EPSILON, Label::EPSILON);
+                len += 1;
+            }
+        }
+        TwigKeys { keys, len }
+    }
+
+    /// The deduplicated keys, most-specific first.
+    #[inline]
+    pub fn as_slice(&self) -> &[u64] {
+        &self.keys[..self.len as usize]
+    }
+
+    #[inline]
+    fn contains(&self, twig: u64) -> bool {
+        // len ≤ 4: a branch-light linear check beats anything fancier.
+        self.as_slice().contains(&twig)
+    }
+}
+
+/// Unsorted postings tolerated at the end of a bucket before `register`
+/// merges them into the twig-sorted prefix. Registration is an O(1)
+/// amortized push instead of a per-posting memmove (which would make the
+/// build quadratic in bucket size on duplicate-heavy collections), while
+/// probes pay at most this many extra linearly-scanned entries (~2 cache
+/// lines).
+const TAIL_MAX: usize = 32;
+
+/// One position bucket: a twig-sorted prefix plus a short unsorted tail
+/// of recent registrations.
 #[derive(Debug, Default)]
-struct PostorderLayer {
-    groups: FxHashMap<u32, TwigLayer>,
+struct Bucket {
+    postings: Vec<Posting>,
+    /// Length of the twig-sorted prefix; `postings[sorted_len..]` is the
+    /// tail, in insertion order.
+    sorted_len: u32,
+}
+
+/// One size class `I_n`: a flat vector of position buckets.
+#[derive(Debug, Default)]
+pub struct PostorderLayer {
+    buckets: Vec<Bucket>,
+}
+
+impl PostorderLayer {
+    /// Registers `handle` under `twig` at every position key in
+    /// `[lo, hi]`.
+    fn register(&mut self, lo: u32, hi: u32, twig: u64, handle: SubgraphHandle) {
+        if self.buckets.len() <= hi as usize {
+            self.buckets.resize_with(hi as usize + 1, Bucket::default);
+        }
+        for bucket in &mut self.buckets[lo as usize..=hi as usize] {
+            bucket.postings.push(Posting { twig, handle });
+            if bucket.postings.len() - bucket.sorted_len as usize > TAIL_MAX {
+                // The stable sort merges the two runs (sorted prefix +
+                // tail) in ~O(len); stability keeps equal-twig postings
+                // in insertion (ascending-handle) order.
+                bucket.postings.sort_by_key(|p| p.twig);
+                bucket.sorted_len = bucket.postings.len() as u32;
+            }
+        }
+    }
+
+    /// Calls `visit` for every handle filed under `position` whose twig is
+    /// one of `keys`.
+    #[inline]
+    pub fn probe<F: FnMut(SubgraphHandle)>(&self, position: u32, keys: &TwigKeys, mut visit: F) {
+        let Some(bucket) = self.buckets.get(position as usize) else {
+            return;
+        };
+        let sorted = &bucket.postings[..bucket.sorted_len as usize];
+        if sorted.len() <= LINEAR_SCAN_MAX {
+            for posting in sorted {
+                if keys.contains(posting.twig) {
+                    visit(posting.handle);
+                }
+            }
+        } else {
+            for &key in keys.as_slice() {
+                let start = sorted.partition_point(|p| p.twig < key);
+                for posting in &sorted[start..] {
+                    if posting.twig != key {
+                        break;
+                    }
+                    visit(posting.handle);
+                }
+            }
+        }
+        for posting in &bucket.postings[bucket.sorted_len as usize..] {
+            if keys.contains(posting.twig) {
+                visit(posting.handle);
+            }
+        }
+    }
+
+    /// Total postings across all buckets (diagnostics).
+    pub fn postings(&self) -> usize {
+        self.buckets.iter().map(|b| b.postings.len()).sum()
+    }
+}
+
+/// Id of an interned component shape: subgraphs with identical
+/// `(incoming side, preorder node slice)` share one id, whatever their
+/// container tree.
+pub type ComponentId = u32;
+
+/// An interned component shape: an incoming side plus a contiguous run of
+/// the node arena.
+#[derive(Debug, Clone, Copy)]
+struct Component {
+    /// Arena offset of the component nodes.
+    start: u32,
+    /// Component size (number of nodes). A component can span a whole
+    /// tree (δ = 1 at τ = 0), so this must not be narrower than a tree
+    /// size.
+    len: u32,
+    /// Incoming side: 0 = none (tree root), 1 = left, 2 = right.
+    incoming: u8,
+}
+
+impl Component {
+    #[inline]
+    fn incoming_side(&self) -> Option<Side> {
+        match self.incoming {
+            1 => Some(Side::Left),
+            2 => Some(Side::Right),
+            _ => None,
+        }
+    }
+}
+
+/// Per-handle metadata: the stamp-dedup key (container tree) and the
+/// interned component shape, in 12 contiguous bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct SubgraphMeta {
+    /// Container tree index within the joined collection.
+    pub tree: TreeIdx,
+    /// Interned component shape.
+    pub component: ComponentId,
+    /// 1-based ordinal `k` in greedy-discovery order; the paper's `s_k`.
+    pub ordinal: u16,
+}
+
+/// Caller-owned probe scratch: memoized per-node match verdicts (indexed
+/// by [`ComponentId`]) plus the match walk stack. Call
+/// [`MatchCache::begin_node`] when moving to the next probe node;
+/// verdicts stay valid across the node's whole size window, so a
+/// component surfaced by many size layers or container trees is walked
+/// once.
+#[derive(Debug, Default)]
+pub struct MatchCache {
+    /// 0 = unknown, 1 = mismatch, 2 = match.
+    verdicts: Vec<u8>,
+    touched: Vec<ComponentId>,
+    stack: Vec<NodeId>,
+}
+
+impl MatchCache {
+    /// An empty cache.
+    pub fn new() -> MatchCache {
+        MatchCache::default()
+    }
+
+    /// Forgets the previous probe node's verdicts (O(components actually
+    /// matched there), not O(all components)).
+    pub fn begin_node(&mut self) {
+        for &c in &self.touched {
+            self.verdicts[c as usize] = 0;
+        }
+        self.touched.clear();
+    }
 }
 
 /// Two-layer inverted index over the subgraphs of already-processed trees.
@@ -41,10 +268,18 @@ struct PostorderLayer {
 pub struct SubgraphIndex {
     tau: u32,
     window: WindowPolicy,
-    /// `I_n`: one postorder layer per container tree size.
-    by_size: FxHashMap<u32, PostorderLayer>,
-    pool: Vec<Subgraph>,
-    /// Total group registrations (a subgraph appears in `2∆′ + 1` groups).
+    /// `I_n`: size → slot in `layers`.
+    by_size: FxHashMap<u32, LayerId>,
+    layers: Vec<PostorderLayer>,
+    /// Subgraph pool, struct-of-arrays: per-instance metadata, interned
+    /// component shapes, and the flattened node arena.
+    metas: Vec<SubgraphMeta>,
+    components: Vec<Component>,
+    arena: Vec<SgNode>,
+    /// Interning table: `(incoming, nodes) → ComponentId`.
+    interned: FxHashMap<(u8, Box<[SgNode]>), ComponentId>,
+    /// Total bucket registrations (a subgraph appears in `2∆′ + 1`
+    /// buckets).
     registrations: u64,
 }
 
@@ -55,7 +290,11 @@ impl SubgraphIndex {
             tau,
             window,
             by_size: FxHashMap::default(),
-            pool: Vec::new(),
+            layers: Vec::new(),
+            metas: Vec::new(),
+            components: Vec::new(),
+            arena: Vec::new(),
+            interned: FxHashMap::default(),
             registrations: 0,
         }
     }
@@ -89,26 +328,124 @@ impl SubgraphIndex {
 
     /// Inserts all subgraphs of a processed tree of size `tree_size`.
     pub fn insert_tree(&mut self, tree_size: u32, subgraphs: Vec<Subgraph>) {
+        let layer_id = *self.by_size.entry(tree_size).or_insert_with(|| {
+            self.layers.push(PostorderLayer::default());
+            (self.layers.len() - 1) as LayerId
+        });
         for sg in subgraphs {
             let position = self.subgraph_position(&sg);
             let dw = self.half_width(sg.ordinal);
-            let twig = sg.twig;
-            let handle = self.pool.len() as SubgraphHandle;
-            self.pool.push(sg);
-            let layer = self.by_size.entry(tree_size).or_default();
+            let handle = self.metas.len() as SubgraphHandle;
+            let incoming = match sg.incoming {
+                None => 0u8,
+                Some(Side::Left) => 1,
+                Some(Side::Right) => 2,
+            };
+            // Intern the component shape: near-duplicate collections
+            // repeat the same shapes across trees, and every repeat
+            // shares one arena run and one memoizable ComponentId. The
+            // node box is moved into the key, so the common already-
+            // interned case allocates nothing.
+            let component = match self.interned.entry((incoming, sg.nodes)) {
+                std::collections::hash_map::Entry::Occupied(slot) => *slot.get(),
+                std::collections::hash_map::Entry::Vacant(slot) => {
+                    let id = self.components.len() as ComponentId;
+                    self.components.push(Component {
+                        start: self.arena.len() as u32,
+                        len: slot.key().1.len() as u32,
+                        incoming,
+                    });
+                    self.arena.extend_from_slice(&slot.key().1);
+                    slot.insert(id);
+                    id
+                }
+            };
+            self.metas.push(SubgraphMeta {
+                tree: sg.tree,
+                component,
+                ordinal: sg.ordinal,
+            });
             let lo = position.saturating_sub(dw);
-            for key in lo..=position + dw {
-                layer
-                    .groups
-                    .entry(key)
-                    .or_default()
-                    .groups
-                    .entry(twig)
-                    .or_default()
-                    .push(handle);
-                self.registrations += 1;
+            let hi = position + dw;
+            self.layers[layer_id as usize].register(lo, hi, sg.twig, handle);
+            self.registrations += u64::from(hi - lo + 1);
+        }
+    }
+
+    /// Resolves the layer of size class `tree_size`, if any trees of that
+    /// size have been indexed. Resolve once per probing tree and probe the
+    /// returned id for every node — this hoists the size-map lookup out of
+    /// the node loop.
+    #[inline]
+    pub fn layer_id(&self, tree_size: u32) -> Option<LayerId> {
+        self.by_size.get(&tree_size).copied()
+    }
+
+    /// The layer behind a [`LayerId`] returned by
+    /// [`SubgraphIndex::layer_id`].
+    #[inline]
+    pub fn layer(&self, id: LayerId) -> &PostorderLayer {
+        &self.layers[id as usize]
+    }
+
+    /// Container tree of a surfaced handle — the stamp-dedup key, readable
+    /// without touching the component arena.
+    #[inline]
+    pub fn tree_of(&self, handle: SubgraphHandle) -> TreeIdx {
+        self.metas[handle as usize].tree
+    }
+
+    /// Matches a surfaced handle at `node` of the probing tree.
+    ///
+    /// The first attempt for a component walks its contiguous arena slice;
+    /// the verdict is memoized in `cache` and replayed for every further
+    /// handle sharing the shape until [`MatchCache::begin_node`] — crucial
+    /// on near-duplicate collections where one shape recurs across many
+    /// container trees.
+    #[inline]
+    pub fn matches_at(
+        &self,
+        handle: SubgraphHandle,
+        binary: &BinaryTree,
+        node: NodeId,
+        semantics: MatchSemantics,
+        cache: &mut MatchCache,
+    ) -> bool {
+        let component = self.metas[handle as usize].component;
+        if cache.verdicts.len() < self.components.len() {
+            cache.verdicts.resize(self.components.len(), 0);
+        }
+        match cache.verdicts[component as usize] {
+            2 => true,
+            1 => false,
+            _ => {
+                let c = &self.components[component as usize];
+                let nodes = &self.arena[c.start as usize..c.start as usize + c.len as usize];
+                let matched = nodes_match_at(
+                    nodes,
+                    c.incoming_side(),
+                    binary,
+                    node,
+                    semantics,
+                    &mut cache.stack,
+                );
+                cache.verdicts[component as usize] = if matched { 2 } else { 1 };
+                cache.touched.push(component);
+                matched
             }
         }
+    }
+
+    /// Number of distinct interned component shapes (≤ [`len`]).
+    ///
+    /// [`len`]: SubgraphIndex::len
+    pub fn distinct_components(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Component size (node count) of a surfaced handle.
+    pub fn component_size(&self, handle: SubgraphHandle) -> usize {
+        self.components[self.metas[handle as usize].component as usize].len as usize
     }
 
     /// Probes for subgraphs of trees with exactly `tree_size` nodes that
@@ -116,7 +453,10 @@ impl SubgraphIndex {
     /// converted via [`SubgraphIndex::probe_position`]) and twig labels
     /// `(label, left, right)` (`ε` for missing children).
     ///
-    /// Calls `visit` for every handle in the up-to-four twig groups.
+    /// Calls `visit` for every handle in the up-to-four twig groups. This
+    /// is the convenience form; hot loops should resolve
+    /// [`SubgraphIndex::layer_id`] once per tree and [`TwigKeys::new`]
+    /// once per node, then call [`PostorderLayer::probe`].
     pub fn probe<F: FnMut(SubgraphHandle)>(
         &self,
         tree_size: u32,
@@ -124,50 +464,31 @@ impl SubgraphIndex {
         label: Label,
         left: Label,
         right: Label,
-        mut visit: F,
+        visit: F,
     ) {
-        let Some(layer) = self.by_size.get(&tree_size) else {
-            return;
-        };
-        let Some(group) = layer.groups.get(&position) else {
-            return;
-        };
-        let keys = [
-            pack_twig(label, left, right),
-            pack_twig(label, left, Label::EPSILON),
-            pack_twig(label, Label::EPSILON, right),
-            pack_twig(label, Label::EPSILON, Label::EPSILON),
-        ];
-        for (i, &key) in keys.iter().enumerate() {
-            // Skip duplicate keys when the node itself has ε children.
-            if keys[..i].contains(&key) {
-                continue;
-            }
-            if let Some(handles) = group.groups.get(&key) {
-                for &h in handles {
-                    visit(h);
-                }
-            }
+        if let Some(id) = self.layer_id(tree_size) {
+            self.layer(id)
+                .probe(position, &TwigKeys::new(label, left, right), visit);
         }
     }
 
-    /// Resolves a handle to its subgraph.
+    /// Resolves a handle to its metadata.
     #[inline]
-    pub fn subgraph(&self, handle: SubgraphHandle) -> &Subgraph {
-        &self.pool[handle as usize]
+    pub fn subgraph_meta(&self, handle: SubgraphHandle) -> &SubgraphMeta {
+        &self.metas[handle as usize]
     }
 
     /// Number of subgraphs stored.
     pub fn len(&self) -> usize {
-        self.pool.len()
+        self.metas.len()
     }
 
     /// Whether the index is empty.
     pub fn is_empty(&self) -> bool {
-        self.pool.is_empty()
+        self.metas.is_empty()
     }
 
-    /// Total `(position, twig)` group registrations.
+    /// Total `(position, twig)` bucket registrations.
     pub fn registrations(&self) -> u64 {
         self.registrations
     }
@@ -225,6 +546,22 @@ mod tests {
     }
 
     #[test]
+    fn twig_keys_dedup() {
+        let (l, a, b) = (Label::from_raw(1), Label::from_raw(2), Label::from_raw(3));
+        let e = Label::EPSILON;
+        assert_eq!(TwigKeys::new(l, a, b).as_slice().len(), 4);
+        assert_eq!(
+            TwigKeys::new(l, a, e).as_slice(),
+            &[pack_twig(l, a, e), pack_twig(l, e, e)]
+        );
+        assert_eq!(
+            TwigKeys::new(l, e, b).as_slice(),
+            &[pack_twig(l, e, b), pack_twig(l, e, e)]
+        );
+        assert_eq!(TwigKeys::new(l, e, e).as_slice(), &[pack_twig(l, e, e)]);
+    }
+
+    #[test]
     fn insert_and_probe_own_tree() {
         let tau = 1;
         let (tree, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
@@ -246,11 +583,99 @@ mod tests {
             let position = index.probe_position(general_post[root.index()], n);
             let mut found = false;
             index.probe(n, position, binary.label(root), left, right, |h| {
-                if index.subgraph(h).ordinal == sg.ordinal {
+                if index.subgraph_meta(h).ordinal == sg.ordinal {
                     found = true;
                 }
             });
             assert!(found, "subgraph {} not found by self-probe", sg.ordinal);
+        }
+    }
+
+    #[test]
+    fn fast_path_agrees_with_probe_wrapper() {
+        let tau = 2;
+        let (tree, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let general_post = tree.postorder_numbers();
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        let n = binary.len() as u32;
+        index.insert_tree(n, sgs);
+        let layer = index.layer(index.layer_id(n).unwrap());
+        for node in binary.node_ids() {
+            let label = binary.label(node);
+            let left = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right = binary
+                .right(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let position = index.probe_position(general_post[node.index()], n);
+            let mut wrapper = Vec::new();
+            index.probe(n, position, label, left, right, |h| wrapper.push(h));
+            let mut fast = Vec::new();
+            let keys = TwigKeys::new(label, left, right);
+            layer.probe(position, &keys, |h| fast.push(h));
+            wrapper.sort_unstable();
+            fast.sort_unstable();
+            assert_eq!(wrapper, fast);
+        }
+    }
+
+    #[test]
+    fn matches_at_agrees_with_subgraph_matches() {
+        use crate::subgraph::subgraph_matches;
+        let tau = 1;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        index.insert_tree(binary.len() as u32, sgs.clone());
+        let mut cache = MatchCache::new();
+        for node in binary.node_ids() {
+            cache.begin_node();
+            for (h, sg) in sgs.iter().enumerate() {
+                assert_eq!(
+                    index.matches_at(
+                        h as SubgraphHandle,
+                        &binary,
+                        node,
+                        MatchSemantics::Exact,
+                        &mut cache
+                    ),
+                    subgraph_matches(sg, &binary, node),
+                    "handle {h} at node {node}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn interning_shares_components_across_trees() {
+        // Inserting the same tree's subgraphs twice (as two container
+        // trees) must not grow the distinct component table.
+        let tau = 1;
+        let (tree, binary, _, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let delta = 2 * tau as usize + 1;
+        let gamma = max_min_size(&binary, delta);
+        let cuts = select_cuts(&binary, delta, gamma);
+        let posts = tree.postorder_numbers();
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        index.insert_tree(
+            binary.len() as u32,
+            build_subgraphs(&binary, &posts, &cuts, 0),
+        );
+        let (pool, distinct) = (index.len(), index.distinct_components());
+        index.insert_tree(
+            binary.len() as u32,
+            build_subgraphs(&binary, &posts, &cuts, 1),
+        );
+        assert_eq!(index.len(), 2 * pool);
+        assert_eq!(index.distinct_components(), distinct);
+        // A memoized verdict must agree with a fresh one.
+        let mut cache = MatchCache::new();
+        cache.begin_node();
+        let node = binary.root();
+        for h in 0..index.len() as u32 {
+            let first = index.matches_at(h, &binary, node, MatchSemantics::Exact, &mut cache);
+            let again = index.matches_at(h, &binary, node, MatchSemantics::Exact, &mut cache);
+            assert_eq!(first, again);
         }
     }
 
@@ -261,6 +686,7 @@ mod tests {
         let mut index = SubgraphIndex::new(tau, WindowPolicy::Tight);
         let n = binary.len() as u32;
         index.insert_tree(n, sgs);
+        assert!(index.layer_id(n + 5).is_none());
         let mut count = 0;
         index.probe(
             n + 5,
@@ -274,6 +700,25 @@ mod tests {
     }
 
     #[test]
+    fn probe_past_bucket_range_is_empty() {
+        let tau = 1;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        let n = binary.len() as u32;
+        index.insert_tree(n, sgs);
+        let layer = index.layer(index.layer_id(n).unwrap());
+        let mut count = 0;
+        // A position far beyond any registered key indexes past the bucket
+        // vector; must be silently empty, not panic.
+        layer.probe(
+            10_000,
+            &TwigKeys::new(Label::from_raw(1), Label::EPSILON, Label::EPSILON),
+            |_| count += 1,
+        );
+        assert_eq!(count, 0);
+    }
+
+    #[test]
     fn registrations_count_window_entries() {
         let tau = 1;
         let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
@@ -281,6 +726,8 @@ mod tests {
         let mut index = SubgraphIndex::new(tau, WindowPolicy::Tight);
         index.insert_tree(binary.len() as u32, sgs.clone());
         assert_eq!(index.registrations(), 5);
+        let layer = index.layer(index.layer_id(binary.len() as u32).unwrap());
+        assert_eq!(layer.postings(), 5);
 
         let mut safe = SubgraphIndex::new(tau, WindowPolicy::Safe);
         safe.insert_tree(binary.len() as u32, sgs);
@@ -302,6 +749,44 @@ mod tests {
             visits += 1
         });
         assert_eq!(visits, 1);
+    }
+
+    #[test]
+    fn large_buckets_binary_search_path() {
+        // Push one bucket past LINEAR_SCAN_MAX and check both lookup paths
+        // surface the same postings.
+        let tau = 0;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b}{c}}", tau);
+        let n = binary.len() as u32;
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        let copies = LINEAR_SCAN_MAX + TAIL_MAX + 16;
+        for _ in 0..copies {
+            index.insert_tree(n, sgs.clone());
+        }
+        let layer = index.layer(index.layer_id(n).unwrap());
+        let sg = &sgs[0];
+        let position = index.position_of(sg);
+        let bucket = &layer.buckets[position as usize];
+        assert!(
+            bucket.sorted_len as usize > LINEAR_SCAN_MAX,
+            "sorted prefix {} must exceed the linear-scan cutoff",
+            bucket.sorted_len
+        );
+        assert!(
+            bucket.postings.len() > bucket.sorted_len as usize,
+            "an unsorted tail must be present to exercise the tail scan"
+        );
+        let root = binary.root();
+        let left = binary
+            .left(root)
+            .map_or(Label::EPSILON, |c| binary.label(c));
+        let right = binary
+            .right(root)
+            .map_or(Label::EPSILON, |c| binary.label(c));
+        let keys = TwigKeys::new(binary.label(root), left, right);
+        let mut hits = 0;
+        layer.probe(position, &keys, |_| hits += 1);
+        assert_eq!(hits, copies);
     }
 
     #[test]

@@ -18,10 +18,11 @@
 //! unordered pair is considered exactly once (when its larger tree probes).
 
 use crate::config::{PartSjConfig, PartitionScheme, WindowPolicy};
-use crate::index::SubgraphIndex;
+use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
 use crate::partition::{max_min_size, select_cuts, select_random_cuts};
-use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use crate::subgraph::build_subgraphs;
 use std::time::Instant;
+use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
 use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
 
@@ -32,7 +33,9 @@ pub struct PartSjDetail {
     pub subgraphs_built: u64,
     /// Total `(position, twig)` group registrations in the index.
     pub index_registrations: u64,
-    /// Index probes issued (node × size-list combinations).
+    /// Index probes issued (node × *populated* size-layer combinations;
+    /// empty size classes are skipped when the window is resolved per
+    /// tree).
     pub probes: u64,
     /// Subgraph match attempts (handles surfaced by the index).
     pub match_attempts: u64,
@@ -71,6 +74,7 @@ pub fn partsj_join_detailed(
     let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
     let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
     let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    let traversals: Vec<TraversalStrings> = trees.iter().map(TraversalStrings::new).collect();
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     stats.candidate_time += setup_start.elapsed();
@@ -82,7 +86,11 @@ pub fn partsj_join_detailed(
     let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
     let mut engine = TedEngine::unit();
     let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+    // Scratch buffers reused across trees: candidate list, the resolved
+    // size-layer window, and the per-node match memo.
     let mut candidates: Vec<TreeIdx> = Vec::new();
+    let mut layer_window: Vec<LayerId> = Vec::new();
+    let mut match_cache = MatchCache::new();
 
     for &i in &order {
         let binary = &binaries[i as usize];
@@ -106,9 +114,15 @@ pub fn partsj_join_detailed(
             }
         }
 
-        // Index probes: every node of T_i against every candidate size.
-        // Positions are general-tree postorder numbers (edit-stable); twig
-        // children come from the LC-RS structure.
+        // Resolve the size window's layers once per tree — every node
+        // probes the same `τ + 1` size lists, so the per-node loop only
+        // walks this slice instead of re-querying the size map.
+        layer_window.clear();
+        layer_window.extend((lo..=size_i).filter_map(|n| index.layer_id(n)));
+
+        // Index probes: every node of T_i against every populated size
+        // layer. Positions are general-tree postorder numbers
+        // (edit-stable); twig children come from the LC-RS structure.
         let posts_i = &general_posts[i as usize];
         for node in binary.node_ids() {
             let label = binary.label(node);
@@ -118,19 +132,21 @@ pub fn partsj_join_detailed(
             let right = binary
                 .right(node)
                 .map_or(Label::EPSILON, |c| binary.label(c));
+            let keys = TwigKeys::new(label, left, right);
+            match_cache.begin_node();
             let position = index.probe_position(posts_i[node.index()], size_i);
-            for n in lo..=size_i {
+            for &layer in &layer_window {
                 detail.probes += 1;
-                index.probe(n, position, label, left, right, |handle| {
-                    let sg = index.subgraph(handle);
-                    if stamp[sg.tree as usize] == i {
+                index.layer(layer).probe(position, &keys, |handle| {
+                    let tree_j = index.tree_of(handle);
+                    if stamp[tree_j as usize] == i {
                         return; // pair already a candidate
                     }
                     detail.match_attempts += 1;
-                    if subgraph_matches_with(sg, binary, node, config.matching) {
+                    if index.matches_at(handle, binary, node, config.matching, &mut match_cache) {
                         detail.matches += 1;
-                        stamp[sg.tree as usize] = i;
-                        candidates.push(sg.tree);
+                        stamp[tree_j as usize] = i;
+                        candidates.push(tree_j);
                     }
                 });
             }
@@ -139,9 +155,17 @@ pub fn partsj_join_detailed(
         stats.pairs_examined += candidates.len() as u64;
         stats.candidate_time += cand_start.elapsed();
 
-        // Verification.
+        // Verification, behind the cheap lower-bound filters: size (free)
+        // and banded traversal-string SED (`O(τ·n)` vs the cubic TED DP).
+        // Both are TED lower bounds, so skipping can never drop a result.
         let verify_start = Instant::now();
         for &j in &candidates {
+            if size_bound(trees[i as usize].len(), trees[j as usize].len()) > tau
+                || !traversal_within(&traversals[i as usize], &traversals[j as usize], tau)
+            {
+                stats.prefilter_skips += 1;
+                continue;
+            }
             let d = engine.distance(&prepared[i as usize], &prepared[j as usize]);
             if d <= tau {
                 pairs.push((j, i));
@@ -256,7 +280,11 @@ mod tests {
         let (outcome, detail) = partsj_join_detailed(&trees, 1, &PartSjConfig::default());
         assert!(outcome.stats.candidates >= outcome.stats.results);
         assert!(detail.match_attempts >= detail.matches);
-        assert!(outcome.stats.ted_calls == outcome.stats.candidates);
+        // Every candidate is either prefiltered away or TED-verified.
+        assert_eq!(
+            outcome.stats.ted_calls + outcome.stats.prefilter_skips,
+            outcome.stats.candidates
+        );
     }
 
     #[test]

@@ -52,15 +52,19 @@ pub mod streaming;
 pub mod subgraph;
 
 pub use config::{MatchSemantics, PartSjConfig, PartitionScheme, WindowPolicy};
-pub use index::{SubgraphHandle, SubgraphIndex};
+pub use index::{
+    ComponentId, LayerId, MatchCache, PostorderLayer, SubgraphHandle, SubgraphIndex, SubgraphMeta,
+    TwigKeys,
+};
 pub use join::{
     partsj_join, partsj_join_detailed, partsj_join_paper_window, partsj_join_with, PartSjDetail,
 };
-pub use parallel::partsj_join_parallel;
+pub use parallel::{default_verify_threads, partsj_join_parallel, partsj_join_parallel_auto};
 pub use partition::{max_min_size, partitionable, select_cuts, select_random_cuts};
 pub use rs_join::partsj_join_rs;
 pub use search::SearchIndex;
 pub use streaming::StreamingJoin;
 pub use subgraph::{
-    build_subgraphs, subgraph_matches, subgraph_matches_with, ChildKind, SgNode, Subgraph,
+    build_subgraphs, nodes_match_at, subgraph_matches, subgraph_matches_with, ChildKind, SgNode,
+    Subgraph,
 };

@@ -3,22 +3,45 @@
 //! Candidate generation is inherently sequential — the index is populated
 //! while the join runs, so probe order matters — but verification is
 //! embarrassingly parallel. This variant runs the standard candidate
-//! pipeline on the caller's thread and streams candidate pairs through a
-//! crossbeam channel to a pool of verifier threads, each owning a private
-//! [`TedEngine`]. Result sets are identical to the sequential join.
+//! pipeline on the caller's thread and streams candidate pairs, in batches
+//! of [`PartSjConfig::verify_batch`], through a *bounded* crossbeam
+//! channel to a pool of verifier threads, each owning a private
+//! [`TedEngine`]. Batching amortizes channel synchronization over many
+//! pairs; the bound applies backpressure so a fast producer cannot queue
+//! unbounded memory ahead of slow verifiers. Workers apply the same cheap
+//! lower-bound prefilters (size, banded traversal-string SED) as the
+//! sequential join before paying for the cubic TED DP. Result sets are
+//! identical to the sequential join.
 
 use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::SubgraphIndex;
+use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
 use crate::partition::{max_min_size, select_cuts, select_random_cuts};
-use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use crate::subgraph::build_subgraphs;
 use crossbeam::channel;
 use std::time::Instant;
+use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
 use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
 
+/// Verifier-pool size used by [`partsj_join_parallel_auto`]: every core
+/// the OS reports, minus nothing — candidate generation shares the
+/// producer thread.
+pub fn default_verify_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// PartSJ with parallel verification sized to the machine
+/// ([`default_verify_threads`]).
+pub fn partsj_join_parallel_auto(trees: &[Tree], tau: u32, config: &PartSjConfig) -> JoinOutcome {
+    partsj_join_parallel(trees, tau, config, default_verify_threads())
+}
+
 /// PartSJ with parallel verification over `threads` workers.
 ///
-/// Falls back to the sequential join for tiny inputs or `threads ≤ 1`.
+/// Falls back to the sequential join for `threads ≤ 1` or inputs smaller
+/// than [`PartSjConfig::parallel_fallback`].
 pub fn partsj_join_parallel(
     trees: &[Tree],
     tau: u32,
@@ -26,11 +49,12 @@ pub fn partsj_join_parallel(
     threads: usize,
 ) -> JoinOutcome {
     let threads = threads.max(1);
-    if threads == 1 || trees.len() < 64 {
+    if threads == 1 || trees.len() < config.parallel_fallback {
         return crate::join::partsj_join_with(trees, tau, config);
     }
 
     let delta = 2 * tau as usize + 1;
+    let batch_size = config.verify_batch.max(1);
     let mut stats = JoinStats::default();
 
     let total_start = Instant::now();
@@ -38,38 +62,56 @@ pub fn partsj_join_parallel(
     let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
     let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
     let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    let traversals: Vec<TraversalStrings> = trees.iter().map(TraversalStrings::new).collect();
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     let mut candidate_time = setup_start.elapsed();
 
-    let (tx, rx) = channel::unbounded::<(TreeIdx, TreeIdx)>();
+    // A few batches of slack per worker: enough to keep the pool fed,
+    // bounded so the producer cannot run away from slow verifiers.
+    let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(threads * 4);
 
-    let (pairs, candidates_total, ted_calls) = crossbeam::scope(|scope| {
+    let (pairs, candidates_total, ted_calls, prefilter_skips) = crossbeam::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
                 let prepared = &prepared;
+                let traversals = &traversals;
                 scope.spawn(move |_| {
                     let mut engine = TedEngine::unit();
                     let mut found = Vec::new();
-                    while let Ok((i, j)) = rx.recv() {
-                        let d = engine.distance(&prepared[i as usize], &prepared[j as usize]);
-                        if d <= tau {
-                            found.push((j, i));
+                    let mut skips = 0u64;
+                    while let Ok(batch) = rx.recv() {
+                        for (i, j) in batch {
+                            let (i, j) = (i as usize, j as usize);
+                            if size_bound(prepared[i].len(), prepared[j].len()) > tau
+                                || !traversal_within(&traversals[i], &traversals[j], tau)
+                            {
+                                skips += 1;
+                                continue;
+                            }
+                            let d = engine.distance(&prepared[i], &prepared[j]);
+                            if d <= tau {
+                                found.push((j as TreeIdx, i as TreeIdx));
+                            }
                         }
                     }
-                    (found, engine.computations())
+                    (found, engine.computations(), skips)
                 })
             })
             .collect();
         drop(rx);
 
         // Candidate generation on this thread (identical to the
-        // sequential join, but candidates are sent instead of buffered).
+        // sequential join, but candidates are batched and sent instead of
+        // buffered for local verification).
         let mut index = SubgraphIndex::new(tau, config.window);
         let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
         let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
         let mut candidates_total = 0u64;
+        let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
+        let mut layer_window: Vec<LayerId> = Vec::new();
+        let mut match_cache = MatchCache::new();
 
         for &i in &order {
             let phase_start = Instant::now();
@@ -83,11 +125,19 @@ pub fn partsj_join_parallel(
                         if stamp[j as usize] != i {
                             stamp[j as usize] = i;
                             candidates_total += 1;
-                            tx.send((i, j)).expect("verifier pool alive");
+                            batch.push((i, j));
+                            if batch.len() >= batch_size {
+                                let full =
+                                    std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                                tx.send(full).expect("verifier pool alive");
+                            }
                         }
                     }
                 }
             }
+
+            layer_window.clear();
+            layer_window.extend((lo..=size_i).filter_map(|n| index.layer_id(n)));
 
             let posts_i = &general_posts[i as usize];
             for node in binary.node_ids() {
@@ -98,23 +148,25 @@ pub fn partsj_join_parallel(
                 let right = binary
                     .right(node)
                     .map_or(Label::EPSILON, |c| binary.label(c));
+                let keys = TwigKeys::new(label, left, right);
+                match_cache.begin_node();
                 let position = index.probe_position(posts_i[node.index()], size_i);
-                for n in lo..=size_i {
-                    let mut hits: Vec<TreeIdx> = Vec::new();
-                    index.probe(n, position, label, left, right, |handle| {
-                        let sg = index.subgraph(handle);
-                        if stamp[sg.tree as usize] != i
-                            && subgraph_matches_with(sg, binary, node, config.matching)
+                for &layer in &layer_window {
+                    index.layer(layer).probe(position, &keys, |handle| {
+                        let tree_j = index.tree_of(handle);
+                        if stamp[tree_j as usize] == i {
+                            return;
+                        }
+                        if index.matches_at(handle, binary, node, config.matching, &mut match_cache)
                         {
-                            hits.push(sg.tree);
+                            stamp[tree_j as usize] = i;
+                            candidates_total += 1;
+                            batch.push((i, tree_j));
                         }
                     });
-                    for j in hits {
-                        if stamp[j as usize] != i {
-                            stamp[j as usize] = i;
-                            candidates_total += 1;
-                            tx.send((i, j)).expect("verifier pool alive");
-                        }
+                    if batch.len() >= batch_size {
+                        let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
+                        tx.send(full).expect("verifier pool alive");
                     }
                 }
             }
@@ -138,16 +190,21 @@ pub fn partsj_join_parallel(
             }
             candidate_time += phase_start.elapsed();
         }
+        if !batch.is_empty() {
+            tx.send(batch).expect("verifier pool alive");
+        }
         drop(tx);
 
         let mut pairs = Vec::new();
         let mut ted_calls = 0u64;
+        let mut prefilter_skips = 0u64;
         for worker in workers {
-            let (found, calls) = worker.join().expect("verifier panicked");
+            let (found, calls, skips) = worker.join().expect("verifier panicked");
             pairs.extend(found);
             ted_calls += calls;
+            prefilter_skips += skips;
         }
-        (pairs, candidates_total, ted_calls)
+        (pairs, candidates_total, ted_calls, prefilter_skips)
     })
     .expect("crossbeam scope failed");
 
@@ -156,6 +213,7 @@ pub fn partsj_join_parallel(
     stats.candidates = candidates_total;
     stats.pairs_examined = candidates_total;
     stats.ted_calls = ted_calls;
+    stats.prefilter_skips = prefilter_skips;
     JoinOutcome::new(pairs, stats)
 }
 
@@ -186,17 +244,49 @@ mod tests {
             let par = partsj_join_parallel(&trees, tau, &config, 4);
             assert_eq!(seq.pairs, par.pairs, "tau = {tau}");
             assert_eq!(seq.stats.candidates, par.stats.candidates, "tau = {tau}");
+            assert_eq!(
+                seq.stats.prefilter_skips, par.stats.prefilter_skips,
+                "tau = {tau}"
+            );
         }
     }
 
     #[test]
-    fn small_input_falls_back() {
+    fn tiny_batches_and_auto_threads_match_sequential() {
+        let mut labels = LabelInterner::new();
+        let base = ["{a{b}{c}{d}}", "{a{b}{c}{e}}", "{a{b}{x}{d}}", "{z{y}}"];
+        let trees: Vec<_> = (0..100)
+            .map(|i| parse_bracket(base[i % base.len()], &mut labels).unwrap())
+            .collect();
+        // A batch size of 1 degenerates to per-pair sends and must still
+        // be correct; so must the machine-sized auto pool.
+        let config = PartSjConfig {
+            verify_batch: 1,
+            ..Default::default()
+        };
+        let seq = partsj_join_with(&trees, 1, &config);
+        let par = partsj_join_parallel(&trees, 1, &config, 3);
+        assert_eq!(seq.pairs, par.pairs);
+        let auto = partsj_join_parallel_auto(&trees, 1, &PartSjConfig::default());
+        assert_eq!(seq.pairs, auto.pairs);
+    }
+
+    #[test]
+    fn fallback_threshold_is_configurable() {
         let mut labels = LabelInterner::new();
         let trees = vec![
             parse_bracket("{a{b}}", &mut labels).unwrap(),
             parse_bracket("{a{b}}", &mut labels).unwrap(),
         ];
+        // Default threshold: 2 trees fall back to the sequential path.
         let outcome = partsj_join_parallel(&trees, 0, &PartSjConfig::default(), 8);
+        assert_eq!(outcome.pairs, vec![(0, 1)]);
+        // Forcing the parallel path on the same tiny input stays correct.
+        let config = PartSjConfig {
+            parallel_fallback: 0,
+            ..Default::default()
+        };
+        let outcome = partsj_join_parallel(&trees, 0, &config, 2);
         assert_eq!(outcome.pairs, vec![(0, 1)]);
     }
 }

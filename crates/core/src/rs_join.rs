@@ -10,10 +10,11 @@
 //! `r` appears in `s`, so probing `s`'s nodes finds the pair.
 
 use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::SubgraphIndex;
+use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
 use crate::partition::{max_min_size, select_cuts, select_random_cuts};
-use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use crate::subgraph::build_subgraphs;
 use std::time::Instant;
+use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
 use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
 
@@ -33,6 +34,7 @@ pub fn partsj_join_rs(
     let mut index = SubgraphIndex::new(tau, config.window);
     let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
     let left_prepared: Vec<PreparedTree> = left.iter().map(PreparedTree::new).collect();
+    let left_traversals: Vec<TraversalStrings> = left.iter().map(TraversalStrings::new).collect();
     for (i, tree) in left.iter().enumerate() {
         let size = tree.len() as u32;
         if (size as usize) < delta {
@@ -56,7 +58,10 @@ pub fn partsj_join_rs(
     let mut engine = TedEngine::unit();
     let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
     let mut stamp: Vec<u32> = vec![u32::MAX; left.len()];
+    // Scratch reused across right trees.
     let mut candidates: Vec<TreeIdx> = Vec::new();
+    let mut layer_window: Vec<LayerId> = Vec::new();
+    let mut match_cache = MatchCache::new();
 
     for (j, tree) in right.iter().enumerate() {
         let probe_start = Instant::now();
@@ -77,6 +82,11 @@ pub fn partsj_join_rs(
             }
         }
 
+        // The offline index is frozen now: resolve the `2τ + 1` size
+        // layers once per right tree.
+        layer_window.clear();
+        layer_window.extend((lo..=hi).filter_map(|n| index.layer_id(n)));
+
         let binary = BinaryTree::from_tree(tree);
         let posts = tree.postorder_numbers();
         for node in binary.node_ids() {
@@ -87,16 +97,18 @@ pub fn partsj_join_rs(
             let right_lbl = binary
                 .right(node)
                 .map_or(Label::EPSILON, |c| binary.label(c));
+            let keys = TwigKeys::new(label, left_lbl, right_lbl);
+            match_cache.begin_node();
             let position = index.probe_position(posts[node.index()], size_j);
-            for n in lo..=hi {
-                index.probe(n, position, label, left_lbl, right_lbl, |handle| {
-                    let sg = index.subgraph(handle);
-                    if stamp[sg.tree as usize] == marker {
+            for &layer in &layer_window {
+                index.layer(layer).probe(position, &keys, |handle| {
+                    let tree_i = index.tree_of(handle);
+                    if stamp[tree_i as usize] == marker {
                         return;
                     }
-                    if subgraph_matches_with(sg, &binary, node, config.matching) {
-                        stamp[sg.tree as usize] = marker;
-                        candidates.push(sg.tree);
+                    if index.matches_at(handle, &binary, node, config.matching, &mut match_cache) {
+                        stamp[tree_i as usize] = marker;
+                        candidates.push(tree_i);
                     }
                 });
             }
@@ -107,11 +119,15 @@ pub fn partsj_join_rs(
 
         let verify_start = Instant::now();
         let prepared_j = PreparedTree::new(tree);
+        let traversals_j = TraversalStrings::new(tree);
         for &i in &candidates {
-            if engine
-                .within(&left_prepared[i as usize], &prepared_j, tau)
-                .is_some()
+            if size_bound(left[i as usize].len(), tree.len()) > tau
+                || !traversal_within(&left_traversals[i as usize], &traversals_j, tau)
             {
+                stats.prefilter_skips += 1;
+                continue;
+            }
+            if engine.distance(&left_prepared[i as usize], &prepared_j) <= tau {
                 pairs.push((i, j as TreeIdx));
             }
         }

@@ -10,9 +10,9 @@
 //! deliberately avoids but search workloads want.
 
 use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::SubgraphIndex;
+use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
 use crate::partition::{max_min_size, select_cuts, select_random_cuts};
-use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use crate::subgraph::build_subgraphs;
 use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
 
@@ -119,6 +119,11 @@ impl SearchIndex {
             }
         }
 
+        // The index is frozen after `build`: resolve the query's size
+        // window to layer ids once, then probe per node.
+        let layer_window: Vec<LayerId> = (lo..=hi).filter_map(|n| self.index.layer_id(n)).collect();
+        let mut match_cache = MatchCache::new();
+
         let binary = BinaryTree::from_tree(query);
         let posts = query.postorder_numbers();
         for node in binary.node_ids() {
@@ -129,16 +134,24 @@ impl SearchIndex {
             let right = binary
                 .right(node)
                 .map_or(Label::EPSILON, |c| binary.label(c));
+            let keys = TwigKeys::new(label, left, right);
+            match_cache.begin_node();
             let position = self.index.probe_position(posts[node.index()], size_q);
-            for n in lo..=hi {
-                self.index.probe(n, position, label, left, right, |handle| {
-                    let sg = self.index.subgraph(handle);
-                    if seen.contains_key(&sg.tree) {
+            for &layer in &layer_window {
+                self.index.layer(layer).probe(position, &keys, |handle| {
+                    let tree_i = self.index.tree_of(handle);
+                    if seen.contains_key(&tree_i) {
                         return;
                     }
-                    if subgraph_matches_with(sg, &binary, node, self.config.matching) {
-                        seen.insert(sg.tree, ());
-                        candidates.push(sg.tree);
+                    if self.index.matches_at(
+                        handle,
+                        &binary,
+                        node,
+                        self.config.matching,
+                        &mut match_cache,
+                    ) {
+                        seen.insert(tree_i, ());
+                        candidates.push(tree_i);
                     }
                 });
             }

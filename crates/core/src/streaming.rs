@@ -10,9 +10,9 @@
 //! reporting the partners found among all previously inserted trees.
 
 use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::SubgraphIndex;
+use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
 use crate::partition::{max_min_size, select_cuts, select_random_cuts};
-use crate::subgraph::{build_subgraphs, subgraph_matches_with};
+use crate::subgraph::build_subgraphs;
 use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
 
@@ -102,6 +102,11 @@ impl StreamingJoin {
             }
         }
 
+        // Layer ids are plain data (no borrow of the index), so the
+        // window survives until the post-probe `insert_tree` mutation.
+        let layer_window: Vec<LayerId> = (lo..=hi).filter_map(|n| self.index.layer_id(n)).collect();
+        let mut match_cache = MatchCache::new();
+
         let binary = BinaryTree::from_tree(tree);
         let posts = tree.postorder_numbers();
         for node in binary.node_ids() {
@@ -112,21 +117,23 @@ impl StreamingJoin {
             let right = binary
                 .right(node)
                 .map_or(Label::EPSILON, |c| binary.label(c));
+            let keys = TwigKeys::new(label, left, right);
+            match_cache.begin_node();
             let position = self.index.probe_position(posts[node.index()], size);
-            for n in lo..=hi {
-                // Split borrows: the probe closure reads the index while
-                // stamping/collecting locally.
-                let index = &self.index;
-                let stamp = &mut self.stamp;
-                let matching = self.config.matching;
-                index.probe(n, position, label, left, right, |handle| {
-                    let sg = index.subgraph(handle);
-                    if stamp[sg.tree as usize] == marker {
+            // Split borrows: the probe closure reads the index while
+            // stamping/collecting locally.
+            let index = &self.index;
+            let stamp = &mut self.stamp;
+            let matching = self.config.matching;
+            for &layer in &layer_window {
+                index.layer(layer).probe(position, &keys, |handle| {
+                    let tree_j = index.tree_of(handle);
+                    if stamp[tree_j as usize] == marker {
                         return;
                     }
-                    if subgraph_matches_with(sg, &binary, node, matching) {
-                        stamp[sg.tree as usize] = marker;
-                        candidates.push(sg.tree);
+                    if index.matches_at(handle, &binary, node, matching, &mut match_cache) {
+                        stamp[tree_j as usize] = marker;
+                        candidates.push(tree_j);
                     }
                 });
             }

@@ -25,7 +25,7 @@ use tsj_tree::{pack_twig, BinaryTree, Label, NodeId, Side};
 pub type TreeIdx = u32;
 
 /// What hangs off one side of a component node.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ChildKind {
     /// No child and no bridging edge: unconstrained in embedding matching.
     Absent,
@@ -38,7 +38,7 @@ pub enum ChildKind {
 }
 
 /// One component node: its label and the kinds of its two children.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct SgNode {
     /// Node label.
     pub label: Label,
@@ -191,21 +191,38 @@ pub fn subgraph_matches_with(
     node: NodeId,
     semantics: MatchSemantics,
 ) -> bool {
-    if let Some(side) = sg.incoming {
+    let mut stack = Vec::new();
+    nodes_match_at(&sg.nodes, sg.incoming, binary, node, semantics, &mut stack)
+}
+
+/// Slice form of [`subgraph_matches_with`]: matches a component given as a
+/// preorder [`SgNode`] slice (e.g. straight out of the index's contiguous
+/// arena) with its incoming side. `stack` is caller-owned scratch —
+/// cleared on entry — so repeated match attempts allocate nothing.
+pub fn nodes_match_at(
+    nodes: &[SgNode],
+    incoming: Option<Side>,
+    binary: &BinaryTree,
+    node: NodeId,
+    semantics: MatchSemantics,
+    stack: &mut Vec<NodeId>,
+) -> bool {
+    if let Some(side) = incoming {
         if binary.side(node) != Some(side) {
             return false;
         }
     }
     // Cheap rejection: the component cannot embed into a smaller subtree.
-    if (binary.subtree_size(node) as usize) < sg.nodes.len() {
+    if (binary.subtree_size(node) as usize) < nodes.len() {
         return false;
     }
     let exact = semantics == MatchSemantics::Exact;
 
-    let mut stack = [node].to_vec();
+    stack.clear();
+    stack.push(node);
     let mut i = 0usize;
     while let Some(v) = stack.pop() {
-        let sg_node = sg.nodes[i];
+        let sg_node = nodes[i];
         i += 1;
         if binary.label(v) != sg_node.label {
             return false;
@@ -243,7 +260,7 @@ pub fn subgraph_matches_with(
             }
         }
     }
-    debug_assert_eq!(i, sg.nodes.len());
+    debug_assert_eq!(i, nodes.len());
     true
 }
 

@@ -27,9 +27,13 @@ pub struct JoinStats {
     pub candidate_time: Duration,
     /// Wall time spent on exact TED verification.
     pub verify_time: Duration,
-    /// Exact TED computations performed (≤ `candidates`; a verifier-side
-    /// size filter can skip some).
+    /// Exact TED computations performed (≤ `candidates`; verifier-side
+    /// cheap filters can skip some).
     pub ted_calls: u64,
+    /// Candidates rejected by cheap pre-verification lower bounds (size,
+    /// traversal-string) before any exact TED ran; such skips never remove
+    /// a true result because every bound is a TED lower bound.
+    pub prefilter_skips: u64,
 }
 
 impl JoinStats {

@@ -52,8 +52,9 @@ pub use tsj_tree as tree;
 /// The most common imports in one place.
 pub mod prelude {
     pub use partsj::{
-        partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_rs, partsj_join_with,
-        MatchSemantics, PartSjConfig, PartitionScheme, SearchIndex, StreamingJoin, WindowPolicy,
+        partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_parallel_auto,
+        partsj_join_rs, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
+        SearchIndex, StreamingJoin, WindowPolicy,
     };
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
     pub use tsj_datagen::{

@@ -97,6 +97,7 @@ fn configuration_matrix_is_complete() {
                 window: WindowPolicy::Safe,
                 partitioning,
                 matching,
+                ..Default::default()
             };
             let outcome = partsj_join_with(&trees, tau, &config);
             assert_eq!(

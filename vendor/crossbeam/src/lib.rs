@@ -57,8 +57,10 @@ where
 
 pub mod channel {
     //! A minimal MPMC channel with the `crossbeam_channel` call surface
-    //! used here: [`unbounded`], cloneable senders **and receivers**,
-    //! blocking [`Receiver::recv`] that disconnects when all senders drop.
+    //! used here: [`unbounded`] and [`bounded`], cloneable senders **and**
+    //! **receivers**, blocking [`Receiver::recv`] that disconnects when
+    //! all senders drop, and blocking [`Sender::send`] that applies
+    //! backpressure when a bounded channel is full.
 
     use std::collections::VecDeque;
     use std::fmt;
@@ -67,23 +69,29 @@ pub mod channel {
     struct Shared<T> {
         queue: Mutex<Inner<T>>,
         ready: Condvar,
+        /// Signaled when a bounded channel gains capacity (or loses its
+        /// last receiver, so blocked senders can fail out).
+        space: Condvar,
     }
 
     struct Inner<T> {
         items: VecDeque<T>,
+        /// Capacity bound; `usize::MAX` for unbounded channels.
+        cap: usize,
         senders: usize,
         receivers: usize,
     }
 
-    /// Creates an unbounded MPMC channel.
-    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    fn with_cap<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
         let shared = Arc::new(Shared {
             queue: Mutex::new(Inner {
                 items: VecDeque::new(),
+                cap,
                 senders: 1,
                 receivers: 1,
             }),
             ready: Condvar::new(),
+            space: Condvar::new(),
         });
         (
             Sender {
@@ -91,6 +99,19 @@ pub mod channel {
             },
             Receiver { shared },
         )
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_cap(usize::MAX)
+    }
+
+    /// Creates a bounded MPMC channel holding at most `cap` items;
+    /// [`Sender::send`] blocks while the channel is full. `cap` must be
+    /// positive (a zero-capacity rendezvous channel is not implemented).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        assert!(cap > 0, "bounded(0) rendezvous channels are not supported");
+        with_cap(cap)
     }
 
     /// Sending half; cloneable.
@@ -126,15 +147,21 @@ pub mod channel {
 
     impl<T> Sender<T> {
         /// Enqueues `value`, failing only if all receivers have dropped.
+        /// On a bounded channel, blocks while the queue is at capacity.
         pub fn send(&self, value: T) -> Result<(), SendError<T>> {
             let mut inner = self.shared.queue.lock().unwrap();
-            if inner.receivers == 0 {
-                return Err(SendError(value));
+            loop {
+                if inner.receivers == 0 {
+                    return Err(SendError(value));
+                }
+                if inner.items.len() < inner.cap {
+                    inner.items.push_back(value);
+                    drop(inner);
+                    self.shared.ready.notify_one();
+                    return Ok(());
+                }
+                inner = self.shared.space.wait(inner).unwrap();
             }
-            inner.items.push_back(value);
-            drop(inner);
-            self.shared.ready.notify_one();
-            Ok(())
         }
     }
 
@@ -164,6 +191,8 @@ pub mod channel {
             let mut inner = self.shared.queue.lock().unwrap();
             loop {
                 if let Some(item) = inner.items.pop_front() {
+                    drop(inner);
+                    self.shared.space.notify_one();
                     return Ok(item);
                 }
                 if inner.senders == 0 {
@@ -176,7 +205,11 @@ pub mod channel {
         /// Non-blocking receive; `None` when currently empty (regardless
         /// of disconnection).
         pub fn try_recv(&self) -> Option<T> {
-            self.shared.queue.lock().unwrap().items.pop_front()
+            let item = self.shared.queue.lock().unwrap().items.pop_front();
+            if item.is_some() {
+                self.shared.space.notify_one();
+            }
+            item
         }
     }
 
@@ -191,7 +224,14 @@ pub mod channel {
 
     impl<T> Drop for Receiver<T> {
         fn drop(&mut self) {
-            self.shared.queue.lock().unwrap().receivers -= 1;
+            let mut inner = self.shared.queue.lock().unwrap();
+            inner.receivers -= 1;
+            if inner.receivers == 0 {
+                drop(inner);
+                // Wake senders blocked on a full bounded channel so they
+                // observe the disconnect and error out.
+                self.shared.space.notify_all();
+            }
         }
     }
 }
@@ -243,5 +283,46 @@ mod tests {
         let (tx, rx) = channel::unbounded::<u8>();
         drop(rx);
         assert!(tx.send(1).is_err());
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = channel::bounded::<u32>(4);
+        let total = super::scope(|s| {
+            let consumer = {
+                let rx = rx.clone();
+                s.spawn(move |_| {
+                    let mut sum = 0u64;
+                    while let Ok(v) = rx.recv() {
+                        sum += u64::from(v);
+                    }
+                    sum
+                })
+            };
+            drop(rx);
+            // Far more sends than capacity: the producer must block and
+            // resume rather than lose or duplicate items.
+            for v in 0..1000u32 {
+                tx.send(v).unwrap();
+            }
+            drop(tx);
+            consumer.join().unwrap()
+        })
+        .unwrap();
+        assert_eq!(total, 999 * 1000 / 2);
+    }
+
+    #[test]
+    fn blocked_bounded_sender_errors_when_receivers_vanish() {
+        let (tx, rx) = channel::bounded::<u8>(1);
+        tx.send(0).unwrap(); // fill the channel
+        super::scope(|s| {
+            let blocked = s.spawn(move |_| tx.send(1));
+            // Give the sender a moment to block, then sever the receiver.
+            std::thread::sleep(std::time::Duration::from_millis(20));
+            drop(rx);
+            assert!(blocked.join().unwrap().is_err());
+        })
+        .unwrap();
     }
 }
