@@ -19,7 +19,9 @@
 //!
 //! Options: `--scale F` multiplies the default cardinalities (default 1.0;
 //! the paper's full scale is reached around `--scale 50` for Swissprot),
-//! `--seed N` changes the generator seed (default 2015).
+//! `--seed N` changes the generator seed (default 2015), and
+//! `--shards N` (default 1) runs the `PRT` rows through the sharded join
+//! (`tsj-shard`: parallel candidate generation, results bit-identical).
 
 use partsj::{
     partsj_join_detailed, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
@@ -36,18 +38,20 @@ struct Options {
     scale: f64,
     seed: u64,
     param: Option<String>,
+    shards: usize,
 }
 
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| {
-        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|all> [--scale F] [--seed N] [--param P]");
+        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|all> [--scale F] [--seed N] [--param P] [--shards N]");
         std::process::exit(2);
     });
     let mut options = Options {
         scale: 1.0,
         seed: 2015,
         param: None,
+        shards: 1,
     };
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -60,6 +64,7 @@ fn parse_args() -> (String, Options) {
             "--scale" => options.scale = value().parse().expect("numeric --scale"),
             "--seed" => options.seed = value().parse().expect("integer --seed"),
             "--param" => options.param = Some(value()),
+            "--shards" => options.shards = value().parse().expect("integer --shards"),
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -156,7 +161,7 @@ fn fig10_11(options: &Options, runtime: bool) {
         for tau in 1..=5u32 {
             let mut rel = None;
             for method in Method::ALL {
-                let outcome = method.run(&trees, tau);
+                let outcome = method.run_sharded(&trees, tau, options.shards);
                 rel.get_or_insert(outcome.stats.results);
                 if runtime {
                     rows.push(vec![
@@ -212,7 +217,7 @@ fn fig12_13(options: &Options, runtime: bool) {
         for &n in &steps {
             let slice = &trees[..n];
             for method in Method::ALL {
-                let outcome = method.run(slice, tau);
+                let outcome = method.run_sharded(slice, tau, options.shards);
                 if runtime {
                     rows.push(vec![
                         format!("{n}"),
@@ -275,7 +280,7 @@ fn fig14(options: &Options, param: &str) {
         }
         let trees = synthetic(n, &params, options.seed);
         for method in Method::ALL {
-            let outcome = method.run(&trees, tau);
+            let outcome = method.run_sharded(&trees, tau, options.shards);
             rows.push(vec![
                 format!("{value}"),
                 method.name().into(),

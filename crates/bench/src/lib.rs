@@ -116,9 +116,23 @@ impl Method {
 
     /// Runs the method.
     pub fn run(self, trees: &[Tree], tau: u32) -> JoinOutcome {
+        self.run_sharded(trees, tau, 1)
+    }
+
+    /// Runs the method; with `shards > 1`, `PRT` uses the sharded join
+    /// (parallel candidate generation over `tsj_shard::ShardedIndex`,
+    /// pools auto-sized to the machine). The baselines have no sharded
+    /// variant and ignore the parameter.
+    pub fn run_sharded(self, trees: &[Tree], tau: u32, shards: usize) -> JoinOutcome {
         match self {
             Method::Str => tsj_baselines::str_join(trees, tau),
             Method::Set => tsj_baselines::set_join(trees, tau),
+            Method::Prt if shards > 1 => tsj_shard::sharded_join(
+                trees,
+                tau,
+                &PartSjConfig::default(),
+                &tsj_shard::ShardConfig::with_shards(shards),
+            ),
             Method::Prt => partsj_join_with(trees, tau, &PartSjConfig::default()),
         }
     }

@@ -108,6 +108,17 @@ impl Default for PartSjConfig {
     }
 }
 
+impl PartSjConfig {
+    /// Default configuration with an explicit window policy — the common
+    /// shape of the ablation drivers and window-sweep tests.
+    pub fn with_window(window: WindowPolicy) -> PartSjConfig {
+        PartSjConfig {
+            window,
+            ..Default::default()
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -498,6 +498,18 @@ impl SubgraphIndex {
         self.window
     }
 
+    /// The threshold the index registers windows for. A dynamic wrapper
+    /// (e.g. `tsj-shard`'s compaction) rebuilds replacement indexes with
+    /// the same `(tau, window)` pair.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Number of distinct container-size classes currently indexed.
+    pub fn distinct_sizes(&self) -> usize {
+        self.by_size.len()
+    }
+
     /// `∆′` as exposed for diagnostics and tests.
     pub fn window_half_width(&self, ordinal: u16) -> u32 {
         self.half_width(ordinal)

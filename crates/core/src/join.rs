@@ -17,14 +17,15 @@
 //! No offline index is built: the index grows while the join runs, so each
 //! unordered pair is considered exactly once (when its larger tree probes).
 
-use crate::config::{PartSjConfig, PartitionScheme, WindowPolicy};
-use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
-use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::config::{PartSjConfig, WindowPolicy};
+use crate::index::{LayerId, MatchCache, SubgraphIndex};
+use crate::partition::cuts_for;
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
 use crate::subgraph::build_subgraphs;
 use std::time::Instant;
 use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
 use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// PartSJ-specific instrumentation beyond the common [`JoinStats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -91,6 +92,7 @@ pub fn partsj_join_detailed(
     let mut candidates: Vec<TreeIdx> = Vec::new();
     let mut layer_window: Vec<LayerId> = Vec::new();
     let mut match_cache = MatchCache::new();
+    let mut counters = ProbeCounters::default();
 
     for &i in &order {
         let binary = &binaries[i as usize];
@@ -114,43 +116,27 @@ pub fn partsj_join_detailed(
             }
         }
 
-        // Resolve the size window's layers once per tree — every node
-        // probes the same `τ + 1` size lists, so the per-node loop only
-        // walks this slice instead of re-querying the size map.
-        layer_window.clear();
-        layer_window.extend((lo..=size_i).filter_map(|n| index.layer_id(n)));
-
         // Index probes: every node of T_i against every populated size
-        // layer. Positions are general-tree postorder numbers
-        // (edit-stable); twig children come from the LC-RS structure.
-        let posts_i = &general_posts[i as usize];
-        for node in binary.node_ids() {
-            let label = binary.label(node);
-            let left = binary
-                .left(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let right = binary
-                .right(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let keys = TwigKeys::new(label, left, right);
-            match_cache.begin_node();
-            let position = index.probe_position(posts_i[node.index()], size_i);
-            for &layer in &layer_window {
-                detail.probes += 1;
-                index.layer(layer).probe(position, &keys, |handle| {
-                    let tree_j = index.tree_of(handle);
-                    if stamp[tree_j as usize] == i {
-                        return; // pair already a candidate
-                    }
-                    detail.match_attempts += 1;
-                    if index.matches_at(handle, binary, node, config.matching, &mut match_cache) {
-                        detail.matches += 1;
-                        stamp[tree_j as usize] = i;
-                        candidates.push(tree_j);
-                    }
-                });
-            }
-        }
+        // layer of `[lo, size_i]` (resolved once per tree). Positions are
+        // general-tree postorder numbers (edit-stable); twig children come
+        // from the LC-RS structure.
+        resolve_layers(&index, lo, size_i, &mut layer_window);
+        let mut sink = StampSink {
+            stamp: &mut stamp,
+            marker: i,
+            candidates: &mut candidates,
+        };
+        probe_tree_nodes(
+            &index,
+            &layer_window,
+            binary,
+            &general_posts[i as usize],
+            size_i,
+            config.matching,
+            &mut match_cache,
+            &mut counters,
+            &mut sink,
+        );
         stats.candidates += candidates.len() as u64;
         stats.pairs_examined += candidates.len() as u64;
         stats.candidate_time += cand_start.elapsed();
@@ -178,22 +164,17 @@ pub fn partsj_join_detailed(
         if (size_i as usize) < delta {
             small_by_size.entry(size_i).or_default().push(i);
         } else {
-            let cuts = match config.partitioning {
-                PartitionScheme::MaxMin => {
-                    let gamma = max_min_size(binary, delta);
-                    select_cuts(binary, delta, gamma)
-                }
-                PartitionScheme::Random { seed } => {
-                    select_random_cuts(binary, delta, seed ^ u64::from(i))
-                }
-            };
-            let subgraphs = build_subgraphs(binary, posts_i, &cuts, i);
+            let cuts = cuts_for(binary, delta, config.partitioning, u64::from(i));
+            let subgraphs = build_subgraphs(binary, &general_posts[i as usize], &cuts, i);
             detail.subgraphs_built += subgraphs.len() as u64;
             index.insert_tree(size_i, subgraphs);
         }
         stats.candidate_time += insert_start.elapsed();
     }
 
+    detail.probes = counters.probes;
+    detail.match_attempts = counters.match_attempts;
+    detail.matches = counters.matches;
     detail.index_registrations = index.registrations();
     stats.ted_calls = engine.computations();
     (JoinOutcome::new(pairs, stats), detail)
@@ -205,16 +186,14 @@ pub fn partsj_join_paper_window(trees: &[Tree], tau: u32) -> JoinOutcome {
     partsj_join_with(
         trees,
         tau,
-        &PartSjConfig {
-            window: WindowPolicy::PaperAbsolute,
-            ..Default::default()
-        },
+        &PartSjConfig::with_window(WindowPolicy::PaperAbsolute),
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::config::PartitionScheme;
     use tsj_tree::{parse_bracket, LabelInterner};
 
     fn collection(specs: &[&str]) -> Vec<Tree> {

@@ -46,6 +46,7 @@ pub mod index;
 pub mod join;
 pub mod parallel;
 pub mod partition;
+pub mod probe;
 pub mod rs_join;
 pub mod search;
 pub mod streaming;
@@ -60,7 +61,8 @@ pub use join::{
     partsj_join, partsj_join_detailed, partsj_join_paper_window, partsj_join_with, PartSjDetail,
 };
 pub use parallel::{default_verify_threads, partsj_join_parallel, partsj_join_parallel_auto};
-pub use partition::{max_min_size, partitionable, select_cuts, select_random_cuts};
+pub use partition::{cuts_for, max_min_size, partitionable, select_cuts, select_random_cuts};
+pub use probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters, StampSink};
 pub use rs_join::partsj_join_rs;
 pub use search::SearchIndex;
 pub use streaming::StreamingJoin;

@@ -13,15 +13,45 @@
 //! sequential join before paying for the cubic TED DP. Result sets are
 //! identical to the sequential join.
 
-use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
-use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::config::PartSjConfig;
+use crate::index::{LayerId, MatchCache, SubgraphIndex};
+use crate::partition::cuts_for;
+use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters};
 use crate::subgraph::build_subgraphs;
 use crossbeam::channel;
 use std::time::Instant;
 use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
 use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
+
+/// Sink that streams accepted candidates to the verifier pool in batches
+/// of `batch_size` instead of buffering them locally.
+struct BatchSink<'a> {
+    stamp: &'a mut [TreeIdx],
+    probe: TreeIdx,
+    batch: &'a mut Vec<(TreeIdx, TreeIdx)>,
+    batch_size: usize,
+    tx: &'a channel::Sender<Vec<(TreeIdx, TreeIdx)>>,
+    candidates_total: &'a mut u64,
+}
+
+impl CandidateSink for BatchSink<'_> {
+    #[inline]
+    fn admit(&mut self, tree: TreeIdx) -> bool {
+        self.stamp[tree as usize] != self.probe
+    }
+
+    #[inline]
+    fn accept(&mut self, tree: TreeIdx) {
+        self.stamp[tree as usize] = self.probe;
+        *self.candidates_total += 1;
+        self.batch.push((self.probe, tree));
+        if self.batch.len() >= self.batch_size {
+            let full = std::mem::replace(self.batch, Vec::with_capacity(self.batch_size));
+            self.tx.send(full).expect("verifier pool alive");
+        }
+    }
+}
 
 /// Verifier-pool size used by [`partsj_join_parallel_auto`]: every core
 /// the OS reports, minus nothing — candidate generation shares the
@@ -112,6 +142,7 @@ pub fn partsj_join_parallel(
         let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
         let mut layer_window: Vec<LayerId> = Vec::new();
         let mut match_cache = MatchCache::new();
+        let mut counters = ProbeCounters::default();
 
         for &i in &order {
             let phase_start = Instant::now();
@@ -119,70 +150,43 @@ pub fn partsj_join_parallel(
             let size_i = binary.len() as u32;
             let lo = size_i.saturating_sub(tau).max(1);
 
-            for n in lo..=size_i {
-                if let Some(list) = small_by_size.get(&n) {
-                    for &j in list {
-                        if stamp[j as usize] != i {
-                            stamp[j as usize] = i;
-                            candidates_total += 1;
-                            batch.push((i, j));
-                            if batch.len() >= batch_size {
-                                let full =
-                                    std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
-                                tx.send(full).expect("verifier pool alive");
+            {
+                let mut sink = BatchSink {
+                    stamp: &mut stamp,
+                    probe: i,
+                    batch: &mut batch,
+                    batch_size,
+                    tx: &tx,
+                    candidates_total: &mut candidates_total,
+                };
+                for n in lo..=size_i {
+                    if let Some(list) = small_by_size.get(&n) {
+                        for &j in list {
+                            if sink.admit(j) {
+                                sink.accept(j);
                             }
                         }
                     }
                 }
-            }
 
-            layer_window.clear();
-            layer_window.extend((lo..=size_i).filter_map(|n| index.layer_id(n)));
-
-            let posts_i = &general_posts[i as usize];
-            for node in binary.node_ids() {
-                let label = binary.label(node);
-                let left = binary
-                    .left(node)
-                    .map_or(Label::EPSILON, |c| binary.label(c));
-                let right = binary
-                    .right(node)
-                    .map_or(Label::EPSILON, |c| binary.label(c));
-                let keys = TwigKeys::new(label, left, right);
-                match_cache.begin_node();
-                let position = index.probe_position(posts_i[node.index()], size_i);
-                for &layer in &layer_window {
-                    index.layer(layer).probe(position, &keys, |handle| {
-                        let tree_j = index.tree_of(handle);
-                        if stamp[tree_j as usize] == i {
-                            return;
-                        }
-                        if index.matches_at(handle, binary, node, config.matching, &mut match_cache)
-                        {
-                            stamp[tree_j as usize] = i;
-                            candidates_total += 1;
-                            batch.push((i, tree_j));
-                        }
-                    });
-                    if batch.len() >= batch_size {
-                        let full = std::mem::replace(&mut batch, Vec::with_capacity(batch_size));
-                        tx.send(full).expect("verifier pool alive");
-                    }
-                }
+                resolve_layers(&index, lo, size_i, &mut layer_window);
+                probe_tree_nodes(
+                    &index,
+                    &layer_window,
+                    binary,
+                    &general_posts[i as usize],
+                    size_i,
+                    config.matching,
+                    &mut match_cache,
+                    &mut counters,
+                    &mut sink,
+                );
             }
 
             if (size_i as usize) < delta {
                 small_by_size.entry(size_i).or_default().push(i);
             } else {
-                let cuts = match config.partitioning {
-                    PartitionScheme::MaxMin => {
-                        let gamma = max_min_size(binary, delta);
-                        select_cuts(binary, delta, gamma)
-                    }
-                    PartitionScheme::Random { seed } => {
-                        select_random_cuts(binary, delta, seed ^ u64::from(i))
-                    }
-                };
+                let cuts = cuts_for(binary, delta, config.partitioning, u64::from(i));
                 index.insert_tree(
                     size_i,
                     build_subgraphs(binary, &general_posts[i as usize], &cuts, i),

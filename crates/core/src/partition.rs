@@ -136,6 +136,30 @@ pub fn select_random_cuts(binary: &BinaryTree, delta: usize, seed: u64) -> Vec<N
     cuts
 }
 
+/// Selects the `δ − 1` cut nodes of a tree under `scheme` — the one
+/// partitioning entry point shared by every index producer (batch,
+/// parallel, streaming, bipartite, search and the sharded index).
+///
+/// `salt` individualizes the [`PartitionScheme::Random`] seed per tree
+/// (callers pass the tree's collection index) and is ignored by the
+/// deterministic max-min scheme.
+pub fn cuts_for(
+    binary: &BinaryTree,
+    delta: usize,
+    scheme: crate::config::PartitionScheme,
+    salt: u64,
+) -> Vec<NodeId> {
+    match scheme {
+        crate::config::PartitionScheme::MaxMin => {
+            let gamma = max_min_size(binary, delta);
+            select_cuts(binary, delta, gamma)
+        }
+        crate::config::PartitionScheme::Random { seed } => {
+            select_random_cuts(binary, delta, seed ^ salt)
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -9,14 +9,15 @@
 //! with `T1` the indexed left tree: if `TED(r, s) ≤ τ`, some subgraph of
 //! `r` appears in `s`, so probing `s`'s nodes finds the pair.
 
-use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
-use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::config::PartSjConfig;
+use crate::index::{LayerId, MatchCache, SubgraphIndex};
+use crate::partition::cuts_for;
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
 use crate::subgraph::build_subgraphs;
 use std::time::Instant;
 use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
 use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// R×S similarity join: all pairs `(i, j)` with `TED(left[i], right[j]) ≤
 /// tau`. Pair indices refer to the respective input collections.
@@ -42,13 +43,7 @@ pub fn partsj_join_rs(
             continue;
         }
         let binary = BinaryTree::from_tree(tree);
-        let cuts = match config.partitioning {
-            PartitionScheme::MaxMin => {
-                let gamma = max_min_size(&binary, delta);
-                select_cuts(&binary, delta, gamma)
-            }
-            PartitionScheme::Random { seed } => select_random_cuts(&binary, delta, seed ^ i as u64),
-        };
+        let cuts = cuts_for(&binary, delta, config.partitioning, i as u64);
         let subgraphs = build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
         index.insert_tree(size, subgraphs);
     }
@@ -62,6 +57,7 @@ pub fn partsj_join_rs(
     let mut candidates: Vec<TreeIdx> = Vec::new();
     let mut layer_window: Vec<LayerId> = Vec::new();
     let mut match_cache = MatchCache::new();
+    let mut counters = ProbeCounters::default();
 
     for (j, tree) in right.iter().enumerate() {
         let probe_start = Instant::now();
@@ -84,35 +80,26 @@ pub fn partsj_join_rs(
 
         // The offline index is frozen now: resolve the `2τ + 1` size
         // layers once per right tree.
-        layer_window.clear();
-        layer_window.extend((lo..=hi).filter_map(|n| index.layer_id(n)));
+        resolve_layers(&index, lo, hi, &mut layer_window);
 
         let binary = BinaryTree::from_tree(tree);
         let posts = tree.postorder_numbers();
-        for node in binary.node_ids() {
-            let label = binary.label(node);
-            let left_lbl = binary
-                .left(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let right_lbl = binary
-                .right(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let keys = TwigKeys::new(label, left_lbl, right_lbl);
-            match_cache.begin_node();
-            let position = index.probe_position(posts[node.index()], size_j);
-            for &layer in &layer_window {
-                index.layer(layer).probe(position, &keys, |handle| {
-                    let tree_i = index.tree_of(handle);
-                    if stamp[tree_i as usize] == marker {
-                        return;
-                    }
-                    if index.matches_at(handle, &binary, node, config.matching, &mut match_cache) {
-                        stamp[tree_i as usize] = marker;
-                        candidates.push(tree_i);
-                    }
-                });
-            }
-        }
+        let mut sink = StampSink {
+            stamp: &mut stamp,
+            marker,
+            candidates: &mut candidates,
+        };
+        probe_tree_nodes(
+            &index,
+            &layer_window,
+            &binary,
+            &posts,
+            size_j,
+            config.matching,
+            &mut match_cache,
+            &mut counters,
+            &mut sink,
+        );
         stats.candidates += candidates.len() as u64;
         stats.pairs_examined += candidates.len() as u64;
         stats.candidate_time += probe_start.elapsed();

@@ -9,12 +9,13 @@
 //! the index construction — the offline-index regime the join
 //! deliberately avoids but search workloads want.
 
-use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
-use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::config::PartSjConfig;
+use crate::index::{LayerId, MatchCache, SubgraphIndex};
+use crate::partition::cuts_for;
+use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters};
 use crate::subgraph::build_subgraphs;
 use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// A similarity-search index over a fixed collection.
 ///
@@ -56,15 +57,7 @@ impl SearchIndex {
                 continue;
             }
             let binary = BinaryTree::from_tree(tree);
-            let cuts = match config.partitioning {
-                PartitionScheme::MaxMin => {
-                    let gamma = max_min_size(&binary, delta);
-                    select_cuts(&binary, delta, gamma)
-                }
-                PartitionScheme::Random { seed } => {
-                    select_random_cuts(&binary, delta, seed ^ i as u64)
-                }
-            };
+            let cuts = cuts_for(&binary, delta, config.partitioning, i as u64);
             let subgraphs =
                 build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
             index.insert_tree(size, subgraphs);
@@ -121,41 +114,44 @@ impl SearchIndex {
 
         // The index is frozen after `build`: resolve the query's size
         // window to layer ids once, then probe per node.
-        let layer_window: Vec<LayerId> = (lo..=hi).filter_map(|n| self.index.layer_id(n)).collect();
+        let mut layer_window: Vec<LayerId> = Vec::new();
+        resolve_layers(&self.index, lo, hi, &mut layer_window);
         let mut match_cache = MatchCache::new();
+        let mut counters = ProbeCounters::default();
+
+        // Queries are external trees without a collection index, so the
+        // dedup structure is a hash set instead of a stamp array.
+        struct SeenSink<'a> {
+            seen: &'a mut FxHashMap<TreeIdx, ()>,
+            candidates: &'a mut Vec<TreeIdx>,
+        }
+        impl CandidateSink for SeenSink<'_> {
+            fn admit(&mut self, tree: TreeIdx) -> bool {
+                !self.seen.contains_key(&tree)
+            }
+            fn accept(&mut self, tree: TreeIdx) {
+                self.seen.insert(tree, ());
+                self.candidates.push(tree);
+            }
+        }
 
         let binary = BinaryTree::from_tree(query);
         let posts = query.postorder_numbers();
-        for node in binary.node_ids() {
-            let label = binary.label(node);
-            let left = binary
-                .left(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let right = binary
-                .right(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let keys = TwigKeys::new(label, left, right);
-            match_cache.begin_node();
-            let position = self.index.probe_position(posts[node.index()], size_q);
-            for &layer in &layer_window {
-                self.index.layer(layer).probe(position, &keys, |handle| {
-                    let tree_i = self.index.tree_of(handle);
-                    if seen.contains_key(&tree_i) {
-                        return;
-                    }
-                    if self.index.matches_at(
-                        handle,
-                        &binary,
-                        node,
-                        self.config.matching,
-                        &mut match_cache,
-                    ) {
-                        seen.insert(tree_i, ());
-                        candidates.push(tree_i);
-                    }
-                });
-            }
-        }
+        let mut sink = SeenSink {
+            seen: &mut seen,
+            candidates: &mut candidates,
+        };
+        probe_tree_nodes(
+            &self.index,
+            &layer_window,
+            &binary,
+            &posts,
+            size_q,
+            self.config.matching,
+            &mut match_cache,
+            &mut counters,
+            &mut sink,
+        );
 
         let prepared_q = PreparedTree::new(query);
         let mut hits: Vec<(TreeIdx, u32)> = candidates

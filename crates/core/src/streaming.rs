@@ -9,12 +9,13 @@
 //! `[|T| − τ, |T| + τ]` and then publishes the new tree's subgraphs,
 //! reporting the partners found among all previously inserted trees.
 
-use crate::config::{PartSjConfig, PartitionScheme};
-use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
-use crate::partition::{max_min_size, select_cuts, select_random_cuts};
+use crate::config::PartSjConfig;
+use crate::index::{LayerId, MatchCache, SubgraphIndex};
+use crate::partition::cuts_for;
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
 use crate::subgraph::build_subgraphs;
 use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Label, Tree};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// An online similarity self-join: insert trees one at a time and learn,
 /// immediately, which earlier trees are within `τ`.
@@ -104,40 +105,31 @@ impl StreamingJoin {
 
         // Layer ids are plain data (no borrow of the index), so the
         // window survives until the post-probe `insert_tree` mutation.
-        let layer_window: Vec<LayerId> = (lo..=hi).filter_map(|n| self.index.layer_id(n)).collect();
+        let mut layer_window: Vec<LayerId> = Vec::new();
+        resolve_layers(&self.index, lo, hi, &mut layer_window);
         let mut match_cache = MatchCache::new();
+        let mut counters = ProbeCounters::default();
 
         let binary = BinaryTree::from_tree(tree);
         let posts = tree.postorder_numbers();
-        for node in binary.node_ids() {
-            let label = binary.label(node);
-            let left = binary
-                .left(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let right = binary
-                .right(node)
-                .map_or(Label::EPSILON, |c| binary.label(c));
-            let keys = TwigKeys::new(label, left, right);
-            match_cache.begin_node();
-            let position = self.index.probe_position(posts[node.index()], size);
-            // Split borrows: the probe closure reads the index while
-            // stamping/collecting locally.
-            let index = &self.index;
-            let stamp = &mut self.stamp;
-            let matching = self.config.matching;
-            for &layer in &layer_window {
-                index.layer(layer).probe(position, &keys, |handle| {
-                    let tree_j = index.tree_of(handle);
-                    if stamp[tree_j as usize] == marker {
-                        return;
-                    }
-                    if index.matches_at(handle, &binary, node, matching, &mut match_cache) {
-                        stamp[tree_j as usize] = marker;
-                        candidates.push(tree_j);
-                    }
-                });
-            }
-        }
+        // Split borrows: the probe loop reads the index while the sink
+        // stamps/collects locally.
+        let mut sink = StampSink {
+            stamp: &mut self.stamp,
+            marker,
+            candidates: &mut candidates,
+        };
+        probe_tree_nodes(
+            &self.index,
+            &layer_window,
+            &binary,
+            &posts,
+            size,
+            self.config.matching,
+            &mut match_cache,
+            &mut counters,
+            &mut sink,
+        );
 
         let prepared = PreparedTree::new(tree);
         let mut partners: Vec<TreeIdx> = candidates
@@ -155,15 +147,7 @@ impl StreamingJoin {
         if (size as usize) < delta {
             self.small_by_size.entry(size).or_default().push(id);
         } else {
-            let cuts = match self.config.partitioning {
-                PartitionScheme::MaxMin => {
-                    let gamma = max_min_size(&binary, delta);
-                    select_cuts(&binary, delta, gamma)
-                }
-                PartitionScheme::Random { seed } => {
-                    select_random_cuts(&binary, delta, seed ^ u64::from(id))
-                }
-            };
+            let cuts = cuts_for(&binary, delta, self.config.partitioning, u64::from(id));
             let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
             self.index.insert_tree(size, subgraphs);
         }

@@ -1,0 +1,653 @@
+//! The sharded dynamic subgraph index.
+//!
+//! [`ShardedIndex`] partitions subgraph postings across `N` shards by a
+//! hash of the **container size class**: every size list `I_n` lives in
+//! exactly one shard, each shard owns an independent
+//! [`partsj::SubgraphIndex`], and a probe window `[lo, hi]` touches at
+//! most `min(hi − lo + 1, N)` shards. Shards therefore build, probe and
+//! compact independently — the parallelism unit of [`crate::join`] and
+//! the isolation unit of delete/evict.
+//!
+//! ## Dynamics
+//!
+//! The wrapped [`SubgraphIndex`] is insert-only, so removal is layered on
+//! top:
+//!
+//! * [`ShardedIndex::remove_tree`] flips the tree's **liveness bit** —
+//!   probe sinks filter dead container trees in O(1) per surfaced handle
+//!   — and tombstones the tree's stored postings in its shard.
+//! * Each shard tracks its live/dead posting counts. Once the dead
+//!   fraction exceeds [`ShardConfig::max_dead_fraction`] (and at least
+//!   [`ShardConfig::min_dead_postings`] postings are dead, so tiny shards
+//!   don't thrash), the shard **compacts**: it rebuilds its private
+//!   `SubgraphIndex` from the retained trees' stored subgraphs, in
+//!   original insertion order, and drops the tombstones. Amortized, a
+//!   posting is re-inserted at most `1/max_dead_fraction` times per
+//!   eviction epoch.
+//!
+//! Storing each tree's subgraphs for replay roughly doubles the index's
+//! memory; that is the standard price of compaction-based deletion (cf.
+//! LSM tombstones) and is bounded by the live window in streaming use.
+
+use partsj::probe::{probe_tree_nodes, CandidateSink, ProbeCounters};
+use partsj::subgraph::Subgraph;
+use partsj::{resolve_layers, LayerId, MatchCache, SubgraphIndex, WindowPolicy};
+use tsj_ted::TreeIdx;
+use tsj_tree::{BinaryTree, FxHashMap};
+
+/// Configuration of the shard layer (the join-level knobs — window,
+/// partitioning, matching — stay in [`partsj::PartSjConfig`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ShardConfig {
+    /// Number of shards (≥ 1). More shards mean more build/compaction
+    /// parallelism and smaller compaction units; probe cost is unchanged
+    /// (each size class still lives in exactly one shard).
+    pub shards: usize,
+    /// Probe-side worker threads for the batch joins; `0` sizes the pool
+    /// from `std::thread::available_parallelism`. `1` keeps candidate
+    /// generation inline (no channel, no scope).
+    pub probe_threads: usize,
+    /// Verifier threads for the batch joins; `0` = auto.
+    pub verify_threads: usize,
+    /// A shard compacts once `dead / (dead + live)` postings exceed this
+    /// fraction.
+    pub max_dead_fraction: f64,
+    /// …and at least this many postings are dead (hysteresis so small
+    /// shards don't rebuild on every removal).
+    pub min_dead_postings: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> ShardConfig {
+        ShardConfig {
+            shards: 4,
+            probe_threads: 0,
+            verify_threads: 0,
+            max_dead_fraction: 0.25,
+            min_dead_postings: 256,
+        }
+    }
+}
+
+impl ShardConfig {
+    /// Default configuration with an explicit shard count.
+    pub fn with_shards(shards: usize) -> ShardConfig {
+        ShardConfig {
+            shards,
+            ..Default::default()
+        }
+    }
+
+    /// Resolved probe-worker count (`0` → machine parallelism).
+    pub fn resolved_probe_threads(&self) -> usize {
+        resolve_threads(self.probe_threads)
+    }
+
+    /// Resolved verifier count (`0` → machine parallelism).
+    pub fn resolved_verify_threads(&self) -> usize {
+        resolve_threads(self.verify_threads)
+    }
+}
+
+fn resolve_threads(requested: usize) -> usize {
+    if requested > 0 {
+        requested
+    } else {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }
+}
+
+/// One tree's replayable contribution to a shard.
+#[derive(Debug)]
+struct Stored {
+    tree: TreeIdx,
+    size: u32,
+    /// Bucket registrations this tree contributed (tombstone accounting).
+    regs: u64,
+    subgraphs: Vec<Subgraph>,
+    dead: bool,
+}
+
+/// One shard: a private [`SubgraphIndex`] plus the replay log that makes
+/// it compactable.
+#[derive(Debug)]
+struct Shard {
+    index: SubgraphIndex,
+    /// Insertion-ordered replay log; `dead` entries are dropped at the
+    /// next compaction.
+    stored: Vec<Stored>,
+    slot_of: FxHashMap<TreeIdx, usize>,
+    live_postings: u64,
+    dead_postings: u64,
+}
+
+impl Shard {
+    fn new(tau: u32, window: WindowPolicy) -> Shard {
+        Shard {
+            index: SubgraphIndex::new(tau, window),
+            stored: Vec::new(),
+            slot_of: FxHashMap::default(),
+            live_postings: 0,
+            dead_postings: 0,
+        }
+    }
+
+    fn insert(&mut self, tree: TreeIdx, size: u32, subgraphs: Vec<Subgraph>, replay: bool) {
+        let before = self.index.registrations();
+        if replay {
+            self.index.insert_tree(size, subgraphs.clone());
+            let regs = self.index.registrations() - before;
+            self.live_postings += regs;
+            self.slot_of.insert(tree, self.stored.len());
+            self.stored.push(Stored {
+                tree,
+                size,
+                regs,
+                subgraphs,
+                dead: false,
+            });
+        } else {
+            // Static (build-once) use: move the subgraphs straight into
+            // the index — no clone, no replay log.
+            self.index.insert_tree(size, subgraphs);
+            self.live_postings += self.index.registrations() - before;
+        }
+    }
+
+    /// Tombstones `tree`'s postings; returns whether the shard stored it.
+    fn tombstone(&mut self, tree: TreeIdx) -> bool {
+        let Some(&slot) = self.slot_of.get(&tree) else {
+            return false;
+        };
+        let entry = &mut self.stored[slot];
+        if entry.dead {
+            return false;
+        }
+        entry.dead = true;
+        self.live_postings -= entry.regs;
+        self.dead_postings += entry.regs;
+        self.slot_of.remove(&tree);
+        true
+    }
+
+    fn should_compact(&self, max_dead_fraction: f64, min_dead_postings: u64) -> bool {
+        self.dead_postings >= min_dead_postings.max(1)
+            && (self.dead_postings as f64)
+                > max_dead_fraction * (self.dead_postings + self.live_postings) as f64
+    }
+
+    /// Rebuilds the shard's index from the retained trees, in original
+    /// insertion order, dropping every tombstone.
+    fn compact(&mut self) {
+        let mut index = SubgraphIndex::new(self.index.tau(), self.index.window());
+        self.stored.retain(|entry| !entry.dead);
+        self.slot_of.clear();
+        for (slot, entry) in self.stored.iter().enumerate() {
+            index.insert_tree(entry.size, entry.subgraphs.clone());
+            self.slot_of.insert(entry.tree, slot);
+        }
+        self.index = index;
+        self.live_postings = self.index.registrations();
+        self.dead_postings = 0;
+    }
+}
+
+/// A dynamic subgraph index partitioned across shards by container size
+/// class. See the [module docs](crate::index) for the design.
+#[derive(Debug)]
+pub struct ShardedIndex {
+    tau: u32,
+    window: WindowPolicy,
+    max_dead_fraction: f64,
+    min_dead_postings: u64,
+    /// Whether shards keep the compaction replay log (see
+    /// [`ShardedIndex::without_replay`]).
+    replay: bool,
+    shards: Vec<Shard>,
+    /// Liveness bitmap over all tracked tree ids (small trees included).
+    alive: Vec<bool>,
+    /// Size of each tracked tree (`u32::MAX` = never tracked).
+    sizes: Vec<u32>,
+    live_trees: usize,
+    removed_trees: u64,
+    compactions: u64,
+}
+
+impl ShardedIndex {
+    /// Creates an empty sharded index for threshold `tau` under `window`.
+    pub fn new(tau: u32, window: WindowPolicy, config: &ShardConfig) -> ShardedIndex {
+        let shards = config.shards.max(1);
+        ShardedIndex {
+            tau,
+            window,
+            max_dead_fraction: config.max_dead_fraction,
+            min_dead_postings: config.min_dead_postings,
+            replay: true,
+            shards: (0..shards).map(|_| Shard::new(tau, window)).collect(),
+            alive: Vec::new(),
+            sizes: Vec::new(),
+            live_trees: 0,
+            removed_trees: 0,
+            compactions: 0,
+        }
+    }
+
+    /// Disables the compaction replay log: subgraphs are moved into the
+    /// shards (no clone, no `Stored` copy), halving build memory and
+    /// skipping a full posting copy. For **static** (build-once) uses —
+    /// the batch joins. [`ShardedIndex::remove_tree`] still works (the
+    /// liveness bitmap filters probes) but tombstoned postings are never
+    /// compacted away. Call before the first insertion.
+    pub fn without_replay(mut self) -> ShardedIndex {
+        debug_assert!(self.live_trees == 0, "set replay mode before inserting");
+        self.replay = false;
+        self
+    }
+
+    /// The shard owning size class `size` — a multiplicative hash so
+    /// adjacent size classes spread across shards (a probe window `[|T| −
+    /// τ, |T| + τ]` is a run of adjacent sizes).
+    #[inline]
+    pub fn shard_of_size(&self, size: u32) -> usize {
+        let h = (u64::from(size).wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 32;
+        (h % self.shards.len() as u64) as usize
+    }
+
+    /// The deduplicated shard ids covering size window `[lo, hi]`, in
+    /// ascending shard order (deterministic). At most `min(hi − lo + 1,
+    /// shards)` entries.
+    pub fn shard_set(&self, lo: u32, hi: u32, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend((lo..=hi).map(|n| self.shard_of_size(n)));
+        out.sort_unstable();
+        out.dedup();
+    }
+
+    /// Registers `tree` (of `size` nodes) as tracked and alive *without*
+    /// postings — the side channel for trees below `δ` that cannot be
+    /// partitioned but still need liveness/eviction accounting.
+    pub fn track(&mut self, tree: TreeIdx, size: u32) {
+        let idx = tree as usize;
+        if self.alive.len() <= idx {
+            self.alive.resize(idx + 1, false);
+            self.sizes.resize(idx + 1, u32::MAX);
+        }
+        debug_assert!(!self.alive[idx], "tree {tree} tracked twice");
+        self.alive[idx] = true;
+        self.sizes[idx] = size;
+        self.live_trees += 1;
+    }
+
+    /// Inserts a partitioned tree: tracks it and registers its subgraphs
+    /// in the shard owning size class `size`.
+    pub fn insert_tree(&mut self, tree: TreeIdx, size: u32, subgraphs: Vec<Subgraph>) {
+        self.track(tree, size);
+        let shard = self.shard_of_size(size);
+        let replay = self.replay;
+        self.shards[shard].insert(tree, size, subgraphs, replay);
+    }
+
+    /// Bulk-inserts `(tree, size, subgraphs)` triples, preserving the
+    /// given order within every shard. With `parallel`, shards ingest
+    /// concurrently over scoped threads (they own disjoint size classes,
+    /// so no synchronization is needed); the resulting index is
+    /// *identical* to sequential insertion either way.
+    pub fn insert_all(&mut self, items: Vec<(TreeIdx, u32, Vec<Subgraph>)>, parallel: bool) {
+        let mut per_shard: Vec<Vec<(TreeIdx, u32, Vec<Subgraph>)>> =
+            (0..self.shards.len()).map(|_| Vec::new()).collect();
+        for (tree, size, subgraphs) in items {
+            self.track(tree, size);
+            per_shard[self.shard_of_size(size)].push((tree, size, subgraphs));
+        }
+        let replay = self.replay;
+        if parallel && self.shards.len() > 1 {
+            crossbeam::scope(|scope| {
+                for (shard, items) in self.shards.iter_mut().zip(per_shard) {
+                    if items.is_empty() {
+                        continue;
+                    }
+                    scope.spawn(move |_| {
+                        for (tree, size, subgraphs) in items {
+                            shard.insert(tree, size, subgraphs, replay);
+                        }
+                    });
+                }
+            })
+            .expect("shard build scope");
+        } else {
+            for (shard, items) in self.shards.iter_mut().zip(per_shard) {
+                for (tree, size, subgraphs) in items {
+                    shard.insert(tree, size, subgraphs, replay);
+                }
+            }
+        }
+    }
+
+    /// Removes a tracked tree: clears its liveness bit (probes stop
+    /// surfacing it immediately), tombstones its postings, and compacts
+    /// the owning shard if its dead fraction crossed the threshold.
+    /// Returns `false` if the tree was unknown or already removed.
+    pub fn remove_tree(&mut self, tree: TreeIdx) -> bool {
+        let idx = tree as usize;
+        if idx >= self.alive.len() || !self.alive[idx] {
+            return false;
+        }
+        self.alive[idx] = false;
+        self.live_trees -= 1;
+        self.removed_trees += 1;
+        let shard_id = self.shard_of_size(self.sizes[idx]);
+        let shard = &mut self.shards[shard_id];
+        if shard.tombstone(tree)
+            && shard.should_compact(self.max_dead_fraction, self.min_dead_postings)
+        {
+            shard.compact();
+            self.compactions += 1;
+        }
+        true
+    }
+
+    /// Whether `tree` is tracked and not removed.
+    #[inline]
+    pub fn is_alive(&self, tree: TreeIdx) -> bool {
+        self.alive.get(tree as usize).copied().unwrap_or(false)
+    }
+
+    /// The liveness bitmap, indexed by tree id — probe sinks capture this
+    /// slice instead of borrowing the whole index.
+    #[inline]
+    pub fn alive_bitmap(&self) -> &[bool] {
+        &self.alive
+    }
+
+    /// Size of a tracked tree (`None` if never tracked).
+    pub fn size_of(&self, tree: TreeIdx) -> Option<u32> {
+        match self.sizes.get(tree as usize) {
+            Some(&s) if s != u32::MAX => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The private index of shard `s` (probe it with
+    /// [`partsj::probe_tree_nodes`]).
+    #[inline]
+    pub fn shard_index(&self, s: usize) -> &SubgraphIndex {
+        &self.shards[s].index
+    }
+
+    /// Currently alive tracked trees (side-listed small trees included).
+    pub fn live_trees(&self) -> usize {
+        self.live_trees
+    }
+
+    /// Trees removed over the index's lifetime.
+    pub fn removed_trees(&self) -> u64 {
+        self.removed_trees
+    }
+
+    /// Shard compactions performed over the index's lifetime.
+    pub fn compactions(&self) -> u64 {
+        self.compactions
+    }
+
+    /// Live postings across all shards.
+    pub fn live_postings(&self) -> u64 {
+        self.shards.iter().map(|s| s.live_postings).sum()
+    }
+
+    /// Tombstoned (not yet compacted) postings across all shards.
+    pub fn dead_postings(&self) -> u64 {
+        self.shards.iter().map(|s| s.dead_postings).sum()
+    }
+
+    /// The configured threshold.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// The configured window policy.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Probes every node of `binary` against every shard covering size
+    /// window `[lo, hi]`, visiting each shard's populated layers through
+    /// the shared Algorithm 1 inner loop. Dead container trees are
+    /// filtered before the sink sees them. `caches` must hold one
+    /// [`MatchCache`] per shard (component ids are per-shard);
+    /// `shard_scratch`/`layer_scratch` are reusable buffers.
+    #[allow(clippy::too_many_arguments)]
+    pub fn probe_tree<S: CandidateSink>(
+        &self,
+        binary: &BinaryTree,
+        posts: &[u32],
+        probe_size: u32,
+        lo: u32,
+        hi: u32,
+        matching: partsj::MatchSemantics,
+        caches: &mut [MatchCache],
+        shard_scratch: &mut Vec<usize>,
+        layer_scratch: &mut Vec<LayerId>,
+        counters: &mut ProbeCounters,
+        sink: &mut S,
+    ) {
+        self.shard_set(lo, hi, shard_scratch);
+        for &s in shard_scratch.iter() {
+            let index = &self.shards[s].index;
+            resolve_layers(index, lo, hi, layer_scratch);
+            if layer_scratch.is_empty() {
+                continue;
+            }
+            let mut live_sink = LiveSink {
+                alive: &self.alive,
+                inner: &mut *sink,
+            };
+            probe_tree_nodes(
+                index,
+                layer_scratch,
+                binary,
+                posts,
+                probe_size,
+                matching,
+                &mut caches[s],
+                counters,
+                &mut live_sink,
+            );
+        }
+    }
+}
+
+/// Sink adapter that drops dead container trees before delegating.
+struct LiveSink<'a, S> {
+    alive: &'a [bool],
+    inner: &'a mut S,
+}
+
+impl<S: CandidateSink> CandidateSink for LiveSink<'_, S> {
+    #[inline]
+    fn admit(&mut self, tree: TreeIdx) -> bool {
+        self.alive.get(tree as usize).copied().unwrap_or(false) && self.inner.admit(tree)
+    }
+
+    #[inline]
+    fn accept(&mut self, tree: TreeIdx) {
+        self.inner.accept(tree);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use partsj::partition::cuts_for;
+    use partsj::subgraph::build_subgraphs;
+    use partsj::{PartSjConfig, StampSink};
+    use tsj_tree::{parse_bracket, LabelInterner, Tree};
+
+    fn subgraphs_for(tree: &Tree, tau: u32, id: TreeIdx) -> (u32, Vec<Subgraph>) {
+        let binary = BinaryTree::from_tree(tree);
+        let delta = 2 * tau as usize + 1;
+        let cuts = cuts_for(
+            &binary,
+            delta,
+            PartSjConfig::default().partitioning,
+            u64::from(id),
+        );
+        let sgs = build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, id);
+        (tree.len() as u32, sgs)
+    }
+
+    fn probe_live(index: &ShardedIndex, tree: &Tree, tau: u32, tracked: usize) -> Vec<TreeIdx> {
+        let binary = BinaryTree::from_tree(tree);
+        let posts = tree.postorder_numbers();
+        let size = tree.len() as u32;
+        let mut caches: Vec<MatchCache> = (0..index.shard_count())
+            .map(|_| MatchCache::new())
+            .collect();
+        let mut stamp = vec![TreeIdx::MAX; tracked];
+        let mut candidates = Vec::new();
+        let mut sink = StampSink {
+            stamp: &mut stamp,
+            marker: 0,
+            candidates: &mut candidates,
+        };
+        let (mut shards, mut layers) = (Vec::new(), Vec::new());
+        let mut counters = ProbeCounters::default();
+        index.probe_tree(
+            &binary,
+            &posts,
+            size,
+            size.saturating_sub(tau).max(1),
+            size + tau,
+            partsj::MatchSemantics::Exact,
+            &mut caches,
+            &mut shards,
+            &mut layers,
+            &mut counters,
+            &mut sink,
+        );
+        candidates.sort_unstable();
+        candidates
+    }
+
+    #[test]
+    fn window_covers_bounded_shard_set() {
+        let index = ShardedIndex::new(3, WindowPolicy::Safe, &ShardConfig::with_shards(8));
+        let mut set = Vec::new();
+        index.shard_set(10, 16, &mut set); // 2τ + 1 = 7 sizes
+        assert!(!set.is_empty() && set.len() <= 7);
+        assert!(set.windows(2).all(|w| w[0] < w[1]), "sorted, deduped");
+        // Every size in the window is owned by a shard in the set.
+        for n in 10..=16 {
+            assert!(set.contains(&index.shard_of_size(n)));
+        }
+    }
+
+    #[test]
+    fn insert_remove_and_liveness() {
+        let mut labels = LabelInterner::new();
+        let tau = 1;
+        let specs = ["{a{b}{c}{d}}", "{a{b}{c}{e}}", "{a{b}{c}{f}}"];
+        let trees: Vec<Tree> = specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let mut index = ShardedIndex::new(tau, WindowPolicy::Safe, &ShardConfig::with_shards(4));
+        for (i, tree) in trees.iter().enumerate() {
+            let (size, sgs) = subgraphs_for(tree, tau, i as TreeIdx);
+            index.insert_tree(i as TreeIdx, size, sgs);
+        }
+        assert_eq!(index.live_trees(), 3);
+
+        let probe = parse_bracket("{a{b}{c}{d}}", &mut labels).unwrap();
+        let found = probe_live(&index, &probe, tau, 3);
+        assert_eq!(found, vec![0, 1, 2]);
+
+        assert!(index.remove_tree(1));
+        assert!(!index.remove_tree(1), "double remove is a no-op");
+        assert!(!index.is_alive(1));
+        assert_eq!(index.live_trees(), 2);
+        let found = probe_live(&index, &probe, tau, 3);
+        assert_eq!(found, vec![0, 2], "removed tree no longer surfaces");
+    }
+
+    #[test]
+    fn compaction_triggers_and_preserves_results() {
+        let mut labels = LabelInterner::new();
+        let tau = 1;
+        let mut index = ShardedIndex::new(
+            tau,
+            WindowPolicy::Safe,
+            &ShardConfig {
+                shards: 2,
+                max_dead_fraction: 0.2,
+                min_dead_postings: 1,
+                ..Default::default()
+            },
+        );
+        let mut trees = Vec::new();
+        for i in 0..20u32 {
+            // Same shape, distinct leaf labels: all within TED 2 of each
+            // other but distinct trees.
+            let src = format!("{{a{{b}}{{c}}{{l{i}}}}}");
+            let tree = parse_bracket(&src, &mut labels).unwrap();
+            let (size, sgs) = subgraphs_for(&tree, tau, i);
+            index.insert_tree(i, size, sgs);
+            trees.push(tree);
+        }
+        for i in 0..10u32 {
+            index.remove_tree(i);
+        }
+        assert!(
+            index.compactions() > 0,
+            "dead fraction must trigger compaction"
+        );
+        assert_eq!(index.live_trees(), 10);
+        // After compaction the survivors still probe correctly.
+        let found = probe_live(&index, &trees[10], tau, 20);
+        assert_eq!(found, (10..20).collect::<Vec<_>>());
+        // And the dead postings were actually dropped somewhere.
+        assert!(index.dead_postings() < index.live_postings());
+    }
+
+    #[test]
+    fn without_replay_probes_and_removes_but_keeps_no_log() {
+        let mut labels = LabelInterner::new();
+        let tau = 1;
+        let specs = ["{a{b}{c}{d}}", "{a{b}{c}{e}}", "{a{b}{c}{f}}"];
+        let trees: Vec<Tree> = specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let mut index = ShardedIndex::new(tau, WindowPolicy::Safe, &ShardConfig::with_shards(4))
+            .without_replay();
+        for (i, tree) in trees.iter().enumerate() {
+            let (size, sgs) = subgraphs_for(tree, tau, i as TreeIdx);
+            index.insert_tree(i as TreeIdx, size, sgs);
+        }
+        let probe = parse_bracket("{a{b}{c}{d}}", &mut labels).unwrap();
+        assert_eq!(probe_live(&index, &probe, tau, 3), vec![0, 1, 2]);
+        // Removal still hides the tree from probes (liveness bitmap) even
+        // though nothing is tombstoned or compacted.
+        assert!(index.remove_tree(1));
+        assert_eq!(probe_live(&index, &probe, tau, 3), vec![0, 2]);
+        assert_eq!(index.dead_postings(), 0);
+        assert_eq!(index.compactions(), 0);
+    }
+
+    #[test]
+    fn small_trees_track_without_postings() {
+        let mut index = ShardedIndex::new(2, WindowPolicy::Safe, &ShardConfig::default());
+        index.track(0, 2);
+        assert!(index.is_alive(0));
+        assert_eq!(index.size_of(0), Some(2));
+        assert_eq!(index.live_postings(), 0);
+        assert!(index.remove_tree(0));
+        assert_eq!(index.live_trees(), 0);
+    }
+}

@@ -1,0 +1,315 @@
+//! Sliding-window streaming join over the sharded dynamic index.
+//!
+//! [`partsj::StreamingJoin`] is insert-only: its index grows forever,
+//! which no high-rate monitor can afford. [`ShardedStreamingJoin`]
+//! rebuilds the streaming scenario on [`ShardedIndex`], adding the two
+//! operations a sliding window needs — [`ShardedStreamingJoin::remove`]
+//! (explicit deletion) and automatic **eviction** under an
+//! [`EvictionPolicy`] (by window count or by logical timestamp). Evicted
+//! trees stop appearing as partners immediately; their postings are
+//! tombstoned and reclaimed by per-shard compaction, so index memory
+//! tracks the live window rather than the stream's lifetime.
+//!
+//! Per-tree bookkeeping (`4 B` stamp + liveness bit + size) still grows
+//! with the total stream length — ids are never recycled, keeping
+//! reported partner indices stable. At one insert per millisecond that
+//! is ~midnight-of-49-days before `u32` ids wrap; recycle ids upstream
+//! if you need longer-lived monitors.
+//!
+//! ```
+//! use partsj::PartSjConfig;
+//! use tsj_shard::{EvictionPolicy, ShardConfig, ShardedStreamingJoin};
+//! use tsj_tree::{parse_bracket, LabelInterner};
+//!
+//! let mut labels = LabelInterner::new();
+//! let mut join = ShardedStreamingJoin::new(
+//!     1,
+//!     PartSjConfig::default(),
+//!     ShardConfig::default(),
+//!     EvictionPolicy::SlidingCount(2), // keep the 2 most recent trees
+//! );
+//! let t0 = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+//! let t1 = parse_bracket("{a{b}{z}}", &mut labels).unwrap();
+//! assert!(join.insert(&t0).is_empty());
+//! assert_eq!(join.insert(&t1), vec![0]);
+//! // The third insert slides t0 out of the window: a re-submission of
+//! // t0's exact shape only finds t1 now.
+//! let t2 = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+//! assert_eq!(join.insert(&t2), vec![1]);
+//! // …and the next one finds only t2 (t1 was evicted in turn).
+//! let t3 = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+//! assert_eq!(join.insert(&t3), vec![2]);
+//! assert_eq!(join.evictions(), 2);
+//! ```
+
+use crate::index::{ShardConfig, ShardedIndex};
+use partsj::partition::cuts_for;
+use partsj::probe::ProbeCounters;
+use partsj::subgraph::build_subgraphs;
+use partsj::{LayerId, MatchCache, PartSjConfig, StampSink};
+use std::collections::VecDeque;
+use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
+
+/// When the sliding window lets go of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum EvictionPolicy {
+    /// Never evict — the plain streaming join, dynamic index included.
+    #[default]
+    Retain,
+    /// Keep at most this many most-recent trees (`0` keeps none).
+    SlidingCount(usize),
+    /// Keep trees whose logical timestamp is within `horizon` of the
+    /// newest insert: a tree stamped `t` is evicted once an insert
+    /// arrives at `now ≥ t + horizon`. [`ShardedStreamingJoin::insert`]
+    /// stamps arrival ordinals (0, 1, 2, …); use
+    /// [`ShardedStreamingJoin::insert_at`] for caller-supplied
+    /// (monotonic) timestamps.
+    SlidingTime(u64),
+}
+
+/// An online similarity self-join over a sliding window: insert trees as
+/// they arrive, learn each newcomer's partners among the *live* window,
+/// and let the policy expire old trees. See the [module
+/// docs](crate::streaming) for an example.
+#[derive(Debug)]
+pub struct ShardedStreamingJoin {
+    tau: u32,
+    config: PartSjConfig,
+    eviction: EvictionPolicy,
+    index: ShardedIndex,
+    small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
+    /// Verification handles; `None` once evicted (frees the bulk of the
+    /// per-tree memory).
+    prepared: Vec<Option<PreparedTree>>,
+    stamp: Vec<u32>,
+    caches: Vec<MatchCache>,
+    shard_scratch: Vec<usize>,
+    layer_scratch: Vec<LayerId>,
+    arrivals: VecDeque<(TreeIdx, u64)>,
+    /// Next auto-assigned timestamp for [`Self::insert`].
+    clock: u64,
+    /// Largest timestamp seen (monotonicity guard; equal is allowed).
+    last_ts: u64,
+    engine: TedEngine,
+    pairs_found: u64,
+    evictions: u64,
+}
+
+impl ShardedStreamingJoin {
+    /// Creates an empty sliding-window join at threshold `tau`.
+    pub fn new(
+        tau: u32,
+        config: PartSjConfig,
+        shard_cfg: ShardConfig,
+        eviction: EvictionPolicy,
+    ) -> ShardedStreamingJoin {
+        let index = ShardedIndex::new(tau, config.window, &shard_cfg);
+        let caches = (0..index.shard_count())
+            .map(|_| MatchCache::new())
+            .collect();
+        ShardedStreamingJoin {
+            tau,
+            config,
+            eviction,
+            index,
+            small_by_size: FxHashMap::default(),
+            prepared: Vec::new(),
+            stamp: Vec::new(),
+            caches,
+            shard_scratch: Vec::new(),
+            layer_scratch: Vec::new(),
+            arrivals: VecDeque::new(),
+            clock: 0,
+            last_ts: 0,
+            engine: TedEngine::unit(),
+            pairs_found: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Trees ever inserted (evicted ones included).
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Whether nothing was ever inserted.
+    pub fn is_empty(&self) -> bool {
+        self.prepared.is_empty()
+    }
+
+    /// Trees currently live in the window.
+    pub fn live(&self) -> usize {
+        self.index.live_trees()
+    }
+
+    /// Total result pairs reported so far.
+    pub fn pairs_found(&self) -> u64 {
+        self.pairs_found
+    }
+
+    /// Trees expired by the eviction policy or [`Self::remove`].
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Shard compactions performed so far (tombstone reclamation).
+    pub fn compactions(&self) -> u64 {
+        self.index.compactions()
+    }
+
+    /// Exact TED computations performed so far.
+    pub fn ted_calls(&self) -> u64 {
+        self.engine.computations()
+    }
+
+    /// The underlying sharded index (diagnostics).
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    /// Inserts `tree` at the next arrival ordinal and returns the live
+    /// partners within `τ`, ascending. Equivalent to
+    /// `insert_at(tree, arrival_ordinal)`.
+    pub fn insert(&mut self, tree: &Tree) -> Vec<TreeIdx> {
+        self.insert_at(tree, self.clock)
+    }
+
+    /// Inserts `tree` at logical time `ts` (must be ≥ every earlier
+    /// timestamp; equal timestamps — simultaneous arrivals — are fine)
+    /// and returns the live partners within `τ`, ascending.
+    ///
+    /// # Panics
+    /// Panics if `ts` is smaller than a previously supplied timestamp.
+    pub fn insert_at(&mut self, tree: &Tree, ts: u64) -> Vec<TreeIdx> {
+        assert!(ts >= self.last_ts, "timestamps must be monotonic");
+        self.last_ts = ts;
+        self.clock = ts + 1;
+        self.evict_for(ts);
+
+        let delta = 2 * self.tau as usize + 1;
+        let id = self.prepared.len() as TreeIdx;
+        let size = tree.len() as u32;
+        let lo = size.saturating_sub(self.tau).max(1);
+        let hi = size + self.tau;
+
+        // Candidates from the small-tree side lists (live only).
+        let mut candidates: Vec<TreeIdx> = Vec::new();
+        for n in lo..=hi {
+            if let Some(list) = self.small_by_size.get(&n) {
+                for &j in list {
+                    if self.index.is_alive(j) && self.stamp[j as usize] != id {
+                        self.stamp[j as usize] = id;
+                        candidates.push(j);
+                    }
+                }
+            }
+        }
+
+        // Candidates from the sharded index (dead trees filtered inside).
+        let binary = BinaryTree::from_tree(tree);
+        let posts = tree.postorder_numbers();
+        let mut counters = ProbeCounters::default();
+        let mut sink = StampSink {
+            stamp: &mut self.stamp,
+            marker: id,
+            candidates: &mut candidates,
+        };
+        self.index.probe_tree(
+            &binary,
+            &posts,
+            size,
+            lo,
+            hi,
+            self.config.matching,
+            &mut self.caches,
+            &mut self.shard_scratch,
+            &mut self.layer_scratch,
+            &mut counters,
+            &mut sink,
+        );
+
+        // Verify against the live window.
+        let prepared = PreparedTree::new(tree);
+        let mut partners: Vec<TreeIdx> = candidates
+            .into_iter()
+            .filter(|&j| {
+                let other = self.prepared[j as usize]
+                    .as_ref()
+                    .expect("live candidate has a prepared tree");
+                self.engine.within(other, &prepared, self.tau).is_some()
+            })
+            .collect();
+        partners.sort_unstable();
+        self.pairs_found += partners.len() as u64;
+
+        // Publish the newcomer.
+        if (size as usize) < delta {
+            self.index.track(id, size);
+            self.small_by_size.entry(size).or_default().push(id);
+        } else {
+            let cuts = cuts_for(&binary, delta, self.config.partitioning, u64::from(id));
+            let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
+            self.index.insert_tree(id, size, subgraphs);
+        }
+        self.prepared.push(Some(prepared));
+        self.stamp.push(u32::MAX);
+        self.arrivals.push_back((id, ts));
+        partners
+    }
+
+    /// Explicitly removes a live tree from the window (deletion, not
+    /// policy eviction — but counted in [`Self::evictions`] all the
+    /// same). Returns `false` if `id` is unknown or already gone.
+    pub fn remove(&mut self, id: TreeIdx) -> bool {
+        if !self.index.is_alive(id) {
+            return false;
+        }
+        self.expire(id);
+        true
+    }
+
+    /// Applies the eviction policy for an insert arriving at `now`.
+    fn evict_for(&mut self, now: u64) {
+        match self.eviction {
+            EvictionPolicy::Retain => {}
+            EvictionPolicy::SlidingCount(k) => {
+                // After the pending insert the window holds ≤ k trees.
+                let keep = k.saturating_sub(1);
+                while self.index.live_trees() > keep {
+                    let Some((id, _)) = self.arrivals.pop_front() else {
+                        break;
+                    };
+                    if self.index.is_alive(id) {
+                        self.expire(id);
+                    }
+                }
+            }
+            EvictionPolicy::SlidingTime(horizon) => {
+                while let Some(&(id, ts)) = self.arrivals.front() {
+                    if now < ts.saturating_add(horizon) {
+                        break;
+                    }
+                    self.arrivals.pop_front();
+                    if self.index.is_alive(id) {
+                        self.expire(id);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Drops one live tree: liveness bit, tombstones (with compaction),
+    /// prepared handle, and its small side-list slot if any.
+    fn expire(&mut self, id: TreeIdx) {
+        let size = self.index.size_of(id).expect("live tree has a size");
+        self.index.remove_tree(id);
+        self.prepared[id as usize] = None;
+        if (size as usize) < 2 * self.tau as usize + 1 {
+            if let Some(list) = self.small_by_size.get_mut(&size) {
+                list.retain(|&j| j != id);
+            }
+        }
+        self.evictions += 1;
+    }
+}

@@ -2,15 +2,19 @@
 //! paper's evaluation: "streaming workloads where tree objects (e.g., XML
 //! and HTML entities) are inserted and updated at a high rate".
 //!
-//! Documents arrive one at a time; [`partsj::StreamingJoin`] reports each
-//! newcomer's near-duplicates among everything seen so far, immediately,
-//! by probing and then extending the on-the-fly subgraph index.
+//! Documents arrive one at a time; the monitor reports each newcomer's
+//! near-duplicates among everything *currently live*, immediately. This
+//! example runs the sharded sliding-window join
+//! ([`tsj_shard::ShardedStreamingJoin`]): a marketplace rarely cares
+//! whether a listing duplicates one from last month, so the window keeps
+//! only the most recent documents — older ones are **evicted**, their
+//! index postings tombstoned and reclaimed by per-shard compaction, and
+//! they stop matching instantly.
 //!
 //! ```bash
 //! cargo run --release --example streaming_monitor
 //! ```
 
-use partsj::{PartSjConfig, StreamingJoin};
 use tree_similarity_join::prelude::*;
 
 fn main() {
@@ -41,19 +45,32 @@ fn main() {
             "v3 listing A",
             "{item{name{kbd}}{price{54}}{specs{color}{warranty}{rgb}}}",
         ),
+        // By now the earliest documents have slid out of the window: this
+        // exact copy of "v1 listing A" no longer matches it — only the
+        // still-live revisions of listing A are reported.
+        (
+            "copy of v1 A",
+            "{item{name{kbd}}{price{49}}{specs{color}{warranty}}}",
+        ),
     ];
 
-    let mut labels = LabelInterner::new();
     let tau = 2;
-    let mut monitor = StreamingJoin::new(tau, PartSjConfig::default());
+    let window = 4; // keep only the 4 most recent documents live
+    let mut labels = LabelInterner::new();
+    let mut monitor = ShardedStreamingJoin::new(
+        tau,
+        PartSjConfig::default(),
+        ShardConfig::default(),
+        EvictionPolicy::SlidingCount(window),
+    );
     let mut names: Vec<&str> = Vec::new();
 
-    println!("streaming monitor at tau = {tau}\n");
+    println!("sliding-window monitor: tau = {tau}, window = {window} docs\n");
     for (name, source) in feed {
         let tree = parse_bracket(source, &mut labels).expect("valid feed document");
         let partners = monitor.insert(&tree);
         if partners.is_empty() {
-            println!("insert {name:14} -> no near-duplicates");
+            println!("insert {name:14} -> no live near-duplicates");
         } else {
             let matched: Vec<&str> = partners.iter().map(|&j| names[j as usize]).collect();
             println!("insert {name:14} -> near-duplicate of {matched:?}");
@@ -62,9 +79,17 @@ fn main() {
     }
 
     println!(
-        "\nprocessed {} documents, reported {} pairs with {} exact TED calls",
+        "\nprocessed {} documents ({} live, {} evicted), reported {} pairs",
         monitor.len(),
+        monitor.live(),
+        monitor.evictions(),
         monitor.pairs_found(),
-        monitor.ted_calls()
+    );
+    println!(
+        "index: {} live postings, {} tombstoned, {} shard compactions, {} exact TED calls",
+        monitor.index().live_postings(),
+        monitor.index().dead_postings(),
+        monitor.compactions(),
+        monitor.ted_calls(),
     );
 }

@@ -42,15 +42,56 @@
 //! `JoinOutcome::pairs` is deterministic: every pair is normalized to
 //! `(i, j)` with `i < j`, sorted lexicographically and deduplicated, so
 //! results can be compared directly across methods and runs.
+//!
+//! ## R×S (bipartite) joins
+//!
+//! Joining two *different* collections — a reference catalog against an
+//! incoming feed, say — uses [`prelude::rs_join`] (an alias of
+//! [`partsj::partsj_join_rs`]). Pairs are `(left index, right index)` in
+//! their own index spaces, built with `JoinOutcome::new_bipartite`, so
+//! components are never swapped:
+//!
+//! ```
+//! use tree_similarity_join::prelude::*;
+//!
+//! let mut labels = LabelInterner::new();
+//! let catalog: Vec<_> = ["{item{kbd}{price}}", "{item{dock}{ports}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//! let feed: Vec<_> = ["{item{dock}{plug}}", "{page{nav}{body}}", "{item{kbd}{price}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//!
+//! let outcome = rs_join(&catalog, &feed, 1, &PartSjConfig::default());
+//! // catalog[0] ≈ feed[2] (exact) and catalog[1] ≈ feed[0] (one rename).
+//! assert_eq!(outcome.pairs, vec![(0, 2), (1, 0)]);
+//! ```
+//!
+//! ## Sharding and streaming at scale
+//!
+//! The [`shard`] crate (`tsj-shard`) partitions the subgraph index across
+//! shards keyed by container size class: `sharded_join` fans candidate
+//! generation out over worker threads (bit-identical results to
+//! `partsj_join`), `sharded_rs_join` does the same for R×S, and
+//! `ShardedStreamingJoin` adds deletion and sliding-window eviction
+//! (`EvictionPolicy`) on a dynamic index with tombstone compaction —
+//! see `examples/streaming_monitor.rs`.
 
 pub use partsj;
 pub use tsj_baselines as baselines;
 pub use tsj_datagen as datagen;
+pub use tsj_shard as shard;
 pub use tsj_ted as ted;
 pub use tsj_tree as tree;
 
 /// The most common imports in one place.
 pub mod prelude {
+    /// The bipartite join under its natural name (alias of
+    /// [`partsj::partsj_join_rs`]); outcomes are built with
+    /// [`tsj_ted::JoinOutcome::new_bipartite`].
+    pub use partsj::partsj_join_rs as rs_join;
     pub use partsj::{
         partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_parallel_auto,
         partsj_join_rs, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
@@ -59,6 +100,10 @@ pub mod prelude {
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
     pub use tsj_datagen::{
         collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, SyntheticParams,
+    };
+    pub use tsj_shard::{
+        sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardedIndex,
+        ShardedStreamingJoin,
     };
     pub use tsj_ted::{ted, JoinOutcome, JoinStats, TedEngine};
     pub use tsj_tree::{
