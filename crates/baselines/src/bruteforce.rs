@@ -90,7 +90,7 @@ pub fn brute_force_join_parallel(trees: &[Tree], tau: u32, threads: usize) -> Jo
         candidate_time: setup,
         verify_time: verify_start.elapsed(),
         ted_calls,
-        prefilter_skips: 0,
+        ..Default::default()
     };
     JoinOutcome::new(all_pairs, stats)
 }

@@ -1,0 +1,122 @@
+//! Verification-pipeline benchmarks: what the filter chain buys over
+//! bare exact-TED verification.
+//!
+//! * `verify_pipeline/check/*` — the [`partsj::VerifyEngine::check`]
+//!   micro-path over a fixed candidate list, full chain vs. no chain;
+//! * `verify_pipeline/join/*` — the end-to-end join under both
+//!   configurations (same dataset family as the `join/tau` series).
+//!
+//! Before the timings, the harness prints `verify_pipeline:` info lines
+//! with the candidates-per-TED-call ratio at τ ∈ {1, 3} on the
+//! `join/tau` dataset (synthetic, n = 150, seed 2015): the ratio is the
+//! figure-of-merit for the chain — how many candidates one cubic DP
+//! amortizes over — and `ted_calls` with the chain enabled must sit
+//! strictly below the filter-free count.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partsj::{partsj_join_with, PartSjConfig, VerifyConfig, VerifyData, VerifyEngine};
+use std::hint::black_box;
+use tsj_datagen::{swissprot_like, synthetic, SyntheticParams};
+use tsj_tree::Tree;
+
+fn chain_configs() -> [(&'static str, PartSjConfig); 2] {
+    [
+        ("full_chain", PartSjConfig::default()),
+        (
+            "ted_only",
+            PartSjConfig {
+                verify: VerifyConfig::NONE,
+                ..Default::default()
+            },
+        ),
+    ]
+}
+
+/// Size-window candidate pairs of a collection — the verifier's input
+/// distribution without the probe machinery in the measured loop.
+fn candidate_pairs(trees: &[Tree], tau: u32) -> Vec<(usize, usize)> {
+    let mut pairs = Vec::new();
+    for i in 0..trees.len() {
+        for j in (i + 1)..trees.len() {
+            if trees[i].len().abs_diff(trees[j].len()) as u32 <= tau {
+                pairs.push((i, j));
+            }
+        }
+    }
+    pairs
+}
+
+fn report_ratios() {
+    let trees = synthetic(150, &SyntheticParams::default(), 2015);
+    // `pr3_chain` is the pre-refactor pipeline (size + traversal-SED
+    // inline, no histogram, no early accept) — the baseline the new
+    // stages must beat on TED calls.
+    let pr3 = (
+        "pr3_chain",
+        PartSjConfig {
+            verify: VerifyConfig {
+                size: true,
+                traversal: true,
+                shape_accept: false,
+                histogram: false,
+            },
+            ..Default::default()
+        },
+    );
+    for tau in [1u32, 3] {
+        for (name, config) in chain_configs().into_iter().chain([pr3]) {
+            let outcome = partsj_join_with(&trees, tau, &config);
+            let stats = &outcome.stats;
+            let ratio = stats.candidates as f64 / (stats.ted_calls.max(1)) as f64;
+            println!(
+                "verify_pipeline: tau={tau} config={name} candidates={} ted_calls={} \
+                 prefilter_skips={} early_accepts={} candidates_per_ted={ratio:.2}",
+                stats.candidates, stats.ted_calls, stats.prefilter_skips, stats.early_accepts
+            );
+        }
+    }
+}
+
+fn bench_check(c: &mut Criterion) {
+    let trees = swissprot_like(90, 2015);
+    let data: Vec<VerifyData> = trees.iter().map(VerifyData::new).collect();
+    let mut group = c.benchmark_group("verify_pipeline/check");
+    for tau in [1u32, 3] {
+        let pairs = candidate_pairs(&trees, tau);
+        for (name, config) in chain_configs() {
+            group.bench_with_input(BenchmarkId::new(name, tau), &tau, |bench, &tau| {
+                bench.iter(|| {
+                    let mut engine = VerifyEngine::new(tau, &config);
+                    let mut within = 0usize;
+                    for &(i, j) in &pairs {
+                        within += usize::from(engine.check(&data[i], &data[j]).is_some());
+                    }
+                    black_box(within)
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_join(c: &mut Criterion) {
+    let trees = synthetic(150, &SyntheticParams::default(), 2015);
+    let mut group = c.benchmark_group("verify_pipeline/join");
+    for tau in [1u32, 3] {
+        for (name, config) in chain_configs() {
+            group.bench_with_input(BenchmarkId::new(name, tau), &tau, |bench, &tau| {
+                bench.iter(|| black_box(partsj_join_with(&trees, tau, &config)))
+            });
+        }
+    }
+    group.finish();
+}
+
+fn bench_all(c: &mut Criterion) {
+    report_ratios();
+    bench_check(c);
+    bench_join(c);
+}
+
+criterion_group!(benches, bench_all);
+criterion_main!(benches);

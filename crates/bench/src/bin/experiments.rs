@@ -28,7 +28,9 @@ use partsj::{
     WindowPolicy,
 };
 use std::time::Instant;
-use tsj_bench::{dataset_with_stats, render_table, secs, stats_row, Dataset, Method};
+use tsj_bench::{
+    dataset_with_stats, render_table, secs, stage_columns, stage_count, stats_row, Dataset, Method,
+};
 use tsj_datagen::{synthetic, SyntheticParams};
 use tsj_ted::JoinOutcome;
 use tsj_tree::Tree;
@@ -172,12 +174,7 @@ fn fig10_11(options: &Options, runtime: bool) {
                         secs(outcome.stats.total_time()),
                     ]);
                 } else {
-                    rows.push(vec![
-                        format!("{tau}"),
-                        method.name().into(),
-                        format!("{}", outcome.stats.candidates),
-                        format!("{}", outcome.stats.results),
-                    ]);
+                    rows.push(candidate_row(format!("{tau}"), method, &outcome.stats));
                 }
             }
         }
@@ -190,12 +187,31 @@ fn fig10_11(options: &Options, runtime: bool) {
                 )
             );
         } else {
-            println!(
-                "{}",
-                render_table(&["tau", "method", "candidates", "REL"], &rows)
-            );
+            println!("{}", render_table(&candidate_header("tau"), &rows));
         }
     }
+}
+
+/// Header of the candidate tables: key column, method, candidates, the
+/// per-stage kill counters, exact TED calls, and result pairs.
+fn candidate_header(key: &'static str) -> Vec<&'static str> {
+    let mut header = vec![key, "method", "candidates"];
+    header.extend(stage_columns());
+    header.push("ted calls");
+    header.push("REL");
+    header
+}
+
+/// One candidate-table row, aligned with [`candidate_header`]: where the
+/// method's candidates died, stage by stage, then the exact TED calls.
+fn candidate_row(key: String, method: Method, stats: &tsj_ted::JoinStats) -> Vec<String> {
+    let mut row = vec![key, method.name().into(), format!("{}", stats.candidates)];
+    for stage in stage_columns() {
+        row.push(format!("{}", stage_count(stats, stage)));
+    }
+    row.push(format!("{}", stats.ted_calls));
+    row.push(format!("{}", stats.results));
+    row
 }
 
 /// Figures 12 & 13: cardinality sweep at τ = 3.
@@ -227,12 +243,7 @@ fn fig12_13(options: &Options, runtime: bool) {
                         secs(outcome.stats.total_time()),
                     ]);
                 } else {
-                    rows.push(vec![
-                        format!("{n}"),
-                        method.name().into(),
-                        format!("{}", outcome.stats.candidates),
-                        format!("{}", outcome.stats.results),
-                    ]);
+                    rows.push(candidate_row(format!("{n}"), method, &outcome.stats));
                 }
             }
         }
@@ -245,10 +256,7 @@ fn fig12_13(options: &Options, runtime: bool) {
                 )
             );
         } else {
-            println!(
-                "{}",
-                render_table(&["trees", "method", "candidates", "REL"], &rows)
-            );
+            println!("{}", render_table(&candidate_header("trees"), &rows));
         }
     }
 }

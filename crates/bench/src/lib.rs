@@ -143,6 +143,24 @@ pub fn secs(d: Duration) -> String {
     format!("{:.3}", d.as_secs_f64())
 }
 
+/// The default verification chain's stage names, in chain order — the
+/// per-stage columns of the candidate tables (Figures 11/13). Derived
+/// from the engine itself so a renamed or newly spliced stage can never
+/// desync the tables.
+pub fn stage_columns() -> Vec<&'static str> {
+    partsj::VerifyEngine::with_filters(0, &partsj::VerifyConfig::default()).stage_names()
+}
+
+/// One stage's counter from a stats breakdown; `0` when the method ran
+/// without that stage (the STR/SET baselines, or a disabled toggle).
+pub fn stage_count(stats: &tsj_ted::JoinStats, stage: &str) -> u64 {
+    stats
+        .stage_counts
+        .iter()
+        .find(|c| c.stage == stage)
+        .map_or(0, |c| c.count)
+}
+
 /// Renders rows as an aligned plain-text table.
 pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
     let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();

@@ -78,6 +78,56 @@ pub enum MatchSemantics {
     Embedding,
 }
 
+/// Which stages the verification filter chain runs, in cost order (see
+/// [`crate::verify`] for the chain itself and the cost model).
+///
+/// Every stage is *sound* — lower-bound stages only reject pairs whose
+/// TED provably exceeds `τ`, upper-bound stages only admit pairs with a
+/// valid edit script of cost ≤ `τ` — so any combination of toggles yields
+/// the same result pairs as filter-free exact-TED verification (property
+/// tested in `tests/filter_soundness.rs` of both `partsj` and
+/// `tsj-shard`). Toggles only trade filter work against exact TED calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct VerifyConfig {
+    /// Size lower bound `||T1| − |T2||` (free: two cached lengths).
+    pub size: bool,
+    /// Rename-script early accept: if the two trees have identical
+    /// *shape* (preorder degree sequence), renaming the mismatched labels
+    /// in place is a valid edit script, so a label Hamming distance ≤ τ
+    /// admits the pair without the cubic TED DP. O(1) per pair via a
+    /// shape hash, O(n) on the rare hash hit.
+    pub shape_accept: bool,
+    /// Label-histogram L1 lower bound `⌈L1/2⌉` (Kailing et al.), over
+    /// sorted label multisets precomputed per tree at build time. O(n)
+    /// merge per pair.
+    pub histogram: bool,
+    /// Banded traversal-string SED lower bound
+    /// `max(SED(pre), SED(post)) ≤ TED` (Guha et al.). O(τ·n) per pair.
+    pub traversal: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> VerifyConfig {
+        VerifyConfig {
+            size: true,
+            shape_accept: true,
+            histogram: true,
+            traversal: true,
+        }
+    }
+}
+
+impl VerifyConfig {
+    /// Every stage disabled: verification is pure exact TED. The oracle
+    /// configuration of the filter-soundness property tests.
+    pub const NONE: VerifyConfig = VerifyConfig {
+        size: false,
+        shape_accept: false,
+        histogram: false,
+        traversal: false,
+    };
+}
+
 /// Full configuration of a PartSJ run.
 #[derive(Debug, Clone, Copy)]
 pub struct PartSjConfig {
@@ -94,6 +144,8 @@ pub struct PartSjConfig {
     /// Candidate pairs per batch sent to the parallel verifier pool.
     /// Batching amortizes channel synchronization across many pairs.
     pub verify_batch: usize,
+    /// Which verification filter stages run before exact TED.
+    pub verify: VerifyConfig,
 }
 
 impl Default for PartSjConfig {
@@ -104,6 +156,7 @@ impl Default for PartSjConfig {
             matching: MatchSemantics::default(),
             parallel_fallback: 64,
             verify_batch: 64,
+            verify: VerifyConfig::default(),
         }
     }
 }
@@ -131,5 +184,14 @@ mod tests {
         assert_eq!(config.matching, MatchSemantics::Exact);
         assert!(config.parallel_fallback > 0);
         assert!(config.verify_batch > 0);
+        assert_eq!(config.verify, VerifyConfig::default());
+    }
+
+    #[test]
+    fn default_chain_enables_every_stage() {
+        let verify = VerifyConfig::default();
+        assert!(verify.size && verify.shape_accept && verify.histogram && verify.traversal);
+        let none = VerifyConfig::NONE;
+        assert!(!(none.size || none.shape_accept || none.histogram || none.traversal));
     }
 }

@@ -22,9 +22,9 @@ use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
 use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
 use crate::subgraph::build_subgraphs;
+use crate::verify::{VerifyData, VerifyEngine};
 use std::time::Instant;
-use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// PartSJ-specific instrumentation beyond the common [`JoinStats`].
@@ -69,13 +69,15 @@ pub fn partsj_join_detailed(
     let mut detail = PartSjDetail::default();
 
     // Preprocessing: LC-RS representations for probing/partitioning and
-    // prepared trees for verification (charged to candidate generation,
-    // like the baselines' traversal strings and branch bags).
+    // per-tree verification data (charged to candidate generation, like
+    // the baselines' traversal strings and branch bags).
     let setup_start = Instant::now();
     let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
     let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
-    let traversals: Vec<TraversalStrings> = trees.iter().map(TraversalStrings::new).collect();
+    let data: Vec<VerifyData> = trees
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     stats.candidate_time += setup_start.elapsed();
@@ -85,7 +87,7 @@ pub fn partsj_join_detailed(
     // Pair-dedup stamps: stamp[j] == i means (i, j) is already a candidate
     // of the current probe i.
     let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
-    let mut engine = TedEngine::unit();
+    let mut verify = VerifyEngine::new(tau, config);
     let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
     // Scratch buffers reused across trees: candidate list, the resolved
     // size-layer window, and the per-node match memo.
@@ -141,19 +143,12 @@ pub fn partsj_join_detailed(
         stats.pairs_examined += candidates.len() as u64;
         stats.candidate_time += cand_start.elapsed();
 
-        // Verification, behind the cheap lower-bound filters: size (free)
-        // and banded traversal-string SED (`O(τ·n)` vs the cubic TED DP).
-        // Both are TED lower bounds, so skipping can never drop a result.
+        // Verification through the configured filter chain (cheap bounds
+        // first, exact TED only for undecided pairs — see
+        // [`crate::verify`] for the chain and its cost model).
         let verify_start = Instant::now();
         for &j in &candidates {
-            if size_bound(trees[i as usize].len(), trees[j as usize].len()) > tau
-                || !traversal_within(&traversals[i as usize], &traversals[j as usize], tau)
-            {
-                stats.prefilter_skips += 1;
-                continue;
-            }
-            let d = engine.distance(&prepared[i as usize], &prepared[j as usize]);
-            if d <= tau {
+            if verify.check(&data[i as usize], &data[j as usize]).is_some() {
                 pairs.push((j, i));
             }
         }
@@ -176,7 +171,7 @@ pub fn partsj_join_detailed(
     detail.match_attempts = counters.match_attempts;
     detail.matches = counters.matches;
     detail.index_registrations = index.registrations();
-    stats.ted_calls = engine.computations();
+    verify.fold_into(&mut stats);
     (JoinOutcome::new(pairs, stats), detail)
 }
 
@@ -259,10 +254,17 @@ mod tests {
         let (outcome, detail) = partsj_join_detailed(&trees, 1, &PartSjConfig::default());
         assert!(outcome.stats.candidates >= outcome.stats.results);
         assert!(detail.match_attempts >= detail.matches);
-        // Every candidate is either prefiltered away or TED-verified.
+        // Every candidate is resolved exactly once: rejected by a lower
+        // bound, admitted by an upper bound, or TED-verified.
         assert_eq!(
-            outcome.stats.ted_calls + outcome.stats.prefilter_skips,
+            outcome.stats.ted_calls + outcome.stats.prefilter_skips + outcome.stats.early_accepts,
             outcome.stats.candidates
+        );
+        // The per-stage breakdown sums to the pre-TED resolutions.
+        let staged: u64 = outcome.stats.stage_counts.iter().map(|c| c.count).sum();
+        assert_eq!(
+            staged,
+            outcome.stats.prefilter_skips + outcome.stats.early_accepts
         );
     }
 

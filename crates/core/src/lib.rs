@@ -51,8 +51,9 @@ pub mod rs_join;
 pub mod search;
 pub mod streaming;
 pub mod subgraph;
+pub mod verify;
 
-pub use config::{MatchSemantics, PartSjConfig, PartitionScheme, WindowPolicy};
+pub use config::{MatchSemantics, PartSjConfig, PartitionScheme, VerifyConfig, WindowPolicy};
 pub use index::{
     ComponentId, LayerId, MatchCache, PostorderLayer, SubgraphHandle, SubgraphIndex, SubgraphMeta,
     TwigKeys,
@@ -70,3 +71,4 @@ pub use subgraph::{
     build_subgraphs, nodes_match_at, subgraph_matches, subgraph_matches_with, ChildKind, SgNode,
     Subgraph,
 };
+pub use verify::{FilterStage, StageKind, StageVerdict, VerifyData, VerifyEngine};

@@ -8,20 +8,20 @@
 //! channel to a pool of verifier threads, each owning a private
 //! [`TedEngine`]. Batching amortizes channel synchronization over many
 //! pairs; the bound applies backpressure so a fast producer cannot queue
-//! unbounded memory ahead of slow verifiers. Workers apply the same cheap
-//! lower-bound prefilters (size, banded traversal-string SED) as the
-//! sequential join before paying for the cubic TED DP. Result sets are
-//! identical to the sequential join.
+//! unbounded memory ahead of slow verifiers. Each worker owns a private
+//! [`VerifyEngine`] running the same filter chain as the sequential join
+//! before paying for the cubic TED DP. Result sets are identical to the
+//! sequential join.
 
 use crate::config::PartSjConfig;
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
 use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters};
 use crate::subgraph::build_subgraphs;
+use crate::verify::{VerifyData, VerifyEngine};
 use crossbeam::channel;
 use std::time::Instant;
-use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// Sink that streams accepted candidates to the verifier pool in batches
@@ -91,8 +91,10 @@ pub fn partsj_join_parallel(
     let setup_start = Instant::now();
     let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
     let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
-    let traversals: Vec<TraversalStrings> = trees.iter().map(TraversalStrings::new).collect();
+    let data: Vec<VerifyData> = trees
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     let mut candidate_time = setup_start.elapsed();
@@ -101,32 +103,25 @@ pub fn partsj_join_parallel(
     // bounded so the producer cannot run away from slow verifiers.
     let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(threads * 4);
 
-    let (pairs, candidates_total, ted_calls, prefilter_skips) = crossbeam::scope(|scope| {
+    let (pairs, candidates_total, engines) = crossbeam::scope(|scope| {
         let workers: Vec<_> = (0..threads)
             .map(|_| {
                 let rx = rx.clone();
-                let prepared = &prepared;
-                let traversals = &traversals;
+                let data = &data;
                 scope.spawn(move |_| {
-                    let mut engine = TedEngine::unit();
+                    // One filter-chain engine per worker: private TED
+                    // workspace, private per-stage counters.
+                    let mut verify = VerifyEngine::new(tau, config);
                     let mut found = Vec::new();
-                    let mut skips = 0u64;
                     while let Ok(batch) = rx.recv() {
                         for (i, j) in batch {
                             let (i, j) = (i as usize, j as usize);
-                            if size_bound(prepared[i].len(), prepared[j].len()) > tau
-                                || !traversal_within(&traversals[i], &traversals[j], tau)
-                            {
-                                skips += 1;
-                                continue;
-                            }
-                            let d = engine.distance(&prepared[i], &prepared[j]);
-                            if d <= tau {
+                            if verify.check(&data[i], &data[j]).is_some() {
                                 found.push((j as TreeIdx, i as TreeIdx));
                             }
                         }
                     }
-                    (found, engine.computations(), skips)
+                    (found, verify)
                 })
             })
             .collect();
@@ -200,15 +195,13 @@ pub fn partsj_join_parallel(
         drop(tx);
 
         let mut pairs = Vec::new();
-        let mut ted_calls = 0u64;
-        let mut prefilter_skips = 0u64;
+        let mut engines = Vec::new();
         for worker in workers {
-            let (found, calls, skips) = worker.join().expect("verifier panicked");
+            let (found, engine) = worker.join().expect("verifier panicked");
             pairs.extend(found);
-            ted_calls += calls;
-            prefilter_skips += skips;
+            engines.push(engine);
         }
-        (pairs, candidates_total, ted_calls, prefilter_skips)
+        (pairs, candidates_total, engines)
     })
     .expect("crossbeam scope failed");
 
@@ -216,8 +209,9 @@ pub fn partsj_join_parallel(
     stats.verify_time = total_start.elapsed().saturating_sub(candidate_time);
     stats.candidates = candidates_total;
     stats.pairs_examined = candidates_total;
-    stats.ted_calls = ted_calls;
-    stats.prefilter_skips = prefilter_skips;
+    for engine in &engines {
+        engine.fold_into(&mut stats);
+    }
     JoinOutcome::new(pairs, stats)
 }
 

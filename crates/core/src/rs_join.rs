@@ -14,9 +14,9 @@ use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
 use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
 use crate::subgraph::build_subgraphs;
+use crate::verify::{VerifyData, VerifyEngine};
 use std::time::Instant;
-use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// R×S similarity join: all pairs `(i, j)` with `TED(left[i], right[j]) ≤
@@ -34,8 +34,10 @@ pub fn partsj_join_rs(
     let build_start = Instant::now();
     let mut index = SubgraphIndex::new(tau, config.window);
     let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
-    let left_prepared: Vec<PreparedTree> = left.iter().map(PreparedTree::new).collect();
-    let left_traversals: Vec<TraversalStrings> = left.iter().map(TraversalStrings::new).collect();
+    let left_data: Vec<VerifyData> = left
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
     for (i, tree) in left.iter().enumerate() {
         let size = tree.len() as u32;
         if (size as usize) < delta {
@@ -50,7 +52,7 @@ pub fn partsj_join_rs(
     stats.candidate_time += build_start.elapsed();
 
     // Probe phase: each right tree searches the left index.
-    let mut engine = TedEngine::unit();
+    let mut verify = VerifyEngine::new(tau, config);
     let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
     let mut stamp: Vec<u32> = vec![u32::MAX; left.len()];
     // Scratch reused across right trees.
@@ -105,29 +107,23 @@ pub fn partsj_join_rs(
         stats.candidate_time += probe_start.elapsed();
 
         let verify_start = Instant::now();
-        let prepared_j = PreparedTree::new(tree);
-        let traversals_j = TraversalStrings::new(tree);
+        let data_j = VerifyData::for_config(tree, &config.verify);
         for &i in &candidates {
-            if size_bound(left[i as usize].len(), tree.len()) > tau
-                || !traversal_within(&left_traversals[i as usize], &traversals_j, tau)
-            {
-                stats.prefilter_skips += 1;
-                continue;
-            }
-            if engine.distance(&left_prepared[i as usize], &prepared_j) <= tau {
+            if verify.check(&left_data[i as usize], &data_j).is_some() {
                 pairs.push((i, j as TreeIdx));
             }
         }
         stats.verify_time += verify_start.elapsed();
     }
 
-    stats.ted_calls = engine.computations();
+    verify.fold_into(&mut stats);
     JoinOutcome::new_bipartite(pairs, stats)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use tsj_ted::TedEngine;
     use tsj_tree::{parse_bracket, LabelInterner};
 
     fn collection(labels: &mut LabelInterner, specs: &[&str]) -> Vec<Tree> {

@@ -14,7 +14,8 @@ use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
 use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters};
 use crate::subgraph::build_subgraphs;
-use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
+use crate::verify::{VerifyData, VerifyEngine};
+use tsj_ted::TreeIdx;
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// A similarity-search index over a fixed collection.
@@ -40,7 +41,7 @@ pub struct SearchIndex {
     config: PartSjConfig,
     index: SubgraphIndex,
     small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
-    prepared: Vec<PreparedTree>,
+    data: Vec<VerifyData>,
 }
 
 impl SearchIndex {
@@ -67,18 +68,21 @@ impl SearchIndex {
             config,
             index,
             small_by_size,
-            prepared: collection.iter().map(PreparedTree::new).collect(),
+            data: collection
+                .iter()
+                .map(|t| VerifyData::for_config(t, &config.verify))
+                .collect(),
         }
     }
 
     /// Number of indexed trees.
     pub fn len(&self) -> usize {
-        self.prepared.len()
+        self.data.len()
     }
 
     /// Whether the collection is empty.
     pub fn is_empty(&self) -> bool {
-        self.prepared.is_empty()
+        self.data.is_empty()
     }
 
     /// The search threshold the index was built for.
@@ -89,13 +93,31 @@ impl SearchIndex {
     /// Finds all collection trees within `τ` of `query`, as ascending
     /// `(tree index, exact distance)` pairs.
     pub fn query(&self, query: &Tree) -> Vec<(TreeIdx, u32)> {
-        let mut engine = TedEngine::unit();
+        let mut engine = VerifyEngine::new(self.tau, &self.config);
         self.query_with_engine(query, &mut engine)
     }
 
-    /// Like [`SearchIndex::query`] but reusing a caller-owned engine
-    /// (avoids repeated workspace allocation across many queries).
-    pub fn query_with_engine(&self, query: &Tree, engine: &mut TedEngine) -> Vec<(TreeIdx, u32)> {
+    /// Like [`SearchIndex::query`] but reusing a caller-owned
+    /// [`VerifyEngine`] (avoids repeated workspace allocation across many
+    /// queries, and accumulates the per-stage counters). Reported
+    /// distances stay exact: the engine's
+    /// [`check_exact`](VerifyEngine::check_exact) only lets a stage
+    /// short-circuit when its certificate is provably tight.
+    ///
+    /// # Panics
+    /// Panics if the engine was built for a different threshold than the
+    /// index — candidate generation prunes at the index's `τ`, so a
+    /// mismatched engine would silently return wrong hit sets.
+    pub fn query_with_engine(
+        &self,
+        query: &Tree,
+        engine: &mut VerifyEngine,
+    ) -> Vec<(TreeIdx, u32)> {
+        assert_eq!(
+            engine.tau(),
+            self.tau,
+            "engine threshold must match the index threshold"
+        );
         let size_q = query.len() as u32;
         let lo = size_q.saturating_sub(self.tau).max(1);
         let hi = size_q + self.tau;
@@ -153,12 +175,12 @@ impl SearchIndex {
             &mut sink,
         );
 
-        let prepared_q = PreparedTree::new(query);
+        let data_q = VerifyData::for_config(query, &self.config.verify);
         let mut hits: Vec<(TreeIdx, u32)> = candidates
             .into_iter()
             .filter_map(|j| {
                 engine
-                    .within(&self.prepared[j as usize], &prepared_q, self.tau)
+                    .check_exact(&self.data[j as usize], &data_q)
                     .map(|d| (j, d))
             })
             .collect();
@@ -220,12 +242,15 @@ mod tests {
         let mut labels = LabelInterner::new();
         let trees = collection(&mut labels, &["{a{b}{c}}", "{a{b}{d}}"]);
         let index = SearchIndex::build(&trees, 1, PartSjConfig::default());
-        let mut engine = TedEngine::unit();
+        let mut engine = VerifyEngine::new(1, &PartSjConfig::default());
         let q = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
         let first = index.query_with_engine(&q, &mut engine);
         let second = index.query_with_engine(&q, &mut engine);
         assert_eq!(first, second);
-        assert!(engine.computations() >= 2);
+        // Both hits are identical/one-rename pairs: the shape-accept
+        // stage certifies their exact distances without any TED DP.
+        assert_eq!(engine.ted_calls(), 0);
+        assert_eq!(engine.early_accepts(), 4);
     }
 
     #[test]

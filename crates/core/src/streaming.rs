@@ -14,7 +14,8 @@ use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
 use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
 use crate::subgraph::build_subgraphs;
-use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
+use crate::verify::{VerifyData, VerifyEngine};
+use tsj_ted::TreeIdx;
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// An online similarity self-join: insert trees one at a time and learn,
@@ -40,9 +41,9 @@ pub struct StreamingJoin {
     config: PartSjConfig,
     index: SubgraphIndex,
     small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
-    prepared: Vec<PreparedTree>,
+    data: Vec<VerifyData>,
     stamp: Vec<u32>,
-    engine: TedEngine,
+    verify: VerifyEngine,
     pairs_found: u64,
 }
 
@@ -54,21 +55,21 @@ impl StreamingJoin {
             config,
             index: SubgraphIndex::new(tau, config.window),
             small_by_size: FxHashMap::default(),
-            prepared: Vec::new(),
+            data: Vec::new(),
             stamp: Vec::new(),
-            engine: TedEngine::unit(),
+            verify: VerifyEngine::new(tau, &config),
             pairs_found: 0,
         }
     }
 
     /// Number of trees inserted so far.
     pub fn len(&self) -> usize {
-        self.prepared.len()
+        self.data.len()
     }
 
     /// Whether no trees have been inserted.
     pub fn is_empty(&self) -> bool {
-        self.prepared.is_empty()
+        self.data.is_empty()
     }
 
     /// Total result pairs reported so far.
@@ -78,14 +79,19 @@ impl StreamingJoin {
 
     /// Exact TED computations performed so far.
     pub fn ted_calls(&self) -> u64 {
-        self.engine.computations()
+        self.verify.ted_calls()
+    }
+
+    /// The verification engine (per-stage counter diagnostics).
+    pub fn verify_engine(&self) -> &VerifyEngine {
+        &self.verify
     }
 
     /// Inserts `tree` and returns the indices (insertion order, 0-based)
     /// of all previously inserted trees within `τ`, ascending.
     pub fn insert(&mut self, tree: &Tree) -> Vec<TreeIdx> {
         let delta = 2 * self.tau as usize + 1;
-        let id = self.prepared.len() as TreeIdx;
+        let id = self.data.len() as TreeIdx;
         let marker = id;
         let size = tree.len() as u32;
         let lo = size.saturating_sub(self.tau).max(1);
@@ -131,14 +137,12 @@ impl StreamingJoin {
             &mut sink,
         );
 
-        let prepared = PreparedTree::new(tree);
+        let data = VerifyData::for_config(tree, &self.config.verify);
+        let verify = &mut self.verify;
+        let known = &self.data;
         let mut partners: Vec<TreeIdx> = candidates
             .into_iter()
-            .filter(|&j| {
-                self.engine
-                    .within(&self.prepared[j as usize], &prepared, self.tau)
-                    .is_some()
-            })
+            .filter(|&j| verify.check(&known[j as usize], &data).is_some())
             .collect();
         partners.sort_unstable();
         self.pairs_found += partners.len() as u64;
@@ -151,7 +155,7 @@ impl StreamingJoin {
             let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
             self.index.insert_tree(size, subgraphs);
         }
-        self.prepared.push(prepared);
+        self.data.push(data);
         self.stamp.push(u32::MAX);
         partners
     }
@@ -246,6 +250,24 @@ mod tests {
         }
         assert_eq!(stream.len(), 3);
         assert!(!stream.is_empty());
+        assert_eq!(stream.pairs_found(), 3);
+        // All three pairs are identical or one rename apart: the
+        // shape-accept stage resolves them without any exact TED.
+        assert_eq!(stream.ted_calls(), 0);
+        assert_eq!(stream.verify_engine().early_accepts(), 3);
+    }
+
+    #[test]
+    fn filter_free_stream_pays_ted_per_pair() {
+        let trees = collection(&["{a{b}{c}}", "{a{b}{c}}", "{a{b}{d}}"]);
+        let config = PartSjConfig {
+            verify: crate::config::VerifyConfig::NONE,
+            ..Default::default()
+        };
+        let mut stream = StreamingJoin::new(1, config);
+        for tree in &trees {
+            stream.insert(tree);
+        }
         assert_eq!(stream.pairs_found(), 3);
         assert!(stream.ted_calls() >= 3);
     }

@@ -1,0 +1,638 @@
+//! The unified verification engine: a pluggable chain of cheap bounds in
+//! front of exact TED.
+//!
+//! Every join entry point — sequential, parallel, R×S, streaming and
+//! search in this crate, plus all of `tsj-shard` — verifies candidate
+//! pairs the same way: run cheap distance *bounds* first and fall back to
+//! the cubic exact-TED DP only when no bound decides the pair. Before
+//! this module each entry point re-implemented that pipeline inline;
+//! [`VerifyEngine`] owns it once, so a new bound added here speeds up
+//! every entry point at the same time.
+//!
+//! ## The filter chain
+//!
+//! A [`VerifyEngine`] holds an ordered chain of [`FilterStage`]s, built
+//! from [`VerifyConfig`] and evaluated **cheapest first**:
+//!
+//! | # | stage | kind | per-pair cost | decides |
+//! |---|----------------|-------|----------------------|---------|
+//! | 1 | `size` | lower | O(1) | reject |
+//! | 2 | `shape-accept` | upper | O(1), O(n) on hit | accept |
+//! | 3 | `label-hist` | lower | O(n) merge | reject |
+//! | 4 | `traversal-sed`| lower | O(τ·n) banded DP | reject |
+//! | — | exact TED | — | O(n²·min-height²) DP | both |
+//!
+//! A **lower-bound** stage computes `lb ≤ TED` and rejects when
+//! `lb > τ`; rejection can never drop a true result. An **upper-bound**
+//! stage exhibits a concrete edit script of cost `ub ≥ TED` and accepts
+//! when `ub ≤ τ`; acceptance can never add a false result. Either way
+//! the pair is *resolved* without the expensive DP, and the stage's
+//! counter records it ([`JoinStats::stage_counts`]).
+//!
+//! ## Why the early accept hashes shapes instead of reusing SED
+//!
+//! A tempting upper bound is the exact traversal-string SED itself —
+//! "if `SED ≤ τ`, accept". It is **unsound**: SED of preorder/postorder
+//! strings *lower*-bounds TED (that is exactly why stage 4 may reject
+//! with it). The paper's own Figure 3 pair (`{1{2}{1{3}}}` vs
+//! `{1{2{1}{3}}}`) has `max(SED) = 2` but `TED = 3`, so SED-accepting at
+//! `τ = 2` would report a false pair — the regression test
+//! `sed_accept_would_be_unsound` pins this counterexample. The sound
+//! replacement: when two trees have the *same shape* (equal preorder
+//! degree sequences — which uniquely determine an ordered tree), renaming
+//! every label mismatch in place is a valid edit script, so the label
+//! Hamming distance upper-bounds TED. Near-duplicate corpora are full of
+//! rename-only pairs, which makes this the stage that eliminates most
+//! TED calls on the paper's workloads.
+
+use crate::config::{PartSjConfig, VerifyConfig};
+use std::hash::Hasher as _;
+use tsj_ted::bounds::{histogram_bound, label_histogram, traversal_within, TraversalStrings};
+use tsj_ted::{JoinStats, PreparedTree, StageCount, TedEngine};
+use tsj_tree::{FxHasher, Label, Tree};
+
+/// Per-tree verification inputs, precomputed once at index-build /
+/// data-prep time so every stage is allocation-free per pair.
+///
+/// Built with [`VerifyData::for_config`], only the inputs of *enabled*
+/// stages are materialized (disabled ones stay empty, and every stage
+/// skips itself on empty inputs — trees are never empty, so emptiness
+/// is unambiguous). A fully populated instance from [`VerifyData::new`]
+/// works with any chain.
+#[derive(Debug, Clone)]
+pub struct VerifyData {
+    /// Both TED decompositions, for the exact fallback.
+    pub prepared: PreparedTree,
+    /// Preorder/postorder label strings (traversal-SED stage; the
+    /// preorder string doubles as the rename-script label sequence).
+    pub traversals: TraversalStrings,
+    /// Sorted label multiset (label-histogram stage).
+    pub histogram: Vec<Label>,
+    /// Preorder child-count sequence — uniquely identifies the ordered
+    /// tree *shape* (shape-accept stage).
+    pub shape: Vec<u32>,
+    /// Fx-style hash of [`VerifyData::shape`]: O(1) shape inequality.
+    pub shape_hash: u64,
+}
+
+impl VerifyData {
+    /// Precomputes every stage's inputs for `tree`.
+    pub fn new(tree: &Tree) -> VerifyData {
+        VerifyData::for_config(
+            tree,
+            &VerifyConfig {
+                size: true,
+                shape_accept: true,
+                histogram: true,
+                traversal: true,
+            },
+        )
+    }
+
+    /// Precomputes the inputs of the stages `filters` enables; disabled
+    /// stages cost neither setup time nor memory.
+    pub fn for_config(tree: &Tree, filters: &VerifyConfig) -> VerifyData {
+        let mut shape = Vec::new();
+        let mut shape_hash = 0u64;
+        if filters.shape_accept {
+            shape.reserve_exact(tree.len());
+            let mut hasher = FxHasher::default();
+            for node in tree.preorder() {
+                let degree = tree.children(node).len() as u32;
+                shape.push(degree);
+                hasher.write_u32(degree);
+            }
+            shape_hash = hasher.finish();
+        }
+        VerifyData {
+            prepared: PreparedTree::new(tree),
+            // The shape-accept stage reads the preorder string too (the
+            // rename-script label sequence).
+            traversals: if filters.traversal || filters.shape_accept {
+                TraversalStrings::new(tree)
+            } else {
+                TraversalStrings {
+                    preorder: Vec::new(),
+                    postorder: Vec::new(),
+                }
+            },
+            histogram: if filters.histogram {
+                label_histogram(tree)
+            } else {
+                Vec::new()
+            },
+            shape,
+            shape_hash,
+        }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.prepared.len()
+    }
+
+    /// Trees are never empty.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+/// Whether a stage bounds TED from below (can only reject) or from above
+/// (can only accept).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// Computes `lb ≤ TED`; rejects when `lb > τ`.
+    LowerBound,
+    /// Exhibits an edit script of cost `ub ≥ TED`; accepts when `ub ≤ τ`.
+    UpperBound,
+}
+
+/// One stage's decision for one candidate pair.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageVerdict {
+    /// A lower bound exceeded `τ`: the pair is not a result.
+    Reject,
+    /// An upper bound certified the pair with the **exact** distance `d`
+    /// (the stage proved no cheaper script exists).
+    AcceptExact(u32),
+    /// An upper bound certified the pair: `TED ≤ d ≤ τ`, but `d` may
+    /// overestimate the true distance. Sufficient for joins (membership),
+    /// not for [`VerifyEngine::check_exact`] consumers.
+    AcceptWithin(u32),
+    /// No decision; evaluate the next stage (or exact TED).
+    Continue,
+}
+
+/// A pluggable verification filter. Implementations must be `Send + Sync`
+/// so parallel verify pools can build one chain per worker; all per-pair
+/// state lives in the [`VerifyData`] arguments.
+///
+/// To add a new bound: implement this trait (see the module docs for the
+/// soundness contract per [`StageKind`]), give it a distinct [`name`],
+/// and splice it into [`VerifyEngine::with_filters`] at its cost rank —
+/// every entry point picks it up through `PartSjConfig`.
+///
+/// [`name`]: FilterStage::name
+pub trait FilterStage: Send + Sync {
+    /// Stable stage name, used for [`StageCount`] reporting.
+    fn name(&self) -> &'static str;
+
+    /// Lower or upper bound (documents which verdicts are legal).
+    fn kind(&self) -> StageKind;
+
+    /// Evaluates the stage on one candidate pair at threshold `tau`.
+    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict;
+}
+
+/// Size lower bound `||T1| − |T2|| ≤ TED` (§3.2 footnote 1).
+struct SizeFilter;
+
+impl FilterStage for SizeFilter {
+    fn name(&self) -> &'static str {
+        "size"
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::LowerBound
+    }
+
+    #[inline]
+    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+        if a.len().abs_diff(b.len()) as u32 > tau {
+            StageVerdict::Reject
+        } else {
+            StageVerdict::Continue
+        }
+    }
+}
+
+/// Rename-script early accept: same shape ⇒ TED ≤ label Hamming
+/// distance. See the module docs for why this replaces the (unsound)
+/// SED-based accept.
+struct ShapeAcceptFilter;
+
+impl FilterStage for ShapeAcceptFilter {
+    fn name(&self) -> &'static str {
+        "shape-accept"
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::UpperBound
+    }
+
+    #[inline]
+    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+        // An empty shape means the input was built without this stage
+        // (trees are never empty): no decision. The preorder-length
+        // check rejects mixed-construction inputs the same way.
+        if a.shape.is_empty()
+            || a.shape_hash != b.shape_hash
+            || a.shape != b.shape
+            || a.traversals.preorder.len() != a.shape.len()
+            || b.traversals.preorder.len() != b.shape.len()
+        {
+            return StageVerdict::Continue;
+        }
+        // Equal preorder degree sequences ⇒ identical shapes; mapping
+        // nodes by preorder position and renaming every label mismatch is
+        // a valid edit script of cost `hamming`.
+        let mut hamming = 0u32;
+        for (&la, &lb) in a.traversals.preorder.iter().zip(&b.traversals.preorder) {
+            hamming += u32::from(la != lb);
+            if hamming > tau {
+                return StageVerdict::Continue;
+            }
+        }
+        // hamming = 0 ⇒ identical trees ⇒ TED = 0. hamming = 1 with
+        // equal sizes ⇒ the trees differ, so TED ≥ 1 — the bound is
+        // tight. From 2 on, mixed insert/delete scripts can be cheaper
+        // than renames, so the certificate is only an upper bound.
+        if hamming <= 1 {
+            StageVerdict::AcceptExact(hamming)
+        } else {
+            StageVerdict::AcceptWithin(hamming)
+        }
+    }
+}
+
+/// Label-histogram L1 lower bound `⌈L1/2⌉ ≤ TED` (Kailing et al.).
+struct HistogramFilter;
+
+impl FilterStage for HistogramFilter {
+    fn name(&self) -> &'static str {
+        "label-hist"
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::LowerBound
+    }
+
+    #[inline]
+    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+        // Empty histogram = input built without this stage: no decision
+        // (a one-sided empty histogram would inflate the L1 bound).
+        if a.histogram.is_empty() || b.histogram.is_empty() {
+            return StageVerdict::Continue;
+        }
+        if histogram_bound(&a.histogram, &b.histogram) > tau {
+            StageVerdict::Reject
+        } else {
+            StageVerdict::Continue
+        }
+    }
+}
+
+/// Banded traversal-string SED lower bound
+/// `max(SED(pre), SED(post)) ≤ TED` (Guha et al.).
+struct TraversalFilter;
+
+impl FilterStage for TraversalFilter {
+    fn name(&self) -> &'static str {
+        "traversal-sed"
+    }
+
+    fn kind(&self) -> StageKind {
+        StageKind::LowerBound
+    }
+
+    #[inline]
+    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+        // Empty strings = input built without this stage: no decision
+        // (a one-sided empty string would inflate the SED bound).
+        if a.traversals.preorder.is_empty() || b.traversals.preorder.is_empty() {
+            return StageVerdict::Continue;
+        }
+        if traversal_within(&a.traversals, &b.traversals, tau) {
+            StageVerdict::Continue
+        } else {
+            StageVerdict::Reject
+        }
+    }
+}
+
+/// The verification engine: one filter chain, one exact-TED engine, and
+/// the per-stage counters — everything one verifier thread needs.
+///
+/// Entry points create one engine per verifying thread (the sequential
+/// joins own one; the parallel and sharded pools build one per worker)
+/// and fold the counters into the run's [`JoinStats`] at the end with
+/// [`VerifyEngine::fold_into`].
+#[derive(Debug)]
+pub struct VerifyEngine {
+    tau: u32,
+    stages: Vec<Box<dyn FilterStage>>,
+    /// Pairs resolved per stage, aligned with `stages`.
+    counts: Vec<u64>,
+    /// Total lower-bound rejections (sum over lower stages).
+    lower_skips: u64,
+    /// Total upper-bound admissions (sum over upper stages).
+    early_accepts: u64,
+    ted: TedEngine,
+}
+
+impl std::fmt::Debug for dyn FilterStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FilterStage")
+            .field("name", &self.name())
+            .field("kind", &self.kind())
+            .finish()
+    }
+}
+
+impl VerifyEngine {
+    /// Engine for threshold `tau` with the chain configured in
+    /// `config.verify`.
+    pub fn new(tau: u32, config: &PartSjConfig) -> VerifyEngine {
+        VerifyEngine::with_filters(tau, &config.verify)
+    }
+
+    /// Engine for threshold `tau` with an explicit stage selection. The
+    /// chain is assembled cheapest-first regardless of the order the
+    /// flags are written.
+    pub fn with_filters(tau: u32, filters: &VerifyConfig) -> VerifyEngine {
+        let mut stages: Vec<Box<dyn FilterStage>> = Vec::new();
+        if filters.size {
+            stages.push(Box::new(SizeFilter));
+        }
+        if filters.shape_accept {
+            stages.push(Box::new(ShapeAcceptFilter));
+        }
+        if filters.histogram {
+            stages.push(Box::new(HistogramFilter));
+        }
+        if filters.traversal {
+            stages.push(Box::new(TraversalFilter));
+        }
+        let counts = vec![0; stages.len()];
+        VerifyEngine {
+            tau,
+            stages,
+            counts,
+            lower_skips: 0,
+            early_accepts: 0,
+            ted: TedEngine::unit(),
+        }
+    }
+
+    /// The threshold the engine verifies against.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Stage names in chain order.
+    pub fn stage_names(&self) -> Vec<&'static str> {
+        self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Exact TED computations performed so far.
+    pub fn ted_calls(&self) -> u64 {
+        self.ted.computations()
+    }
+
+    /// Pairs admitted by an upper bound without exact TED so far.
+    pub fn early_accepts(&self) -> u64 {
+        self.early_accepts
+    }
+
+    /// Pairs rejected by a lower bound so far.
+    pub fn prefilter_skips(&self) -> u64 {
+        self.lower_skips
+    }
+
+    /// Membership check: `Some(d)` iff `TED(a, b) ≤ τ`, where `d ≤ τ` is
+    /// a distance certificate — exact unless an [`AcceptWithin`] upper
+    /// bound resolved the pair first. Joins and streaming monitors (which
+    /// report pair *sets*) use this; use [`VerifyEngine::check_exact`]
+    /// when the caller surfaces the distance value.
+    ///
+    /// [`AcceptWithin`]: StageVerdict::AcceptWithin
+    pub fn check(&mut self, a: &VerifyData, b: &VerifyData) -> Option<u32> {
+        for (idx, stage) in self.stages.iter().enumerate() {
+            match stage.apply(a, b, self.tau) {
+                StageVerdict::Reject => {
+                    self.counts[idx] += 1;
+                    self.lower_skips += 1;
+                    return None;
+                }
+                StageVerdict::AcceptExact(d) | StageVerdict::AcceptWithin(d) => {
+                    self.counts[idx] += 1;
+                    self.early_accepts += 1;
+                    return Some(d);
+                }
+                StageVerdict::Continue => {}
+            }
+        }
+        let d = self.ted.distance(&a.prepared, &b.prepared);
+        (d <= self.tau).then_some(d)
+    }
+
+    /// Like [`VerifyEngine::check`] but the returned distance is always
+    /// **exact**: upper-bound stages only short-circuit when their
+    /// certificate is provably tight ([`StageVerdict::AcceptExact`]);
+    /// otherwise the pair falls through to the exact TED DP. Similarity
+    /// search uses this to report `(tree, distance)` hits.
+    pub fn check_exact(&mut self, a: &VerifyData, b: &VerifyData) -> Option<u32> {
+        for (idx, stage) in self.stages.iter().enumerate() {
+            match stage.apply(a, b, self.tau) {
+                StageVerdict::Reject => {
+                    self.counts[idx] += 1;
+                    self.lower_skips += 1;
+                    return None;
+                }
+                StageVerdict::AcceptExact(d) => {
+                    self.counts[idx] += 1;
+                    self.early_accepts += 1;
+                    return Some(d);
+                }
+                StageVerdict::AcceptWithin(_) | StageVerdict::Continue => {}
+            }
+        }
+        let d = self.ted.distance(&a.prepared, &b.prepared);
+        (d <= self.tau).then_some(d)
+    }
+
+    /// Folds this engine's counters into `stats`: TED calls, total
+    /// lower-bound skips, upper-bound accepts, and the per-stage
+    /// breakdown. Engines folded into the same `stats` must share the
+    /// chain configuration (the parallel pools do: every worker builds
+    /// from the same `PartSjConfig`).
+    pub fn fold_into(&self, stats: &mut JoinStats) {
+        stats.ted_calls += self.ted.computations();
+        stats.prefilter_skips += self.lower_skips;
+        stats.early_accepts += self.early_accepts;
+        if stats.stage_counts.is_empty() {
+            stats.stage_counts = self
+                .stages
+                .iter()
+                .map(|s| StageCount {
+                    stage: s.name(),
+                    count: 0,
+                })
+                .collect();
+        }
+        debug_assert_eq!(stats.stage_counts.len(), self.counts.len());
+        for (slot, &count) in stats.stage_counts.iter_mut().zip(&self.counts) {
+            slot.count += count;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::{parse_bracket, LabelInterner};
+
+    fn data(specs: &[&str]) -> Vec<VerifyData> {
+        let mut labels = LabelInterner::new();
+        specs
+            .iter()
+            .map(|s| VerifyData::new(&parse_bracket(s, &mut labels).unwrap()))
+            .collect()
+    }
+
+    #[test]
+    fn default_chain_order_is_cheapest_first() {
+        let engine = VerifyEngine::with_filters(1, &VerifyConfig::default());
+        assert_eq!(
+            engine.stage_names(),
+            vec!["size", "shape-accept", "label-hist", "traversal-sed"]
+        );
+        let empty = VerifyEngine::with_filters(1, &VerifyConfig::NONE);
+        assert!(empty.stage_names().is_empty());
+    }
+
+    #[test]
+    fn identical_trees_accept_without_ted() {
+        let d = data(&["{a{b}{c}}", "{a{b}{c}}"]);
+        let mut engine = VerifyEngine::with_filters(0, &VerifyConfig::default());
+        assert_eq!(engine.check(&d[0], &d[1]), Some(0));
+        assert_eq!(engine.ted_calls(), 0);
+        assert_eq!(engine.early_accepts(), 1);
+    }
+
+    #[test]
+    fn rename_only_pair_accepts_exactly() {
+        let d = data(&["{a{b}{c}}", "{a{b}{z}}"]);
+        let mut engine = VerifyEngine::with_filters(1, &VerifyConfig::default());
+        // One rename: exact certificate, both check flavours short-circuit.
+        assert_eq!(engine.check_exact(&d[0], &d[1]), Some(1));
+        assert_eq!(engine.ted_calls(), 0);
+    }
+
+    #[test]
+    fn inexact_certificate_falls_through_in_check_exact() {
+        // Path a→b→c vs b→c→a: same shape, hamming 3, but TED = 2
+        // (delete the root `a`, insert `a` below `c`).
+        let d = data(&["{a{b{c}}}", "{b{c{a}}}"]);
+        let mut engine = VerifyEngine::with_filters(3, &VerifyConfig::default());
+        assert_eq!(engine.check(&d[0], &d[1]), Some(3), "upper certificate");
+        assert_eq!(engine.ted_calls(), 0);
+        assert_eq!(engine.check_exact(&d[0], &d[1]), Some(2), "exact distance");
+        assert_eq!(engine.ted_calls(), 1);
+    }
+
+    #[test]
+    fn sed_accept_would_be_unsound() {
+        // Figure 3 of the paper: max(SED(pre), SED(post)) = 2 < TED = 3.
+        // An "exact SED ≤ τ accepts" stage would report a false pair at
+        // τ = 2; the shape-accept stage must not (shapes differ here).
+        let d = data(&["{1{2}{1{3}}}", "{1{2{1}{3}}}"]);
+        assert!(traversal_within(&d[0].traversals, &d[1].traversals, 2));
+        let mut engine = VerifyEngine::with_filters(2, &VerifyConfig::default());
+        assert_eq!(engine.check(&d[0], &d[1]), None);
+        assert_eq!(engine.ted_calls(), 1, "only exact TED may decide");
+    }
+
+    #[test]
+    fn size_rejects_before_any_work() {
+        let d = data(&["{a{b}{c}{d}{e}}", "{a}"]);
+        let mut engine = VerifyEngine::with_filters(2, &VerifyConfig::default());
+        assert_eq!(engine.check(&d[0], &d[1]), None);
+        assert_eq!(engine.ted_calls(), 0);
+        assert_eq!(engine.prefilter_skips(), 1);
+    }
+
+    #[test]
+    fn histogram_rejects_disjoint_labels() {
+        // Same size and shape-compatible, but entirely different labels:
+        // L1 = 6 ⇒ bound 3 > τ = 2 (traversal never runs — its stage
+        // count stays 0).
+        let d = data(&["{a{b}{c}}", "{x{y}{z}}"]);
+        let mut engine = VerifyEngine::with_filters(2, &VerifyConfig::default());
+        assert_eq!(engine.check(&d[0], &d[1]), None);
+        assert_eq!(engine.ted_calls(), 0);
+        let mut stats = JoinStats::default();
+        engine.fold_into(&mut stats);
+        let hist = stats
+            .stage_counts
+            .iter()
+            .find(|c| c.stage == "label-hist")
+            .unwrap();
+        assert_eq!(hist.count, 1);
+    }
+
+    #[test]
+    fn disabled_chain_is_pure_ted() {
+        let d = data(&["{a{b}{c}}", "{a{b}{c}}", "{q{r}{s}}"]);
+        let mut engine = VerifyEngine::with_filters(1, &VerifyConfig::NONE);
+        assert_eq!(engine.check(&d[0], &d[1]), Some(0));
+        assert_eq!(engine.check(&d[0], &d[2]), None);
+        assert_eq!(engine.ted_calls(), 2, "every pair pays exact TED");
+        let mut stats = JoinStats::default();
+        engine.fold_into(&mut stats);
+        assert!(stats.stage_counts.is_empty());
+        assert_eq!(stats.ted_calls, 2);
+    }
+
+    #[test]
+    fn fold_into_merges_worker_engines() {
+        let d = data(&["{a{b}{c}}", "{a{b}{c}}", "{a{b}{z}}", "{m{n{o{p{q}}}}}"]);
+        let mut stats = JoinStats::default();
+        let mut w1 = VerifyEngine::with_filters(1, &VerifyConfig::default());
+        let mut w2 = VerifyEngine::with_filters(1, &VerifyConfig::default());
+        w1.check(&d[0], &d[1]); // shape-accept
+        w2.check(&d[0], &d[3]); // size reject
+        w2.check(&d[1], &d[2]); // shape-accept (rename)
+        w1.fold_into(&mut stats);
+        w2.fold_into(&mut stats);
+        assert_eq!(stats.early_accepts, 2);
+        assert_eq!(stats.prefilter_skips, 1);
+        assert_eq!(stats.stage_counts.len(), 4);
+        assert_eq!(stats.stage_counts[0].count, 1, "size");
+        assert_eq!(stats.stage_counts[1].count, 2, "shape-accept");
+    }
+
+    #[test]
+    fn for_config_skips_disabled_stage_inputs() {
+        let mut labels = LabelInterner::new();
+        let tree = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+        let bare = VerifyData::for_config(&tree, &VerifyConfig::NONE);
+        assert!(bare.histogram.is_empty());
+        assert!(bare.shape.is_empty());
+        assert!(bare.traversals.preorder.is_empty());
+        // Stage-less inputs under a full chain: every stage must abstain
+        // (not mis-decide on the empty vectors) and exact TED decides.
+        let other = VerifyData::for_config(
+            &parse_bracket("{a{b}{z}}", &mut labels).unwrap(),
+            &VerifyConfig::NONE,
+        );
+        let mut engine = VerifyEngine::with_filters(1, &VerifyConfig::default());
+        assert_eq!(engine.check(&bare, &other), Some(1));
+        assert_eq!(engine.ted_calls(), 1);
+        assert_eq!(engine.early_accepts(), 0);
+        assert_eq!(engine.prefilter_skips(), 0);
+    }
+
+    #[test]
+    fn shape_hash_distinguishes_shapes_sharing_labels() {
+        let d = data(&["{a{b}{c}}", "{a{b{c}}}"]);
+        assert_ne!(d[0].shape_hash, d[1].shape_hash);
+        assert_ne!(d[0].shape, d[1].shape);
+        // Same labels, different shape: stage must not accept.
+        let mut engine = VerifyEngine::with_filters(2, &VerifyConfig::default());
+        assert_eq!(engine.check(&d[0], &d[1]), Some(2));
+        assert_eq!(engine.ted_calls(), 1);
+    }
+}

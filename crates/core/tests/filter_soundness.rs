@@ -1,0 +1,210 @@
+//! Filter-chain soundness: every verification-chain configuration —
+//! each stage toggled on/off, across thresholds and window policies —
+//! must yield result pairs identical to filter-free exact-TED
+//! verification. Lower-bound stages may only *reject* pairs whose TED
+//! provably exceeds `τ`; upper-bound stages may only *admit* pairs with a
+//! valid edit script of cost ≤ `τ`; so the chain never changes the
+//! answer, only where candidates die.
+
+use partsj::{
+    partsj_join_parallel, partsj_join_rs, partsj_join_with, PartSjConfig, SearchIndex,
+    StreamingJoin, VerifyConfig, VerifyEngine, WindowPolicy,
+};
+use tsj_datagen::{swissprot_like, synthetic, SyntheticParams};
+use tsj_ted::{ted, TreeIdx};
+use tsj_tree::Tree;
+
+/// Every subset of the four stages.
+fn all_verify_configs() -> Vec<VerifyConfig> {
+    (0u32..16)
+        .map(|mask| VerifyConfig {
+            size: mask & 1 != 0,
+            shape_accept: mask & 2 != 0,
+            histogram: mask & 4 != 0,
+            traversal: mask & 8 != 0,
+        })
+        .collect()
+}
+
+fn collection(n: usize, avg_size: usize, seed: u64) -> Vec<Tree> {
+    synthetic(
+        n,
+        &SyntheticParams {
+            avg_size,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn every_chain_config_matches_filter_free_join() {
+    // swissprot_like is mother-tree based: lots of near-duplicate
+    // (rename-only) pairs, so the shape-accept stage actually fires.
+    let trees = swissprot_like(70, 99);
+    for window in [
+        WindowPolicy::Safe,
+        WindowPolicy::Tight,
+        WindowPolicy::PaperAbsolute,
+    ] {
+        for tau in [0u32, 1, 3] {
+            let reference = partsj_join_with(
+                &trees,
+                tau,
+                &PartSjConfig {
+                    window,
+                    verify: VerifyConfig::NONE,
+                    ..Default::default()
+                },
+            );
+            for verify in all_verify_configs() {
+                let config = PartSjConfig {
+                    window,
+                    verify,
+                    ..Default::default()
+                };
+                let outcome = partsj_join_with(&trees, tau, &config);
+                assert_eq!(
+                    outcome.pairs, reference.pairs,
+                    "window = {window:?}, tau = {tau}, verify = {verify:?}"
+                );
+                // Conservation: every candidate is resolved exactly once.
+                assert_eq!(
+                    outcome.stats.ted_calls
+                        + outcome.stats.prefilter_skips
+                        + outcome.stats.early_accepts,
+                    outcome.stats.candidates,
+                    "window = {window:?}, tau = {tau}, verify = {verify:?}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn full_chain_reduces_ted_calls_on_near_duplicates() {
+    let trees = swissprot_like(80, 7);
+    for tau in [1u32, 3] {
+        let bare = partsj_join_with(
+            &trees,
+            tau,
+            &PartSjConfig {
+                verify: VerifyConfig::NONE,
+                ..Default::default()
+            },
+        );
+        let full = partsj_join_with(&trees, tau, &PartSjConfig::default());
+        assert_eq!(full.pairs, bare.pairs);
+        assert!(
+            full.stats.ted_calls < bare.stats.ted_calls,
+            "tau = {tau}: chain must cut TED calls ({} vs {})",
+            full.stats.ted_calls,
+            bare.stats.ted_calls
+        );
+        assert!(full.stats.early_accepts > 0, "tau = {tau}");
+        assert_eq!(full.stats.stage_counts.len(), 4);
+    }
+}
+
+#[test]
+fn parallel_join_is_sound_for_every_chain_config() {
+    let trees = collection(90, 20, 11);
+    let tau = 2;
+    let reference = partsj_join_with(
+        &trees,
+        tau,
+        &PartSjConfig {
+            verify: VerifyConfig::NONE,
+            ..Default::default()
+        },
+    );
+    for verify in all_verify_configs() {
+        let config = PartSjConfig {
+            verify,
+            parallel_fallback: 0,
+            ..Default::default()
+        };
+        let outcome = partsj_join_parallel(&trees, tau, &config, 3);
+        assert_eq!(outcome.pairs, reference.pairs, "verify = {verify:?}");
+    }
+}
+
+#[test]
+fn rs_join_is_sound_for_every_chain_config() {
+    let left = collection(40, 18, 3);
+    let right = swissprot_like(40, 4);
+    let tau = 2;
+    let reference = partsj_join_rs(
+        &left,
+        &right,
+        tau,
+        &PartSjConfig {
+            verify: VerifyConfig::NONE,
+            ..Default::default()
+        },
+    );
+    for verify in all_verify_configs() {
+        let config = PartSjConfig {
+            verify,
+            ..Default::default()
+        };
+        let outcome = partsj_join_rs(&left, &right, tau, &config);
+        assert_eq!(outcome.pairs, reference.pairs, "verify = {verify:?}");
+    }
+}
+
+#[test]
+fn streaming_join_is_sound_for_every_chain_config() {
+    let trees = swissprot_like(50, 21);
+    let tau = 1;
+    let collect = |verify: VerifyConfig| -> Vec<(TreeIdx, TreeIdx)> {
+        let config = PartSjConfig {
+            verify,
+            ..Default::default()
+        };
+        let mut stream = StreamingJoin::new(tau, config);
+        let mut pairs = Vec::new();
+        for (i, tree) in trees.iter().enumerate() {
+            for j in stream.insert(tree) {
+                pairs.push((j, i as TreeIdx));
+            }
+        }
+        pairs
+    };
+    let reference = collect(VerifyConfig::NONE);
+    for verify in all_verify_configs() {
+        assert_eq!(collect(verify), reference, "verify = {verify:?}");
+    }
+}
+
+#[test]
+fn search_distances_stay_exact_for_every_chain_config() {
+    // `check_exact` must never surface an inexact upper-bound
+    // certificate: hits are compared against brute-force TED values.
+    let trees = swissprot_like(40, 33);
+    let queries = swissprot_like(8, 34);
+    let tau = 2;
+    for verify in all_verify_configs() {
+        let config = PartSjConfig {
+            verify,
+            ..Default::default()
+        };
+        let index = SearchIndex::build(&trees, tau, config);
+        let mut engine = VerifyEngine::new(tau, &config);
+        for query in &queries {
+            let expected: Vec<(TreeIdx, u32)> = trees
+                .iter()
+                .enumerate()
+                .filter_map(|(i, t)| {
+                    let d = ted(t, query);
+                    (d <= tau).then_some((i as TreeIdx, d))
+                })
+                .collect();
+            assert_eq!(
+                index.query_with_engine(query, &mut engine),
+                expected,
+                "verify = {verify:?}"
+            );
+        }
+    }
+}

@@ -17,8 +17,9 @@
 //!    set per tree is *identical* and every unordered pair is still
 //!    considered exactly once.
 //! 3. **Verify**: candidate batches stream over the bounded channel to
-//!    the same prefilter + exact-TED verifier pool as
-//!    [`partsj::partsj_join_parallel`].
+//!    the same verifier pool as [`partsj::partsj_join_parallel`] — one
+//!    [`partsj::VerifyEngine`] filter chain per worker in front of exact
+//!    TED.
 //!
 //! Result pairs are bit-identical to [`partsj::partsj_join`] for every
 //! shard count and thread count (asserted across the property suite).
@@ -29,11 +30,10 @@ use partsj::join::PartSjDetail;
 use partsj::partition::cuts_for;
 use partsj::probe::{CandidateSink, ProbeCounters};
 use partsj::subgraph::{build_subgraphs, Subgraph};
-use partsj::{LayerId, MatchCache, PartSjConfig};
+use partsj::{LayerId, MatchCache, PartSjConfig, VerifyData, VerifyEngine};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// Probe trees claimed per cursor bump — small enough to balance the
@@ -92,8 +92,10 @@ pub fn sharded_join_detailed(
     // Shared read-only preprocessing.
     let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
     let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
-    let traversals: Vec<TraversalStrings> = trees.iter().map(TraversalStrings::new).collect();
+    let data: Vec<VerifyData> = trees
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     let mut rank: Vec<u32> = vec![0; trees.len()];
@@ -135,7 +137,7 @@ pub fn sharded_join_detailed(
     if !parallel {
         // Inline probe + verify (still sharded — same index, same rank
         // filter — just no thread pools).
-        let mut engine = TedEngine::unit();
+        let mut verify = VerifyEngine::new(tau, config);
         let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
         let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
         let mut caches: Vec<MatchCache> = (0..index.shard_count())
@@ -186,13 +188,7 @@ pub fn sharded_join_detailed(
 
             let verify_start = Instant::now();
             for &j in &candidates {
-                if size_bound(trees[i as usize].len(), trees[j as usize].len()) > tau
-                    || !traversal_within(&traversals[i as usize], &traversals[j as usize], tau)
-                {
-                    stats.prefilter_skips += 1;
-                    continue;
-                }
-                if engine.distance(&prepared[i as usize], &prepared[j as usize]) <= tau {
+                if verify.check(&data[i as usize], &data[j as usize]).is_some() {
                     pairs.push((j, i));
                 }
             }
@@ -203,7 +199,7 @@ pub fn sharded_join_detailed(
         detail.matches = counters.matches;
         stats.pairs_examined = stats.candidates;
         stats.candidate_time = candidate_time;
-        stats.ted_calls = engine.computations();
+        verify.fold_into(&mut stats);
         return (JoinOutcome::new(pairs, stats), detail);
     }
 
@@ -213,160 +209,143 @@ pub fn sharded_join_detailed(
     let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(verify_threads * 4);
     let cursor = AtomicUsize::new(0);
     let index_ref = &index;
-    let (
-        pairs,
-        candidates_total,
-        small_candidates,
-        counters,
-        ted_calls,
-        prefilter_skips,
-        probe_wall,
-    ) = crossbeam::scope(|scope| {
-        let verifiers: Vec<_> = (0..verify_threads)
-            .map(|_| {
-                let rx = rx.clone();
-                let prepared = &prepared;
-                let traversals = &traversals;
-                scope.spawn(move |_| {
-                    let mut engine = TedEngine::unit();
-                    let mut found = Vec::new();
-                    let mut skips = 0u64;
-                    while let Ok(batch) = rx.recv() {
-                        for (i, j) in batch {
-                            let (i, j) = (i as usize, j as usize);
-                            if size_bound(prepared[i].len(), prepared[j].len()) > tau
-                                || !traversal_within(&traversals[i], &traversals[j], tau)
-                            {
-                                skips += 1;
-                                continue;
-                            }
-                            if engine.distance(&prepared[i], &prepared[j]) <= tau {
-                                found.push((j as TreeIdx, i as TreeIdx));
-                            }
-                        }
-                    }
-                    (found, engine.computations(), skips)
-                })
-            })
-            .collect();
-        drop(rx);
-
-        let probers: Vec<_> = (0..probe_threads)
-            .map(|_| {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let order = &order;
-                let rank = &rank;
-                let binaries = &binaries;
-                let general_posts = &general_posts;
-                let small_by_size = &small_by_size;
-                scope.spawn(move |_| {
-                    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
-                    let mut caches: Vec<MatchCache> = (0..index_ref.shard_count())
-                        .map(|_| MatchCache::new())
-                        .collect();
-                    let mut shard_scratch: Vec<usize> = Vec::new();
-                    let mut layer_scratch: Vec<LayerId> = Vec::new();
-                    let mut candidates: Vec<TreeIdx> = Vec::new();
-                    let mut counters = ProbeCounters::default();
-                    let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
-                    let mut candidates_total = 0u64;
-                    let mut small_candidates = 0u64;
-                    loop {
-                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                        if start >= order.len() {
-                            break;
-                        }
-                        for &i in &order[start..(start + CLAIM_CHUNK).min(order.len())] {
-                            let size_i = trees[i as usize].len() as u32;
-                            let lo = size_i.saturating_sub(tau).max(1);
-                            candidates.clear();
-                            small_candidates += admit_small(
-                                small_by_size,
-                                lo,
-                                size_i,
-                                rank,
-                                i,
-                                &mut stamp,
-                                &mut candidates,
-                            );
-                            let mut sink = RankSink {
-                                stamp: &mut stamp,
-                                marker: i,
-                                rank,
-                                my_rank: rank[i as usize],
-                                candidates: &mut candidates,
-                            };
-                            index_ref.probe_tree(
-                                &binaries[i as usize],
-                                &general_posts[i as usize],
-                                size_i,
-                                lo,
-                                size_i,
-                                config.matching,
-                                &mut caches,
-                                &mut shard_scratch,
-                                &mut layer_scratch,
-                                &mut counters,
-                                &mut sink,
-                            );
-                            candidates_total += candidates.len() as u64;
-                            for &j in &candidates {
-                                batch.push((i, j));
-                                if batch.len() >= batch_size {
-                                    let full = std::mem::replace(
-                                        &mut batch,
-                                        Vec::with_capacity(batch_size),
-                                    );
-                                    tx.send(full).expect("verifier pool alive");
+    let (pairs, candidates_total, small_candidates, counters, engines, probe_wall) =
+        crossbeam::scope(|scope| {
+            let verifiers: Vec<_> = (0..verify_threads)
+                .map(|_| {
+                    let rx = rx.clone();
+                    let data = &data;
+                    scope.spawn(move |_| {
+                        // One filter-chain engine per verify worker.
+                        let mut verify = VerifyEngine::new(tau, config);
+                        let mut found = Vec::new();
+                        while let Ok(batch) = rx.recv() {
+                            for (i, j) in batch {
+                                let (i, j) = (i as usize, j as usize);
+                                if verify.check(&data[i], &data[j]).is_some() {
+                                    found.push((j as TreeIdx, i as TreeIdx));
                                 }
                             }
                         }
-                    }
-                    if !batch.is_empty() {
-                        tx.send(batch).expect("verifier pool alive");
-                    }
-                    (candidates_total, small_candidates, counters)
+                        (found, verify)
+                    })
                 })
-            })
-            .collect();
-        drop(tx);
+                .collect();
+            drop(rx);
 
-        let mut candidates_total = 0u64;
-        let mut small_candidates = 0u64;
-        let mut counters = ProbeCounters::default();
-        for prober in probers {
-            let (c, s, k) = prober.join().expect("probe worker panicked");
-            candidates_total += c;
-            small_candidates += s;
-            counters.probes += k.probes;
-            counters.match_attempts += k.match_attempts;
-            counters.matches += k.matches;
-        }
-        // Probe side done: everything after this instant is pure
-        // verification drain.
-        let probe_wall = total_start.elapsed();
+            let probers: Vec<_> = (0..probe_threads)
+                .map(|_| {
+                    let tx = tx.clone();
+                    let cursor = &cursor;
+                    let order = &order;
+                    let rank = &rank;
+                    let binaries = &binaries;
+                    let general_posts = &general_posts;
+                    let small_by_size = &small_by_size;
+                    scope.spawn(move |_| {
+                        let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
+                        let mut caches: Vec<MatchCache> = (0..index_ref.shard_count())
+                            .map(|_| MatchCache::new())
+                            .collect();
+                        let mut shard_scratch: Vec<usize> = Vec::new();
+                        let mut layer_scratch: Vec<LayerId> = Vec::new();
+                        let mut candidates: Vec<TreeIdx> = Vec::new();
+                        let mut counters = ProbeCounters::default();
+                        let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
+                        let mut candidates_total = 0u64;
+                        let mut small_candidates = 0u64;
+                        loop {
+                            let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                            if start >= order.len() {
+                                break;
+                            }
+                            for &i in &order[start..(start + CLAIM_CHUNK).min(order.len())] {
+                                let size_i = trees[i as usize].len() as u32;
+                                let lo = size_i.saturating_sub(tau).max(1);
+                                candidates.clear();
+                                small_candidates += admit_small(
+                                    small_by_size,
+                                    lo,
+                                    size_i,
+                                    rank,
+                                    i,
+                                    &mut stamp,
+                                    &mut candidates,
+                                );
+                                let mut sink = RankSink {
+                                    stamp: &mut stamp,
+                                    marker: i,
+                                    rank,
+                                    my_rank: rank[i as usize],
+                                    candidates: &mut candidates,
+                                };
+                                index_ref.probe_tree(
+                                    &binaries[i as usize],
+                                    &general_posts[i as usize],
+                                    size_i,
+                                    lo,
+                                    size_i,
+                                    config.matching,
+                                    &mut caches,
+                                    &mut shard_scratch,
+                                    &mut layer_scratch,
+                                    &mut counters,
+                                    &mut sink,
+                                );
+                                candidates_total += candidates.len() as u64;
+                                for &j in &candidates {
+                                    batch.push((i, j));
+                                    if batch.len() >= batch_size {
+                                        let full = std::mem::replace(
+                                            &mut batch,
+                                            Vec::with_capacity(batch_size),
+                                        );
+                                        tx.send(full).expect("verifier pool alive");
+                                    }
+                                }
+                            }
+                        }
+                        if !batch.is_empty() {
+                            tx.send(batch).expect("verifier pool alive");
+                        }
+                        (candidates_total, small_candidates, counters)
+                    })
+                })
+                .collect();
+            drop(tx);
 
-        let mut pairs = Vec::new();
-        let mut ted_calls = 0u64;
-        let mut prefilter_skips = 0u64;
-        for verifier in verifiers {
-            let (found, calls, skips) = verifier.join().expect("verifier panicked");
-            pairs.extend(found);
-            ted_calls += calls;
-            prefilter_skips += skips;
-        }
-        (
-            pairs,
-            candidates_total,
-            small_candidates,
-            counters,
-            ted_calls,
-            prefilter_skips,
-            probe_wall,
-        )
-    })
-    .expect("sharded join scope");
+            let mut candidates_total = 0u64;
+            let mut small_candidates = 0u64;
+            let mut counters = ProbeCounters::default();
+            for prober in probers {
+                let (c, s, k) = prober.join().expect("probe worker panicked");
+                candidates_total += c;
+                small_candidates += s;
+                counters.probes += k.probes;
+                counters.match_attempts += k.match_attempts;
+                counters.matches += k.matches;
+            }
+            // Probe side done: everything after this instant is pure
+            // verification drain.
+            let probe_wall = total_start.elapsed();
+
+            let mut pairs = Vec::new();
+            let mut engines = Vec::new();
+            for verifier in verifiers {
+                let (found, engine) = verifier.join().expect("verifier panicked");
+                pairs.extend(found);
+                engines.push(engine);
+            }
+            (
+                pairs,
+                candidates_total,
+                small_candidates,
+                counters,
+                engines,
+                probe_wall,
+            )
+        })
+        .expect("sharded join scope");
 
     detail.probes = counters.probes;
     detail.match_attempts = counters.match_attempts;
@@ -374,8 +353,9 @@ pub fn sharded_join_detailed(
     detail.small_tree_candidates = small_candidates;
     stats.candidates = candidates_total;
     stats.pairs_examined = candidates_total;
-    stats.ted_calls = ted_calls;
-    stats.prefilter_skips = prefilter_skips;
+    for engine in &engines {
+        engine.fold_into(&mut stats);
+    }
     // Probe and verify overlap; wall time until the probe workers drained
     // counts as candidate generation, the verifier-drain tail as verify —
     // the same attribution as `partsj::partsj_join_parallel`.

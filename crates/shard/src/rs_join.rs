@@ -13,11 +13,10 @@ use crate::join::build_subgraph_lists;
 use crossbeam::channel;
 use partsj::probe::ProbeCounters;
 use partsj::subgraph::Subgraph;
-use partsj::{LayerId, MatchCache, PartSjConfig, StampSink};
+use partsj::{LayerId, MatchCache, PartSjConfig, StampSink, VerifyData, VerifyEngine};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
-use tsj_ted::bounds::{size_bound, traversal_within, TraversalStrings};
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// Right trees claimed per cursor bump.
@@ -63,14 +62,18 @@ pub fn sharded_rs_join(
     let mut index = ShardedIndex::new(tau, config.window, shard_cfg).without_replay();
     index.insert_all(items, probe_threads > 1);
 
-    let left_prepared: Vec<PreparedTree> = left.iter().map(PreparedTree::new).collect();
-    let left_traversals: Vec<TraversalStrings> = left.iter().map(TraversalStrings::new).collect();
-    let right_prepared: Vec<PreparedTree> = right.iter().map(PreparedTree::new).collect();
-    let right_traversals: Vec<TraversalStrings> = right.iter().map(TraversalStrings::new).collect();
+    let left_data: Vec<VerifyData> = left
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
+    let right_data: Vec<VerifyData> = right
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
 
     let parallel = probe_threads > 1 && right.len() >= config.parallel_fallback;
     if !parallel {
-        let mut engine = TedEngine::unit();
+        let mut verify = VerifyEngine::new(tau, config);
         let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
         let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left.len()];
         let mut caches: Vec<MatchCache> = (0..index.shard_count())
@@ -123,13 +126,10 @@ pub fn sharded_rs_join(
 
             let verify_start = Instant::now();
             for &i in &candidates {
-                if size_bound(left[i as usize].len(), tree.len()) > tau
-                    || !traversal_within(&left_traversals[i as usize], &right_traversals[j], tau)
+                if verify
+                    .check(&left_data[i as usize], &right_data[j])
+                    .is_some()
                 {
-                    stats.prefilter_skips += 1;
-                    continue;
-                }
-                if engine.distance(&left_prepared[i as usize], &right_prepared[j]) <= tau {
                     pairs.push((i, j as TreeIdx));
                 }
             }
@@ -137,7 +137,7 @@ pub fn sharded_rs_join(
         }
         stats.pairs_examined = stats.candidates;
         stats.candidate_time = candidate_time;
-        stats.ted_calls = engine.computations();
+        verify.fold_into(&mut stats);
         return JoinOutcome::new_bipartite(pairs, stats);
     }
 
@@ -145,152 +145,131 @@ pub fn sharded_rs_join(
     let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(verify_threads * 4);
     let cursor = AtomicUsize::new(0);
     let index_ref = &index;
-    let (pairs, candidates_total, ted_calls, prefilter_skips, probe_wall) =
-        crossbeam::scope(|scope| {
-            let verifiers: Vec<_> = (0..verify_threads)
-                .map(|_| {
-                    let rx = rx.clone();
-                    let left_prepared = &left_prepared;
-                    let left_traversals = &left_traversals;
-                    let right_prepared = &right_prepared;
-                    let right_traversals = &right_traversals;
-                    scope.spawn(move |_| {
-                        let mut engine = TedEngine::unit();
-                        let mut found = Vec::new();
-                        let mut skips = 0u64;
-                        while let Ok(batch) = rx.recv() {
-                            for (i, j) in batch {
-                                let (iu, ju) = (i as usize, j as usize);
-                                if size_bound(left_prepared[iu].len(), right_prepared[ju].len())
-                                    > tau
-                                    || !traversal_within(
-                                        &left_traversals[iu],
-                                        &right_traversals[ju],
-                                        tau,
-                                    )
-                                {
-                                    skips += 1;
-                                    continue;
-                                }
-                                if engine.distance(&left_prepared[iu], &right_prepared[ju]) <= tau {
-                                    found.push((i, j));
-                                }
+    let (pairs, candidates_total, engines, probe_wall) = crossbeam::scope(|scope| {
+        let verifiers: Vec<_> = (0..verify_threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let left_data = &left_data;
+                let right_data = &right_data;
+                scope.spawn(move |_| {
+                    // One filter-chain engine per verify worker.
+                    let mut verify = VerifyEngine::new(tau, config);
+                    let mut found = Vec::new();
+                    while let Ok(batch) = rx.recv() {
+                        for (i, j) in batch {
+                            let (iu, ju) = (i as usize, j as usize);
+                            if verify.check(&left_data[iu], &right_data[ju]).is_some() {
+                                found.push((i, j));
                             }
                         }
-                        (found, engine.computations(), skips)
-                    })
+                    }
+                    (found, verify)
                 })
-                .collect();
-            drop(rx);
+            })
+            .collect();
+        drop(rx);
 
-            let probers: Vec<_> = (0..probe_threads)
-                .map(|_| {
-                    let tx = tx.clone();
-                    let cursor = &cursor;
-                    let small_by_size = &small_by_size;
-                    scope.spawn(move |_| {
-                        let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left.len()];
-                        let mut caches: Vec<MatchCache> = (0..index_ref.shard_count())
-                            .map(|_| MatchCache::new())
-                            .collect();
-                        let (mut shard_scratch, mut layer_scratch) =
-                            (Vec::new(), Vec::<LayerId>::new());
-                        let mut candidates: Vec<TreeIdx> = Vec::new();
-                        let mut counters = ProbeCounters::default();
-                        let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
-                        let mut candidates_total = 0u64;
-                        loop {
-                            let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                            if start >= right.len() {
-                                break;
-                            }
-                            for j in start..(start + CLAIM_CHUNK).min(right.len()) {
-                                let tree = &right[j];
-                                let marker = j as TreeIdx;
-                                let size_j = tree.len() as u32;
-                                let lo = size_j.saturating_sub(tau).max(1);
-                                let hi = size_j + tau;
-                                candidates.clear();
-                                for n in lo..=hi {
-                                    if let Some(list) = small_by_size.get(&n) {
-                                        for &i in list {
-                                            if stamp[i as usize] != marker {
-                                                stamp[i as usize] = marker;
-                                                candidates.push(i);
-                                            }
+        let probers: Vec<_> = (0..probe_threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                let small_by_size = &small_by_size;
+                scope.spawn(move |_| {
+                    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left.len()];
+                    let mut caches: Vec<MatchCache> = (0..index_ref.shard_count())
+                        .map(|_| MatchCache::new())
+                        .collect();
+                    let (mut shard_scratch, mut layer_scratch) =
+                        (Vec::new(), Vec::<LayerId>::new());
+                    let mut candidates: Vec<TreeIdx> = Vec::new();
+                    let mut counters = ProbeCounters::default();
+                    let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
+                    let mut candidates_total = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= right.len() {
+                            break;
+                        }
+                        for j in start..(start + CLAIM_CHUNK).min(right.len()) {
+                            let tree = &right[j];
+                            let marker = j as TreeIdx;
+                            let size_j = tree.len() as u32;
+                            let lo = size_j.saturating_sub(tau).max(1);
+                            let hi = size_j + tau;
+                            candidates.clear();
+                            for n in lo..=hi {
+                                if let Some(list) = small_by_size.get(&n) {
+                                    for &i in list {
+                                        if stamp[i as usize] != marker {
+                                            stamp[i as usize] = marker;
+                                            candidates.push(i);
                                         }
                                     }
                                 }
-                                let binary = BinaryTree::from_tree(tree);
-                                let posts = tree.postorder_numbers();
-                                let mut sink = StampSink {
-                                    stamp: &mut stamp,
-                                    marker,
-                                    candidates: &mut candidates,
-                                };
-                                index_ref.probe_tree(
-                                    &binary,
-                                    &posts,
-                                    size_j,
-                                    lo,
-                                    hi,
-                                    config.matching,
-                                    &mut caches,
-                                    &mut shard_scratch,
-                                    &mut layer_scratch,
-                                    &mut counters,
-                                    &mut sink,
-                                );
-                                candidates_total += candidates.len() as u64;
-                                for &i in &candidates {
-                                    batch.push((i, marker));
-                                    if batch.len() >= batch_size {
-                                        let full = std::mem::replace(
-                                            &mut batch,
-                                            Vec::with_capacity(batch_size),
-                                        );
-                                        tx.send(full).expect("verifier pool alive");
-                                    }
+                            }
+                            let binary = BinaryTree::from_tree(tree);
+                            let posts = tree.postorder_numbers();
+                            let mut sink = StampSink {
+                                stamp: &mut stamp,
+                                marker,
+                                candidates: &mut candidates,
+                            };
+                            index_ref.probe_tree(
+                                &binary,
+                                &posts,
+                                size_j,
+                                lo,
+                                hi,
+                                config.matching,
+                                &mut caches,
+                                &mut shard_scratch,
+                                &mut layer_scratch,
+                                &mut counters,
+                                &mut sink,
+                            );
+                            candidates_total += candidates.len() as u64;
+                            for &i in &candidates {
+                                batch.push((i, marker));
+                                if batch.len() >= batch_size {
+                                    let full = std::mem::replace(
+                                        &mut batch,
+                                        Vec::with_capacity(batch_size),
+                                    );
+                                    tx.send(full).expect("verifier pool alive");
                                 }
                             }
                         }
-                        if !batch.is_empty() {
-                            tx.send(batch).expect("verifier pool alive");
-                        }
-                        candidates_total
-                    })
+                    }
+                    if !batch.is_empty() {
+                        tx.send(batch).expect("verifier pool alive");
+                    }
+                    candidates_total
                 })
-                .collect();
-            drop(tx);
+            })
+            .collect();
+        drop(tx);
 
-            let mut candidates_total = 0u64;
-            for prober in probers {
-                candidates_total += prober.join().expect("probe worker panicked");
-            }
-            let probe_wall = total_start.elapsed();
-            let mut pairs = Vec::new();
-            let mut ted_calls = 0u64;
-            let mut prefilter_skips = 0u64;
-            for verifier in verifiers {
-                let (found, calls, skips) = verifier.join().expect("verifier panicked");
-                pairs.extend(found);
-                ted_calls += calls;
-                prefilter_skips += skips;
-            }
-            (
-                pairs,
-                candidates_total,
-                ted_calls,
-                prefilter_skips,
-                probe_wall,
-            )
-        })
-        .expect("sharded rs join scope");
+        let mut candidates_total = 0u64;
+        for prober in probers {
+            candidates_total += prober.join().expect("probe worker panicked");
+        }
+        let probe_wall = total_start.elapsed();
+        let mut pairs = Vec::new();
+        let mut engines = Vec::new();
+        for verifier in verifiers {
+            let (found, engine) = verifier.join().expect("verifier panicked");
+            pairs.extend(found);
+            engines.push(engine);
+        }
+        (pairs, candidates_total, engines, probe_wall)
+    })
+    .expect("sharded rs join scope");
 
     stats.candidates = candidates_total;
     stats.pairs_examined = candidates_total;
-    stats.ted_calls = ted_calls;
-    stats.prefilter_skips = prefilter_skips;
+    for engine in &engines {
+        engine.fold_into(&mut stats);
+    }
     stats.candidate_time = probe_wall;
     stats.verify_time = total_start.elapsed().saturating_sub(probe_wall);
     JoinOutcome::new_bipartite(pairs, stats)

@@ -46,9 +46,9 @@ use crate::index::{ShardConfig, ShardedIndex};
 use partsj::partition::cuts_for;
 use partsj::probe::ProbeCounters;
 use partsj::subgraph::build_subgraphs;
-use partsj::{LayerId, MatchCache, PartSjConfig, StampSink};
+use partsj::{LayerId, MatchCache, PartSjConfig, StampSink, VerifyData, VerifyEngine};
 use std::collections::VecDeque;
-use tsj_ted::{PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::TreeIdx;
 use tsj_tree::{BinaryTree, FxHashMap, Tree};
 
 /// When the sliding window lets go of a tree.
@@ -79,9 +79,9 @@ pub struct ShardedStreamingJoin {
     eviction: EvictionPolicy,
     index: ShardedIndex,
     small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
-    /// Verification handles; `None` once evicted (frees the bulk of the
+    /// Verification inputs; `None` once evicted (frees the bulk of the
     /// per-tree memory).
-    prepared: Vec<Option<PreparedTree>>,
+    data: Vec<Option<VerifyData>>,
     stamp: Vec<u32>,
     caches: Vec<MatchCache>,
     shard_scratch: Vec<usize>,
@@ -91,7 +91,7 @@ pub struct ShardedStreamingJoin {
     clock: u64,
     /// Largest timestamp seen (monotonicity guard; equal is allowed).
     last_ts: u64,
-    engine: TedEngine,
+    verify: VerifyEngine,
     pairs_found: u64,
     evictions: u64,
 }
@@ -114,7 +114,7 @@ impl ShardedStreamingJoin {
             eviction,
             index,
             small_by_size: FxHashMap::default(),
-            prepared: Vec::new(),
+            data: Vec::new(),
             stamp: Vec::new(),
             caches,
             shard_scratch: Vec::new(),
@@ -122,7 +122,7 @@ impl ShardedStreamingJoin {
             arrivals: VecDeque::new(),
             clock: 0,
             last_ts: 0,
-            engine: TedEngine::unit(),
+            verify: VerifyEngine::new(tau, &config),
             pairs_found: 0,
             evictions: 0,
         }
@@ -130,12 +130,12 @@ impl ShardedStreamingJoin {
 
     /// Trees ever inserted (evicted ones included).
     pub fn len(&self) -> usize {
-        self.prepared.len()
+        self.data.len()
     }
 
     /// Whether nothing was ever inserted.
     pub fn is_empty(&self) -> bool {
-        self.prepared.is_empty()
+        self.data.is_empty()
     }
 
     /// Trees currently live in the window.
@@ -160,7 +160,12 @@ impl ShardedStreamingJoin {
 
     /// Exact TED computations performed so far.
     pub fn ted_calls(&self) -> u64 {
-        self.engine.computations()
+        self.verify.ted_calls()
+    }
+
+    /// The verification engine (per-stage counter diagnostics).
+    pub fn verify_engine(&self) -> &VerifyEngine {
+        &self.verify
     }
 
     /// The underlying sharded index (diagnostics).
@@ -188,7 +193,7 @@ impl ShardedStreamingJoin {
         self.evict_for(ts);
 
         let delta = 2 * self.tau as usize + 1;
-        let id = self.prepared.len() as TreeIdx;
+        let id = self.data.len() as TreeIdx;
         let size = tree.len() as u32;
         let lo = size.saturating_sub(self.tau).max(1);
         let hi = size + self.tau;
@@ -230,14 +235,16 @@ impl ShardedStreamingJoin {
         );
 
         // Verify against the live window.
-        let prepared = PreparedTree::new(tree);
+        let data = VerifyData::for_config(tree, &self.config.verify);
+        let verify = &mut self.verify;
+        let known = &self.data;
         let mut partners: Vec<TreeIdx> = candidates
             .into_iter()
             .filter(|&j| {
-                let other = self.prepared[j as usize]
+                let other = known[j as usize]
                     .as_ref()
-                    .expect("live candidate has a prepared tree");
-                self.engine.within(other, &prepared, self.tau).is_some()
+                    .expect("live candidate has verification data");
+                verify.check(other, &data).is_some()
             })
             .collect();
         partners.sort_unstable();
@@ -252,7 +259,7 @@ impl ShardedStreamingJoin {
             let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
             self.index.insert_tree(id, size, subgraphs);
         }
-        self.prepared.push(Some(prepared));
+        self.data.push(Some(data));
         self.stamp.push(u32::MAX);
         self.arrivals.push_back((id, ts));
         partners
@@ -304,7 +311,7 @@ impl ShardedStreamingJoin {
     fn expire(&mut self, id: TreeIdx) {
         let size = self.index.size_of(id).expect("live tree has a size");
         self.index.remove_tree(id);
-        self.prepared[id as usize] = None;
+        self.data[id as usize] = None;
         if (size as usize) < 2 * self.tau as usize + 1 {
             if let Some(list) = self.small_by_size.get_mut(&size) {
                 list.retain(|&j| j != id);

@@ -1,0 +1,203 @@
+//! Filter-chain soundness over the sharded entry points: every
+//! verification-chain configuration must reproduce the filter-free
+//! exact-TED results for the sharded batch join, the sharded R×S join
+//! and the sliding-window streaming join — across shard counts, window
+//! policies and thread mixes.
+
+use partsj::{partsj_join_rs, partsj_join_with, PartSjConfig, VerifyConfig, WindowPolicy};
+use tsj_datagen::{swissprot_like, synthetic, SyntheticParams};
+use tsj_shard::{sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardedStreamingJoin};
+use tsj_ted::TreeIdx;
+use tsj_tree::Tree;
+
+fn all_verify_configs() -> Vec<VerifyConfig> {
+    (0u32..16)
+        .map(|mask| VerifyConfig {
+            size: mask & 1 != 0,
+            shape_accept: mask & 2 != 0,
+            histogram: mask & 4 != 0,
+            traversal: mask & 8 != 0,
+        })
+        .collect()
+}
+
+fn collection(n: usize, avg_size: usize, seed: u64) -> Vec<Tree> {
+    synthetic(
+        n,
+        &SyntheticParams {
+            avg_size,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+#[test]
+fn sharded_join_is_sound_for_every_chain_config() {
+    let trees = swissprot_like(70, 5);
+    for (window, tau) in [
+        (WindowPolicy::Safe, 0u32),
+        (WindowPolicy::Safe, 1),
+        (WindowPolicy::Safe, 3),
+        (WindowPolicy::Tight, 1),
+        (WindowPolicy::PaperAbsolute, 1),
+    ] {
+        let reference = partsj_join_with(
+            &trees,
+            tau,
+            &PartSjConfig {
+                window,
+                verify: VerifyConfig::NONE,
+                ..Default::default()
+            },
+        );
+        for verify in all_verify_configs() {
+            let config = PartSjConfig {
+                window,
+                verify,
+                ..Default::default()
+            };
+            let outcome = sharded_join(
+                &trees,
+                tau,
+                &config,
+                &ShardConfig {
+                    shards: 4,
+                    probe_threads: 1,
+                    verify_threads: 1,
+                    ..Default::default()
+                },
+            );
+            assert_eq!(
+                outcome.pairs, reference.pairs,
+                "window = {window:?}, tau = {tau}, verify = {verify:?}"
+            );
+        }
+    }
+}
+
+#[test]
+fn sharded_parallel_pipeline_is_sound_for_every_chain_config() {
+    let trees = swissprot_like(80, 17);
+    let tau = 1;
+    let reference = partsj_join_with(
+        &trees,
+        tau,
+        &PartSjConfig {
+            verify: VerifyConfig::NONE,
+            ..Default::default()
+        },
+    );
+    for verify in all_verify_configs() {
+        let config = PartSjConfig {
+            verify,
+            parallel_fallback: 0,
+            verify_batch: 8,
+            ..Default::default()
+        };
+        let outcome = sharded_join(
+            &trees,
+            tau,
+            &config,
+            &ShardConfig {
+                shards: 4,
+                probe_threads: 2,
+                verify_threads: 2,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.pairs, reference.pairs, "verify = {verify:?}");
+        // The chain resolves each pair identically regardless of which
+        // worker verified it: per-stage counters match the sequential
+        // join's under the same configuration.
+        let sequential = partsj_join_with(
+            &trees,
+            tau,
+            &PartSjConfig {
+                verify,
+                ..Default::default()
+            },
+        );
+        assert_eq!(
+            outcome.stats.prefilter_skips, sequential.stats.prefilter_skips,
+            "verify = {verify:?}"
+        );
+        assert_eq!(
+            outcome.stats.early_accepts, sequential.stats.early_accepts,
+            "verify = {verify:?}"
+        );
+        assert_eq!(
+            outcome.stats.stage_counts, sequential.stats.stage_counts,
+            "verify = {verify:?}"
+        );
+    }
+}
+
+#[test]
+fn sharded_rs_join_is_sound_for_every_chain_config() {
+    let left = collection(40, 18, 23);
+    let right = swissprot_like(40, 24);
+    let tau = 2;
+    let reference = partsj_join_rs(
+        &left,
+        &right,
+        tau,
+        &PartSjConfig {
+            verify: VerifyConfig::NONE,
+            ..Default::default()
+        },
+    );
+    for verify in all_verify_configs() {
+        let config = PartSjConfig {
+            verify,
+            ..Default::default()
+        };
+        let outcome = sharded_rs_join(
+            &left,
+            &right,
+            tau,
+            &config,
+            &ShardConfig {
+                shards: 2,
+                probe_threads: 1,
+                verify_threads: 1,
+                ..Default::default()
+            },
+        );
+        assert_eq!(outcome.pairs, reference.pairs, "verify = {verify:?}");
+    }
+}
+
+#[test]
+fn sharded_streaming_window_is_sound_for_every_chain_config() {
+    let trees = swissprot_like(40, 31);
+    let tau = 1;
+    let run = |verify: VerifyConfig| -> Vec<(TreeIdx, TreeIdx)> {
+        let config = PartSjConfig {
+            verify,
+            ..Default::default()
+        };
+        let mut join = ShardedStreamingJoin::new(
+            tau,
+            config,
+            ShardConfig {
+                shards: 2,
+                probe_threads: 1,
+                verify_threads: 1,
+                ..Default::default()
+            },
+            EvictionPolicy::SlidingCount(12),
+        );
+        let mut pairs = Vec::new();
+        for (i, tree) in trees.iter().enumerate() {
+            for j in join.insert(tree) {
+                pairs.push((j, i as TreeIdx));
+            }
+        }
+        pairs
+    };
+    let reference = run(VerifyConfig::NONE);
+    for verify in all_verify_configs() {
+        assert_eq!(run(verify), reference, "verify = {verify:?}");
+    }
+}

@@ -27,7 +27,7 @@ pub use bounds::{
 };
 pub use cost::CostModel;
 pub use hybrid::{ted, PreparedTree, Strategy, TedEngine};
-pub use outcome::{JoinOutcome, JoinStats, TreeIdx};
+pub use outcome::{JoinOutcome, JoinStats, StageCount, TreeIdx};
 pub use sed::{sed, sed_within};
 pub use ted_tree::TedTree;
 pub use zs::{tree_distance, zhang_shasha, TedWorkspace};

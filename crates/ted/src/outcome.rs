@@ -13,6 +13,21 @@ use std::time::Duration;
 /// Index of a tree within the joined collection.
 pub type TreeIdx = u32;
 
+/// One verification-chain stage's counter: how many candidate pairs were
+/// *resolved* at this stage — rejected by a lower bound, or admitted by an
+/// upper bound — and therefore never reached the exact TED computation.
+///
+/// The stage name comes from the filter implementation (e.g. `"size"`,
+/// `"traversal-sed"`); this crate only defines the counter shape so every
+/// join entry point can report the same breakdown in [`JoinStats`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StageCount {
+    /// Stage name, as reported by the filter implementation.
+    pub stage: &'static str,
+    /// Candidate pairs resolved at this stage.
+    pub count: u64,
+}
+
 /// Counters and timings collected while evaluating a join.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct JoinStats {
@@ -31,9 +46,20 @@ pub struct JoinStats {
     /// cheap filters can skip some).
     pub ted_calls: u64,
     /// Candidates rejected by cheap pre-verification lower bounds (size,
-    /// traversal-string) before any exact TED ran; such skips never remove
-    /// a true result because every bound is a TED lower bound.
+    /// label histogram, traversal-string) before any exact TED ran; such
+    /// skips never remove a true result because every bound is a TED
+    /// lower bound. Equals the sum of the lower-bound entries of
+    /// [`JoinStats::stage_counts`].
     pub prefilter_skips: u64,
+    /// Candidates *admitted* by a cheap upper bound (TED ≤ certificate ≤
+    /// τ) without running the exact TED DP; such accepts never add a
+    /// false result because every certificate is a valid edit-script
+    /// cost.
+    pub early_accepts: u64,
+    /// Per-stage breakdown of where candidates were resolved before exact
+    /// TED, in chain order (cheapest first). Empty when the entry point
+    /// ran without a verification chain.
+    pub stage_counts: Vec<StageCount>,
 }
 
 impl JoinStats {

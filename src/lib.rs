@@ -69,6 +69,43 @@
 //! assert_eq!(outcome.pairs, vec![(0, 2), (1, 0)]);
 //! ```
 //!
+//! ## Configuring the verification filter chain
+//!
+//! Every entry point verifies candidates through one engine
+//! ([`partsj::VerifyEngine`]): an ordered chain of cheap lower/upper
+//! distance bounds in front of exact TED, configured per stage via
+//! [`prelude::VerifyConfig`]. Disabling a stage never changes the result
+//! pairs — every stage is a sound bound — it only shifts work onto the
+//! exact TED fallback:
+//!
+//! ```
+//! use tree_similarity_join::prelude::*;
+//!
+//! let mut labels = LabelInterner::new();
+//! let trees: Vec<_> = ["{a{b}{c}}", "{a{b}{c}}", "{a{b}{z}}", "{x{y}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//!
+//! // Disable the banded traversal-string stage, keep the other three.
+//! let config = PartSjConfig {
+//!     verify: VerifyConfig {
+//!         traversal: false,
+//!         ..Default::default()
+//!     },
+//!     ..Default::default()
+//! };
+//! let ablated = partsj_join_with(&trees, 1, &config);
+//! let full = partsj_join(&trees, 1);
+//! assert_eq!(ablated.pairs, full.pairs); // stages never change results
+//!
+//! // `JoinStats` reports where candidates died, stage by stage.
+//! for stage in &full.stats.stage_counts {
+//!     println!("{}: {}", stage.stage, stage.count);
+//! }
+//! assert!(full.stats.early_accepts > 0); // duplicates skip exact TED
+//! ```
+//!
 //! ## Sharding and streaming at scale
 //!
 //! The [`shard`] crate (`tsj-shard`) partitions the subgraph index across
@@ -94,8 +131,9 @@ pub mod prelude {
     pub use partsj::partsj_join_rs as rs_join;
     pub use partsj::{
         partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_parallel_auto,
-        partsj_join_rs, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
-        SearchIndex, StreamingJoin, WindowPolicy,
+        partsj_join_rs, partsj_join_with, FilterStage, MatchSemantics, PartSjConfig,
+        PartitionScheme, SearchIndex, StageKind, StageVerdict, StreamingJoin, VerifyConfig,
+        VerifyData, VerifyEngine, WindowPolicy,
     };
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
     pub use tsj_datagen::{
@@ -105,7 +143,7 @@ pub mod prelude {
         sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardedIndex,
         ShardedStreamingJoin,
     };
-    pub use tsj_ted::{ted, JoinOutcome, JoinStats, TedEngine};
+    pub use tsj_ted::{ted, JoinOutcome, JoinStats, StageCount, TedEngine};
     pub use tsj_tree::{
         parse_bracket, parse_xmlish, to_bracket, BinaryTree, Label, LabelInterner, Tree,
         TreeBuilder,

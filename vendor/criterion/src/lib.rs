@@ -7,13 +7,23 @@
 //! [`Bencher::iter`], [`BenchmarkId`], [`criterion_group!`] and
 //! [`criterion_main!`] — with a lightweight warm-up + fixed-budget
 //! measurement loop instead of criterion's full statistical machinery.
-//! Results print as `name … median ns/iter` lines, and also append
+//! Results print as `name … median ns/iter` lines, and also write
 //! machine-readable JSON lines to the file named by the
 //! `CRITERION_JSON_OUT` environment variable when set (used to record
-//! perf baselines). Append mode is deliberate — `cargo bench` runs each
-//! bench target as a separate process sharing one output file — so
-//! delete the file before a fresh run, or stale entries accumulate. Swap it for the real `criterion` by pointing the
-//! workspace dependency back at the registry.
+//! perf baselines). `cargo bench` runs each bench target as a separate
+//! process sharing one output file, so the writer distinguishes *runs*
+//! from *processes*: a run marker file (`<path>.run`) records the parent
+//! process id (the cargo process), the first bench process of a new
+//! parent **truncates** the output, and every sibling process of the
+//! same parent appends. One `cargo bench` invocation is therefore one
+//! run: it starts a clean file with no `rm -f` step and all its bench
+//! targets accumulate into it. Separate invocations are separate runs —
+//! a second `cargo bench --bench <other>` truncates; to accumulate
+//! several targets, run them in one invocation (or without `--bench` at
+//! all). On non-unix platforms the parent id is unavailable, so the
+//! writer always appends there (delete the file manually between runs).
+//! Swap it for the real `criterion` by pointing the workspace dependency
+//! back at the registry.
 //!
 //! [`bench_with_input`]: BenchmarkGroup::bench_with_input
 
@@ -111,6 +121,52 @@ impl Bencher {
     }
 }
 
+/// Identifier of the current *run*: all bench processes spawned by one
+/// `cargo bench` invocation share that cargo process as their parent, so
+/// the parent process id groups them — and separates invocations.
+/// `None` where the parent id is unavailable (non-unix): runs cannot be
+/// told apart there, so the writer falls back to always appending (the
+/// pre-truncation behavior — never silently drop sibling targets'
+/// results).
+fn current_run_id() -> Option<String> {
+    #[cfg(unix)]
+    {
+        Some(format!("parent-{}", std::os::unix::process::parent_id()))
+    }
+    #[cfg(not(unix))]
+    {
+        None
+    }
+}
+
+/// Opens the JSON output at `path` for this process: the first open of a
+/// *new run* (the marker file `<path>.run` is absent or names a
+/// different run id) truncates the file and rewrites the marker; reopens
+/// within the same run — later benchmarks of this process, or sibling
+/// bench processes of the same parent — append. With no run id
+/// (non-unix), every open appends and no marker is written.
+fn open_json_out(path: &str, run_id: Option<&str>) -> std::io::Result<std::fs::File> {
+    let same_run = match run_id {
+        None => true,
+        Some(id) => {
+            let marker = format!("{path}.run");
+            let matches = std::fs::read_to_string(&marker)
+                .map(|prev| prev.trim() == id)
+                .unwrap_or(false);
+            if !matches {
+                std::fs::write(&marker, id)?;
+            }
+            matches
+        }
+    };
+    std::fs::OpenOptions::new()
+        .create(true)
+        .append(same_run)
+        .truncate(!same_run)
+        .write(true)
+        .open(path)
+}
+
 fn run_benchmark(full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     let mut bencher = Bencher {
         median_ns: f64::NAN,
@@ -118,11 +174,7 @@ fn run_benchmark(full_name: &str, f: &mut dyn FnMut(&mut Bencher)) {
     f(&mut bencher);
     println!("bench: {full_name:<50} {:>14.1} ns/iter", bencher.median_ns);
     if let Ok(path) = std::env::var("CRITERION_JSON_OUT") {
-        if let Ok(mut file) = std::fs::OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(path)
-        {
+        if let Ok(mut file) = open_json_out(&path, current_run_id().as_deref()) {
             let _ = writeln!(
                 file,
                 "{{\"name\": \"{}\", \"median_ns\": {:.1}}}",
@@ -240,5 +292,47 @@ mod tests {
         let mut group = group.benchmark_group("t");
         group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
         group.finish();
+    }
+
+    #[test]
+    fn json_out_truncates_on_new_run_and_appends_within_one() {
+        let dir = std::env::temp_dir().join(format!("criterion-stub-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("out.jsonl");
+        let path = path.to_str().unwrap();
+
+        // A stale file from an older run (different run id in the marker).
+        std::fs::write(path, "stale line\n").unwrap();
+        std::fs::write(format!("{path}.run"), "parent-0").unwrap();
+        {
+            let mut f = open_json_out(path, Some("run-a")).unwrap();
+            writeln!(f, "first").unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "first\n");
+
+        // Same run id (a sibling bench process): append.
+        {
+            let mut f = open_json_out(path, Some("run-a")).unwrap();
+            writeln!(f, "second").unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "first\nsecond\n");
+
+        // No run id (non-unix fallback): append, never truncate.
+        {
+            let mut f = open_json_out(path, None).unwrap();
+            writeln!(f, "third").unwrap();
+        }
+        assert_eq!(
+            std::fs::read_to_string(path).unwrap(),
+            "first\nsecond\nthird\n"
+        );
+
+        // A new run id truncates again.
+        {
+            let mut f = open_json_out(path, Some("run-b")).unwrap();
+            writeln!(f, "fresh").unwrap();
+        }
+        assert_eq!(std::fs::read_to_string(path).unwrap(), "fresh\n");
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }
