@@ -1,4 +1,4 @@
-//! The `KAI` histogram baseline (Kailing et al., reference [16] of the
+//! The `KAI` histogram baseline (Kailing et al., reference \[16\] of the
 //! paper): prune a pair when any of the cheap histogram lower bounds —
 //! size, label multiset, degree multiset — exceeds `τ`.
 //!

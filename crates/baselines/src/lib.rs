@@ -11,7 +11,7 @@
 //! * [`brute_force_join`] / [`brute_force_join_parallel`] — the `REL`
 //!   oracle (size filter + exact TED for every pair);
 //! * [`kailing_join`] — the histogram filter family of Kailing et al.
-//!   (reference [16]), included as an extension baseline.
+//!   (reference \[16\]), included as an extension baseline.
 //!
 //! All joins share the size-sorted sliding-window driver in [`common`] and
 //! return [`tsj_ted::JoinOutcome`] with the same split-phase timing.

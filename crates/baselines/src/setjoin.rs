@@ -10,7 +10,7 @@
 //! ```
 //!
 //! and Yang et al. prove `BIB(T1, T2) ≤ 5 · TED(T1, T2)` (§2, reference
-//! [27]). The SET filter therefore keeps a pair iff `BIB ≤ 5τ`. Branch
+//! \[27]). The SET filter therefore keeps a pair iff `BIB ≤ 5τ`. Branch
 //! bags are precomputed as sorted vectors of packed `u64` twig keys so the
 //! bag intersection is a linear merge.
 

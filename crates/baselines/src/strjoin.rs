@@ -2,11 +2,11 @@
 //!
 //! Each tree is flattened into its preorder and postorder label sequences;
 //! the string edit distance between either pair of sequences lower-bounds
-//! the tree edit distance (§2, reference [13]). A pair survives the filter
+//! the tree edit distance (§2, reference \[13\]). A pair survives the filter
 //! only if *both* banded string distances stay within `τ`; survivors are
 //! verified with exact TED. String distances are computed with the
 //! threshold-banded DP (`O(τ·n)` per pair), mirroring the optimized string
-//! join of Li et al. [19] that the paper's `STR` implementation adopts.
+//! join of Li et al. \[19\] that the paper's `STR` implementation adopts.
 
 use crate::common::filter_verify_join;
 use tsj_ted::{traversal_within, JoinOutcome, TraversalStrings};

@@ -1,0 +1,144 @@
+//! CI bench-regression gate: diff a fresh bench run against a
+//! checked-in baseline by median.
+//!
+//! ```bash
+//! CRITERION_JSON_OUT=$PWD/current.jsonl cargo bench -p tsj-bench --bench verify_pipeline
+//! cargo run --release -p tsj-bench --bin bench_compare -- \
+//!     --baseline BENCH_pr4.json --current current.jsonl \
+//!     [--tolerance 25] [--filter verify_pipeline] [--strict]
+//! ```
+//!
+//! Prints a per-series table (baseline median, current median, drift %)
+//! and a summary. By default the run is **report-only** — drift is
+//! visible in CI logs but never fails the build, which keeps the
+//! 1-CPU CI runner's noisy medians from flaking. With `--strict`, any
+//! series slower than the tolerance (default ±25%) exits nonzero, as
+//! does a series that vanished from the current run.
+
+use std::process::ExitCode;
+use tsj_bench::compare::{compare, parse_measurements};
+use tsj_bench::render_table;
+
+struct Args {
+    baseline: String,
+    current: String,
+    tolerance: f64,
+    filter: Option<String>,
+    strict: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut baseline = None;
+    let mut current = None;
+    let mut tolerance = 25.0;
+    let mut filter = None;
+    let mut strict = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("missing value for {flag}"))
+        };
+        match flag.as_str() {
+            "--baseline" => baseline = Some(value("--baseline")?),
+            "--current" => current = Some(value("--current")?),
+            "--tolerance" => {
+                tolerance = value("--tolerance")?
+                    .parse()
+                    .map_err(|_| "numeric --tolerance".to_string())?
+            }
+            "--filter" => filter = Some(value("--filter")?),
+            "--strict" => strict = true,
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    Ok(Args {
+        baseline: baseline.ok_or("--baseline <file> is required")?,
+        current: current.ok_or("--current <file> is required")?,
+        tolerance,
+        filter,
+        strict,
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("bench_compare: {message}");
+            eprintln!(
+                "usage: bench_compare --baseline <file> --current <file> \
+                 [--tolerance PCT] [--filter SUBSTR] [--strict]"
+            );
+            return ExitCode::from(2);
+        }
+    };
+    let load = |path: &str| -> Result<_, String> {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("reading {path}: {e}"))?;
+        parse_measurements(&text).map_err(|e| format!("parsing {path}: {e}"))
+    };
+    let (baseline, current) = match (load(&args.baseline), load(&args.current)) {
+        (Ok(b), Ok(c)) => (b, c),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("bench_compare: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let cmp = compare(&baseline, &current, args.filter.as_deref());
+    let rows: Vec<Vec<String>> = cmp
+        .deltas
+        .iter()
+        .map(|d| {
+            vec![
+                d.name.clone(),
+                format!("{:.1}", d.baseline_ns),
+                format!("{:.1}", d.current_ns),
+                format!("{:+.1}%", d.delta_pct),
+                if d.is_regression(args.tolerance) {
+                    format!("REGRESSION (> +{:.0}%)", args.tolerance)
+                } else if d.delta_pct < -args.tolerance {
+                    "improved".to_string()
+                } else {
+                    "ok".to_string()
+                },
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        render_table(
+            &["series", "baseline ns", "current ns", "delta", "verdict"],
+            &rows
+        )
+    );
+    for name in &cmp.missing {
+        println!("missing from current run: {name}");
+    }
+    for name in &cmp.added {
+        println!("new series (no baseline): {name}");
+    }
+
+    let regressions = cmp.regressions(args.tolerance);
+    println!(
+        "{} series compared, {} regression(s) beyond ±{:.0}%, {} missing, {} new ({})",
+        cmp.deltas.len(),
+        regressions.len(),
+        args.tolerance,
+        cmp.missing.len(),
+        cmp.added.len(),
+        if args.strict {
+            "strict: regressions fail the build"
+        } else {
+            "report-only"
+        }
+    );
+    if cmp.deltas.is_empty() && cmp.added.is_empty() {
+        eprintln!("bench_compare: nothing matched — wrong --filter or empty run?");
+        return ExitCode::from(2);
+    }
+    if args.strict && (!regressions.is_empty() || !cmp.missing.is_empty()) {
+        return ExitCode::FAILURE;
+    }
+    ExitCode::SUCCESS
+}

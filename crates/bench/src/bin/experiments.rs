@@ -15,13 +15,21 @@
 //! * `ablation-partition`  — max-min vs random partitioning (§4.3 note)
 //! * `ablation-window`     — postorder window policies (correction study)
 //! * `ablation-matching`   — exact vs embedding subgraph matching
-//! * `all`                 — everything above in sequence
+//! * `catalog`             — freeze/save/reuse a snapshot, serve probes
+//!   (requires `--catalog <path>`: freezes and saves when the file is
+//!   absent, loads and reuses it when present; either way the served
+//!   join is cross-checked against a fresh `sharded_rs_join` and the
+//!   process exits nonzero on any mismatch)
+//! * `all`                 — everything above in sequence (except
+//!   `catalog`, which needs a path)
 //!
 //! Options: `--scale F` multiplies the default cardinalities (default 1.0;
 //! the paper's full scale is reached around `--scale 50` for Swissprot),
-//! `--seed N` changes the generator seed (default 2015), and
+//! `--seed N` changes the generator seed (default 2015),
 //! `--shards N` (default 1) runs the `PRT` rows through the sharded join
-//! (`tsj-shard`: parallel candidate generation, results bit-identical).
+//! (`tsj-shard`: parallel candidate generation, results bit-identical),
+//! `--catalog PATH` names the snapshot file of the `catalog` command, and
+//! `--tau N` (default 3) sets its freeze threshold.
 
 use partsj::{
     partsj_join_detailed, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
@@ -41,12 +49,14 @@ struct Options {
     seed: u64,
     param: Option<String>,
     shards: usize,
+    catalog: Option<String>,
+    tau: u32,
 }
 
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| {
-        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|all> [--scale F] [--seed N] [--param P] [--shards N]");
+        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|catalog|all> [--scale F] [--seed N] [--param P] [--shards N] [--catalog PATH] [--tau N]");
         std::process::exit(2);
     });
     let mut options = Options {
@@ -54,6 +64,8 @@ fn parse_args() -> (String, Options) {
         seed: 2015,
         param: None,
         shards: 1,
+        catalog: None,
+        tau: 3,
     };
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -67,6 +79,8 @@ fn parse_args() -> (String, Options) {
             "--seed" => options.seed = value().parse().expect("integer --seed"),
             "--param" => options.param = Some(value()),
             "--shards" => options.shards = value().parse().expect("integer --shards"),
+            "--catalog" => options.catalog = Some(value()),
+            "--tau" => options.tau = value().parse().expect("integer --tau"),
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -98,6 +112,7 @@ fn main() {
         "ablation-partition" => ablation_partition(&options),
         "ablation-window" => ablation_window(&options),
         "ablation-matching" => ablation_matching(&options),
+        "catalog" => catalog_cmd(&options),
         "all" => {
             table1(&options);
             fig10_11(&options, true);
@@ -315,6 +330,131 @@ fn fig14(options: &Options, param: &str) {
             &rows
         )
     );
+}
+
+/// Catalog snapshot save/reuse: freeze + save on the first run, load +
+/// reuse on every later one, and cross-check the served join against a
+/// fresh `sharded_rs_join` either way (nonzero exit on mismatch) — the
+/// CI round-trip smoke.
+fn catalog_cmd(options: &Options) {
+    use tsj_catalog::Catalog;
+    use tsj_shard::{sharded_rs_join, ShardConfig};
+
+    let Some(path) = options.catalog.as_deref() else {
+        eprintln!("the catalog command requires --catalog <path>");
+        std::process::exit(2);
+    };
+    let tau = options.tau;
+    let config = PartSjConfig::default();
+    let shard_cfg = ShardConfig::with_shards(options.shards.max(1));
+    let n = scaled(Dataset::Swissprot.default_cardinality(), options.scale) / 2;
+    let left = Dataset::Swissprot.generate(n, options.seed);
+    let probes = Dataset::Swissprot.generate(n / 4, options.seed + 1);
+    println!(
+        "\n== Catalog service ({} catalog trees, {} probes, tau = {tau}, {} shards) ==\n",
+        left.len(),
+        probes.len(),
+        shard_cfg.shards
+    );
+
+    let existed = std::path::Path::new(path).exists();
+    let start = Instant::now();
+    let catalog = if existed {
+        let loaded = Catalog::load(path).unwrap_or_else(|e| {
+            eprintln!("failed to load snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "reuse: loaded snapshot {path} ({} shards, frozen tau {}) in {}s",
+            loaded.shard_count(),
+            loaded.tau(),
+            secs(start.elapsed())
+        );
+        // The snapshot records neither seed nor scale, so this guard
+        // can only catch gross mismatches; a same-size snapshot from a
+        // different seed/scale surfaces below as a cross-check
+        // MISMATCH — the hint there covers that case.
+        if loaded.tau() < tau || loaded.len() != left.len() {
+            eprintln!(
+                "snapshot {path} was frozen for tau {} / {} trees, expected tau >= {tau} / {} \
+                 trees — delete it and rerun",
+                loaded.tau(),
+                loaded.len(),
+                left.len()
+            );
+            std::process::exit(1);
+        }
+        loaded
+    } else {
+        let frozen = Catalog::freeze(
+            left.clone(),
+            tsj_tree::LabelInterner::new(),
+            tau,
+            &config,
+            &shard_cfg,
+        );
+        frozen.save(path).unwrap_or_else(|e| {
+            eprintln!("failed to save snapshot {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "save: froze and wrote snapshot {path} in {}s",
+            secs(start.elapsed())
+        );
+        frozen
+    };
+
+    let mut rows = Vec::new();
+    let mut failed = false;
+    // Serve the frozen threshold plus one smaller per-query threshold.
+    let mut thresholds = vec![tau.saturating_sub(1), tau];
+    thresholds.dedup();
+    for tau_q in thresholds {
+        let start = Instant::now();
+        let served = catalog
+            .join(&probes, tau_q, &config, &shard_cfg)
+            .expect("tau_q within the frozen ceiling");
+        let served_time = start.elapsed();
+        let start = Instant::now();
+        let direct = sharded_rs_join(&left, &probes, tau_q, &config, &shard_cfg);
+        let direct_time = start.elapsed();
+        let agree = served.pairs == direct.pairs;
+        failed |= !agree;
+        rows.push(vec![
+            format!("{tau_q}"),
+            format!("{}", served.stats.results),
+            format!("{}", served.stats.candidates),
+            secs(served_time),
+            secs(direct_time),
+            if agree {
+                "ok".into()
+            } else {
+                "MISMATCH".into()
+            },
+        ]);
+    }
+    println!(
+        "{}",
+        render_table(
+            &[
+                "tau",
+                "pairs",
+                "candidates",
+                "served(s)",
+                "rebuild(s)",
+                "vs direct"
+            ],
+            &rows
+        )
+    );
+    if failed {
+        eprintln!(
+            "catalog-served join disagrees with the direct join. If the snapshot at {path} \
+             was recorded with a different --seed or --scale, it holds different trees than \
+             this run generated — delete it and rerun; otherwise this is a real soundness bug."
+        );
+        std::process::exit(1);
+    }
 }
 
 /// §4.3 closing note: the max-min partitioning scheme vs random cuts.

@@ -1,0 +1,470 @@
+//! Bench-regression comparison: diff a fresh `CRITERION_JSON_OUT` run
+//! against a checked-in baseline (`BENCH_*.json`) by median.
+//!
+//! Two input shapes are understood, sniffed automatically:
+//!
+//! * **JSONL** — what the vendored criterion stub writes: one
+//!   `{"name": …, "median_ns": …}` object per line;
+//! * **baseline files** — the repo's `BENCH_*.json`: a single object
+//!   whose `"benchmarks"` member maps series name to an object with a
+//!   `"median_ns"` member (other members are ignored).
+//!
+//! Everything here is a hand-rolled minimal JSON reader because the
+//! build container has no serde; it supports exactly the JSON subset
+//! those files use (objects, arrays, strings with escapes, numbers,
+//! booleans, null).
+
+use std::collections::BTreeMap;
+
+/// A parsed JSON value (minimal subset).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number, as `f64`.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, insertion-ordered.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Member lookup on objects.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(members) => members.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if any.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if any.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+struct JsonReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> JsonReader<'a> {
+    fn skip_ws(&mut self) {
+        while self
+            .bytes
+            .get(self.pos)
+            .is_some_and(|b| b.is_ascii_whitespace())
+        {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(format!(
+                "expected {:?} at byte {}, found {:?}",
+                b as char,
+                self.pos,
+                self.peek().map(|b| b as char)
+            ))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.number(),
+            other => Err(format!(
+                "unexpected {:?} at byte {}",
+                other.map(|b| b as char),
+                self.pos
+            )),
+        }
+    }
+
+    fn literal(&mut self, text: &str, value: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(text.as_bytes()) {
+            self.pos += text.len();
+            Ok(value)
+        } else {
+            Err(format!("invalid literal at byte {}", self.pos))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while self
+            .peek()
+            .is_some_and(|b| matches!(b, b'-' | b'+' | b'.' | b'e' | b'E' | b'0'..=b'9'))
+        {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .map(Json::Num)
+            .ok_or_else(|| format!("invalid number at byte {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err("unterminated string".into()),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    let escape = self.peek().ok_or("unterminated escape")?;
+                    self.pos += 1;
+                    match escape {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{8}'),
+                        b'f' => out.push('\u{c}'),
+                        b'u' => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos..self.pos + 4)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or("invalid \\u escape")?;
+                            self.pos += 4;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        }
+                        other => return Err(format!("unknown escape \\{}", other as char)),
+                    }
+                }
+                Some(_) => {
+                    // Copy one UTF-8 scalar (multi-byte sequences pass
+                    // through untouched).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| "invalid UTF-8 in string")?;
+                    let ch = rest.chars().next().unwrap();
+                    out.push(ch);
+                    self.pos += ch.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(format!("expected ',' or ']' at byte {}", self.pos)),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut members = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.value()?;
+            members.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(members));
+                }
+                _ => return Err(format!("expected ',' or '}}' at byte {}", self.pos)),
+            }
+        }
+    }
+}
+
+/// Parses one complete JSON value; trailing whitespace is allowed,
+/// trailing content is an error.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut reader = JsonReader {
+        bytes: text.as_bytes(),
+        pos: 0,
+    };
+    let value = reader.value()?;
+    reader.skip_ws();
+    if reader.pos != reader.bytes.len() {
+        return Err(format!("trailing content at byte {}", reader.pos));
+    }
+    Ok(value)
+}
+
+/// Extracts `name → median_ns` from either supported shape (see the
+/// module docs). Duplicate names keep the *last* occurrence, matching
+/// the stub's append semantics within a run.
+pub fn parse_measurements(text: &str) -> Result<BTreeMap<String, f64>, String> {
+    let trimmed = text.trim();
+    if trimmed.is_empty() {
+        return Err("empty measurements input".into());
+    }
+    // Whole-file parse first: the BENCH_*.json baseline shape.
+    if let Ok(value) = parse_json(trimmed) {
+        if let Some(Json::Obj(benchmarks)) = value.get("benchmarks") {
+            let mut out = BTreeMap::new();
+            for (name, entry) in benchmarks {
+                // Two baseline generations: `"name": 123.4` (BENCH_seed)
+                // and `"name": {"median_ns": 123.4, …}` (later PRs).
+                let median = entry
+                    .as_f64()
+                    .or_else(|| entry.get("median_ns").and_then(Json::as_f64))
+                    .ok_or_else(|| format!("benchmark {name:?} lacks a numeric median_ns"))?;
+                out.insert(name.clone(), median);
+            }
+            return Ok(out);
+        }
+    }
+    // Otherwise: JSONL, one object per line.
+    let mut out = BTreeMap::new();
+    for (lineno, line) in trimmed.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let value = parse_json(line).map_err(|e| format!("line {}: {e}", lineno + 1))?;
+        let name = value
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("line {}: missing name", lineno + 1))?;
+        let median = value
+            .get("median_ns")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| format!("line {}: missing median_ns", lineno + 1))?;
+        out.insert(name.to_string(), median);
+    }
+    if out.is_empty() {
+        return Err("no measurements found".into());
+    }
+    Ok(out)
+}
+
+/// One series present in both runs, with its relative drift.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDelta {
+    /// Series name (`group/function/param`).
+    pub name: String,
+    /// Baseline median, nanoseconds.
+    pub baseline_ns: f64,
+    /// Current median, nanoseconds.
+    pub current_ns: f64,
+    /// `(current − baseline) / baseline × 100`; positive = slower.
+    pub delta_pct: f64,
+}
+
+impl BenchDelta {
+    /// Whether this series got slower by more than `tolerance_pct`.
+    pub fn is_regression(&self, tolerance_pct: f64) -> bool {
+        self.delta_pct > tolerance_pct
+    }
+}
+
+/// The full diff of two measurement sets.
+#[derive(Debug, Clone, Default)]
+pub struct BenchComparison {
+    /// Series in both sets, name-sorted.
+    pub deltas: Vec<BenchDelta>,
+    /// Series only in the baseline (vanished from the current run).
+    pub missing: Vec<String>,
+    /// Series only in the current run (no baseline yet).
+    pub added: Vec<String>,
+}
+
+impl BenchComparison {
+    /// Series slower than `tolerance_pct`, name-sorted.
+    pub fn regressions(&self, tolerance_pct: f64) -> Vec<&BenchDelta> {
+        self.deltas
+            .iter()
+            .filter(|d| d.is_regression(tolerance_pct))
+            .collect()
+    }
+}
+
+/// Diffs `current` against `baseline`, keeping only series whose name
+/// contains `filter` (when given).
+pub fn compare(
+    baseline: &BTreeMap<String, f64>,
+    current: &BTreeMap<String, f64>,
+    filter: Option<&str>,
+) -> BenchComparison {
+    let keep = |name: &str| filter.is_none_or(|f| name.contains(f));
+    let mut cmp = BenchComparison::default();
+    for (name, &baseline_ns) in baseline {
+        if !keep(name) {
+            continue;
+        }
+        match current.get(name) {
+            Some(&current_ns) => cmp.deltas.push(BenchDelta {
+                name: name.clone(),
+                baseline_ns,
+                current_ns,
+                delta_pct: if baseline_ns > 0.0 {
+                    (current_ns - baseline_ns) / baseline_ns * 100.0
+                } else {
+                    0.0
+                },
+            }),
+            None => cmp.missing.push(name.clone()),
+        }
+    }
+    for name in current.keys() {
+        if keep(name) && !baseline.contains_key(name) {
+            cmp.added.push(name.clone());
+        }
+    }
+    cmp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_jsonl() {
+        let text = "\
+{\"name\": \"a/b/1\", \"median_ns\": 120.5}\n\
+{\"name\": \"a/b/2\", \"median_ns\": 300.0}\n";
+        let m = parse_measurements(text).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["a/b/1"], 120.5);
+    }
+
+    #[test]
+    fn parses_baseline_shape() {
+        let text = r#"{
+            "note": "context — with escapes",
+            "benchmarks": {
+                "join/tau/PRT/1": { "median_ns": 1844.5, "before_ns": 1894.4, "delta_pct": -2.6 },
+                "join/tau/PRT/3": { "median_ns": 4177.0 }
+            }
+        }"#;
+        let m = parse_measurements(text).unwrap();
+        assert_eq!(m.len(), 2);
+        assert_eq!(m["join/tau/PRT/1"], 1844.5);
+    }
+
+    #[test]
+    fn real_checked_in_baselines_parse() {
+        for file in [
+            "BENCH_seed.json",
+            "BENCH_pr2.json",
+            "BENCH_pr3.json",
+            "BENCH_pr4.json",
+            "BENCH_pr5.json",
+        ] {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + file;
+            let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+                panic!("reading {path}: {e}");
+            });
+            let m = parse_measurements(&text).unwrap_or_else(|e| {
+                panic!("parsing {file}: {e}");
+            });
+            assert!(!m.is_empty(), "{file} has no benchmarks");
+        }
+    }
+
+    #[test]
+    fn compare_flags_regressions_and_membership() {
+        let baseline: BTreeMap<String, f64> = [
+            ("a".to_string(), 100.0),
+            ("b".to_string(), 100.0),
+            ("gone".to_string(), 50.0),
+        ]
+        .into();
+        let current: BTreeMap<String, f64> = [
+            ("a".to_string(), 130.0),
+            ("b".to_string(), 90.0),
+            ("new".to_string(), 10.0),
+        ]
+        .into();
+        let cmp = compare(&baseline, &current, None);
+        assert_eq!(cmp.missing, vec!["gone"]);
+        assert_eq!(cmp.added, vec!["new"]);
+        assert_eq!(cmp.deltas.len(), 2);
+        let regressions = cmp.regressions(25.0);
+        assert_eq!(regressions.len(), 1);
+        assert_eq!(regressions[0].name, "a");
+        assert!((regressions[0].delta_pct - 30.0).abs() < 1e-9);
+        // A ±25% band keeps a 30% regression out only at higher tolerance.
+        assert!(cmp.regressions(35.0).is_empty());
+    }
+
+    #[test]
+    fn filter_restricts_names() {
+        let baseline: BTreeMap<String, f64> =
+            [("x/one".to_string(), 1.0), ("y/two".to_string(), 1.0)].into();
+        let current = baseline.clone();
+        let cmp = compare(&baseline, &current, Some("x/"));
+        assert_eq!(cmp.deltas.len(), 1);
+        assert_eq!(cmp.deltas[0].name, "x/one");
+    }
+
+    #[test]
+    fn malformed_input_is_an_error_not_a_panic() {
+        assert!(parse_measurements("").is_err());
+        assert!(parse_measurements("not json").is_err());
+        assert!(
+            parse_measurements("{\"name\": \"a\"}").is_err(),
+            "no median"
+        );
+        assert!(parse_measurements("{\"benchmarks\": {\"a\": {}}}").is_err());
+    }
+}

@@ -7,6 +7,8 @@
 
 #![warn(missing_docs)]
 
+pub mod compare;
+
 use partsj::{partsj_join_with, PartSjConfig};
 use std::time::Duration;
 use tsj_datagen::{

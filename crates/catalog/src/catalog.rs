@@ -1,0 +1,533 @@
+//! The [`Catalog`] handle: freeze once, serve many joins.
+
+use crate::error::CatalogError;
+use crate::snapshot::{assemble, encode_labels, encode_shard, encode_trees, SnapshotReader};
+use partsj::probe::ProbeCounters;
+use partsj::{
+    LayerId, MatchCache, PartSjConfig, StampSink, SubgraphIndex, VerifyData, VerifyEngine,
+    WindowPolicy,
+};
+use std::path::Path;
+use tsj_shard::{build_frozen_left, frozen_rs_join, FrozenLeft, ShardConfig, ShardedIndex};
+use tsj_ted::{JoinOutcome, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, LabelInterner, Tree};
+
+/// A frozen left collection: the sharded subgraph index over its trees,
+/// the trees themselves, their label space and their precomputed
+/// verification inputs — everything needed to serve indexed-left joins
+/// and single-probe queries without rebuilding anything.
+///
+/// Build one with [`Catalog::freeze`], persist it with
+/// [`Catalog::save`] and bring it back with [`Catalog::load`]; the
+/// loaded catalog joins **bit-identically** (pairs *and* candidate
+/// counts) to [`tsj_shard::sharded_rs_join`] over the original trees.
+///
+/// ## The per-query `τ` contract
+///
+/// Postings are registered once, at freeze time, with the freeze
+/// threshold's window half-width. Any query threshold `τ_q ≤ τ_frozen`
+/// stays **complete**: the freeze-time `δ = 2τ_f + 1` partitioning
+/// yields more subgraphs than `τ_q ≤ τ_f` edits can touch, the frozen
+/// position windows cover at least the drift `τ_q` allows, and the probe
+/// only narrows the size window to `[|T| − τ_q, |T| + τ_q]`. Exact
+/// verification at `τ_q` then makes the result exact (candidate sets may
+/// be supersets of a natively-τ_q-built index's, never subsets).
+/// Thresholds *above* `τ_frozen` are rejected with
+/// [`CatalogError::TauExceedsFrozen`].
+#[derive(Debug)]
+pub struct Catalog {
+    labels: LabelInterner,
+    trees: Vec<Tree>,
+    tau: u32,
+    window: WindowPolicy,
+    index: ShardedIndex,
+    small_by_size: FxHashMap<u32, Vec<TreeIdx>>,
+    left_data: Vec<VerifyData>,
+}
+
+/// Reusable scratch for [`Catalog::query_with_engine`]: the
+/// O(catalog-size) candidate-dedup stamp array, the per-shard match
+/// caches and the probe buffers. Holding one of these (plus a
+/// [`VerifyEngine`]) across a serving loop's point queries makes each
+/// query allocation-free in the catalog size — dedup is by an
+/// incrementing marker, so the stamp array is never re-cleared.
+#[derive(Debug, Default)]
+pub struct QueryScratch {
+    stamp: Vec<TreeIdx>,
+    next_marker: TreeIdx,
+    caches: Vec<MatchCache>,
+    shard_scratch: Vec<usize>,
+    layer_scratch: Vec<LayerId>,
+}
+
+impl QueryScratch {
+    /// Sizes the buffers for a catalog of `trees` trees and `shards`
+    /// shards, returning this query's dedup marker.
+    fn begin_query(&mut self, trees: usize, shards: usize) -> TreeIdx {
+        if self.stamp.len() != trees || self.next_marker == TreeIdx::MAX {
+            // First use, a different catalog, or marker exhaustion:
+            // start a fresh stamp generation.
+            self.stamp.clear();
+            self.stamp.resize(trees, TreeIdx::MAX);
+            self.next_marker = 0;
+        }
+        if self.caches.len() != shards {
+            self.caches = (0..shards).map(|_| MatchCache::new()).collect();
+        }
+        let marker = self.next_marker;
+        self.next_marker += 1;
+        marker
+    }
+}
+
+impl Catalog {
+    /// Partitions and indexes `trees` for threshold `tau`, producing a
+    /// frozen catalog. `config.window`/`config.partitioning` are frozen
+    /// into the snapshot; `shard_cfg.shards` fixes the shard count (the
+    /// thread knobs only affect this build).
+    ///
+    /// Freezing always builds a fresh, fully live index — there are no
+    /// tombstones, replay logs or liveness bitmaps to carry: that state
+    /// is "compacted away" by construction, which is what keeps the
+    /// snapshot format a plain postings image.
+    pub fn freeze(
+        trees: Vec<Tree>,
+        labels: LabelInterner,
+        tau: u32,
+        config: &PartSjConfig,
+        shard_cfg: &ShardConfig,
+    ) -> Catalog {
+        // The exact build phase of `sharded_rs_join` — sharing the one
+        // builder is what keeps a frozen catalog bit-identical to the
+        // direct join. The catalog additionally tracks the side-listed
+        // small trees for liveness/size accounting.
+        let (mut index, small_by_size) = build_frozen_left(&trees, tau, config, shard_cfg);
+        for (&size, list) in &small_by_size {
+            for &i in list {
+                index.track(i, size);
+            }
+        }
+        let left_data = trees.iter().map(VerifyData::new).collect();
+        Catalog {
+            labels,
+            trees,
+            tau,
+            window: config.window,
+            index,
+            small_by_size,
+            left_data,
+        }
+    }
+
+    /// The threshold the catalog was frozen for — the ceiling of every
+    /// per-query threshold.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// The window policy frozen into the index.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Number of catalog trees.
+    pub fn len(&self) -> usize {
+        self.trees.len()
+    }
+
+    /// Whether the catalog holds no trees.
+    pub fn is_empty(&self) -> bool {
+        self.trees.is_empty()
+    }
+
+    /// Number of index shards (fixed at freeze time).
+    pub fn shard_count(&self) -> usize {
+        self.index.shard_count()
+    }
+
+    /// The catalog trees, indexed by the left component of result pairs.
+    pub fn trees(&self) -> &[Tree] {
+        &self.trees
+    }
+
+    /// The label space the catalog trees were interned in.
+    pub fn labels(&self) -> &LabelInterner {
+        &self.labels
+    }
+
+    /// Mutable label access — probe trees must be parsed against *this*
+    /// interner (labels compare by id); new probe-only labels append
+    /// without disturbing frozen ids.
+    pub fn labels_mut(&mut self) -> &mut LabelInterner {
+        &mut self.labels
+    }
+
+    /// The frozen sharded index (read-only).
+    pub fn index(&self) -> &ShardedIndex {
+        &self.index
+    }
+
+    fn check_tau(&self, query: u32) -> Result<(), CatalogError> {
+        if query > self.tau {
+            return Err(CatalogError::TauExceedsFrozen {
+                query,
+                frozen: self.tau,
+            });
+        }
+        Ok(())
+    }
+
+    /// Batch indexed-left join: all `(i, j)` with
+    /// `TED(catalog[i], probes[j]) ≤ tau`, for any `tau` up to the
+    /// frozen threshold (see the [type docs](Catalog) for the
+    /// contract). Probing fans out over `shard_cfg`'s probe workers and
+    /// the bounded-channel verify pool exactly like
+    /// [`tsj_shard::sharded_rs_join`] — `shard_cfg.shards` is ignored
+    /// (the shard count was fixed at freeze time).
+    ///
+    /// `config.window` and `config.partitioning` are likewise frozen;
+    /// only the matching semantics, verify chain and batching knobs take
+    /// effect per call.
+    pub fn join(
+        &self,
+        probes: &[Tree],
+        tau: u32,
+        config: &PartSjConfig,
+        shard_cfg: &ShardConfig,
+    ) -> Result<JoinOutcome, CatalogError> {
+        self.check_tau(tau)?;
+        Ok(frozen_rs_join(
+            &FrozenLeft {
+                index: &self.index,
+                small_by_size: &self.small_by_size,
+                left_data: &self.left_data,
+            },
+            probes,
+            tau,
+            config,
+            shard_cfg.resolved_probe_threads(),
+            shard_cfg.resolved_verify_threads(),
+        ))
+    }
+
+    /// Single-probe similarity search, `SearchIndex` semantics: all
+    /// catalog trees within `tau` of `probe` as ascending
+    /// `(tree index, exact distance)` pairs. Distances are exact — the
+    /// engine only short-circuits on provably tight certificates.
+    ///
+    /// This convenience form allocates a fresh engine and
+    /// [`QueryScratch`] per call; a serving loop should hold both and
+    /// use [`Catalog::query_with_engine`] so the O(catalog) stamp array
+    /// and the per-shard match caches amortize across probes.
+    pub fn query(
+        &self,
+        probe: &Tree,
+        tau: u32,
+        config: &PartSjConfig,
+    ) -> Result<Vec<(TreeIdx, u32)>, CatalogError> {
+        let mut engine = VerifyEngine::with_filters(tau, &config.verify);
+        self.query_with_engine(probe, config, &mut engine, &mut QueryScratch::default())
+    }
+
+    /// Like [`Catalog::query`], reusing a caller-owned engine (its
+    /// threshold is the query threshold and must not exceed the frozen
+    /// one) and [`QueryScratch`] across probes — repeated point queries
+    /// then allocate nothing proportional to the catalog.
+    pub fn query_with_engine(
+        &self,
+        probe: &Tree,
+        config: &PartSjConfig,
+        engine: &mut VerifyEngine,
+        scratch: &mut QueryScratch,
+    ) -> Result<Vec<(TreeIdx, u32)>, CatalogError> {
+        let tau = engine.tau();
+        self.check_tau(tau)?;
+        let size_q = probe.len() as u32;
+        let lo = size_q.saturating_sub(tau).max(1);
+        let hi = size_q + tau;
+        let marker = scratch.begin_query(self.trees.len(), self.index.shard_count());
+        let mut candidates: Vec<TreeIdx> = Vec::new();
+        for n in lo..=hi {
+            if let Some(list) = self.small_by_size.get(&n) {
+                for &i in list {
+                    if scratch.stamp[i as usize] != marker {
+                        scratch.stamp[i as usize] = marker;
+                        candidates.push(i);
+                    }
+                }
+            }
+        }
+        let binary = BinaryTree::from_tree(probe);
+        let posts = probe.postorder_numbers();
+        let mut counters = ProbeCounters::default();
+        let mut sink = StampSink {
+            stamp: &mut scratch.stamp,
+            marker,
+            candidates: &mut candidates,
+        };
+        self.index.probe_tree(
+            &binary,
+            &posts,
+            size_q,
+            lo,
+            hi,
+            config.matching,
+            &mut scratch.caches,
+            &mut scratch.shard_scratch,
+            &mut scratch.layer_scratch,
+            &mut counters,
+            &mut sink,
+        );
+        let data_q = VerifyData::new(probe);
+        let mut hits: Vec<(TreeIdx, u32)> = candidates
+            .into_iter()
+            .filter_map(|i| {
+                engine
+                    .check_exact(&self.left_data[i as usize], &data_q)
+                    .map(|d| (i, d))
+            })
+            .collect();
+        hits.sort_unstable();
+        Ok(hits)
+    }
+
+    /// Serializes the catalog into the versioned snapshot byte format
+    /// (see [`crate::snapshot`] for the layout).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut sections = Vec::with_capacity(2 + self.index.shard_count());
+        sections.push(encode_labels(&self.labels));
+        sections.push(encode_trees(&self.trees));
+        for s in 0..self.index.shard_count() {
+            sections.push(encode_shard(&self.index.shard_index(s).dump()));
+        }
+        assemble(self.tau, self.window, self.trees.len() as u32, &sections)
+    }
+
+    /// Writes the snapshot to `path` — atomically: the bytes go to a
+    /// temporary sibling file first and are renamed over the target, so
+    /// an interrupted save never leaves a truncated snapshot under the
+    /// final name (and concurrent readers never observe a half-written
+    /// file).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(format!(".tmp.{}", std::process::id()));
+        let tmp = std::path::PathBuf::from(tmp);
+        std::fs::write(&tmp, self.to_bytes())?;
+        if let Err(e) = std::fs::rename(&tmp, path) {
+            let _ = std::fs::remove_file(&tmp);
+            return Err(e.into());
+        }
+        Ok(())
+    }
+
+    /// Deserializes a catalog from snapshot bytes, validating magic,
+    /// version, checksums and every structural cross-reference. The
+    /// tree store drives the rebuild of the small-tree side list and the
+    /// per-tree verification inputs; the shard sections restore the
+    /// index postings verbatim.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<Catalog, CatalogError> {
+        let reader = SnapshotReader::from_bytes(bytes)?;
+        Catalog::from_reader(&reader)
+    }
+
+    /// Loads a snapshot file saved by [`Catalog::save`].
+    pub fn load(path: impl AsRef<Path>) -> Result<Catalog, CatalogError> {
+        Catalog::from_reader(&SnapshotReader::open(path)?)
+    }
+
+    /// Assembles a catalog from an already-open [`SnapshotReader`] —
+    /// useful when the caller has inspected the header (or wants to
+    /// keep the reader around for per-shard redistribution).
+    pub fn from_reader(reader: &SnapshotReader) -> Result<Catalog, CatalogError> {
+        let labels = reader.labels()?;
+        let trees = reader.trees()?;
+        let tau = reader.tau();
+        let window = reader.window();
+        let delta = 2 * tau as usize + 1;
+        let shards: Vec<SubgraphIndex> = (0..reader.shard_count())
+            .map(|s| reader.shard(s))
+            .collect::<Result<_, _>>()?;
+        let index = ShardedIndex::from_frozen_parts(
+            tau,
+            window,
+            shards,
+            trees
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as TreeIdx, t.len() as u32)),
+        )
+        .map_err(|context| CatalogError::Corrupt { context })?;
+        // Cross-check: every posting's container tree must exist in the
+        // tree store (a dangling tree id would panic in the verify
+        // phase, far from the load).
+        for s in 0..index.shard_count() {
+            let shard = index.shard_index(s);
+            for handle in 0..shard.len() as u32 {
+                let tree = shard.tree_of(handle);
+                if tree as usize >= trees.len() {
+                    return Err(CatalogError::Corrupt {
+                        context: format!(
+                            "shard {s} references tree {tree} but the store holds {}",
+                            trees.len()
+                        ),
+                    });
+                }
+            }
+        }
+        let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+        for (i, tree) in trees.iter().enumerate() {
+            let size = tree.len() as u32;
+            if (size as usize) < delta {
+                small_by_size.entry(size).or_default().push(i as TreeIdx);
+            }
+        }
+        let left_data = trees.iter().map(VerifyData::new).collect();
+        Ok(Catalog {
+            labels,
+            trees,
+            tau,
+            window,
+            index,
+            small_by_size,
+            left_data,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::parse_bracket;
+
+    fn catalog_from(specs: &[&str], tau: u32) -> Catalog {
+        let mut labels = LabelInterner::new();
+        let trees: Vec<Tree> = specs
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        Catalog::freeze(
+            trees,
+            labels,
+            tau,
+            &PartSjConfig::default(),
+            &ShardConfig::with_shards(2),
+        )
+    }
+
+    #[test]
+    fn freeze_join_finds_pairs() {
+        let catalog = catalog_from(&["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}"], 1);
+        // Probe labels intern against the catalog's label space.
+        let mut labels = catalog.labels().clone();
+        let probe = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+        let outcome = catalog
+            .join(
+                std::slice::from_ref(&probe),
+                1,
+                &PartSjConfig::default(),
+                &ShardConfig::with_shards(2),
+            )
+            .unwrap();
+        assert_eq!(outcome.pairs, vec![(0, 0), (1, 0)]);
+        let hits = catalog.query(&probe, 1, &PartSjConfig::default()).unwrap();
+        assert_eq!(hits, vec![(0, 0), (1, 1)]);
+    }
+
+    #[test]
+    fn query_scratch_reuse_matches_fresh_queries() {
+        let catalog = catalog_from(
+            &["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}", "{a{b}{c}{d}}", "{q}"],
+            2,
+        );
+        let mut labels = catalog.labels().clone();
+        let probes: Vec<Tree> = ["{a{b}{c}}", "{x{y}}", "{q}", "{a{b}{c}}"]
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let config = PartSjConfig::default();
+        let mut engine = VerifyEngine::with_filters(2, &config.verify);
+        let mut scratch = QueryScratch::default();
+        for probe in &probes {
+            let fresh = catalog.query(probe, 2, &config).unwrap();
+            let reused = catalog
+                .query_with_engine(probe, &config, &mut engine, &mut scratch)
+                .unwrap();
+            assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn per_query_tau_is_capped_by_frozen_tau() {
+        let catalog = catalog_from(&["{a{b}{c}}", "{a{b}{d}}"], 2);
+        let mut labels = catalog.labels().clone();
+        let probe = parse_bracket("{a{b}{c}}", &mut labels).unwrap();
+        for tau in 0..=2 {
+            assert!(catalog
+                .join(
+                    std::slice::from_ref(&probe),
+                    tau,
+                    &PartSjConfig::default(),
+                    &ShardConfig::default()
+                )
+                .is_ok());
+        }
+        assert!(matches!(
+            catalog.join(
+                std::slice::from_ref(&probe),
+                3,
+                &PartSjConfig::default(),
+                &ShardConfig::default()
+            ),
+            Err(CatalogError::TauExceedsFrozen {
+                query: 3,
+                frozen: 2
+            })
+        ));
+        assert!(matches!(
+            catalog.query(&probe, 3, &PartSjConfig::default()),
+            Err(CatalogError::TauExceedsFrozen { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_everything() {
+        let catalog = catalog_from(&["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}", "{q}"], 1);
+        let bytes = catalog.to_bytes();
+        let loaded = Catalog::from_bytes(bytes.clone()).unwrap();
+        assert_eq!(loaded.tau(), catalog.tau());
+        assert_eq!(loaded.window(), catalog.window());
+        assert_eq!(loaded.len(), catalog.len());
+        assert_eq!(loaded.shard_count(), catalog.shard_count());
+        assert_eq!(loaded.labels().len(), catalog.labels().len());
+        for (a, b) in catalog.trees().iter().zip(loaded.trees()) {
+            assert!(a.structurally_eq(b));
+        }
+        // Serialization is deterministic.
+        assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn empty_catalog_round_trips() {
+        let catalog = Catalog::freeze(
+            Vec::new(),
+            LabelInterner::new(),
+            2,
+            &PartSjConfig::default(),
+            &ShardConfig::default(),
+        );
+        let loaded = Catalog::from_bytes(catalog.to_bytes()).unwrap();
+        assert!(loaded.is_empty());
+        let mut labels = LabelInterner::new();
+        let probe = parse_bracket("{a}", &mut labels).unwrap();
+        let outcome = loaded
+            .join(
+                std::slice::from_ref(&probe),
+                1,
+                &PartSjConfig::default(),
+                &ShardConfig::default(),
+            )
+            .unwrap();
+        assert!(outcome.pairs.is_empty());
+    }
+}

@@ -1,0 +1,130 @@
+//! Typed failure modes of snapshot I/O and catalog queries.
+//!
+//! Every malformed-snapshot path — truncation, a foreign file, a future
+//! format version, bit rot — maps to a [`CatalogError`] variant; decoding
+//! never panics and never constructs a partially valid catalog.
+
+use std::fmt;
+
+/// Everything that can go wrong saving, loading or querying a catalog.
+#[derive(Debug)]
+pub enum CatalogError {
+    /// An underlying filesystem operation failed.
+    Io(std::io::Error),
+    /// The file does not start with the snapshot magic — not a catalog
+    /// snapshot at all.
+    BadMagic {
+        /// The first bytes actually found.
+        found: [u8; 8],
+    },
+    /// The snapshot was written by an unknown (newer or retired) format
+    /// version.
+    UnsupportedVersion {
+        /// Version recorded in the file.
+        found: u32,
+        /// The one version this build reads.
+        supported: u32,
+    },
+    /// The file ends before the structure it promises — a partial write
+    /// or truncated download.
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// A section's stored checksum disagrees with its bytes.
+    ChecksumMismatch {
+        /// Which section failed (e.g. `"trees"`, `"shard 2"`).
+        section: String,
+    },
+    /// The bytes parse but describe an inconsistent structure (dangling
+    /// handle, out-of-range label, mis-routed shard, …).
+    Corrupt {
+        /// What invariant was violated.
+        context: String,
+    },
+    /// A query asked for a threshold above the one the catalog was
+    /// frozen for. Candidate generation is only complete up to the
+    /// freeze threshold — rebuild the catalog with a larger `τ` instead.
+    TauExceedsFrozen {
+        /// The requested per-query threshold.
+        query: u32,
+        /// The threshold the snapshot was frozen with.
+        frozen: u32,
+    },
+}
+
+impl fmt::Display for CatalogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CatalogError::Io(e) => write!(f, "snapshot I/O failed: {e}"),
+            CatalogError::BadMagic { found } => {
+                write!(f, "not a catalog snapshot (leading bytes {found:02x?})")
+            }
+            CatalogError::UnsupportedVersion { found, supported } => write!(
+                f,
+                "snapshot format version {found} is not supported (this build reads {supported})"
+            ),
+            CatalogError::Truncated { context } => {
+                write!(f, "snapshot truncated while reading {context}")
+            }
+            CatalogError::ChecksumMismatch { section } => {
+                write!(f, "checksum mismatch in snapshot section {section}")
+            }
+            CatalogError::Corrupt { context } => write!(f, "corrupt snapshot: {context}"),
+            CatalogError::TauExceedsFrozen { query, frozen } => write!(
+                f,
+                "query threshold {query} exceeds the frozen threshold {frozen}; \
+                 refreeze the catalog with a larger tau"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for CatalogError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for CatalogError {
+    fn from(e: std::io::Error) -> CatalogError {
+        CatalogError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_failure() {
+        assert!(CatalogError::BadMagic {
+            found: *b"NOTACATL"
+        }
+        .to_string()
+        .contains("not a catalog snapshot"));
+        assert!(CatalogError::UnsupportedVersion {
+            found: 9,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 9"));
+        assert!(CatalogError::Truncated { context: "header" }
+            .to_string()
+            .contains("header"));
+        assert!(CatalogError::ChecksumMismatch {
+            section: "shard 2".into()
+        }
+        .to_string()
+        .contains("shard 2"));
+        assert!(CatalogError::TauExceedsFrozen {
+            query: 5,
+            frozen: 3
+        }
+        .to_string()
+        .contains("exceeds"));
+    }
+}

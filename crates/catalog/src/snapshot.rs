@@ -1,0 +1,584 @@
+//! The versioned snapshot layout and its section codecs.
+//!
+//! A snapshot file is a fixed header, a section directory, and one byte
+//! section per payload:
+//!
+//! ```text
+//! magic "TSJCATLG" | version u32 | tau u32 | window u8 | shards u32 | trees u32
+//! directory: (offset u64, len u64, fnv1a64 checksum u64) × (2 + shards)
+//! section 0: label store      — interned label strings, in id order
+//! section 1: tree store       — every left tree, flattened preorder
+//! section 2+s: shard s        — the shard's SubgraphIndex dump
+//! ```
+//!
+//! Every section is independently checksummed and independently
+//! decodable — a shard section is exactly the unit a multi-node
+//! deployment ships to the node that owns the shard. [`SnapshotReader`]
+//! parses the header eagerly but decodes sections only on access, so a
+//! consumer can read the tree store without paying for shards it does
+//! not own.
+//!
+//! The header records the freeze threshold `tau` and the window policy;
+//! both are cross-validated against every shard dump on load. Postings
+//! inside a shard are stored verbatim (bucket order, sorted-prefix
+//! split), which is what makes a loaded catalog probe **bit-identically**
+//! to the index it was frozen from.
+
+use crate::error::CatalogError;
+use crate::format::{fnv1a64, ByteReader, ByteWriter};
+use partsj::{
+    BucketDump, ComponentDump, IndexDump, LayerDump, SubgraphIndex, SubgraphMeta, WindowPolicy,
+};
+use partsj::{ChildKind, SgNode};
+use std::path::Path;
+use tsj_tree::{Label, LabelInterner, Tree};
+
+/// Leading bytes of every catalog snapshot.
+pub const MAGIC: [u8; 8] = *b"TSJCATLG";
+
+/// The one format version this build writes and reads.
+pub const FORMAT_VERSION: u32 = 1;
+
+const HEADER_FIXED_LEN: usize = 8 + 4 + 4 + 1 + 4 + 4;
+const DIRECTORY_ENTRY_LEN: usize = 8 + 8 + 8;
+
+fn encode_window(window: WindowPolicy) -> u8 {
+    match window {
+        WindowPolicy::Safe => 0,
+        WindowPolicy::Tight => 1,
+        WindowPolicy::PaperAbsolute => 2,
+    }
+}
+
+fn decode_window(tag: u8) -> Result<WindowPolicy, CatalogError> {
+    match tag {
+        0 => Ok(WindowPolicy::Safe),
+        1 => Ok(WindowPolicy::Tight),
+        2 => Ok(WindowPolicy::PaperAbsolute),
+        other => Err(CatalogError::Corrupt {
+            context: format!("unknown window policy tag {other}"),
+        }),
+    }
+}
+
+fn encode_child_kind(kind: ChildKind) -> u8 {
+    match kind {
+        ChildKind::Absent => 0,
+        ChildKind::Component => 1,
+        ChildKind::Bridge => 2,
+    }
+}
+
+fn decode_child_kind(tag: u8) -> Result<ChildKind, CatalogError> {
+    match tag {
+        0 => Ok(ChildKind::Absent),
+        1 => Ok(ChildKind::Component),
+        2 => Ok(ChildKind::Bridge),
+        other => Err(CatalogError::Corrupt {
+            context: format!("unknown child-kind tag {other}"),
+        }),
+    }
+}
+
+fn decode_label(raw: u32, context: &str) -> Result<Label, CatalogError> {
+    if raw > Label::MAX_LABELS {
+        return Err(CatalogError::Corrupt {
+            context: format!("{context}: label id {raw} out of range"),
+        });
+    }
+    Ok(Label::from_raw(raw))
+}
+
+/// Encodes the label store: count, then each name as `len u32 + utf8`.
+pub fn encode_labels(labels: &LabelInterner) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(labels.len() as u32);
+    for (_, name) in labels.iter() {
+        w.put_u32(name.len() as u32);
+        w.put_bytes(name.as_bytes());
+    }
+    w.into_bytes()
+}
+
+/// Decodes a label store; interning order reproduces the original ids.
+pub fn decode_labels(bytes: &[u8]) -> Result<LabelInterner, CatalogError> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.get_count(4, "label store")?;
+    if count as u64 > u64::from(Label::MAX_LABELS) {
+        return Err(CatalogError::Corrupt {
+            context: format!("label store claims {count} labels"),
+        });
+    }
+    let mut labels = LabelInterner::new();
+    for i in 0..count {
+        let len = r.get_u32("label length")? as usize;
+        let raw = r.get_bytes(len, "label bytes")?;
+        let name = std::str::from_utf8(raw).map_err(|_| CatalogError::Corrupt {
+            context: format!("label {i} is not valid UTF-8"),
+        })?;
+        let label = labels.intern(name);
+        if label.raw() != i as u32 + 1 {
+            return Err(CatalogError::Corrupt {
+                context: format!("label {i} ({name:?}) duplicates an earlier label"),
+            });
+        }
+    }
+    if r.remaining() != 0 {
+        return Err(CatalogError::Corrupt {
+            context: format!("{} trailing bytes after the label store", r.remaining()),
+        });
+    }
+    Ok(labels)
+}
+
+/// Encodes the tree store: tree count, then each tree as its
+/// [`Tree::flatten`] sequence (`node count u32`, then per node
+/// `label u32 + parent u32` with `u32::MAX` marking the root).
+pub fn encode_trees(trees: &[Tree]) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(trees.len() as u32);
+    for tree in trees {
+        let flat = tree.flatten();
+        w.put_u32(flat.len() as u32);
+        for (label, parent) in flat {
+            w.put_u32(label.raw());
+            w.put_u32(parent.unwrap_or(u32::MAX));
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes a tree store.
+pub fn decode_trees(bytes: &[u8]) -> Result<Vec<Tree>, CatalogError> {
+    let mut r = ByteReader::new(bytes);
+    let count = r.get_count(4, "tree store")?;
+    let mut trees = Vec::with_capacity(count);
+    for t in 0..count {
+        let nodes = r.get_count(8, "tree node list")?;
+        let mut flat = Vec::with_capacity(nodes);
+        for _ in 0..nodes {
+            let label = decode_label(r.get_u32("tree node label")?, "tree node")?;
+            let parent = match r.get_u32("tree node parent")? {
+                u32::MAX => None,
+                p => Some(p),
+            };
+            flat.push((label, parent));
+        }
+        let tree = Tree::from_flattened(&flat).map_err(|e| CatalogError::Corrupt {
+            context: format!("tree {t}: {e}"),
+        })?;
+        trees.push(tree);
+    }
+    if r.remaining() != 0 {
+        return Err(CatalogError::Corrupt {
+            context: format!("{} trailing bytes after the tree store", r.remaining()),
+        });
+    }
+    Ok(trees)
+}
+
+/// Encodes one shard's [`IndexDump`].
+pub fn encode_shard(dump: &IndexDump) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    w.put_u32(dump.tau);
+    w.put_u8(encode_window(dump.window));
+    w.put_u32(dump.size_layers.len() as u32);
+    for &(size, layer) in &dump.size_layers {
+        w.put_u32(size);
+        w.put_u32(layer);
+    }
+    w.put_u32(dump.layers.len() as u32);
+    for layer in &dump.layers {
+        w.put_u32(layer.buckets.len() as u32);
+        for bucket in &layer.buckets {
+            w.put_u32(bucket.sorted_len);
+            w.put_u32(bucket.postings.len() as u32);
+            for &(twig, handle) in &bucket.postings {
+                w.put_u64(twig);
+                w.put_u32(handle);
+            }
+        }
+    }
+    w.put_u32(dump.metas.len() as u32);
+    for meta in &dump.metas {
+        w.put_u32(meta.tree);
+        w.put_u32(meta.component);
+        w.put_u16(meta.ordinal);
+    }
+    w.put_u32(dump.components.len() as u32);
+    for c in &dump.components {
+        w.put_u32(c.start);
+        w.put_u32(c.len);
+        w.put_u8(c.incoming);
+    }
+    w.put_u32(dump.arena.len() as u32);
+    for node in &dump.arena {
+        w.put_u32(node.label.raw());
+        w.put_u8(encode_child_kind(node.left));
+        w.put_u8(encode_child_kind(node.right));
+    }
+    w.put_u64(dump.registrations);
+    w.into_bytes()
+}
+
+/// Decodes one shard section back into a validated [`SubgraphIndex`].
+pub fn decode_shard(bytes: &[u8]) -> Result<SubgraphIndex, CatalogError> {
+    let mut r = ByteReader::new(bytes);
+    let tau = r.get_u32("shard tau")?;
+    let window = decode_window(r.get_u8("shard window")?)?;
+    let size_count = r.get_count(8, "shard size classes")?;
+    let mut size_layers = Vec::with_capacity(size_count);
+    for _ in 0..size_count {
+        let size = r.get_u32("size class")?;
+        let layer = r.get_u32("layer id")?;
+        size_layers.push((size, layer));
+    }
+    let layer_count = r.get_count(4, "shard layers")?;
+    let mut layers = Vec::with_capacity(layer_count);
+    for _ in 0..layer_count {
+        let bucket_count = r.get_count(8, "layer buckets")?;
+        let mut buckets = Vec::with_capacity(bucket_count);
+        for _ in 0..bucket_count {
+            let sorted_len = r.get_u32("bucket sorted prefix")?;
+            let posting_count = r.get_count(12, "bucket postings")?;
+            let mut postings = Vec::with_capacity(posting_count);
+            for _ in 0..posting_count {
+                let twig = r.get_u64("posting twig")?;
+                let handle = r.get_u32("posting handle")?;
+                postings.push((twig, handle));
+            }
+            buckets.push(BucketDump {
+                postings,
+                sorted_len,
+            });
+        }
+        layers.push(LayerDump { buckets });
+    }
+    let meta_count = r.get_count(10, "shard metas")?;
+    let mut metas = Vec::with_capacity(meta_count);
+    for _ in 0..meta_count {
+        let tree = r.get_u32("meta tree")?;
+        let component = r.get_u32("meta component")?;
+        let ordinal = r.get_u16("meta ordinal")?;
+        metas.push(SubgraphMeta {
+            tree,
+            component,
+            ordinal,
+        });
+    }
+    let component_count = r.get_count(9, "shard components")?;
+    let mut components = Vec::with_capacity(component_count);
+    for _ in 0..component_count {
+        let start = r.get_u32("component start")?;
+        let len = r.get_u32("component length")?;
+        let incoming = r.get_u8("component incoming")?;
+        components.push(ComponentDump {
+            start,
+            len,
+            incoming,
+        });
+    }
+    let arena_count = r.get_count(6, "shard arena")?;
+    let mut arena = Vec::with_capacity(arena_count);
+    for _ in 0..arena_count {
+        let label = decode_label(r.get_u32("arena node label")?, "arena node")?;
+        let left = decode_child_kind(r.get_u8("arena node left")?)?;
+        let right = decode_child_kind(r.get_u8("arena node right")?)?;
+        arena.push(SgNode { label, left, right });
+    }
+    let registrations = r.get_u64("shard registrations")?;
+    if r.remaining() != 0 {
+        return Err(CatalogError::Corrupt {
+            context: format!("{} trailing bytes after the shard dump", r.remaining()),
+        });
+    }
+    SubgraphIndex::restore(IndexDump {
+        tau,
+        window,
+        size_layers,
+        layers,
+        metas,
+        components,
+        arena,
+        registrations,
+    })
+    .map_err(|context| CatalogError::Corrupt { context })
+}
+
+/// Assembles a whole snapshot file from its already-encoded sections.
+///
+/// `sections[0]` is the label store, `sections[1]` the tree store and
+/// `sections[2..]` one entry per shard (so `tau`/`window`/tree count in
+/// the header describe them all).
+pub fn assemble(tau: u32, window: WindowPolicy, tree_count: u32, sections: &[Vec<u8>]) -> Vec<u8> {
+    let shard_count = (sections.len() - 2) as u32;
+    let mut w = ByteWriter::new();
+    w.put_bytes(&MAGIC);
+    w.put_u32(FORMAT_VERSION);
+    w.put_u32(tau);
+    w.put_u8(encode_window(window));
+    w.put_u32(shard_count);
+    w.put_u32(tree_count);
+    let mut offset = (HEADER_FIXED_LEN + DIRECTORY_ENTRY_LEN * sections.len()) as u64;
+    for section in sections {
+        w.put_u64(offset);
+        w.put_u64(section.len() as u64);
+        w.put_u64(fnv1a64(section));
+        offset += section.len() as u64;
+    }
+    for section in sections {
+        w.put_bytes(section);
+    }
+    w.into_bytes()
+}
+
+/// One directory entry: where a section lives and what it must hash to.
+#[derive(Debug, Clone, Copy)]
+struct SectionEntry {
+    offset: u64,
+    len: u64,
+    checksum: u64,
+}
+
+/// Parsed snapshot header plus the owned file bytes; sections decode
+/// lazily (and checksum-verified) on access.
+///
+/// This is the distribution-friendly view of a snapshot: a node that
+/// owns shard `s` calls [`SnapshotReader::shard`]`(s)` and never touches
+/// the other shards' bytes. [`crate::Catalog::load`] uses the same
+/// reader to decode everything.
+#[derive(Debug)]
+pub struct SnapshotReader {
+    bytes: Vec<u8>,
+    tau: u32,
+    window: WindowPolicy,
+    tree_count: u32,
+    sections: Vec<SectionEntry>,
+}
+
+impl SnapshotReader {
+    /// Parses the header and section directory of `bytes`.
+    pub fn from_bytes(bytes: Vec<u8>) -> Result<SnapshotReader, CatalogError> {
+        let mut r = ByteReader::new(&bytes);
+        let magic = r.get_bytes(8, "magic")?;
+        if magic != MAGIC {
+            return Err(CatalogError::BadMagic {
+                found: magic.try_into().unwrap(),
+            });
+        }
+        let version = r.get_u32("format version")?;
+        if version != FORMAT_VERSION {
+            return Err(CatalogError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        let tau = r.get_u32("header tau")?;
+        let window = decode_window(r.get_u8("header window")?)?;
+        let shard_count = r.get_u32("header shard count")?;
+        let tree_count = r.get_u32("header tree count")?;
+        let section_count = (shard_count as usize)
+            .checked_add(2)
+            .filter(|&n| n * DIRECTORY_ENTRY_LEN <= r.remaining())
+            .ok_or(CatalogError::Truncated {
+                context: "section directory",
+            })?;
+        let mut sections = Vec::with_capacity(section_count);
+        for _ in 0..section_count {
+            let offset = r.get_u64("section offset")?;
+            let len = r.get_u64("section length")?;
+            let checksum = r.get_u64("section checksum")?;
+            let end = offset.checked_add(len);
+            if end.is_none_or(|end| end > bytes.len() as u64) {
+                return Err(CatalogError::Truncated {
+                    context: "section body",
+                });
+            }
+            sections.push(SectionEntry {
+                offset,
+                len,
+                checksum,
+            });
+        }
+        Ok(SnapshotReader {
+            bytes,
+            tau,
+            window,
+            tree_count,
+            sections,
+        })
+    }
+
+    /// Reads and parses a snapshot file.
+    pub fn open(path: impl AsRef<Path>) -> Result<SnapshotReader, CatalogError> {
+        SnapshotReader::from_bytes(std::fs::read(path)?)
+    }
+
+    /// The threshold the snapshot was frozen for.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// The window policy the index was frozen under.
+    pub fn window(&self) -> WindowPolicy {
+        self.window
+    }
+
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.sections.len() - 2
+    }
+
+    /// Number of trees in the tree store.
+    pub fn tree_count(&self) -> usize {
+        self.tree_count as usize
+    }
+
+    fn section(&self, idx: usize, name: &str) -> Result<&[u8], CatalogError> {
+        let entry = self.sections[idx];
+        let body = &self.bytes[entry.offset as usize..(entry.offset + entry.len) as usize];
+        if fnv1a64(body) != entry.checksum {
+            return Err(CatalogError::ChecksumMismatch {
+                section: name.to_string(),
+            });
+        }
+        Ok(body)
+    }
+
+    /// Decodes the label store (checksum-verified).
+    pub fn labels(&self) -> Result<LabelInterner, CatalogError> {
+        decode_labels(self.section(0, "labels")?)
+    }
+
+    /// Decodes the tree store (checksum-verified).
+    pub fn trees(&self) -> Result<Vec<Tree>, CatalogError> {
+        let trees = decode_trees(self.section(1, "trees")?)?;
+        if trees.len() != self.tree_count as usize {
+            return Err(CatalogError::Corrupt {
+                context: format!(
+                    "header promises {} trees but the store holds {}",
+                    self.tree_count,
+                    trees.len()
+                ),
+            });
+        }
+        Ok(trees)
+    }
+
+    /// Decodes shard `s` into a validated [`SubgraphIndex`]
+    /// (checksum-verified) — the unit of multi-node placement. An
+    /// out-of-range index is a typed error (a misconfigured node asking
+    /// for a shard the snapshot does not hold), not a panic.
+    pub fn shard(&self, s: usize) -> Result<SubgraphIndex, CatalogError> {
+        if s >= self.shard_count() {
+            return Err(CatalogError::Corrupt {
+                context: format!(
+                    "shard {s} requested but the snapshot holds {}",
+                    self.shard_count()
+                ),
+            });
+        }
+        let index = decode_shard(self.section(2 + s, &format!("shard {s}"))?)?;
+        if index.tau() != self.tau || index.window() != self.window {
+            return Err(CatalogError::Corrupt {
+                context: format!(
+                    "shard {s} was frozen for (tau {}, {:?}) but the header says (tau {}, {:?})",
+                    index.tau(),
+                    index.window(),
+                    self.tau,
+                    self.window
+                ),
+            });
+        }
+        Ok(index)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tsj_tree::parse_bracket;
+
+    #[test]
+    fn labels_round_trip() {
+        let mut labels = LabelInterner::new();
+        for name in ["html", "body", "ℓ-unicode", ""] {
+            labels.intern(name);
+        }
+        let restored = decode_labels(&encode_labels(&labels)).unwrap();
+        assert_eq!(restored.len(), labels.len());
+        for (label, name) in labels.iter() {
+            assert_eq!(restored.resolve(label), Some(name));
+        }
+    }
+
+    #[test]
+    fn trees_round_trip() {
+        let mut labels = LabelInterner::new();
+        let trees: Vec<Tree> = ["{a{b}{c}}", "{x}", "{a{b{c{d}}}{e}}"]
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let restored = decode_trees(&encode_trees(&trees)).unwrap();
+        assert_eq!(restored.len(), trees.len());
+        for (a, b) in trees.iter().zip(&restored) {
+            assert!(a.structurally_eq(b));
+        }
+    }
+
+    #[test]
+    fn header_rejects_foreign_and_future_files() {
+        let snapshot = assemble(1, WindowPolicy::Safe, 0, &[Vec::new(), Vec::new()]);
+        assert!(SnapshotReader::from_bytes(snapshot.clone()).is_ok());
+
+        let mut foreign = snapshot.clone();
+        foreign[0] = b'X';
+        assert!(matches!(
+            SnapshotReader::from_bytes(foreign),
+            Err(CatalogError::BadMagic { .. })
+        ));
+
+        let mut future = snapshot.clone();
+        future[8] = 99;
+        assert!(matches!(
+            SnapshotReader::from_bytes(future),
+            Err(CatalogError::UnsupportedVersion { found: 99, .. })
+        ));
+
+        assert!(matches!(
+            SnapshotReader::from_bytes(snapshot[..10].to_vec()),
+            Err(CatalogError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn out_of_range_shard_is_a_typed_error() {
+        let snapshot = assemble(1, WindowPolicy::Safe, 0, &[Vec::new(), Vec::new()]);
+        let reader = SnapshotReader::from_bytes(snapshot).unwrap();
+        assert_eq!(reader.shard_count(), 0);
+        assert!(matches!(
+            reader.shard(0),
+            Err(CatalogError::Corrupt { context }) if context.contains("shard 0")
+        ));
+    }
+
+    #[test]
+    fn section_checksums_catch_bit_rot() {
+        let mut labels = LabelInterner::new();
+        let trees = vec![parse_bracket("{a{b}}", &mut labels).unwrap()];
+        let sections = vec![encode_labels(&labels), encode_trees(&trees)];
+        let mut snapshot = assemble(1, WindowPolicy::Safe, 1, &sections);
+        let reader = SnapshotReader::from_bytes(snapshot.clone()).unwrap();
+        assert!(reader.trees().is_ok());
+
+        // Flip one payload byte: the directory still parses, the section
+        // read reports the rot.
+        let last = snapshot.len() - 1;
+        snapshot[last] ^= 0xff;
+        let reader = SnapshotReader::from_bytes(snapshot).unwrap();
+        assert!(matches!(
+            reader.trees(),
+            Err(CatalogError::ChecksumMismatch { section }) if section == "trees"
+        ));
+    }
+}

@@ -30,7 +30,7 @@
 //!
 //! The index owns the subgraph pool in struct-of-arrays form: per-handle
 //! metadata ([`SubgraphMeta`]) in one `Vec`, component shapes *interned*
-//! into a deduplicated table ([`Component`]), and all component nodes
+//! into a deduplicated table (`Component`), and all component nodes
 //! flattened into a single [`SgNode`] arena, so `probe → matches_at`
 //! walks contiguous memory instead of chasing one boxed slice per
 //! subgraph.
@@ -196,6 +196,65 @@ impl PostorderLayer {
 /// container tree.
 pub type ComponentId = u32;
 
+/// Plain-data image of one position bucket (see [`IndexDump`]):
+/// `(twig, handle)` postings in stored order plus the sorted-prefix
+/// length.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketDump {
+    /// Postings as `(packed twig, subgraph handle)` pairs, verbatim —
+    /// probe visit order (and therefore candidate order) depends on it.
+    pub postings: Vec<(u64, SubgraphHandle)>,
+    /// Length of the twig-sorted prefix; the rest is the unsorted tail.
+    pub sorted_len: u32,
+}
+
+/// Plain-data image of one size class's postorder layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerDump {
+    /// Position buckets, indexed directly by position key.
+    pub buckets: Vec<BucketDump>,
+}
+
+/// Plain-data image of one interned component shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ComponentDump {
+    /// Arena offset of the component's first node.
+    pub start: u32,
+    /// Number of component nodes (≥ 1).
+    pub len: u32,
+    /// Incoming side tag: 0 = none, 1 = left, 2 = right.
+    pub incoming: u8,
+}
+
+/// A [`SubgraphIndex`] flattened into plain owned data — everything a
+/// byte-level serializer ([`tsj-catalog`]'s snapshot format) needs, with
+/// no private types and no behavior. Produced by
+/// [`SubgraphIndex::dump`], consumed by [`SubgraphIndex::restore`];
+/// `restore(dump())` reproduces the index bit-identically (probe visit
+/// order included).
+///
+/// [`tsj-catalog`]: https://docs.rs/tsj-catalog
+#[derive(Debug, Clone, PartialEq)]
+pub struct IndexDump {
+    /// The threshold the index registered windows for.
+    pub tau: u32,
+    /// The window policy the index was built under.
+    pub window: WindowPolicy,
+    /// `(container size, layer id)` pairs, ascending by size.
+    pub size_layers: Vec<(u32, LayerId)>,
+    /// Layer images, indexed by layer id.
+    pub layers: Vec<LayerDump>,
+    /// Per-handle metadata, indexed by subgraph handle.
+    pub metas: Vec<SubgraphMeta>,
+    /// Interned component shapes, indexed by [`ComponentId`].
+    pub components: Vec<ComponentDump>,
+    /// The flattened component-node arena.
+    pub arena: Vec<SgNode>,
+    /// Total bucket registrations (cross-checked against the layers on
+    /// restore).
+    pub registrations: u64,
+}
+
 /// An interned component shape: an incoming side plus a contiguous run of
 /// the node arena.
 #[derive(Debug, Clone, Copy)]
@@ -223,7 +282,7 @@ impl Component {
 
 /// Per-handle metadata: the stamp-dedup key (container tree) and the
 /// interned component shape, in 12 contiguous bytes.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct SubgraphMeta {
     /// Container tree index within the joined collection.
     pub tree: TreeIdx,
@@ -510,9 +569,191 @@ impl SubgraphIndex {
         self.by_size.len()
     }
 
+    /// The distinct container-size classes currently indexed, in
+    /// arbitrary order. Shard wrappers use this to validate that a
+    /// restored shard only holds size classes it actually owns.
+    pub fn size_classes(&self) -> impl Iterator<Item = u32> + '_ {
+        self.by_size.keys().copied()
+    }
+
     /// `∆′` as exposed for diagnostics and tests.
     pub fn window_half_width(&self, ordinal: u16) -> u32 {
         self.half_width(ordinal)
+    }
+
+    /// Extracts the index's dense storage as plain data — the snapshot
+    /// form `tsj-catalog` serializes. Size classes are emitted in
+    /// ascending size order so the dump (and therefore the snapshot
+    /// bytes) is deterministic; layer ids are preserved verbatim, so
+    /// [`SubgraphIndex::restore`] reproduces the exact probe behavior,
+    /// posting order included.
+    pub fn dump(&self) -> IndexDump {
+        let mut size_layers: Vec<(u32, LayerId)> =
+            self.by_size.iter().map(|(&n, &l)| (n, l)).collect();
+        size_layers.sort_unstable();
+        IndexDump {
+            tau: self.tau,
+            window: self.window,
+            size_layers,
+            layers: self
+                .layers
+                .iter()
+                .map(|layer| LayerDump {
+                    buckets: layer
+                        .buckets
+                        .iter()
+                        .map(|bucket| BucketDump {
+                            postings: bucket.postings.iter().map(|p| (p.twig, p.handle)).collect(),
+                            sorted_len: bucket.sorted_len,
+                        })
+                        .collect(),
+                })
+                .collect(),
+            metas: self.metas.clone(),
+            components: self
+                .components
+                .iter()
+                .map(|c| ComponentDump {
+                    start: c.start,
+                    len: c.len,
+                    incoming: c.incoming,
+                })
+                .collect(),
+            arena: self.arena.clone(),
+            registrations: self.registrations,
+        }
+    }
+
+    /// Rebuilds an index from a [`SubgraphIndex::dump`] image, validating
+    /// every cross-reference (layer ids, handles, component arena runs,
+    /// sorted-prefix order, registration count) so corrupted snapshot
+    /// data surfaces as an error instead of an out-of-bounds panic later.
+    /// The component interning table is reconstructed, so the restored
+    /// index accepts further [`SubgraphIndex::insert_tree`] calls.
+    pub fn restore(dump: IndexDump) -> Result<SubgraphIndex, String> {
+        let IndexDump {
+            tau,
+            window,
+            size_layers,
+            layers,
+            metas,
+            components,
+            arena,
+            registrations,
+        } = dump;
+        if size_layers.len() != layers.len() {
+            return Err(format!(
+                "{} size classes but {} layers",
+                size_layers.len(),
+                layers.len()
+            ));
+        }
+        let mut by_size = FxHashMap::default();
+        let mut layer_seen = vec![false; layers.len()];
+        for &(size, layer) in &size_layers {
+            let slot = layer_seen
+                .get_mut(layer as usize)
+                .ok_or_else(|| format!("size {size} maps to out-of-range layer {layer}"))?;
+            if *slot {
+                return Err(format!("layer {layer} referenced by two size classes"));
+            }
+            *slot = true;
+            if by_size.insert(size, layer).is_some() {
+                return Err(format!("size class {size} appears twice"));
+            }
+        }
+        for (id, c) in components.iter().enumerate() {
+            let end = (c.start as usize)
+                .checked_add(c.len as usize)
+                .filter(|&end| end <= arena.len() && c.len > 0);
+            if end.is_none() {
+                return Err(format!(
+                    "component {id} spans arena [{}, {}+{}) of {}",
+                    c.start,
+                    c.start,
+                    c.len,
+                    arena.len()
+                ));
+            }
+            if c.incoming > 2 {
+                return Err(format!("component {id} has incoming tag {}", c.incoming));
+            }
+        }
+        for (handle, meta) in metas.iter().enumerate() {
+            if meta.component as usize >= components.len() {
+                return Err(format!(
+                    "handle {handle} references component {} of {}",
+                    meta.component,
+                    components.len()
+                ));
+            }
+        }
+        let mut total_postings = 0u64;
+        let mut restored_layers = Vec::with_capacity(layers.len());
+        for (layer_id, layer) in layers.into_iter().enumerate() {
+            let mut buckets = Vec::with_capacity(layer.buckets.len());
+            for (pos, bucket) in layer.buckets.into_iter().enumerate() {
+                if bucket.sorted_len as usize > bucket.postings.len() {
+                    return Err(format!(
+                        "layer {layer_id} bucket {pos}: sorted prefix {} exceeds {} postings",
+                        bucket.sorted_len,
+                        bucket.postings.len()
+                    ));
+                }
+                let prefix = &bucket.postings[..bucket.sorted_len as usize];
+                if prefix.windows(2).any(|w| w[0].0 > w[1].0) {
+                    return Err(format!(
+                        "layer {layer_id} bucket {pos}: sorted prefix out of twig order"
+                    ));
+                }
+                let mut postings = Vec::with_capacity(bucket.postings.len());
+                for (twig, handle) in bucket.postings {
+                    if handle as usize >= metas.len() {
+                        return Err(format!(
+                            "layer {layer_id} bucket {pos}: posting handle {handle} of {}",
+                            metas.len()
+                        ));
+                    }
+                    postings.push(Posting { twig, handle });
+                }
+                total_postings += postings.len() as u64;
+                buckets.push(Bucket {
+                    postings,
+                    sorted_len: bucket.sorted_len,
+                });
+            }
+            restored_layers.push(PostorderLayer { buckets });
+        }
+        if total_postings != registrations {
+            return Err(format!(
+                "registration count {registrations} disagrees with {total_postings} stored postings"
+            ));
+        }
+        let restored_components: Vec<Component> = components
+            .iter()
+            .map(|c| Component {
+                start: c.start,
+                len: c.len,
+                incoming: c.incoming,
+            })
+            .collect();
+        let mut interned: FxHashMap<(u8, Box<[SgNode]>), ComponentId> = FxHashMap::default();
+        for (id, c) in restored_components.iter().enumerate() {
+            let nodes: Box<[SgNode]> =
+                arena[c.start as usize..c.start as usize + c.len as usize].into();
+            interned.entry((c.incoming, nodes)).or_insert(id as u32);
+        }
+        Ok(SubgraphIndex {
+            tau,
+            window,
+            by_size,
+            layers: restored_layers,
+            metas,
+            components: restored_components,
+            arena,
+            interned,
+            registrations,
+        })
     }
 
     /// Position key a subgraph is centered on (diagnostics and tests).
@@ -799,6 +1040,97 @@ mod tests {
         let mut hits = 0;
         layer.probe(position, &keys, |_| hits += 1);
         assert_eq!(hits, copies);
+    }
+
+    #[test]
+    fn dump_restore_round_trips_bit_identically() {
+        let tau = 1;
+        let (tree, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        let n = binary.len() as u32;
+        index.insert_tree(n, sgs.clone());
+        // A second size class plus enough duplicates to build a sorted
+        // prefix and a tail in at least one bucket.
+        for _ in 0..(TAIL_MAX + 8) {
+            index.insert_tree(n, sgs.clone());
+        }
+        let dump = index.dump();
+        let restored = SubgraphIndex::restore(dump.clone()).expect("valid dump restores");
+        assert_eq!(restored.dump(), dump, "dump→restore→dump is a fixpoint");
+        assert_eq!(restored.len(), index.len());
+        assert_eq!(restored.registrations(), index.registrations());
+        assert_eq!(restored.distinct_components(), index.distinct_components());
+        // Every probe surfaces the same handles in the same order.
+        let posts = tree.postorder_numbers();
+        let layer_a = index.layer(index.layer_id(n).unwrap());
+        let layer_b = restored.layer(restored.layer_id(n).unwrap());
+        for node in binary.node_ids() {
+            let left = binary
+                .left(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let right = binary
+                .right(node)
+                .map_or(Label::EPSILON, |c| binary.label(c));
+            let keys = TwigKeys::new(binary.label(node), left, right);
+            let position = index.probe_position(posts[node.index()], n);
+            let (mut a, mut b) = (Vec::new(), Vec::new());
+            layer_a.probe(position, &keys, |h| a.push(h));
+            layer_b.probe(position, &keys, |h| b.push(h));
+            assert_eq!(a, b, "probe order must survive the round trip");
+        }
+        // The restored interning table still dedups further inserts.
+        let mut grown = SubgraphIndex::restore(index.dump()).unwrap();
+        let distinct = grown.distinct_components();
+        grown.insert_tree(n, sgs);
+        assert_eq!(grown.distinct_components(), distinct);
+    }
+
+    #[test]
+    fn restore_rejects_corrupt_dumps() {
+        let tau = 1;
+        let (_, binary, sgs, _) = subgraphs_of("{a{b{c}{d}}{e{f}{g}}{h{i}{j}}}", tau);
+        let mut index = SubgraphIndex::new(tau, WindowPolicy::Safe);
+        index.insert_tree(binary.len() as u32, sgs);
+        let good = index.dump();
+        assert!(SubgraphIndex::restore(good.clone()).is_ok());
+
+        let mut bad = good.clone();
+        bad.size_layers[0].1 = 99;
+        assert!(SubgraphIndex::restore(bad).is_err(), "layer out of range");
+
+        let mut bad = good.clone();
+        bad.metas[0].component = 99;
+        assert!(
+            SubgraphIndex::restore(bad).is_err(),
+            "component out of range"
+        );
+
+        let mut bad = good.clone();
+        bad.components[0].len = bad.arena.len() as u32 + 1;
+        assert!(SubgraphIndex::restore(bad).is_err(), "arena overrun");
+
+        let mut bad = good.clone();
+        for layer in &mut bad.layers {
+            for bucket in &mut layer.buckets {
+                for posting in &mut bucket.postings {
+                    posting.1 = 1_000;
+                }
+            }
+        }
+        assert!(SubgraphIndex::restore(bad).is_err(), "handle out of range");
+
+        let mut bad = good.clone();
+        bad.registrations += 1;
+        assert!(
+            SubgraphIndex::restore(bad).is_err(),
+            "registration mismatch"
+        );
+
+        let mut bad = good;
+        bad.layers.push(LayerDump {
+            buckets: Vec::new(),
+        });
+        assert!(SubgraphIndex::restore(bad).is_err(), "orphan layer");
     }
 
     #[test]

@@ -55,8 +55,8 @@ pub mod verify;
 
 pub use config::{MatchSemantics, PartSjConfig, PartitionScheme, VerifyConfig, WindowPolicy};
 pub use index::{
-    ComponentId, LayerId, MatchCache, PostorderLayer, SubgraphHandle, SubgraphIndex, SubgraphMeta,
-    TwigKeys,
+    BucketDump, ComponentDump, ComponentId, IndexDump, LayerDump, LayerId, MatchCache,
+    PostorderLayer, SubgraphHandle, SubgraphIndex, SubgraphMeta, TwigKeys,
 };
 pub use join::{
     partsj_join, partsj_join_detailed, partsj_join_paper_window, partsj_join_with, PartSjDetail,

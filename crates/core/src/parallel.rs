@@ -6,7 +6,8 @@
 //! pipeline on the caller's thread and streams candidate pairs, in batches
 //! of [`PartSjConfig::verify_batch`], through a *bounded* crossbeam
 //! channel to a pool of verifier threads, each owning a private
-//! [`TedEngine`]. Batching amortizes channel synchronization over many
+//! [`TedEngine`](tsj_ted::TedEngine). Batching amortizes channel
+//! synchronization over many
 //! pairs; the bound applies backpressure so a fast producer cannot queue
 //! unbounded memory ahead of slow verifiers. Each worker owns a private
 //! [`VerifyEngine`] running the same filter chain as the sequential join

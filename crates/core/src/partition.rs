@@ -141,6 +141,8 @@ pub fn select_random_cuts(binary: &BinaryTree, delta: usize, seed: u64) -> Vec<N
 /// parallel, streaming, bipartite, search and the sharded index).
 ///
 /// `salt` individualizes the [`PartitionScheme::Random`] seed per tree
+///
+/// [`PartitionScheme::Random`]: crate::config::PartitionScheme::Random
 /// (callers pass the tree's collection index) and is ignored by the
 /// deterministic max-min scheme.
 pub fn cuts_for(

@@ -1,5 +1,5 @@
 //! Mother-tree sampling — the mechanism of Zaki's tree generator
-//! (reference [28] of the paper), which §4 uses for the synthetic dataset.
+//! (reference \[28\] of the paper), which §4 uses for the synthetic dataset.
 //!
 //! A single large *mother tree* is grown once per collection; every
 //! database tree is a random prefix-closed subtree of it (pick a root,

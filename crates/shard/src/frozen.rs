@@ -1,0 +1,312 @@
+//! Probing a **frozen** left side: the shared probe + verify driver
+//! behind [`crate::sharded_rs_join`] and `tsj-catalog`'s
+//! `Catalog::join`.
+//!
+//! Once a left collection has been partitioned and loaded into a
+//! [`ShardedIndex`], the remaining work of an R×S join is independent of
+//! *how* the index came to be — built moments ago or deserialized from a
+//! snapshot. [`frozen_rs_join`] owns that second half: right trees probe
+//! the frozen shards (inline, or fanned out over scoped probe workers
+//! feeding the bounded-channel verify pool), candidates are verified
+//! through one [`VerifyEngine`] filter chain per verifier, and the
+//! outcome is a bipartite [`JoinOutcome`].
+//!
+//! The probe threshold `tau` is a **parameter**, not a property of the
+//! index: postings are registered once with the freeze-time half-width,
+//! and any query threshold `τ_q ≤ τ_freeze` only narrows the probed size
+//! window `[|T| − τ_q, |T| + τ_q]`, so the candidate set stays complete
+//! (the freeze-time partitioning produces `2τ_f + 1 ≥ 2τ_q + 1`
+//! subgraphs — more than `τ_q` edits can touch) and exact verification
+//! at `τ_q` makes the result exact. `tsj-catalog` relies on this to
+//! serve per-query thresholds from one snapshot.
+
+use crate::index::{ShardConfig, ShardedIndex};
+use crate::join::build_subgraph_lists;
+use crossbeam::channel;
+use partsj::probe::ProbeCounters;
+use partsj::subgraph::Subgraph;
+use partsj::{LayerId, MatchCache, PartSjConfig, StampSink, VerifyData, VerifyEngine};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
+use tsj_tree::{BinaryTree, FxHashMap, Tree};
+
+/// Right trees claimed per cursor bump.
+const CLAIM_CHUNK: usize = 4;
+
+/// The shared build phase of [`crate::sharded_rs_join`] and
+/// `tsj-catalog`'s freeze: δ-partitions `left` (fanned out over the
+/// configured probe workers), bulk-loads the subgraphs into a fresh
+/// **static** (no-replay) [`ShardedIndex`], and returns it together
+/// with the side list of trees too small to partition, grouped by
+/// size. Keeping this in one place is what keeps a frozen catalog
+/// bit-identical to the direct join — both sides build through it.
+pub fn build_frozen_left(
+    left: &[Tree],
+    tau: u32,
+    config: &PartSjConfig,
+    shard_cfg: &ShardConfig,
+) -> (ShardedIndex, FxHashMap<u32, Vec<TreeIdx>>) {
+    let delta = 2 * tau as usize + 1;
+    let probe_threads = shard_cfg.resolved_probe_threads();
+    let binaries: Vec<BinaryTree> = left.iter().map(BinaryTree::from_tree).collect();
+    let posts: Vec<Vec<u32>> = left.iter().map(Tree::postorder_numbers).collect();
+    let mut lists = build_subgraph_lists(left, &binaries, &posts, delta, config, probe_threads);
+    let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+    let mut items: Vec<(TreeIdx, u32, Vec<Subgraph>)> = Vec::new();
+    for (i, list) in lists.iter_mut().enumerate() {
+        let size = left[i].len() as u32;
+        match list.take() {
+            Some(subgraphs) => items.push((i as TreeIdx, size, subgraphs)),
+            None => small_by_size.entry(size).or_default().push(i as TreeIdx),
+        }
+    }
+    let mut index = ShardedIndex::new(tau, config.window, shard_cfg).without_replay();
+    index.insert_all(items, probe_threads > 1);
+    (index, small_by_size)
+}
+
+/// A frozen left side, ready to be probed by any number of right
+/// collections: the sharded index over the left trees' subgraphs, the
+/// side list of left trees too small to partition, and the left trees'
+/// precomputed verification inputs.
+#[derive(Debug, Clone, Copy)]
+pub struct FrozenLeft<'a> {
+    /// The (no longer mutated) sharded subgraph index over the left
+    /// collection.
+    pub index: &'a ShardedIndex,
+    /// Left trees below the partitioning threshold `δ`, grouped by size.
+    pub small_by_size: &'a FxHashMap<u32, Vec<TreeIdx>>,
+    /// Per-left-tree verification inputs, indexed by left tree id.
+    pub left_data: &'a [VerifyData],
+}
+
+/// R×S join of `right` against a frozen left side: all `(i, j)` with
+/// `TED(left[i], right[j]) ≤ tau`, where `tau` may be any threshold not
+/// exceeding the one the left side was frozen for (callers enforce
+/// that; see the module docs for why smaller thresholds stay complete).
+///
+/// With `probe_threads > 1` and `right.len() ≥ config.parallel_fallback`
+/// probing fans out over scoped workers feeding `verify_threads`
+/// verifiers through the bounded channel; otherwise everything runs
+/// inline. Results are bit-identical either way.
+pub fn frozen_rs_join(
+    left: &FrozenLeft<'_>,
+    right: &[Tree],
+    tau: u32,
+    config: &PartSjConfig,
+    probe_threads: usize,
+    verify_threads: usize,
+) -> JoinOutcome {
+    let mut stats = JoinStats::default();
+    let total_start = Instant::now();
+    let index = left.index;
+    let small_by_size = left.small_by_size;
+    let left_data = left.left_data;
+    let left_len = left_data.len();
+
+    let right_data: Vec<VerifyData> = right
+        .iter()
+        .map(|t| VerifyData::for_config(t, &config.verify))
+        .collect();
+
+    let parallel = probe_threads > 1 && right.len() >= config.parallel_fallback;
+    if !parallel {
+        let mut verify = VerifyEngine::new(tau, config);
+        let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+        let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left_len];
+        let mut caches: Vec<MatchCache> = (0..index.shard_count())
+            .map(|_| MatchCache::new())
+            .collect();
+        let (mut shard_scratch, mut layer_scratch) = (Vec::new(), Vec::<LayerId>::new());
+        let mut candidates: Vec<TreeIdx> = Vec::new();
+        let mut counters = ProbeCounters::default();
+        let mut candidate_time = total_start.elapsed();
+
+        for (j, tree) in right.iter().enumerate() {
+            let probe_start = Instant::now();
+            let marker = j as TreeIdx;
+            let size_j = tree.len() as u32;
+            let lo = size_j.saturating_sub(tau).max(1);
+            let hi = size_j + tau;
+            candidates.clear();
+            for n in lo..=hi {
+                if let Some(list) = small_by_size.get(&n) {
+                    for &i in list {
+                        if stamp[i as usize] != marker {
+                            stamp[i as usize] = marker;
+                            candidates.push(i);
+                        }
+                    }
+                }
+            }
+            let binary = BinaryTree::from_tree(tree);
+            let posts = tree.postorder_numbers();
+            let mut sink = StampSink {
+                stamp: &mut stamp,
+                marker,
+                candidates: &mut candidates,
+            };
+            index.probe_tree(
+                &binary,
+                &posts,
+                size_j,
+                lo,
+                hi,
+                config.matching,
+                &mut caches,
+                &mut shard_scratch,
+                &mut layer_scratch,
+                &mut counters,
+                &mut sink,
+            );
+            stats.candidates += candidates.len() as u64;
+            candidate_time += probe_start.elapsed();
+
+            let verify_start = Instant::now();
+            for &i in &candidates {
+                if verify
+                    .check(&left_data[i as usize], &right_data[j])
+                    .is_some()
+                {
+                    pairs.push((i, j as TreeIdx));
+                }
+            }
+            stats.verify_time += verify_start.elapsed();
+        }
+        stats.pairs_examined = stats.candidates;
+        stats.candidate_time = candidate_time;
+        verify.fold_into(&mut stats);
+        return JoinOutcome::new_bipartite(pairs, stats);
+    }
+
+    let batch_size = config.verify_batch.max(1);
+    let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(verify_threads * 4);
+    let cursor = AtomicUsize::new(0);
+    let (pairs, candidates_total, engines, probe_wall) = crossbeam::scope(|scope| {
+        let verifiers: Vec<_> = (0..verify_threads)
+            .map(|_| {
+                let rx = rx.clone();
+                let right_data = &right_data;
+                scope.spawn(move |_| {
+                    // One filter-chain engine per verify worker.
+                    let mut verify = VerifyEngine::new(tau, config);
+                    let mut found = Vec::new();
+                    while let Ok(batch) = rx.recv() {
+                        for (i, j) in batch {
+                            let (iu, ju) = (i as usize, j as usize);
+                            if verify.check(&left_data[iu], &right_data[ju]).is_some() {
+                                found.push((i, j));
+                            }
+                        }
+                    }
+                    (found, verify)
+                })
+            })
+            .collect();
+        drop(rx);
+
+        let probers: Vec<_> = (0..probe_threads)
+            .map(|_| {
+                let tx = tx.clone();
+                let cursor = &cursor;
+                scope.spawn(move |_| {
+                    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left_len];
+                    let mut caches: Vec<MatchCache> = (0..index.shard_count())
+                        .map(|_| MatchCache::new())
+                        .collect();
+                    let (mut shard_scratch, mut layer_scratch) =
+                        (Vec::new(), Vec::<LayerId>::new());
+                    let mut candidates: Vec<TreeIdx> = Vec::new();
+                    let mut counters = ProbeCounters::default();
+                    let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
+                    let mut candidates_total = 0u64;
+                    loop {
+                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
+                        if start >= right.len() {
+                            break;
+                        }
+                        for j in start..(start + CLAIM_CHUNK).min(right.len()) {
+                            let tree = &right[j];
+                            let marker = j as TreeIdx;
+                            let size_j = tree.len() as u32;
+                            let lo = size_j.saturating_sub(tau).max(1);
+                            let hi = size_j + tau;
+                            candidates.clear();
+                            for n in lo..=hi {
+                                if let Some(list) = small_by_size.get(&n) {
+                                    for &i in list {
+                                        if stamp[i as usize] != marker {
+                                            stamp[i as usize] = marker;
+                                            candidates.push(i);
+                                        }
+                                    }
+                                }
+                            }
+                            let binary = BinaryTree::from_tree(tree);
+                            let posts = tree.postorder_numbers();
+                            let mut sink = StampSink {
+                                stamp: &mut stamp,
+                                marker,
+                                candidates: &mut candidates,
+                            };
+                            index.probe_tree(
+                                &binary,
+                                &posts,
+                                size_j,
+                                lo,
+                                hi,
+                                config.matching,
+                                &mut caches,
+                                &mut shard_scratch,
+                                &mut layer_scratch,
+                                &mut counters,
+                                &mut sink,
+                            );
+                            candidates_total += candidates.len() as u64;
+                            for &i in &candidates {
+                                batch.push((i, marker));
+                                if batch.len() >= batch_size {
+                                    let full = std::mem::replace(
+                                        &mut batch,
+                                        Vec::with_capacity(batch_size),
+                                    );
+                                    tx.send(full).expect("verifier pool alive");
+                                }
+                            }
+                        }
+                    }
+                    if !batch.is_empty() {
+                        tx.send(batch).expect("verifier pool alive");
+                    }
+                    candidates_total
+                })
+            })
+            .collect();
+        drop(tx);
+
+        let mut candidates_total = 0u64;
+        for prober in probers {
+            candidates_total += prober.join().expect("probe worker panicked");
+        }
+        let probe_wall = total_start.elapsed();
+        let mut pairs = Vec::new();
+        let mut engines = Vec::new();
+        for verifier in verifiers {
+            let (found, engine) = verifier.join().expect("verifier panicked");
+            pairs.extend(found);
+            engines.push(engine);
+        }
+        (pairs, candidates_total, engines, probe_wall)
+    })
+    .expect("frozen rs join scope");
+
+    stats.candidates = candidates_total;
+    stats.pairs_examined = candidates_total;
+    for engine in &engines {
+        engine.fold_into(&mut stats);
+    }
+    stats.candidate_time = probe_wall;
+    stats.verify_time = total_start.elapsed().saturating_sub(probe_wall);
+    JoinOutcome::new_bipartite(pairs, stats)
+}

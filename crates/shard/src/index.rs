@@ -246,6 +246,66 @@ impl ShardedIndex {
         self
     }
 
+    /// Reassembles a sharded index from per-shard [`SubgraphIndex`]es
+    /// restored out of a snapshot (`tsj-catalog`), plus the `(tree id,
+    /// size)` pairs of every tracked tree — all of which are alive: a
+    /// freeze compacts liveness away, so a frozen snapshot has no dead
+    /// entries to restore.
+    ///
+    /// The result is a static index (no replay log, like
+    /// [`ShardedIndex::without_replay`]) that probes bit-identically to
+    /// the index the shards were dumped from. Validates that every shard
+    /// matches `(tau, window)` and that each shard only holds size
+    /// classes it owns under the shard hash — a shard-section mix-up in
+    /// a snapshot surfaces here as an error, not as silently empty probe
+    /// results.
+    pub fn from_frozen_parts(
+        tau: u32,
+        window: WindowPolicy,
+        shard_indexes: Vec<SubgraphIndex>,
+        tracked: impl IntoIterator<Item = (TreeIdx, u32)>,
+    ) -> Result<ShardedIndex, String> {
+        if shard_indexes.is_empty() {
+            return Err("a sharded index needs at least one shard".into());
+        }
+        let mut index = ShardedIndex::new(
+            tau,
+            window,
+            &ShardConfig {
+                shards: shard_indexes.len(),
+                ..Default::default()
+            },
+        )
+        .without_replay();
+        for (s, shard_index) in shard_indexes.into_iter().enumerate() {
+            if shard_index.tau() != tau || shard_index.window() != window {
+                return Err(format!(
+                    "shard {s} was frozen for (tau {}, {:?}), expected (tau {tau}, {window:?})",
+                    shard_index.tau(),
+                    shard_index.window()
+                ));
+            }
+            for size in shard_index.size_classes() {
+                let owner = index.shard_of_size(size);
+                if owner != s {
+                    return Err(format!(
+                        "shard {s} holds size class {size}, which shard {owner} owns"
+                    ));
+                }
+            }
+            index.shards[s].live_postings = shard_index.registrations();
+            index.shards[s].index = shard_index;
+        }
+        for (tree, size) in tracked {
+            let idx = tree as usize;
+            if index.alive.get(idx).copied().unwrap_or(false) {
+                return Err(format!("tree {tree} tracked twice"));
+            }
+            index.track(tree, size);
+        }
+        Ok(index)
+    }
+
     /// The shard owning size class `size` — a multiplicative hash so
     /// adjacent size classes spread across shards (a probe window `[|T| −
     /// τ, |T| + τ]` is a run of adjacent sizes).

@@ -393,8 +393,10 @@ fn admit_small(
 
 /// Partitions every δ-partitionable tree into its subgraph list (`None`
 /// for side-listed small trees), fanning the per-tree work out over
-/// `threads` scoped workers.
-pub(crate) fn build_subgraph_lists(
+/// `threads` scoped workers. Shared by both batch joins and
+/// `tsj-catalog`'s freeze — `delta = 2τ + 1` and the `binaries`/
+/// `general_posts` slices must be index-aligned with `trees`.
+pub fn build_subgraph_lists(
     trees: &[Tree],
     binaries: &[BinaryTree],
     general_posts: &[Vec<u32>],

@@ -1,26 +1,21 @@
 //! Sharded bipartite (R×S) join: the offline-index regime the sharded
 //! design fits best.
 //!
-//! The left collection is partitioned and bulk-loaded into the
-//! [`ShardedIndex`] (shards ingest in parallel); right trees then probe
-//! the frozen shards concurrently — no rank filter is needed because the
-//! index spans exactly the left collection — and candidate batches stream
-//! to the verifier pool. Results are bit-identical to
+//! The left collection is partitioned and bulk-loaded into a
+//! [`ShardedIndex`](crate::ShardedIndex) by [`crate::build_frozen_left`]
+//! (shards ingest in parallel); the probe + verify half is then
+//! delegated to [`crate::frozen_rs_join`] — right trees probe the
+//! frozen shards concurrently (no rank filter is needed because the
+//! index spans exactly the left collection) and candidate batches
+//! stream to the verifier pool. Results are bit-identical to
 //! [`partsj::partsj_join_rs`].
 
-use crate::index::{ShardConfig, ShardedIndex};
-use crate::join::build_subgraph_lists;
-use crossbeam::channel;
-use partsj::probe::ProbeCounters;
-use partsj::subgraph::Subgraph;
-use partsj::{LayerId, MatchCache, PartSjConfig, StampSink, VerifyData, VerifyEngine};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use crate::frozen::{build_frozen_left, frozen_rs_join, FrozenLeft};
+use crate::index::ShardConfig;
+use partsj::{PartSjConfig, VerifyData};
 use std::time::Instant;
-use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
-
-/// Right trees claimed per cursor bump.
-const CLAIM_CHUNK: usize = 4;
+use tsj_ted::JoinOutcome;
+use tsj_tree::Tree;
 
 /// Sharded R×S similarity join: all `(i, j)` with
 /// `TED(left[i], right[j]) ≤ tau`, bit-identical to
@@ -32,245 +27,28 @@ pub fn sharded_rs_join(
     config: &PartSjConfig,
     shard_cfg: &ShardConfig,
 ) -> JoinOutcome {
-    let delta = 2 * tau as usize + 1;
-    let mut stats = JoinStats::default();
-    let total_start = Instant::now();
-    let probe_threads = shard_cfg.resolved_probe_threads();
-    let verify_threads = shard_cfg.resolved_verify_threads();
-
-    // Build phase: shard-load the left collection.
-    let left_binaries: Vec<BinaryTree> = left.iter().map(BinaryTree::from_tree).collect();
-    let left_posts: Vec<Vec<u32>> = left.iter().map(Tree::postorder_numbers).collect();
-    let mut lists = build_subgraph_lists(
-        left,
-        &left_binaries,
-        &left_posts,
-        delta,
-        config,
-        probe_threads,
-    );
-    let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
-    let mut items: Vec<(TreeIdx, u32, Vec<Subgraph>)> = Vec::new();
-    for (i, list) in lists.iter_mut().enumerate() {
-        let size = left[i].len() as u32;
-        match list.take() {
-            Some(subgraphs) => items.push((i as TreeIdx, size, subgraphs)),
-            None => small_by_size.entry(size).or_default().push(i as TreeIdx),
-        }
-    }
-    // Offline build, never mutated afterwards: no replay log needed.
-    let mut index = ShardedIndex::new(tau, config.window, shard_cfg).without_replay();
-    index.insert_all(items, probe_threads > 1);
-
+    let build_start = Instant::now();
+    let (index, small_by_size) = build_frozen_left(left, tau, config, shard_cfg);
     let left_data: Vec<VerifyData> = left
         .iter()
         .map(|t| VerifyData::for_config(t, &config.verify))
         .collect();
-    let right_data: Vec<VerifyData> = right
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    let build_time = build_start.elapsed();
 
-    let parallel = probe_threads > 1 && right.len() >= config.parallel_fallback;
-    if !parallel {
-        let mut verify = VerifyEngine::new(tau, config);
-        let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
-        let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left.len()];
-        let mut caches: Vec<MatchCache> = (0..index.shard_count())
-            .map(|_| MatchCache::new())
-            .collect();
-        let (mut shard_scratch, mut layer_scratch) = (Vec::new(), Vec::<LayerId>::new());
-        let mut candidates: Vec<TreeIdx> = Vec::new();
-        let mut counters = ProbeCounters::default();
-        let mut candidate_time = total_start.elapsed();
-
-        for (j, tree) in right.iter().enumerate() {
-            let probe_start = Instant::now();
-            let marker = j as TreeIdx;
-            let size_j = tree.len() as u32;
-            let lo = size_j.saturating_sub(tau).max(1);
-            let hi = size_j + tau;
-            candidates.clear();
-            for n in lo..=hi {
-                if let Some(list) = small_by_size.get(&n) {
-                    for &i in list {
-                        if stamp[i as usize] != marker {
-                            stamp[i as usize] = marker;
-                            candidates.push(i);
-                        }
-                    }
-                }
-            }
-            let binary = BinaryTree::from_tree(tree);
-            let posts = tree.postorder_numbers();
-            let mut sink = StampSink {
-                stamp: &mut stamp,
-                marker,
-                candidates: &mut candidates,
-            };
-            index.probe_tree(
-                &binary,
-                &posts,
-                size_j,
-                lo,
-                hi,
-                config.matching,
-                &mut caches,
-                &mut shard_scratch,
-                &mut layer_scratch,
-                &mut counters,
-                &mut sink,
-            );
-            stats.candidates += candidates.len() as u64;
-            candidate_time += probe_start.elapsed();
-
-            let verify_start = Instant::now();
-            for &i in &candidates {
-                if verify
-                    .check(&left_data[i as usize], &right_data[j])
-                    .is_some()
-                {
-                    pairs.push((i, j as TreeIdx));
-                }
-            }
-            stats.verify_time += verify_start.elapsed();
-        }
-        stats.pairs_examined = stats.candidates;
-        stats.candidate_time = candidate_time;
-        verify.fold_into(&mut stats);
-        return JoinOutcome::new_bipartite(pairs, stats);
-    }
-
-    let batch_size = config.verify_batch.max(1);
-    let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(verify_threads * 4);
-    let cursor = AtomicUsize::new(0);
-    let index_ref = &index;
-    let (pairs, candidates_total, engines, probe_wall) = crossbeam::scope(|scope| {
-        let verifiers: Vec<_> = (0..verify_threads)
-            .map(|_| {
-                let rx = rx.clone();
-                let left_data = &left_data;
-                let right_data = &right_data;
-                scope.spawn(move |_| {
-                    // One filter-chain engine per verify worker.
-                    let mut verify = VerifyEngine::new(tau, config);
-                    let mut found = Vec::new();
-                    while let Ok(batch) = rx.recv() {
-                        for (i, j) in batch {
-                            let (iu, ju) = (i as usize, j as usize);
-                            if verify.check(&left_data[iu], &right_data[ju]).is_some() {
-                                found.push((i, j));
-                            }
-                        }
-                    }
-                    (found, verify)
-                })
-            })
-            .collect();
-        drop(rx);
-
-        let probers: Vec<_> = (0..probe_threads)
-            .map(|_| {
-                let tx = tx.clone();
-                let cursor = &cursor;
-                let small_by_size = &small_by_size;
-                scope.spawn(move |_| {
-                    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left.len()];
-                    let mut caches: Vec<MatchCache> = (0..index_ref.shard_count())
-                        .map(|_| MatchCache::new())
-                        .collect();
-                    let (mut shard_scratch, mut layer_scratch) =
-                        (Vec::new(), Vec::<LayerId>::new());
-                    let mut candidates: Vec<TreeIdx> = Vec::new();
-                    let mut counters = ProbeCounters::default();
-                    let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
-                    let mut candidates_total = 0u64;
-                    loop {
-                        let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
-                        if start >= right.len() {
-                            break;
-                        }
-                        for j in start..(start + CLAIM_CHUNK).min(right.len()) {
-                            let tree = &right[j];
-                            let marker = j as TreeIdx;
-                            let size_j = tree.len() as u32;
-                            let lo = size_j.saturating_sub(tau).max(1);
-                            let hi = size_j + tau;
-                            candidates.clear();
-                            for n in lo..=hi {
-                                if let Some(list) = small_by_size.get(&n) {
-                                    for &i in list {
-                                        if stamp[i as usize] != marker {
-                                            stamp[i as usize] = marker;
-                                            candidates.push(i);
-                                        }
-                                    }
-                                }
-                            }
-                            let binary = BinaryTree::from_tree(tree);
-                            let posts = tree.postorder_numbers();
-                            let mut sink = StampSink {
-                                stamp: &mut stamp,
-                                marker,
-                                candidates: &mut candidates,
-                            };
-                            index_ref.probe_tree(
-                                &binary,
-                                &posts,
-                                size_j,
-                                lo,
-                                hi,
-                                config.matching,
-                                &mut caches,
-                                &mut shard_scratch,
-                                &mut layer_scratch,
-                                &mut counters,
-                                &mut sink,
-                            );
-                            candidates_total += candidates.len() as u64;
-                            for &i in &candidates {
-                                batch.push((i, marker));
-                                if batch.len() >= batch_size {
-                                    let full = std::mem::replace(
-                                        &mut batch,
-                                        Vec::with_capacity(batch_size),
-                                    );
-                                    tx.send(full).expect("verifier pool alive");
-                                }
-                            }
-                        }
-                    }
-                    if !batch.is_empty() {
-                        tx.send(batch).expect("verifier pool alive");
-                    }
-                    candidates_total
-                })
-            })
-            .collect();
-        drop(tx);
-
-        let mut candidates_total = 0u64;
-        for prober in probers {
-            candidates_total += prober.join().expect("probe worker panicked");
-        }
-        let probe_wall = total_start.elapsed();
-        let mut pairs = Vec::new();
-        let mut engines = Vec::new();
-        for verifier in verifiers {
-            let (found, engine) = verifier.join().expect("verifier panicked");
-            pairs.extend(found);
-            engines.push(engine);
-        }
-        (pairs, candidates_total, engines, probe_wall)
-    })
-    .expect("sharded rs join scope");
-
-    stats.candidates = candidates_total;
-    stats.pairs_examined = candidates_total;
-    for engine in &engines {
-        engine.fold_into(&mut stats);
-    }
-    stats.candidate_time = probe_wall;
-    stats.verify_time = total_start.elapsed().saturating_sub(probe_wall);
-    JoinOutcome::new_bipartite(pairs, stats)
+    let mut outcome = frozen_rs_join(
+        &FrozenLeft {
+            index: &index,
+            small_by_size: &small_by_size,
+            left_data: &left_data,
+        },
+        right,
+        tau,
+        config,
+        shard_cfg.resolved_probe_threads(),
+        shard_cfg.resolved_verify_threads(),
+    );
+    // The index build is candidate-generation work, same attribution as
+    // the pre-refactor inline implementation.
+    outcome.stats.candidate_time += build_time;
+    outcome
 }

@@ -66,7 +66,7 @@ pub fn degree_histogram(tree: &Tree) -> Vec<u32> {
 ///
 /// A deletion removes one histogram entry and moves its parent's degree
 /// (L1 change ≤ 3); insertion is symmetric; renaming changes nothing —
-/// the degree-based filter of Kailing et al. (reference [16]) with a
+/// the degree-based filter of Kailing et al. (reference \[16\]) with a
 /// conservatively derived constant.
 pub fn degree_bound(a: &[u32], b: &[u32]) -> u32 {
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "histogram not sorted");

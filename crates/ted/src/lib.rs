@@ -8,7 +8,7 @@
 //! * [`hybrid`] — an RTED-inspired engine that dynamically picks between
 //!   left-path and mirrored (right-path) decompositions per tree pair (see
 //!   DESIGN.md for the substitution note);
-//! * [`sed`] — full and banded (threshold-aware) string edit distance;
+//! * [`sed`](mod@sed) — full and banded (threshold-aware) string edit distance;
 //! * [`bounds`] — the TED lower bounds used by the filtering baselines.
 
 #![warn(missing_docs)]

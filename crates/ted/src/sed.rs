@@ -1,6 +1,6 @@
 //! String (sequence) edit distance over label sequences.
 //!
-//! The STR baseline (Guha et al., reference [13]) lower-bounds TED by the
+//! The STR baseline (Guha et al., reference \[13\]) lower-bounds TED by the
 //! string edit distance between preorder/postorder label sequences. Joins
 //! only care whether that bound exceeds the threshold `τ`, so besides the
 //! full two-row DP we provide a banded computation that touches only the

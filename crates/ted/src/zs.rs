@@ -2,7 +2,7 @@
 //!
 //! This is the classic O(n²)-space algorithm ("Simple fast algorithms for
 //! the editing distance between trees", SIAM J. Comput. 1989, reference
-//! [29] of the paper): for every pair of keyroots, a forest-distance matrix
+//! \[29] of the paper): for every pair of keyroots, a forest-distance matrix
 //! is filled; tree distances of nested relevant subtrees are memoized in a
 //! full `n₁ × n₂` table. Worst-case time is O(n₁²·n₂²) but for realistic
 //! shapes it behaves like the O(n³) algorithms the paper builds on.

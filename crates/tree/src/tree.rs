@@ -7,6 +7,7 @@
 //! structures (postorder numbers, subtree sizes, the LC-RS representation)
 //! be plain vectors indexed by node id.
 
+use crate::error::ParseError;
 use crate::label::Label;
 use std::fmt;
 
@@ -231,6 +232,63 @@ impl Tree {
             stack.extend(ca.iter().copied().zip(cb.iter().copied()));
         }
         true
+    }
+
+    /// Flattens the tree into a parent-linked preorder sequence — the
+    /// wire form used by snapshot serialization (`tsj-catalog`).
+    ///
+    /// Entry `k` is `(label, parent)` where `parent` is the *position of
+    /// the parent within the returned sequence* (`None` only for the
+    /// root, at position 0). Preorder guarantees parents precede their
+    /// children and sibling order is preserved, so
+    /// [`Tree::from_flattened`] reconstructs a structurally identical
+    /// tree regardless of how the original arena was laid out (edited
+    /// trees can hold children out of arena order).
+    pub fn flatten(&self) -> Vec<(Label, Option<u32>)> {
+        let order = self.preorder();
+        let mut pos = vec![0u32; self.len()];
+        for (k, node) in order.iter().enumerate() {
+            pos[node.index()] = k as u32;
+        }
+        order
+            .iter()
+            .map(|&node| (self.label(node), self.parent(node).map(|p| pos[p.index()])))
+            .collect()
+    }
+
+    /// Rebuilds a tree from a [`Tree::flatten`] sequence.
+    ///
+    /// The result is [structurally equal](Tree::structurally_eq) to the
+    /// flattened tree; node ids are renumbered to preorder positions.
+    /// Returns an error (positioned at the offending entry index) for an
+    /// empty sequence, a non-root first entry, an extra root, or a
+    /// forward parent reference — malformed input never panics.
+    pub fn from_flattened(nodes: &[(Label, Option<u32>)]) -> Result<Tree, ParseError> {
+        let mut builder = TreeBuilder::with_capacity(nodes.len());
+        for (k, &(label, parent)) in nodes.iter().enumerate() {
+            match (k, parent) {
+                (0, None) => {
+                    builder.root(label);
+                }
+                (0, Some(_)) => {
+                    return Err(ParseError::new(0, "first flattened entry must be the root"))
+                }
+                (_, None) => return Err(ParseError::new(k, "second root in flattened tree")),
+                (_, Some(p)) => {
+                    if p as usize >= k {
+                        return Err(ParseError::new(
+                            k,
+                            format!("parent {p} does not precede node {k}"),
+                        ));
+                    }
+                    builder.child(NodeId(p), label);
+                }
+            }
+        }
+        if builder.is_empty() {
+            return Err(ParseError::new(0, "empty flattened tree"));
+        }
+        Ok(builder.build())
     }
 
     /// Consistency check used by tests and debug builds: parent/child links
@@ -466,6 +524,54 @@ mod tests {
         assert!(tree.is_leaf(tree.root()));
         assert_eq!(tree.max_depth(), 0);
         tree.validate().unwrap();
+    }
+
+    #[test]
+    fn flatten_round_trips() {
+        let (tree, _) = figure1_tree();
+        let flat = tree.flatten();
+        assert_eq!(flat.len(), tree.len());
+        assert_eq!(flat[0].1, None, "root leads the sequence");
+        let rebuilt = Tree::from_flattened(&flat).unwrap();
+        assert!(tree.structurally_eq(&rebuilt));
+        // The preorder form is canonical: re-flattening is a fixpoint.
+        assert_eq!(rebuilt.flatten(), flat);
+    }
+
+    #[test]
+    fn flatten_round_trips_after_edits() {
+        // Edited trees can hold children out of arena order; flatten must
+        // still preserve sibling order.
+        use crate::edit::{apply_edit, EditOp};
+        let (tree, _) = figure1_tree();
+        let victim = tree.children(tree.root())[0];
+        let edited = apply_edit(&tree, &EditOp::Delete { node: victim }).unwrap();
+        let rebuilt = Tree::from_flattened(&edited.flatten()).unwrap();
+        assert!(edited.structurally_eq(&rebuilt));
+        assert_eq!(rebuilt.preorder_labels(), edited.preorder_labels());
+        assert_eq!(rebuilt.postorder_labels(), edited.postorder_labels());
+    }
+
+    #[test]
+    fn from_flattened_rejects_malformed_sequences() {
+        let l = Label::from_raw(1);
+        assert!(Tree::from_flattened(&[]).is_err());
+        assert!(
+            Tree::from_flattened(&[(l, Some(0))]).is_err(),
+            "root with parent"
+        );
+        assert!(
+            Tree::from_flattened(&[(l, None), (l, None)]).is_err(),
+            "two roots"
+        );
+        assert!(
+            Tree::from_flattened(&[(l, None), (l, Some(2))]).is_err(),
+            "forward parent reference"
+        );
+        assert!(
+            Tree::from_flattened(&[(l, None), (l, Some(1))]).is_err(),
+            "self parent"
+        );
     }
 
     #[test]

@@ -115,9 +115,48 @@
 //! `ShardedStreamingJoin` adds deletion and sliding-window eviction
 //! (`EvictionPolicy`) on a dynamic index with tombstone compaction —
 //! see `examples/streaming_monitor.rs`.
+//!
+//! ## Freezing a catalog
+//!
+//! When one side of the join is long-lived — a reference catalog probed
+//! by many feeds — the [`catalog`] crate (`tsj-catalog`) freezes its
+//! sharded index **once**, persists it as a versioned, checksummed
+//! binary snapshot, and serves indexed-left joins against it at any
+//! per-query threshold up to the frozen one. Loading a snapshot joins
+//! bit-identically to `sharded_rs_join` over the original trees:
+//!
+//! ```
+//! use tree_similarity_join::prelude::*;
+//!
+//! let mut labels = LabelInterner::new();
+//! let trees: Vec<_> = ["{item{kbd}{price}}", "{item{dock}{ports}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//! let catalog = Catalog::freeze(
+//!     trees,
+//!     labels,
+//!     2, // frozen tau: the ceiling of every per-query threshold
+//!     &PartSjConfig::default(),
+//!     &ShardConfig::with_shards(2),
+//! );
+//! let served = Catalog::from_bytes(catalog.to_bytes()).unwrap(); // save/load round trip
+//!
+//! let mut labels = served.labels().clone();
+//! let probe = parse_bracket("{item{dock}{plug}}", &mut labels).unwrap();
+//! let outcome = served
+//!     .join(&[probe], 1, &PartSjConfig::default(), &ShardConfig::default())
+//!     .unwrap();
+//! assert_eq!(outcome.pairs, vec![(1, 0)]);
+//! ```
+//!
+//! See `examples/catalog_server.rs` for the full freeze → save → load →
+//! serve loop, and the README's "Catalog service" section for the
+//! snapshot format and the freeze-vs-rebuild trade-off.
 
 pub use partsj;
 pub use tsj_baselines as baselines;
+pub use tsj_catalog as catalog;
 pub use tsj_datagen as datagen;
 pub use tsj_shard as shard;
 pub use tsj_ted as ted;
@@ -136,6 +175,7 @@ pub mod prelude {
         VerifyData, VerifyEngine, WindowPolicy,
     };
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
+    pub use tsj_catalog::{Catalog, CatalogError, SnapshotReader};
     pub use tsj_datagen::{
         collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, SyntheticParams,
     };
