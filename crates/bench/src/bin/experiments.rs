@@ -28,12 +28,15 @@
 //! `--seed N` changes the generator seed (default 2015),
 //! `--shards N` (default 1) runs the `PRT` rows through the sharded join
 //! (`tsj-shard`: parallel candidate generation, results bit-identical),
-//! `--catalog PATH` names the snapshot file of the `catalog` command, and
-//! `--tau N` (default 3) sets its freeze threshold.
+//! `--catalog PATH` names the snapshot file of the `catalog` command,
+//! `--tau N` (default 3) sets its freeze threshold, and `--adaptive`
+//! runs the `PRT` rows with [`AdaptiveConfig::FULL`] (online verify-chain
+//! reordering + balanced shard maps) — results are bit-identical to the
+//! static path, so the flag only moves the time and per-stage columns.
 
 use partsj::{
-    partsj_join_detailed, partsj_join_with, MatchSemantics, PartSjConfig, PartitionScheme,
-    WindowPolicy,
+    partsj_join_detailed, partsj_join_with, AdaptiveConfig, MatchSemantics, PartSjConfig,
+    PartitionScheme, WindowPolicy,
 };
 use std::time::Instant;
 use tsj_bench::{
@@ -51,12 +54,27 @@ struct Options {
     shards: usize,
     catalog: Option<String>,
     tau: u32,
+    adaptive: bool,
+}
+
+impl Options {
+    /// The `PartSjConfig` the `PRT` rows run with.
+    fn prt_config(&self) -> PartSjConfig {
+        PartSjConfig {
+            adaptive: if self.adaptive {
+                AdaptiveConfig::FULL
+            } else {
+                AdaptiveConfig::OFF
+            },
+            ..Default::default()
+        }
+    }
 }
 
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| {
-        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|catalog|all> [--scale F] [--seed N] [--param P] [--shards N] [--catalog PATH] [--tau N]");
+        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|catalog|all> [--scale F] [--seed N] [--param P] [--shards N] [--catalog PATH] [--tau N] [--adaptive]");
         std::process::exit(2);
     });
     let mut options = Options {
@@ -66,6 +84,7 @@ fn parse_args() -> (String, Options) {
         shards: 1,
         catalog: None,
         tau: 3,
+        adaptive: false,
     };
     while let Some(flag) = args.next() {
         let mut value = || {
@@ -81,6 +100,7 @@ fn parse_args() -> (String, Options) {
             "--shards" => options.shards = value().parse().expect("integer --shards"),
             "--catalog" => options.catalog = Some(value()),
             "--tau" => options.tau = value().parse().expect("integer --tau"),
+            "--adaptive" => options.adaptive = true,
             other => {
                 eprintln!("unknown option {other}");
                 std::process::exit(2);
@@ -170,6 +190,10 @@ fn fig10_11(options: &Options, runtime: bool) {
         "Figure 11 (candidates vs τ)"
     };
     println!("\n== {which} ==\n");
+    if options.adaptive {
+        println!("(PRT rows run with AdaptiveConfig::FULL)\n");
+    }
+    let config = options.prt_config();
     for dataset in Dataset::ALL {
         let n = scaled(dataset.default_cardinality(), options.scale);
         let trees = dataset.generate(n, options.seed);
@@ -178,7 +202,7 @@ fn fig10_11(options: &Options, runtime: bool) {
         for tau in 1..=5u32 {
             let mut rel = None;
             for method in Method::ALL {
-                let outcome = method.run_sharded(&trees, tau, options.shards);
+                let outcome = method.run_sharded_with(&trees, tau, options.shards, &config);
                 rel.get_or_insert(outcome.stats.results);
                 if runtime {
                     rows.push(vec![
@@ -237,6 +261,7 @@ fn fig12_13(options: &Options, runtime: bool) {
         "Figure 13 (candidates vs cardinality, tau = 3)"
     };
     println!("\n== {which} ==\n");
+    let config = options.prt_config();
     let tau = 3;
     for dataset in Dataset::ALL {
         let full = scaled(dataset.default_cardinality(), options.scale);
@@ -248,7 +273,7 @@ fn fig12_13(options: &Options, runtime: bool) {
         for &n in &steps {
             let slice = &trees[..n];
             for method in Method::ALL {
-                let outcome = method.run_sharded(slice, tau, options.shards);
+                let outcome = method.run_sharded_with(slice, tau, options.shards, &config);
                 if runtime {
                     rows.push(vec![
                         format!("{n}"),
@@ -290,6 +315,7 @@ fn fig14(options: &Options, param: &str) {
         }
     };
     let tau = 3;
+    let config = options.prt_config();
     let n = scaled(Dataset::Synthetic.default_cardinality(), options.scale);
     println!("\n== Figure 14: sensitivity to {label} ({n} trees, tau = {tau}) ==\n");
     let mut rows = Vec::new();
@@ -303,7 +329,7 @@ fn fig14(options: &Options, param: &str) {
         }
         let trees = synthetic(n, &params, options.seed);
         for method in Method::ALL {
-            let outcome = method.run_sharded(&trees, tau, options.shards);
+            let outcome = method.run_sharded_with(&trees, tau, options.shards, &config);
             rows.push(vec![
                 format!("{value}"),
                 method.name().into(),

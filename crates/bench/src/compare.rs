@@ -409,6 +409,7 @@ mod tests {
             "BENCH_pr3.json",
             "BENCH_pr4.json",
             "BENCH_pr5.json",
+            "BENCH_pr6.json",
         ] {
             let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + file;
             let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -455,6 +456,48 @@ mod tests {
         let cmp = compare(&baseline, &current, Some("x/"));
         assert_eq!(cmp.deltas.len(), 1);
         assert_eq!(cmp.deltas[0].name, "x/one");
+    }
+
+    /// The `--filter` path against the real checked-in baselines: two
+    /// adjacent PR baselines are diffed with and without a name filter,
+    /// and the filtered diff must be exactly the unfiltered diff
+    /// restricted to matching names — no series invented, none dropped.
+    #[test]
+    fn filter_against_checked_in_baselines() {
+        let read = |file: &str| {
+            let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../..").to_string() + "/" + file;
+            parse_measurements(&std::fs::read_to_string(&path).unwrap()).unwrap()
+        };
+        let baseline = read("BENCH_pr4.json");
+        let current = read("BENCH_pr5.json");
+        let needle = "join";
+        let full = compare(&baseline, &current, None);
+        let filtered = compare(&baseline, &current, Some(needle));
+        assert!(
+            !filtered.deltas.is_empty(),
+            "the baselines are expected to share join benches"
+        );
+        for delta in &filtered.deltas {
+            assert!(delta.name.contains(needle), "{} leaked through", delta.name);
+        }
+        let expected: Vec<&BenchDelta> = full
+            .deltas
+            .iter()
+            .filter(|d| d.name.contains(needle))
+            .collect();
+        assert_eq!(filtered.deltas.iter().collect::<Vec<_>>(), expected);
+        let expected_added: Vec<&String> =
+            full.added.iter().filter(|n| n.contains(needle)).collect();
+        assert_eq!(filtered.added.iter().collect::<Vec<_>>(), expected_added);
+        let expected_missing: Vec<&String> =
+            full.missing.iter().filter(|n| n.contains(needle)).collect();
+        assert_eq!(
+            filtered.missing.iter().collect::<Vec<_>>(),
+            expected_missing
+        );
+        // A filter matching nothing yields a clean, empty comparison.
+        let none = compare(&baseline, &current, Some("no-such-bench"));
+        assert!(none.deltas.is_empty() && none.added.is_empty() && none.missing.is_empty());
     }
 
     #[test]

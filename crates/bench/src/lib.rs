@@ -126,16 +126,30 @@ impl Method {
     /// pools auto-sized to the machine). The baselines have no sharded
     /// variant and ignore the parameter.
     pub fn run_sharded(self, trees: &[Tree], tau: u32, shards: usize) -> JoinOutcome {
+        self.run_sharded_with(trees, tau, shards, &PartSjConfig::default())
+    }
+
+    /// [`Method::run_sharded`] with a caller-supplied configuration —
+    /// the hook the `--adaptive` experiments use to flip
+    /// [`partsj::AdaptiveConfig`] on without forking the harness. The
+    /// baselines have no configuration and ignore it.
+    pub fn run_sharded_with(
+        self,
+        trees: &[Tree],
+        tau: u32,
+        shards: usize,
+        config: &PartSjConfig,
+    ) -> JoinOutcome {
         match self {
             Method::Str => tsj_baselines::str_join(trees, tau),
             Method::Set => tsj_baselines::set_join(trees, tau),
             Method::Prt if shards > 1 => tsj_shard::sharded_join(
                 trees,
                 tau,
-                &PartSjConfig::default(),
+                config,
                 &tsj_shard::ShardConfig::with_shards(shards),
             ),
-            Method::Prt => partsj_join_with(trees, tau, &PartSjConfig::default()),
+            Method::Prt => partsj_join_with(trees, tau, config),
         }
     }
 }

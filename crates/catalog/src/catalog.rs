@@ -1,7 +1,9 @@
 //! The [`Catalog`] handle: freeze once, serve many joins.
 
 use crate::error::CatalogError;
-use crate::snapshot::{assemble, encode_labels, encode_shard, encode_trees, SnapshotReader};
+use crate::snapshot::{
+    assemble, encode_labels, encode_shard, encode_shard_map, encode_trees, SnapshotReader,
+};
 use partsj::probe::ProbeCounters;
 use partsj::{
     LayerId, MatchCache, PartSjConfig, StampSink, SubgraphIndex, VerifyData, VerifyEngine,
@@ -294,9 +296,10 @@ impl Catalog {
     /// Serializes the catalog into the versioned snapshot byte format
     /// (see [`crate::snapshot`] for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut sections = Vec::with_capacity(2 + self.index.shard_count());
+        let mut sections = Vec::with_capacity(3 + self.index.shard_count());
         sections.push(encode_labels(&self.labels));
         sections.push(encode_trees(&self.trees));
+        sections.push(encode_shard_map(self.index.shard_map()));
         for s in 0..self.index.shard_count() {
             sections.push(encode_shard(&self.index.shard_index(s).dump()));
         }
@@ -345,12 +348,14 @@ impl Catalog {
         let tau = reader.tau();
         let window = reader.window();
         let delta = 2 * tau as usize + 1;
+        let map = reader.shard_map()?;
         let shards: Vec<SubgraphIndex> = (0..reader.shard_count())
             .map(|s| reader.shard(s))
             .collect::<Result<_, _>>()?;
         let index = ShardedIndex::from_frozen_parts(
             tau,
             window,
+            map,
             shards,
             trees
                 .iter()
@@ -505,6 +510,33 @@ mod tests {
         }
         // Serialization is deterministic.
         assert_eq!(loaded.to_bytes(), bytes);
+    }
+
+    #[test]
+    fn balanced_map_travels_with_the_snapshot() {
+        let mut labels = LabelInterner::new();
+        let trees: Vec<Tree> = ["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}{w}}}", "{a{b}{c}{d}{e}}"]
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let config = PartSjConfig {
+            adaptive: partsj::AdaptiveConfig::FULL,
+            ..PartSjConfig::default()
+        };
+        let catalog = Catalog::freeze(trees, labels, 1, &config, &ShardConfig::with_shards(2));
+        assert!(matches!(
+            catalog.index().shard_map(),
+            tsj_shard::ShardMap::Balanced(_)
+        ));
+        let loaded = Catalog::from_bytes(catalog.to_bytes()).unwrap();
+        assert_eq!(loaded.index().shard_map(), catalog.index().shard_map());
+        // Routing restored: queries agree with the original catalog.
+        let mut probe_labels = catalog.labels().clone();
+        let probe = parse_bracket("{a{b}{c}}", &mut probe_labels).unwrap();
+        assert_eq!(
+            loaded.query(&probe, 1, &config).unwrap(),
+            catalog.query(&probe, 1, &config).unwrap()
+        );
     }
 
     #[test]

@@ -5,11 +5,20 @@
 //!
 //! ```text
 //! magic "TSJCATLG" | version u32 | tau u32 | window u8 | shards u32 | trees u32
-//! directory: (offset u64, len u64, fnv1a64 checksum u64) × (2 + shards)
+//! directory: (offset u64, len u64, fnv1a64 checksum u64) × (3 + shards)
 //! section 0: label store      — interned label strings, in id order
 //! section 1: tree store       — every left tree, flattened preorder
-//! section 2+s: shard s        — the shard's SubgraphIndex dump
+//! section 2: shard map        — the size-class→shard routing
+//! section 3+s: shard s        — the shard's SubgraphIndex dump
 //! ```
+//!
+//! Format version 2 added the explicit shard-map section: earlier
+//! snapshots implied hash routing, but a catalog frozen with a balanced
+//! [`ShardMap`] places size classes where only the map can find them
+//! again, so the routing must travel with the file (and is validated
+//! against every shard's size classes on load). Version-1 files are
+//! rejected with [`CatalogError::UnsupportedVersion`] — re-freeze to
+//! migrate.
 //!
 //! Every section is independently checksummed and independently
 //! decodable — a shard section is exactly the unit a multi-node
@@ -31,13 +40,15 @@ use partsj::{
 };
 use partsj::{ChildKind, SgNode};
 use std::path::Path;
+use tsj_shard::ShardMap;
 use tsj_tree::{Label, LabelInterner, Tree};
 
 /// Leading bytes of every catalog snapshot.
 pub const MAGIC: [u8; 8] = *b"TSJCATLG";
 
-/// The one format version this build writes and reads.
-pub const FORMAT_VERSION: u32 = 1;
+/// The one format version this build writes and reads. Version 2 added
+/// the explicit shard-map section (see the [module docs](self)).
+pub const FORMAT_VERSION: u32 = 2;
 
 const HEADER_FIXED_LEN: usize = 8 + 4 + 4 + 1 + 4 + 4;
 const DIRECTORY_ENTRY_LEN: usize = 8 + 8 + 8;
@@ -177,6 +188,59 @@ pub fn decode_trees(bytes: &[u8]) -> Result<Vec<Tree>, CatalogError> {
     Ok(trees)
 }
 
+/// Encodes the shard-map section: a routing tag, then (for balanced
+/// maps) the explicit `(size class, shard)` assignments in ascending
+/// size order.
+pub fn encode_shard_map(map: &ShardMap) -> Vec<u8> {
+    let mut w = ByteWriter::new();
+    match map {
+        ShardMap::Hash => w.put_u8(0),
+        ShardMap::Balanced(pairs) => {
+            w.put_u8(1);
+            w.put_u32(pairs.len() as u32);
+            for &(size, shard) in pairs {
+                w.put_u32(size);
+                w.put_u32(shard);
+            }
+        }
+    }
+    w.into_bytes()
+}
+
+/// Decodes the shard-map section and validates it against the
+/// snapshot's shard count: an out-of-range shard assignment or an
+/// unsorted entry list is a typed [`CatalogError::Corrupt`], never a
+/// panic (a later probe would otherwise index past the shard vector).
+pub fn decode_shard_map(bytes: &[u8], shard_count: usize) -> Result<ShardMap, CatalogError> {
+    let mut r = ByteReader::new(bytes);
+    let map = match r.get_u8("shard map tag")? {
+        0 => ShardMap::Hash,
+        1 => {
+            let count = r.get_count(8, "shard map entries")?;
+            let mut pairs = Vec::with_capacity(count);
+            for _ in 0..count {
+                let size = r.get_u32("shard map size class")?;
+                let shard = r.get_u32("shard map target shard")?;
+                pairs.push((size, shard));
+            }
+            ShardMap::Balanced(pairs)
+        }
+        other => {
+            return Err(CatalogError::Corrupt {
+                context: format!("unknown shard-map tag {other}"),
+            })
+        }
+    };
+    if r.remaining() != 0 {
+        return Err(CatalogError::Corrupt {
+            context: format!("{} trailing bytes after the shard map", r.remaining()),
+        });
+    }
+    map.validate(shard_count)
+        .map_err(|context| CatalogError::Corrupt { context })?;
+    Ok(map)
+}
+
 /// Encodes one shard's [`IndexDump`].
 pub fn encode_shard(dump: &IndexDump) -> Vec<u8> {
     let mut w = ByteWriter::new();
@@ -307,11 +371,11 @@ pub fn decode_shard(bytes: &[u8]) -> Result<SubgraphIndex, CatalogError> {
 
 /// Assembles a whole snapshot file from its already-encoded sections.
 ///
-/// `sections[0]` is the label store, `sections[1]` the tree store and
-/// `sections[2..]` one entry per shard (so `tau`/`window`/tree count in
-/// the header describe them all).
+/// `sections[0]` is the label store, `sections[1]` the tree store,
+/// `sections[2]` the shard map and `sections[3..]` one entry per shard
+/// (so `tau`/`window`/tree count in the header describe them all).
 pub fn assemble(tau: u32, window: WindowPolicy, tree_count: u32, sections: &[Vec<u8>]) -> Vec<u8> {
-    let shard_count = (sections.len() - 2) as u32;
+    let shard_count = (sections.len() - 3) as u32;
     let mut w = ByteWriter::new();
     w.put_bytes(&MAGIC);
     w.put_u32(FORMAT_VERSION);
@@ -378,7 +442,7 @@ impl SnapshotReader {
         let shard_count = r.get_u32("header shard count")?;
         let tree_count = r.get_u32("header tree count")?;
         let section_count = (shard_count as usize)
-            .checked_add(2)
+            .checked_add(3)
             .filter(|&n| n * DIRECTORY_ENTRY_LEN <= r.remaining())
             .ok_or(CatalogError::Truncated {
                 context: "section directory",
@@ -426,7 +490,7 @@ impl SnapshotReader {
 
     /// Number of shards in the snapshot.
     pub fn shard_count(&self) -> usize {
-        self.sections.len() - 2
+        self.sections.len() - 3
     }
 
     /// Number of trees in the tree store.
@@ -465,6 +529,12 @@ impl SnapshotReader {
         Ok(trees)
     }
 
+    /// Decodes the shard-map section (checksum-verified) and validates
+    /// its assignments against the header's shard count.
+    pub fn shard_map(&self) -> Result<ShardMap, CatalogError> {
+        decode_shard_map(self.section(2, "shard-map")?, self.shard_count())
+    }
+
     /// Decodes shard `s` into a validated [`SubgraphIndex`]
     /// (checksum-verified) — the unit of multi-node placement. An
     /// out-of-range index is a typed error (a misconfigured node asking
@@ -478,7 +548,7 @@ impl SnapshotReader {
                 ),
             });
         }
-        let index = decode_shard(self.section(2 + s, &format!("shard {s}"))?)?;
+        let index = decode_shard(self.section(3 + s, &format!("shard {s}"))?)?;
         if index.tau() != self.tau || index.window() != self.window {
             return Err(CatalogError::Corrupt {
                 context: format!(
@@ -526,9 +596,71 @@ mod tests {
         }
     }
 
+    /// An empty, shardless snapshot: labels, trees and a hash shard map.
+    fn empty_sections() -> Vec<Vec<u8>> {
+        vec![Vec::new(), Vec::new(), encode_shard_map(&ShardMap::Hash)]
+    }
+
+    #[test]
+    fn shard_map_round_trips_both_variants() {
+        for map in [
+            ShardMap::Hash,
+            ShardMap::Balanced(vec![(3, 1), (7, 0), (9, 3)]),
+        ] {
+            let restored = decode_shard_map(&encode_shard_map(&map), 4).unwrap();
+            assert_eq!(restored, map);
+        }
+    }
+
+    #[test]
+    fn shard_map_decoding_rejects_garbage() {
+        // Unknown routing tag.
+        assert!(matches!(
+            decode_shard_map(&[9], 1),
+            Err(CatalogError::Corrupt { context }) if context.contains("tag 9")
+        ));
+        // Trailing bytes after a complete map.
+        let mut padded = encode_shard_map(&ShardMap::Hash);
+        padded.push(0);
+        assert!(matches!(
+            decode_shard_map(&padded, 1),
+            Err(CatalogError::Corrupt { context }) if context.contains("trailing")
+        ));
+        // An assignment pointing past the snapshot's shard count: the
+        // "out-of-range size class" corruption case must be a typed
+        // error, not a later out-of-bounds probe.
+        let rogue = encode_shard_map(&ShardMap::Balanced(vec![(5, 7)]));
+        assert!(matches!(
+            decode_shard_map(&rogue, 2),
+            Err(CatalogError::Corrupt { context }) if context.contains("shard 7")
+        ));
+        // Truncated mid-entry.
+        let full = encode_shard_map(&ShardMap::Balanced(vec![(5, 0)]));
+        assert!(matches!(
+            decode_shard_map(&full[..full.len() - 2], 1),
+            Err(CatalogError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn snapshot_carries_the_shard_map() {
+        let map = ShardMap::Balanced(vec![(2, 1), (6, 0)]);
+        let sections = vec![
+            Vec::new(),
+            Vec::new(),
+            encode_shard_map(&map),
+            Vec::new(),
+            Vec::new(),
+        ];
+        let snapshot = assemble(1, WindowPolicy::Safe, 0, &sections);
+        let reader = SnapshotReader::from_bytes(snapshot).unwrap();
+        assert_eq!(reader.shard_count(), 2);
+        assert_eq!(reader.shard_map().unwrap(), map);
+    }
+
     #[test]
     fn header_rejects_foreign_and_future_files() {
-        let snapshot = assemble(1, WindowPolicy::Safe, 0, &[Vec::new(), Vec::new()]);
+        let snapshot = assemble(1, WindowPolicy::Safe, 0, &empty_sections());
         assert!(SnapshotReader::from_bytes(snapshot.clone()).is_ok());
 
         let mut foreign = snapshot.clone();
@@ -553,7 +685,7 @@ mod tests {
 
     #[test]
     fn out_of_range_shard_is_a_typed_error() {
-        let snapshot = assemble(1, WindowPolicy::Safe, 0, &[Vec::new(), Vec::new()]);
+        let snapshot = assemble(1, WindowPolicy::Safe, 0, &empty_sections());
         let reader = SnapshotReader::from_bytes(snapshot).unwrap();
         assert_eq!(reader.shard_count(), 0);
         assert!(matches!(
@@ -566,19 +698,26 @@ mod tests {
     fn section_checksums_catch_bit_rot() {
         let mut labels = LabelInterner::new();
         let trees = vec![parse_bracket("{a{b}}", &mut labels).unwrap()];
-        let sections = vec![encode_labels(&labels), encode_trees(&trees)];
+        let sections = vec![
+            encode_labels(&labels),
+            encode_trees(&trees),
+            encode_shard_map(&ShardMap::Hash),
+        ];
         let mut snapshot = assemble(1, WindowPolicy::Safe, 1, &sections);
         let reader = SnapshotReader::from_bytes(snapshot.clone()).unwrap();
         assert!(reader.trees().is_ok());
+        assert!(reader.shard_map().is_ok());
 
-        // Flip one payload byte: the directory still parses, the section
-        // read reports the rot.
+        // Flip one payload byte (the last byte belongs to the shard-map
+        // section): the directory still parses, the section read reports
+        // the rot — and the untouched sections keep decoding.
         let last = snapshot.len() - 1;
         snapshot[last] ^= 0xff;
         let reader = SnapshotReader::from_bytes(snapshot).unwrap();
+        assert!(reader.trees().is_ok());
         assert!(matches!(
-            reader.trees(),
-            Err(CatalogError::ChecksumMismatch { section }) if section == "trees"
+            reader.shard_map(),
+            Err(CatalogError::ChecksumMismatch { section }) if section == "shard-map"
         ));
     }
 }

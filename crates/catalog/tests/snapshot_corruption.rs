@@ -68,7 +68,23 @@ fn wrong_version_is_reported_with_both_versions() {
         Catalog::from_bytes(bytes),
         Err(CatalogError::UnsupportedVersion {
             found: 7,
-            supported: 1
+            supported: 2
+        })
+    ));
+}
+
+#[test]
+fn version_one_snapshots_are_rejected_cleanly() {
+    // A pre-shard-map (version 1) file must be refused outright — its
+    // section numbering differs, so decoding it as v2 would misread the
+    // first shard as the shard map.
+    let mut bytes = sample_catalog().to_bytes();
+    bytes[8..12].copy_from_slice(&1u32.to_le_bytes());
+    assert!(matches!(
+        Catalog::from_bytes(bytes),
+        Err(CatalogError::UnsupportedVersion {
+            found: 1,
+            supported: 2
         })
     ));
 }
@@ -100,8 +116,9 @@ fn single_bit_flips_never_panic() {
     let bytes = sample_catalog().to_bytes();
     let mut undetected_section_damage = 0u32;
     // Section payloads start after the fixed header (25 bytes) and the
-    // directory (24 bytes × 4 sections: labels, trees, two shards).
-    let sections_start = 25 + 24 * 4;
+    // directory (24 bytes × 5 sections: labels, trees, shard map, two
+    // shards).
+    let sections_start = 25 + 24 * 5;
     for pos in 0..bytes.len() {
         let mut flipped = bytes.clone();
         flipped[pos] ^= 0x80;

@@ -51,9 +51,12 @@ pub mod rs_join;
 pub mod search;
 pub mod streaming;
 pub mod subgraph;
+pub mod topk;
 pub mod verify;
 
-pub use config::{MatchSemantics, PartSjConfig, PartitionScheme, VerifyConfig, WindowPolicy};
+pub use config::{
+    AdaptiveConfig, MatchSemantics, PartSjConfig, PartitionScheme, VerifyConfig, WindowPolicy,
+};
 pub use index::{
     BucketDump, ComponentDump, ComponentId, IndexDump, LayerDump, LayerId, MatchCache,
     PostorderLayer, SubgraphHandle, SubgraphIndex, SubgraphMeta, TwigKeys,
@@ -71,4 +74,5 @@ pub use subgraph::{
     build_subgraphs, nodes_match_at, subgraph_matches, subgraph_matches_with, ChildKind, SgNode,
     Subgraph,
 };
+pub use topk::{partsj_topk, partsj_topk_with, TopKOutcome, TopKPair};
 pub use verify::{FilterStage, StageKind, StageVerdict, VerifyData, VerifyEngine};

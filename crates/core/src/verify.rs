@@ -45,7 +45,7 @@
 //! rename-only pairs, which makes this the stage that eliminates most
 //! TED calls on the paper's workloads.
 
-use crate::config::{PartSjConfig, VerifyConfig};
+use crate::config::{AdaptiveConfig, PartSjConfig, VerifyConfig};
 use std::hash::Hasher as _;
 use tsj_ted::bounds::{histogram_bound, label_histogram, traversal_within, TraversalStrings};
 use tsj_ted::{JoinStats, PreparedTree, StageCount, TedEngine};
@@ -176,11 +176,20 @@ pub enum StageVerdict {
 ///
 /// [`name`]: FilterStage::name
 pub trait FilterStage: Send + Sync {
-    /// Stable stage name, used for [`StageCount`] reporting.
+    /// Stable stage name, used for [`StageCount`] reporting and for
+    /// merging per-worker counters ([`VerifyEngine::fold_into`] keys on
+    /// it, so it must be unique within a chain).
     fn name(&self) -> &'static str;
 
     /// Lower or upper bound (documents which verdicts are legal).
     fn kind(&self) -> StageKind;
+
+    /// Relative per-pair cost weight, used by the adaptive chain
+    /// reordering to rank stages by kills-per-cost. Purely advisory —
+    /// correctness never depends on it. Defaults to `1`.
+    fn cost(&self) -> u32 {
+        1
+    }
 
     /// Evaluates the stage on one candidate pair at threshold `tau`.
     fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict;
@@ -196,6 +205,10 @@ impl FilterStage for SizeFilter {
 
     fn kind(&self) -> StageKind {
         StageKind::LowerBound
+    }
+
+    fn cost(&self) -> u32 {
+        1 // two cached lengths
     }
 
     #[inline]
@@ -220,6 +233,10 @@ impl FilterStage for ShapeAcceptFilter {
 
     fn kind(&self) -> StageKind {
         StageKind::UpperBound
+    }
+
+    fn cost(&self) -> u32 {
+        2 // O(1) hash compare, O(n) only on the rare hash hit
     }
 
     #[inline]
@@ -269,6 +286,10 @@ impl FilterStage for HistogramFilter {
         StageKind::LowerBound
     }
 
+    fn cost(&self) -> u32 {
+        8 // O(n) sorted-multiset merge
+    }
+
     #[inline]
     fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
         // Empty histogram = input built without this stage: no decision
@@ -297,6 +318,10 @@ impl FilterStage for TraversalFilter {
         StageKind::LowerBound
     }
 
+    fn cost(&self) -> u32 {
+        32 // O(τ·n) banded DP, twice (preorder + postorder)
+    }
+
     #[inline]
     fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
         // Empty strings = input built without this stage: no decision
@@ -319,12 +344,37 @@ impl FilterStage for TraversalFilter {
 /// joins own one; the parallel and sharded pools build one per worker)
 /// and fold the counters into the run's [`JoinStats`] at the end with
 /// [`VerifyEngine::fold_into`].
+///
+/// ## Adaptive reordering
+///
+/// When [`AdaptiveConfig::reorder_chain`] is set (via
+/// [`VerifyEngine::new`]), the engine re-ranks its **lower-bound**
+/// stages every `reorder_every` checks by observed kills-per-cost:
+/// `(rejections / evaluations) / cost`. Upper-bound stages keep their
+/// chain slots — an accept and a reject can never both fire on the same
+/// pair (both bounds are sound, so they would contradict each other),
+/// which is exactly why permuting the lower bounds among themselves
+/// changes neither the decision for any pair nor the number of pairs
+/// that fall through to exact TED. Only *which* stage gets credited
+/// with a kill (and the filter work spent) depends on the order.
 #[derive(Debug)]
 pub struct VerifyEngine {
     tau: u32,
+    /// Stages in canonical (cheapest-first construction) order; counters
+    /// stay aligned with this vector no matter how evaluation is
+    /// reordered.
     stages: Vec<Box<dyn FilterStage>>,
+    /// Evaluation order: a permutation of `0..stages.len()`.
+    order: Vec<usize>,
     /// Pairs resolved per stage, aligned with `stages`.
     counts: Vec<u64>,
+    /// Pairs each stage was evaluated on, aligned with `stages` (the
+    /// kill-rate denominator).
+    seen: Vec<u64>,
+    /// Checks between adaptive reorders; `0` = static chain.
+    reorder_every: u32,
+    /// Checks since the last reorder.
+    since_reorder: u32,
     /// Total lower-bound rejections (sum over lower stages).
     lower_skips: u64,
     /// Total upper-bound admissions (sum over upper stages).
@@ -343,14 +393,21 @@ impl std::fmt::Debug for dyn FilterStage {
 
 impl VerifyEngine {
     /// Engine for threshold `tau` with the chain configured in
-    /// `config.verify`.
+    /// `config.verify`, honoring `config.adaptive` (chain reordering).
     pub fn new(tau: u32, config: &PartSjConfig) -> VerifyEngine {
-        VerifyEngine::with_filters(tau, &config.verify)
+        let mut engine = VerifyEngine::with_filters(tau, &config.verify);
+        if config.adaptive.reorder_chain {
+            engine.reorder_every = match config.adaptive.reorder_every {
+                0 => AdaptiveConfig::FULL.reorder_every,
+                n => n,
+            };
+        }
+        engine
     }
 
-    /// Engine for threshold `tau` with an explicit stage selection. The
-    /// chain is assembled cheapest-first regardless of the order the
-    /// flags are written.
+    /// Engine for threshold `tau` with an explicit stage selection and a
+    /// **static** chain. The chain is assembled cheapest-first regardless
+    /// of the order the flags are written.
     pub fn with_filters(tau: u32, filters: &VerifyConfig) -> VerifyEngine {
         let mut stages: Vec<Box<dyn FilterStage>> = Vec::new();
         if filters.size {
@@ -366,10 +423,16 @@ impl VerifyEngine {
             stages.push(Box::new(TraversalFilter));
         }
         let counts = vec![0; stages.len()];
+        let seen = vec![0; stages.len()];
+        let order = (0..stages.len()).collect();
         VerifyEngine {
             tau,
             stages,
+            order,
             counts,
+            seen,
+            reorder_every: 0,
+            since_reorder: 0,
             lower_skips: 0,
             early_accepts: 0,
             ted: TedEngine::unit(),
@@ -381,9 +444,28 @@ impl VerifyEngine {
         self.tau
     }
 
-    /// Stage names in chain order.
+    /// Tightens (or relaxes) the verification threshold in place. The
+    /// top-k join mode shrinks τ to the current k-th best distance as
+    /// its result heap fills; counters and any learned stage order carry
+    /// over unchanged.
+    pub fn set_tau(&mut self, tau: u32) {
+        self.tau = tau;
+    }
+
+    /// Stage names in canonical (construction) order — stable under
+    /// adaptive reordering; counters and [`fold_into`] report in this
+    /// order.
+    ///
+    /// [`fold_into`]: VerifyEngine::fold_into
     pub fn stage_names(&self) -> Vec<&'static str> {
         self.stages.iter().map(|s| s.name()).collect()
+    }
+
+    /// Stage names in the **current evaluation order** — equals
+    /// [`VerifyEngine::stage_names`] until an adaptive reorder promotes
+    /// a more effective lower bound.
+    pub fn evaluation_order(&self) -> Vec<&'static str> {
+        self.order.iter().map(|&i| self.stages[i].name()).collect()
     }
 
     /// Exact TED computations performed so far.
@@ -409,39 +491,42 @@ impl VerifyEngine {
     ///
     /// [`AcceptWithin`]: StageVerdict::AcceptWithin
     pub fn check(&mut self, a: &VerifyData, b: &VerifyData) -> Option<u32> {
-        for (idx, stage) in self.stages.iter().enumerate() {
-            match stage.apply(a, b, self.tau) {
-                StageVerdict::Reject => {
-                    self.counts[idx] += 1;
-                    self.lower_skips += 1;
-                    return None;
-                }
-                StageVerdict::AcceptExact(d) | StageVerdict::AcceptWithin(d) => {
-                    self.counts[idx] += 1;
-                    self.early_accepts += 1;
-                    return Some(d);
-                }
-                StageVerdict::Continue => {}
-            }
-        }
-        let d = self.ted.distance(&a.prepared, &b.prepared);
-        (d <= self.tau).then_some(d)
+        let decision = self.decide(a, b, false);
+        self.tick();
+        decision
     }
 
     /// Like [`VerifyEngine::check`] but the returned distance is always
     /// **exact**: upper-bound stages only short-circuit when their
     /// certificate is provably tight ([`StageVerdict::AcceptExact`]);
     /// otherwise the pair falls through to the exact TED DP. Similarity
-    /// search uses this to report `(tree, distance)` hits.
+    /// search and the top-k join use this to report `(tree, distance)`
+    /// hits.
     pub fn check_exact(&mut self, a: &VerifyData, b: &VerifyData) -> Option<u32> {
-        for (idx, stage) in self.stages.iter().enumerate() {
-            match stage.apply(a, b, self.tau) {
+        let decision = self.decide(a, b, true);
+        self.tick();
+        decision
+    }
+
+    /// The shared chain walk behind both check flavours. With `exact`,
+    /// an [`StageVerdict::AcceptWithin`] certificate is not enough to
+    /// short-circuit and the pair falls through to the exact DP.
+    fn decide(&mut self, a: &VerifyData, b: &VerifyData, exact: bool) -> Option<u32> {
+        for pos in 0..self.order.len() {
+            let idx = self.order[pos];
+            self.seen[idx] += 1;
+            match self.stages[idx].apply(a, b, self.tau) {
                 StageVerdict::Reject => {
                     self.counts[idx] += 1;
                     self.lower_skips += 1;
                     return None;
                 }
                 StageVerdict::AcceptExact(d) => {
+                    self.counts[idx] += 1;
+                    self.early_accepts += 1;
+                    return Some(d);
+                }
+                StageVerdict::AcceptWithin(d) if !exact => {
                     self.counts[idx] += 1;
                     self.early_accepts += 1;
                     return Some(d);
@@ -453,28 +538,73 @@ impl VerifyEngine {
         (d <= self.tau).then_some(d)
     }
 
+    /// Counts one completed check toward the adaptive reorder period.
+    #[inline]
+    fn tick(&mut self) {
+        if self.reorder_every == 0 {
+            return;
+        }
+        self.since_reorder += 1;
+        if self.since_reorder >= self.reorder_every {
+            self.since_reorder = 0;
+            self.reorder_stages();
+        }
+    }
+
+    /// Re-ranks the lower-bound stages among the chain slots they
+    /// currently occupy, best observed kills-per-cost first (ties break
+    /// toward canonical order, keeping the permutation deterministic).
+    /// Upper-bound stages keep their slots.
+    fn reorder_stages(&mut self) {
+        let mut slots: Vec<usize> = Vec::with_capacity(self.order.len());
+        let mut movers: Vec<usize> = Vec::with_capacity(self.order.len());
+        for (pos, &idx) in self.order.iter().enumerate() {
+            if self.stages[idx].kind() == StageKind::LowerBound {
+                slots.push(pos);
+                movers.push(idx);
+            }
+        }
+        movers.sort_by(|&x, &y| {
+            self.kill_rate(y)
+                .partial_cmp(&self.kill_rate(x))
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(x.cmp(&y))
+        });
+        for (slot, idx) in slots.into_iter().zip(movers) {
+            self.order[slot] = idx;
+        }
+    }
+
+    /// Observed kills-per-cost of a stage: `(rejections / evaluations) /
+    /// cost`, `0` before the stage has seen any pair.
+    fn kill_rate(&self, idx: usize) -> f64 {
+        if self.seen[idx] == 0 {
+            return 0.0;
+        }
+        let rate = self.counts[idx] as f64 / self.seen[idx] as f64;
+        rate / f64::from(self.stages[idx].cost().max(1))
+    }
+
     /// Folds this engine's counters into `stats`: TED calls, total
     /// lower-bound skips, upper-bound accepts, and the per-stage
-    /// breakdown. Engines folded into the same `stats` must share the
-    /// chain configuration (the parallel pools do: every worker builds
-    /// from the same `PartSjConfig`).
+    /// breakdown. Stage counters merge **by stage name**, so engines
+    /// with differently ordered — or differently enabled — chains fold
+    /// into one coherent breakdown (adaptive workers may each have
+    /// learned a different order). First-folded engines establish the
+    /// display order of stages not yet present.
     pub fn fold_into(&self, stats: &mut JoinStats) {
         stats.ted_calls += self.ted.computations();
         stats.prefilter_skips += self.lower_skips;
         stats.early_accepts += self.early_accepts;
-        if stats.stage_counts.is_empty() {
-            stats.stage_counts = self
-                .stages
-                .iter()
-                .map(|s| StageCount {
-                    stage: s.name(),
-                    count: 0,
-                })
-                .collect();
-        }
-        debug_assert_eq!(stats.stage_counts.len(), self.counts.len());
-        for (slot, &count) in stats.stage_counts.iter_mut().zip(&self.counts) {
-            slot.count += count;
+        for (idx, stage) in self.stages.iter().enumerate() {
+            let name = stage.name();
+            match stats.stage_counts.iter_mut().find(|c| c.stage == name) {
+                Some(slot) => slot.count += self.counts[idx],
+                None => stats.stage_counts.push(StageCount {
+                    stage: name,
+                    count: self.counts[idx],
+                }),
+            }
         }
     }
 }
@@ -602,6 +732,120 @@ mod tests {
         assert_eq!(stats.stage_counts.len(), 4);
         assert_eq!(stats.stage_counts[0].count, 1, "size");
         assert_eq!(stats.stage_counts[1].count, 2, "shape-accept");
+    }
+
+    #[test]
+    fn fold_into_merges_heterogeneous_chains_by_name() {
+        // Regression for the positional zip: worker chains that differ
+        // in enabled subset (or learned order) must merge by stage name,
+        // not by chain position.
+        let d = data(&["{a{b}{c}}", "{x{y}{z}}", "{m{n{o{p{q}}}}}"]);
+        let mut stats = JoinStats::default();
+        // Worker 1: full default chain. Histogram rejects the
+        // disjoint-label pair.
+        let mut w1 = VerifyEngine::with_filters(1, &VerifyConfig::default());
+        assert_eq!(w1.check(&d[0], &d[1]), None);
+        // Worker 2: traversal-only chain — its single counter sits at
+        // position 0, where w1 keeps "size".
+        let trav_only = VerifyConfig {
+            size: false,
+            shape_accept: false,
+            histogram: false,
+            traversal: true,
+        };
+        let mut w2 = VerifyEngine::with_filters(1, &trav_only);
+        assert_eq!(w2.check(&d[0], &d[1]), None, "SED rejects at τ=1");
+        w1.fold_into(&mut stats);
+        w2.fold_into(&mut stats);
+        assert_eq!(stats.prefilter_skips, 2);
+        let by_name = |name: &str| {
+            stats
+                .stage_counts
+                .iter()
+                .find(|c| c.stage == name)
+                .map(|c| c.count)
+        };
+        assert_eq!(by_name("size"), Some(0), "w2's kill must not land here");
+        assert_eq!(by_name("label-hist"), Some(1));
+        assert_eq!(by_name("traversal-sed"), Some(1));
+        let total: u64 = stats.stage_counts.iter().map(|c| c.count).sum();
+        assert_eq!(total, stats.prefilter_skips + stats.early_accepts);
+    }
+
+    #[test]
+    fn adaptive_reorder_promotes_the_killing_stage() {
+        use crate::config::{AdaptiveConfig, PartSjConfig};
+        // Same size, same label multiset, same (chain) shape with
+        // hamming > τ: only traversal-SED can reject these pairs.
+        let d = data(&["{a{b{c{d{e}}}}}", "{e{d{c{b{a}}}}}"]);
+        let config = PartSjConfig {
+            adaptive: AdaptiveConfig {
+                reorder_chain: true,
+                reorder_every: 4,
+                ..AdaptiveConfig::OFF
+            },
+            ..Default::default()
+        };
+        let mut engine = VerifyEngine::new(1, &config);
+        assert_eq!(engine.evaluation_order()[0], "size");
+        for _ in 0..4 {
+            assert_eq!(engine.check(&d[0], &d[1]), None);
+        }
+        // After the reorder window, the only stage with observed kills
+        // leads the evaluation order; canonical reporting order is
+        // untouched.
+        assert_eq!(engine.evaluation_order()[0], "traversal-sed");
+        assert_eq!(engine.stage_names()[0], "size");
+        // Upper-bound stages keep their slot.
+        assert_eq!(engine.evaluation_order()[1], "shape-accept");
+    }
+
+    #[test]
+    fn adaptive_engine_matches_static_decisions() {
+        use crate::config::{AdaptiveConfig, PartSjConfig};
+        let d = data(&[
+            "{a{b{c{d{e}}}}}",
+            "{e{d{c{b{a}}}}}",
+            "{a{b}{c}}",
+            "{a{b}{z}}",
+            "{x{y}{z}}",
+            "{m{n{o{p{q}}}}}",
+        ]);
+        let adaptive_cfg = PartSjConfig {
+            adaptive: AdaptiveConfig {
+                reorder_chain: true,
+                reorder_every: 2,
+                ..AdaptiveConfig::OFF
+            },
+            ..Default::default()
+        };
+        let mut fixed = VerifyEngine::new(1, &PartSjConfig::default());
+        let mut adaptive = VerifyEngine::new(1, &adaptive_cfg);
+        for i in 0..d.len() {
+            for j in (i + 1)..d.len() {
+                assert_eq!(
+                    fixed.check(&d[i], &d[j]),
+                    adaptive.check(&d[i], &d[j]),
+                    "membership must not depend on stage order ({i}, {j})"
+                );
+            }
+        }
+        // Sound bounds never contradict, so the totals — not just the
+        // pair decisions — are order-independent; only the per-stage
+        // attribution may differ.
+        assert_eq!(fixed.ted_calls(), adaptive.ted_calls());
+        assert_eq!(fixed.prefilter_skips(), adaptive.prefilter_skips());
+        assert_eq!(fixed.early_accepts(), adaptive.early_accepts());
+    }
+
+    #[test]
+    fn set_tau_retunes_a_live_engine() {
+        let d = data(&["{a{b}{c}}", "{x{y}{z}}"]);
+        let mut engine = VerifyEngine::with_filters(5, &VerifyConfig::default());
+        assert!(engine.check_exact(&d[0], &d[1]).is_some());
+        engine.set_tau(1);
+        assert_eq!(engine.tau(), 1);
+        assert_eq!(engine.check_exact(&d[0], &d[1]), None, "tightened τ");
     }
 
     #[test]

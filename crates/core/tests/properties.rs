@@ -10,14 +10,25 @@
 
 use partsj::{
     build_subgraphs, max_min_size, partitionable, partsj_join_detailed, partsj_join_with,
-    select_cuts, subgraph_matches, PartSjConfig, PartitionScheme, WindowPolicy,
+    partsj_topk, select_cuts, subgraph_matches, AdaptiveConfig, PartSjConfig, PartitionScheme,
+    WindowPolicy,
 };
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use tsj_baselines::brute_force_join;
 use tsj_datagen::{grow_tree, random_edit_script, ShapeProfile};
+use tsj_ted::{ted, JoinStats};
 use tsj_tree::{BinaryTree, Tree};
+
+/// The structural shape of a stats block's per-stage counters: the
+/// sorted stage-name set and the total kills/accepts across stages.
+fn stage_shape(stats: &JoinStats) -> (Vec<&'static str>, u64) {
+    let mut names: Vec<&'static str> = stats.stage_counts.iter().map(|c| c.stage).collect();
+    names.sort_unstable();
+    let sum = stats.stage_counts.iter().map(|c| c.count).sum();
+    (names, sum)
+}
 
 fn random_tree(seed: u64, size: usize, labels: u32, deepen: f64) -> Tree {
     let profile = ShapeProfile {
@@ -120,6 +131,65 @@ proptest! {
                 pair
             );
         }
+    }
+
+    /// Online verify-chain reordering is invisible in *decisions*: the
+    /// same result pairs and — because a sound lower-bound reject and a
+    /// sound upper-bound accept can never fire on the same pair —
+    /// identical aggregate totals (candidates, TED calls, prefilter
+    /// skips, early accepts). Per-stage *attribution* legitimately
+    /// shifts (the first sound stage to fire gets the credit), so the
+    /// per-stage check is structural: the same stage set, with kills
+    /// summing to the same aggregates.
+    #[test]
+    fn adaptive_chain_matches_fixed(seed in any::<u64>(), tau in 0u32..4) {
+        let trees = random_collection(seed, 22, 5);
+        let (fixed, _) = partsj_join_detailed(&trees, tau, &PartSjConfig::default());
+        let config = PartSjConfig {
+            adaptive: AdaptiveConfig {
+                reorder_chain: true,
+                reorder_every: 8, // retune aggressively to stress the permutation
+                balanced_shards: false,
+            },
+            ..Default::default()
+        };
+        let (adaptive, _) = partsj_join_detailed(&trees, tau, &config);
+        prop_assert_eq!(&adaptive.pairs, &fixed.pairs);
+        prop_assert_eq!(adaptive.stats.candidates, fixed.stats.candidates);
+        prop_assert_eq!(adaptive.stats.ted_calls, fixed.stats.ted_calls);
+        prop_assert_eq!(adaptive.stats.prefilter_skips, fixed.stats.prefilter_skips);
+        prop_assert_eq!(adaptive.stats.early_accepts, fixed.stats.early_accepts);
+        let (a_names, a_sum) = stage_shape(&adaptive.stats);
+        let (f_names, f_sum) = stage_shape(&fixed.stats);
+        prop_assert_eq!(a_names, f_names);
+        prop_assert_eq!(a_sum, f_sum);
+        prop_assert_eq!(
+            a_sum,
+            fixed.stats.prefilter_skips + fixed.stats.early_accepts,
+            "stage counts must account for exactly the skips and accepts"
+        );
+    }
+
+    /// Top-k is exactly the first `k` of the exhaustive join sorted by
+    /// `(distance, i, j)` — ties resolved identically.
+    #[test]
+    fn topk_equals_exhaustive_prefix(seed in any::<u64>(), k in 0usize..12) {
+        let trees = random_collection(seed, 14, 4);
+        let mut all: Vec<(u32, u32, u32)> = Vec::new();
+        for i in 0..trees.len() {
+            for j in i + 1..trees.len() {
+                all.push((ted(&trees[i], &trees[j]), i as u32, j as u32));
+            }
+        }
+        all.sort_unstable();
+        let outcome = partsj_topk(&trees, k);
+        let got: Vec<(u32, u32, u32)> = outcome
+            .pairs
+            .iter()
+            .map(|p| (p.distance, p.i, p.j))
+            .collect();
+        all.truncate(k);
+        prop_assert_eq!(got, all);
     }
 
     /// Candidate-count ordering between the windows: the tight window

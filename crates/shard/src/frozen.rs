@@ -20,7 +20,7 @@
 //! at `τ_q` makes the result exact. `tsj-catalog` relies on this to
 //! serve per-query thresholds from one snapshot.
 
-use crate::index::{ShardConfig, ShardedIndex};
+use crate::index::{balanced_map_for, ShardConfig, ShardedIndex};
 use crate::join::build_subgraph_lists;
 use crossbeam::channel;
 use partsj::probe::ProbeCounters;
@@ -62,6 +62,15 @@ pub fn build_frozen_left(
         }
     }
     let mut index = ShardedIndex::new(tau, config.window, shard_cfg).without_replay();
+    if config.adaptive.balanced_shards {
+        // The freeze sees the full size histogram up front — derive the
+        // balanced routing before any posting lands. The map travels
+        // with the snapshot (`tsj-catalog` round-trips it), so loads
+        // probe the same shards the freeze filled.
+        index
+            .set_shard_map(balanced_map_for(&items, index.shard_count()))
+            .expect("empty index accepts a validated map");
+    }
     index.insert_all(items, probe_threads > 1);
     (index, small_by_size)
 }

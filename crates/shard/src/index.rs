@@ -1,12 +1,15 @@
 //! The sharded dynamic subgraph index.
 //!
-//! [`ShardedIndex`] partitions subgraph postings across `N` shards by a
-//! hash of the **container size class**: every size list `I_n` lives in
-//! exactly one shard, each shard owns an independent
-//! [`partsj::SubgraphIndex`], and a probe window `[lo, hi]` touches at
-//! most `min(hi − lo + 1, N)` shards. Shards therefore build, probe and
-//! compact independently — the parallelism unit of [`crate::join`] and
-//! the isolation unit of delete/evict.
+//! [`ShardedIndex`] partitions subgraph postings across `N` shards by
+//! the **container size class** through a pluggable [`ShardMap`]: every
+//! size list `I_n` lives in exactly one shard, each shard owns an
+//! independent [`partsj::SubgraphIndex`], and a probe window `[lo, hi]`
+//! touches at most `min(hi − lo + 1, N)` shards. Shards therefore
+//! build, probe and compact independently — the parallelism unit of
+//! [`crate::join`] and the isolation unit of delete/evict. The default
+//! map is a fixed multiplicative hash; batch builds can derive a
+//! [`ShardMap::balanced`] assignment from the observed size histogram
+//! instead (see `AdaptiveConfig::balanced_shards`).
 //!
 //! ## Dynamics
 //!
@@ -97,6 +100,135 @@ fn resolve_threads(requested: usize) -> usize {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)
     }
+}
+
+/// The fixed multiplicative hash: the [`ShardMap::Hash`] routing and the
+/// fallback for size classes a balanced map never observed.
+#[inline]
+fn hash_shard(size: u32, shards: usize) -> usize {
+    let h = (u64::from(size).wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 32;
+    (h % shards.max(1) as u64) as usize
+}
+
+/// How container size classes are routed to shards.
+///
+/// Routing decides *where* a size class's postings live, never *whether*
+/// they exist, so any valid map yields bit-identical join results — the
+/// choice only moves per-shard load around. The default [`Hash`] spreads
+/// adjacent size classes with a fixed multiplicative hash; under a
+/// skewed size distribution that can pile the heavy classes onto few
+/// shards, which [`Balanced`] corrects by bin-packing the *observed*
+/// posting masses (enabled via `AdaptiveConfig::balanced_shards`).
+///
+/// The map is part of a frozen catalog's identity: snapshots carry it in
+/// an explicit, checksummed section, and loading validates every shard's
+/// size classes against it.
+///
+/// [`Hash`]: ShardMap::Hash
+/// [`Balanced`]: ShardMap::Balanced
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub enum ShardMap {
+    /// Fixed multiplicative hash of the size class (the static default).
+    #[default]
+    Hash,
+    /// Explicit `size class → shard` assignments, sorted by size class.
+    /// Sizes absent from the list (never observed when the map was
+    /// derived) fall back to the hash — both insert and probe consult
+    /// the same map, so routing stays consistent.
+    Balanced(Vec<(u32, u32)>),
+}
+
+impl ShardMap {
+    /// Derives a balanced map from an observed `(size class, posting
+    /// mass)` histogram by greedy bin-packing: classes are placed
+    /// heaviest-first onto the currently least-loaded shard (ties break
+    /// toward the smaller size class and the lower shard id, keeping the
+    /// derivation fully deterministic). Duplicate size entries are
+    /// aggregated first.
+    pub fn balanced(histogram: &[(u32, u64)], shards: usize) -> ShardMap {
+        let shards = shards.max(1);
+        let mut classes: Vec<(u32, u64)> = histogram.to_vec();
+        classes.sort_unstable_by_key(|&(size, _)| size);
+        classes.dedup_by(|b, a| {
+            if a.0 == b.0 {
+                a.1 += b.1;
+                true
+            } else {
+                false
+            }
+        });
+        // Heaviest first; among equals, smaller size class first.
+        classes.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let mut load = vec![0u64; shards];
+        let mut assignment: Vec<(u32, u32)> = Vec::with_capacity(classes.len());
+        for (size, mass) in classes {
+            let target = (0..shards)
+                .min_by_key(|&s| (load[s], s))
+                .expect("at least one shard");
+            // Even zero-mass classes count one unit, so they spread
+            // instead of all landing on shard 0.
+            load[target] += mass.max(1);
+            assignment.push((size, target as u32));
+        }
+        assignment.sort_unstable_by_key(|&(size, _)| size);
+        ShardMap::Balanced(assignment)
+    }
+
+    /// The shard owning `size` under this map, for a `shards`-shard
+    /// index.
+    #[inline]
+    pub fn shard_of(&self, size: u32, shards: usize) -> usize {
+        match self {
+            ShardMap::Hash => hash_shard(size, shards),
+            ShardMap::Balanced(pairs) => match pairs.binary_search_by_key(&size, |&(s, _)| s) {
+                Ok(i) => pairs[i].1 as usize,
+                Err(_) => hash_shard(size, shards),
+            },
+        }
+    }
+
+    /// Checks the map is usable with a `shards`-shard index: assignments
+    /// sorted by strictly ascending size class, every target shard in
+    /// range. A snapshot with an out-of-range or unsorted assignment
+    /// fails here instead of panicking later.
+    pub fn validate(&self, shards: usize) -> Result<(), String> {
+        let ShardMap::Balanced(pairs) = self else {
+            return Ok(());
+        };
+        for window in pairs.windows(2) {
+            if window[0].0 >= window[1].0 {
+                return Err(format!(
+                    "shard map entries out of order: size {} then {}",
+                    window[0].0, window[1].0
+                ));
+            }
+        }
+        for &(size, shard) in pairs {
+            if shard as usize >= shards {
+                return Err(format!(
+                    "shard map routes size class {size} to shard {shard}, but only {shards} shards exist"
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Derives a [`ShardMap::balanced`] assignment from partitioned build
+/// items — the `(tree, size, subgraphs)` triples headed for
+/// [`ShardedIndex::insert_all`] — using each size class's subgraph
+/// count as its posting-mass proxy (bucket registrations are not known
+/// until insertion and track subgraph counts closely). This is the
+/// histogram the batch joins and the catalog freeze observe when
+/// `AdaptiveConfig::balanced_shards` is on.
+pub fn balanced_map_for(items: &[(TreeIdx, u32, Vec<Subgraph>)], shards: usize) -> ShardMap {
+    let mut hist: FxHashMap<u32, u64> = FxHashMap::default();
+    for (_, size, subgraphs) in items {
+        *hist.entry(*size).or_insert(0) += subgraphs.len() as u64;
+    }
+    let mut hist: Vec<(u32, u64)> = hist.into_iter().collect();
+    hist.sort_unstable();
+    ShardMap::balanced(&hist, shards)
 }
 
 /// One tree's replayable contribution to a shard.
@@ -205,6 +337,9 @@ pub struct ShardedIndex {
     /// Whether shards keep the compaction replay log (see
     /// [`ShardedIndex::without_replay`]).
     replay: bool,
+    /// Size-class→shard routing (hash by default; a balanced map must be
+    /// installed before the first insertion).
+    map: ShardMap,
     shards: Vec<Shard>,
     /// Liveness bitmap over all tracked tree ids (small trees included).
     alive: Vec<bool>,
@@ -225,6 +360,7 @@ impl ShardedIndex {
             max_dead_fraction: config.max_dead_fraction,
             min_dead_postings: config.min_dead_postings,
             replay: true,
+            map: ShardMap::Hash,
             shards: (0..shards).map(|_| Shard::new(tau, window)).collect(),
             alive: Vec::new(),
             sizes: Vec::new(),
@@ -256,12 +392,14 @@ impl ShardedIndex {
     /// [`ShardedIndex::without_replay`]) that probes bit-identically to
     /// the index the shards were dumped from. Validates that every shard
     /// matches `(tau, window)` and that each shard only holds size
-    /// classes it owns under the shard hash — a shard-section mix-up in
-    /// a snapshot surfaces here as an error, not as silently empty probe
+    /// classes it owns under `map` — a shard-section mix-up, or a
+    /// snapshot whose shard-map section disagrees with its shard
+    /// sections, surfaces here as an error, not as silently empty probe
     /// results.
     pub fn from_frozen_parts(
         tau: u32,
         window: WindowPolicy,
+        map: ShardMap,
         shard_indexes: Vec<SubgraphIndex>,
         tracked: impl IntoIterator<Item = (TreeIdx, u32)>,
     ) -> Result<ShardedIndex, String> {
@@ -277,6 +415,7 @@ impl ShardedIndex {
             },
         )
         .without_replay();
+        index.set_shard_map(map)?;
         for (s, shard_index) in shard_indexes.into_iter().enumerate() {
             if shard_index.tau() != tau || shard_index.window() != window {
                 return Err(format!(
@@ -306,13 +445,36 @@ impl ShardedIndex {
         Ok(index)
     }
 
-    /// The shard owning size class `size` — a multiplicative hash so
-    /// adjacent size classes spread across shards (a probe window `[|T| −
-    /// τ, |T| + τ]` is a run of adjacent sizes).
+    /// Installs a size-class→shard routing map. Must happen before the
+    /// first insertion — rerouting a populated index would strand
+    /// postings in shards the probes no longer visit.
+    pub fn set_shard_map(&mut self, map: ShardMap) -> Result<(), String> {
+        if self.live_trees != 0 || self.live_postings() != 0 {
+            return Err("install the shard map before inserting".into());
+        }
+        map.validate(self.shards.len())?;
+        self.map = map;
+        Ok(())
+    }
+
+    /// The active size-class→shard routing map.
+    pub fn shard_map(&self) -> &ShardMap {
+        &self.map
+    }
+
+    /// The shard owning size class `size` under the active [`ShardMap`]
+    /// (by default a multiplicative hash, so adjacent size classes spread
+    /// across shards — a probe window `[|T| − τ, |T| + τ]` is a run of
+    /// adjacent sizes).
     #[inline]
     pub fn shard_of_size(&self, size: u32) -> usize {
-        let h = (u64::from(size).wrapping_mul(0x9e37_79b9_7f4a_7c15)) >> 32;
-        (h % self.shards.len() as u64) as usize
+        self.map.shard_of(size, self.shards.len())
+    }
+
+    /// Live postings per shard — the load-imbalance diagnostic the
+    /// balanced map is judged by (`max/mean` over this vector).
+    pub fn shard_posting_loads(&self) -> Vec<u64> {
+        self.shards.iter().map(|s| s.live_postings).collect()
     }
 
     /// The deduplicated shard ids covering size window `[lo, hi]`, in
@@ -698,6 +860,102 @@ mod tests {
         assert_eq!(probe_live(&index, &probe, tau, 3), vec![0, 2]);
         assert_eq!(index.dead_postings(), 0);
         assert_eq!(index.compactions(), 0);
+    }
+
+    #[test]
+    fn balanced_map_evens_a_skewed_histogram() {
+        // One giant class plus many small ones: the hash may stack them;
+        // greedy bin-packing must keep the max shard load near the mean.
+        let histogram: Vec<(u32, u64)> = std::iter::once((10u32, 1000u64))
+            .chain((11..27).map(|s| (s, 50)))
+            .collect();
+        let total: u64 = histogram.iter().map(|&(_, m)| m).sum();
+        let shards = 4;
+        let map = ShardMap::balanced(&histogram, shards);
+        map.validate(shards).unwrap();
+        let mut load = vec![0u64; shards];
+        for &(size, mass) in &histogram {
+            load[map.shard_of(size, shards)] += mass;
+        }
+        let max = *load.iter().max().unwrap();
+        // The giant class dominates: optimal max load is 1000, and
+        // greedy placement must not co-locate anything heavy with it.
+        assert_eq!(max, 1000, "{load:?}");
+        assert_eq!(load.iter().sum::<u64>(), total);
+    }
+
+    #[test]
+    fn balanced_map_is_deterministic_and_falls_back_on_unseen_sizes() {
+        let histogram = [(5u32, 7u64), (9, 7), (3, 2), (12, 0)];
+        let a = ShardMap::balanced(&histogram, 3);
+        let b = ShardMap::balanced(&histogram, 3);
+        assert_eq!(a, b);
+        // A size the histogram never saw routes through the hash, same
+        // as the Hash map itself.
+        assert_eq!(a.shard_of(999, 3), ShardMap::Hash.shard_of(999, 3));
+        // Zero-mass classes still get a (validated) home.
+        let ShardMap::Balanced(pairs) = &a else {
+            panic!("balanced constructor must not return Hash")
+        };
+        assert!(pairs.iter().any(|&(size, _)| size == 12));
+    }
+
+    #[test]
+    fn shard_map_validation_rejects_bad_assignments() {
+        assert!(
+            ShardMap::Balanced(vec![(4, 9)]).validate(4).is_err(),
+            "out of range"
+        );
+        assert!(
+            ShardMap::Balanced(vec![(7, 0), (5, 1)])
+                .validate(4)
+                .is_err(),
+            "unsorted"
+        );
+        assert!(ShardMap::Balanced(vec![(5, 1), (7, 0)]).validate(4).is_ok());
+        assert!(ShardMap::Hash.validate(1).is_ok());
+    }
+
+    #[test]
+    fn shard_map_installs_only_on_an_empty_index() {
+        let mut labels = LabelInterner::new();
+        let tau = 1;
+        let mut index = ShardedIndex::new(tau, WindowPolicy::Safe, &ShardConfig::with_shards(2));
+        index
+            .set_shard_map(ShardMap::Balanced(vec![(4, 1)]))
+            .unwrap();
+        assert_eq!(index.shard_of_size(4), 1);
+        let tree = parse_bracket("{a{b}{c}{d}}", &mut labels).unwrap();
+        let (size, sgs) = subgraphs_for(&tree, tau, 0);
+        index.insert_tree(0, size, sgs);
+        assert!(
+            index.set_shard_map(ShardMap::Hash).is_err(),
+            "rerouting a populated index must fail"
+        );
+        assert_eq!(index.shard_posting_loads().len(), 2);
+        assert!(index.shard_posting_loads()[1] > 0, "routed to shard 1");
+    }
+
+    #[test]
+    fn frozen_parts_validate_against_the_map() {
+        let tau = 1;
+        let window = WindowPolicy::Safe;
+        let mut labels = LabelInterner::new();
+        let tree = parse_bracket("{a{b}{c}{d}}", &mut labels).unwrap();
+        let (size, sgs) = subgraphs_for(&tree, tau, 0);
+        let mut donor = SubgraphIndex::new(tau, window);
+        donor.insert_tree(size, sgs);
+        let empty = SubgraphIndex::new(tau, window);
+        // The donor shard sits at position 0, but the map says size 4
+        // belongs to shard 1: loading must fail loudly.
+        let err = ShardedIndex::from_frozen_parts(
+            tau,
+            window,
+            ShardMap::Balanced(vec![(size, 1)]),
+            vec![donor, empty],
+            [(0, size)],
+        );
+        assert!(err.is_err());
     }
 
     #[test]

@@ -24,7 +24,7 @@
 //! Result pairs are bit-identical to [`partsj::partsj_join`] for every
 //! shard count and thread count (asserted across the property suite).
 
-use crate::index::{ShardConfig, ShardedIndex};
+use crate::index::{balanced_map_for, ShardConfig, ShardedIndex};
 use crossbeam::channel;
 use partsj::join::PartSjDetail;
 use partsj::partition::cuts_for;
@@ -130,6 +130,13 @@ pub fn sharded_join_detailed(
     // Batch joins never remove trees: skip the compaction replay log
     // (halves build memory, moves instead of cloning every posting).
     let mut index = ShardedIndex::new(tau, config.window, shard_cfg).without_replay();
+    if config.adaptive.balanced_shards {
+        // Routing moves postings between shards, never changes which
+        // exist — results stay bit-identical to the hash map.
+        index
+            .set_shard_map(balanced_map_for(&items, index.shard_count()))
+            .expect("empty index accepts a validated map");
+    }
     index.insert_all(items, probe_threads > 1);
     detail.index_registrations = index.live_postings();
 

@@ -60,7 +60,7 @@ pub mod rs_join;
 pub mod streaming;
 
 pub use frozen::{build_frozen_left, frozen_rs_join, FrozenLeft};
-pub use index::{ShardConfig, ShardedIndex};
+pub use index::{balanced_map_for, ShardConfig, ShardMap, ShardedIndex};
 pub use join::{build_subgraph_lists, sharded_join, sharded_join_detailed};
 pub use rs_join::sharded_rs_join;
 pub use streaming::{EvictionPolicy, ShardedStreamingJoin};

@@ -10,6 +10,14 @@
 //! tombstoned and reclaimed by per-shard compaction, so index memory
 //! tracks the live window rather than the stream's lifetime.
 //!
+//! The streaming index always routes with the default hash
+//! [`crate::ShardMap`]: a balanced map is derived from the *observed*
+//! size histogram, which a stream only reveals after the routing
+//! decisions are already made (`AdaptiveConfig::balanced_shards` is a
+//! batch/freeze-time knob). Adaptive verify-chain reordering, by
+//! contrast, applies here like everywhere else — the engine below is
+//! built from the supplied `PartSjConfig`.
+//!
 //! Per-tree bookkeeping (`4 B` stamp + liveness bit + size) still grows
 //! with the total stream length — ids are never recycled, keeping
 //! reported partner indices stable. At one insert per millisecond that

@@ -10,7 +10,7 @@
 //!   brute-force partners of the live window, while compaction reclaims
 //!   tombstoned postings.
 
-use partsj::{partsj_join, partsj_join_rs, PartSjConfig};
+use partsj::{partsj_join, partsj_join_rs, AdaptiveConfig, PartSjConfig, WindowPolicy};
 use tsj_datagen::{synthetic, SyntheticParams};
 use tsj_shard::{sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardedStreamingJoin};
 use tsj_ted::{ted, TreeIdx};
@@ -58,6 +58,115 @@ fn sharded_join_bit_identical_across_shard_counts() {
                 "shards = {shards}, tau = {tau}"
             );
         }
+    }
+}
+
+/// The balanced shard map changes *placement only*: for every shard
+/// count × τ × window policy, results and candidate semantics are
+/// bit-identical to hash routing.
+#[test]
+fn balanced_shard_map_is_result_invariant() {
+    let trees = collection(100, 28, 31);
+    for window in [
+        WindowPolicy::Safe,
+        WindowPolicy::Tight,
+        WindowPolicy::PaperAbsolute,
+    ] {
+        let hash_cfg = PartSjConfig {
+            window,
+            ..Default::default()
+        };
+        let balanced_cfg = PartSjConfig {
+            window,
+            adaptive: AdaptiveConfig {
+                balanced_shards: true,
+                ..AdaptiveConfig::OFF
+            },
+            ..Default::default()
+        };
+        for tau in [0u32, 1, 3] {
+            for shards in [1usize, 2, 4, 8] {
+                let shard_cfg = ShardConfig {
+                    shards,
+                    probe_threads: 1,
+                    verify_threads: 1,
+                    ..Default::default()
+                };
+                let hash = sharded_join(&trees, tau, &hash_cfg, &shard_cfg);
+                let balanced = sharded_join(&trees, tau, &balanced_cfg, &shard_cfg);
+                let ctx = format!("window {window:?}, tau {tau}, shards {shards}");
+                assert_eq!(balanced.pairs, hash.pairs, "{ctx}");
+                assert_eq!(balanced.stats.candidates, hash.stats.candidates, "{ctx}");
+                assert_eq!(
+                    balanced.stats.prefilter_skips, hash.stats.prefilter_skips,
+                    "{ctx}"
+                );
+                assert_eq!(balanced.stats.ted_calls, hash.stats.ted_calls, "{ctx}");
+            }
+        }
+    }
+}
+
+/// Adaptive chain reordering inside the sharded join — including the
+/// multi-worker verify pool, whose per-worker engines fold their
+/// reordered counters into one `JoinStats` — must be invisible in
+/// results and aggregate stats.
+#[test]
+fn adaptive_chain_is_result_invariant_in_the_sharded_join() {
+    let trees = collection(120, 26, 37);
+    let adaptive_cfg = PartSjConfig {
+        parallel_fallback: 0, // force the worker pools even when small
+        adaptive: AdaptiveConfig {
+            reorder_chain: true,
+            reorder_every: 16,
+            balanced_shards: true,
+        },
+        ..Default::default()
+    };
+    let fixed_cfg = PartSjConfig {
+        parallel_fallback: 0,
+        ..Default::default()
+    };
+    for tau in [0u32, 1, 3] {
+        let shard_cfg = ShardConfig {
+            shards: 4,
+            probe_threads: 2,
+            verify_threads: 2,
+            ..Default::default()
+        };
+        let fixed = sharded_join(&trees, tau, &fixed_cfg, &shard_cfg);
+        let adaptive = sharded_join(&trees, tau, &adaptive_cfg, &shard_cfg);
+        assert_eq!(adaptive.pairs, fixed.pairs, "tau {tau}");
+        assert_eq!(adaptive.stats.candidates, fixed.stats.candidates);
+        assert_eq!(adaptive.stats.ted_calls, fixed.stats.ted_calls);
+        assert_eq!(adaptive.stats.prefilter_skips, fixed.stats.prefilter_skips);
+        assert_eq!(adaptive.stats.early_accepts, fixed.stats.early_accepts);
+        // The per-worker fold (keyed by stage name, since each worker's
+        // engine may sit in a different order) must still produce one
+        // coherent stats block: no duplicate stage rows, and the stage
+        // counters accounting for exactly the skips and accepts.
+        let shape = |stats: &tsj_ted::JoinStats| {
+            let mut names: Vec<&'static str> = stats.stage_counts.iter().map(|c| c.stage).collect();
+            names.sort_unstable();
+            let sum: u64 = stats.stage_counts.iter().map(|c| c.count).sum();
+            (names, sum)
+        };
+        let (a_names, a_sum) = shape(&adaptive.stats);
+        let (f_names, f_sum) = shape(&fixed.stats);
+        let mut deduped = a_names.clone();
+        deduped.dedup();
+        assert_eq!(
+            deduped.len(),
+            a_names.len(),
+            "duplicate stage rows after fold"
+        );
+        assert_eq!(a_names, f_names, "tau {tau}");
+        assert_eq!(a_sum, f_sum, "tau {tau}");
+        assert_eq!(
+            a_sum,
+            fixed.stats.prefilter_skips + fixed.stats.early_accepts,
+            "tau {tau}"
+        );
     }
 }
 

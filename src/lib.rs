@@ -170,9 +170,10 @@ pub mod prelude {
     pub use partsj::partsj_join_rs as rs_join;
     pub use partsj::{
         partsj_join, partsj_join_detailed, partsj_join_parallel, partsj_join_parallel_auto,
-        partsj_join_rs, partsj_join_with, FilterStage, MatchSemantics, PartSjConfig,
-        PartitionScheme, SearchIndex, StageKind, StageVerdict, StreamingJoin, VerifyConfig,
-        VerifyData, VerifyEngine, WindowPolicy,
+        partsj_join_rs, partsj_join_with, partsj_topk, partsj_topk_with, AdaptiveConfig,
+        FilterStage, MatchSemantics, PartSjConfig, PartitionScheme, SearchIndex, StageKind,
+        StageVerdict, StreamingJoin, TopKOutcome, TopKPair, VerifyConfig, VerifyData, VerifyEngine,
+        WindowPolicy,
     };
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
     pub use tsj_catalog::{Catalog, CatalogError, SnapshotReader};
@@ -180,7 +181,7 @@ pub mod prelude {
         collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, SyntheticParams,
     };
     pub use tsj_shard::{
-        sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardedIndex,
+        sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardMap, ShardedIndex,
         ShardedStreamingJoin,
     };
     pub use tsj_ted::{ted, JoinOutcome, JoinStats, StageCount, TedEngine};
