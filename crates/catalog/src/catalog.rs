@@ -245,8 +245,7 @@ impl Catalog {
         let tau = engine.tau();
         self.check_tau(tau)?;
         let size_q = probe.len() as u32;
-        let lo = size_q.saturating_sub(tau).max(1);
-        let hi = size_q + tau;
+        let (lo, hi) = partsj::window_of(size_q, tau);
         let marker = scratch.begin_query(self.trees.len(), self.index.shard_count());
         let mut candidates: Vec<TreeIdx> = Vec::new();
         for n in lo..=hi {
@@ -306,20 +305,35 @@ impl Catalog {
         assemble(self.tau, self.window, self.trees.len() as u32, &sections)
     }
 
-    /// Writes the snapshot to `path` — atomically: the bytes go to a
-    /// temporary sibling file first and are renamed over the target, so
-    /// an interrupted save never leaves a truncated snapshot under the
-    /// final name (and concurrent readers never observe a half-written
-    /// file).
+    /// Writes the snapshot to `path` — atomically *and* durably: the
+    /// bytes go to a temporary sibling file which is fsynced before being
+    /// renamed over the target, and the parent directory is fsynced after
+    /// the rename. Without the first sync a crash shortly after `save`
+    /// returns could leave the final name pointing at a correctly-sized
+    /// but zero-filled file (the rename is journaled before the data
+    /// reaches disk); without the second the rename itself may not
+    /// survive. Concurrent readers never observe a half-written file.
     pub fn save(&self, path: impl AsRef<Path>) -> Result<(), CatalogError> {
+        use std::io::Write;
         let path = path.as_ref();
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(format!(".tmp.{}", std::process::id()));
         let tmp = std::path::PathBuf::from(tmp);
-        std::fs::write(&tmp, self.to_bytes())?;
-        if let Err(e) = std::fs::rename(&tmp, path) {
+        let write_synced = || -> std::io::Result<()> {
+            let mut file = std::fs::File::create(&tmp)?;
+            file.write_all(&self.to_bytes())?;
+            file.sync_all()
+        };
+        if let Err(e) = write_synced().and_then(|()| std::fs::rename(&tmp, path)) {
             let _ = std::fs::remove_file(&tmp);
             return Err(e.into());
+        }
+        // Persist the directory entry. Some filesystems don't support
+        // fsync on directories — best-effort, the data itself is synced.
+        if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+            if let Ok(dir) = std::fs::File::open(parent) {
+                let _ = dir.sync_all();
+            }
         }
         Ok(())
     }

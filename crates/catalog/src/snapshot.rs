@@ -535,6 +535,23 @@ impl SnapshotReader {
         decode_shard_map(self.section(2, "shard-map")?, self.shard_count())
     }
 
+    /// Byte range of shard `s`'s section body within the snapshot file —
+    /// the span a corruption test (or a future partial-shipping
+    /// transport) targets to touch exactly one shard. Same range check as
+    /// [`SnapshotReader::shard`].
+    pub fn shard_section_range(&self, s: usize) -> Result<std::ops::Range<usize>, CatalogError> {
+        if s >= self.shard_count() {
+            return Err(CatalogError::Corrupt {
+                context: format!(
+                    "shard {s} requested but the snapshot holds {}",
+                    self.shard_count()
+                ),
+            });
+        }
+        let entry = self.sections[3 + s];
+        Ok(entry.offset as usize..(entry.offset + entry.len) as usize)
+    }
+
     /// Decodes shard `s` into a validated [`SubgraphIndex`]
     /// (checksum-verified) — the unit of multi-node placement. An
     /// out-of-range index is a typed error (a misconfigured node asking

@@ -1,0 +1,320 @@
+//! The [`Cluster`]: N catalog nodes behind the scatter/gather router.
+//!
+//! Construction restores every node's owned shard sections from a
+//! snapshot ([`Cluster::from_snapshot`] hands each node the same bytes;
+//! [`Cluster::from_node_snapshots`] gives each node its own copy, which
+//! is how the corruption suite models a node holding damaged data). A
+//! node whose restore fails — corrupted shard section, truncated file —
+//! comes up **down** with the typed error attached, and the router
+//! treats it exactly like a dead node: requests fail over to replicas.
+//!
+//! After losses, [`Cluster::recover`] re-replicates the dead nodes'
+//! shard slots onto survivors from the retained snapshot — the "node
+//! loss + shard reassignment from the same snapshot" path of the
+//! roadmap's serving-layer item.
+
+use crate::clock::{Clock, VirtualClock};
+use crate::error::ClusterError;
+use crate::fault::{corrupt_range, mix, FaultInjector, FaultPlan};
+use crate::node::Node;
+use crate::retry::RetryPolicy;
+use crate::topology::Topology;
+use std::sync::Arc;
+use tsj_catalog::SnapshotReader;
+use tsj_shard::ShardMap;
+
+/// How to build a [`Cluster`].
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Copies of each shard (clamped to the node count).
+    pub replication: usize,
+    /// What to inject, and when.
+    pub faults: FaultPlan,
+    /// Retry/backoff/deadline policy of the router.
+    pub retry: RetryPolicy,
+}
+
+impl ClusterConfig {
+    /// A fault-free cluster of `nodes` nodes with `replication` copies
+    /// per shard and the default retry policy.
+    pub fn new(nodes: usize, replication: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes,
+            replication,
+            faults: FaultPlan::none(),
+            retry: RetryPolicy::default(),
+        }
+    }
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig::new(1, 1)
+    }
+}
+
+/// A node slot: restored and servable, or down with the reason.
+#[derive(Debug)]
+pub(crate) enum NodeSlot {
+    Up(Node),
+    Down(ClusterError),
+}
+
+/// An in-process cluster of catalog nodes serving scatter/gather joins.
+#[derive(Debug)]
+pub struct Cluster {
+    pub(crate) topology: Topology,
+    pub(crate) slots: Vec<NodeSlot>,
+    /// `health[n]` — node `n` is up *and* currently believed reachable.
+    /// Restore failures and static fault-plan deaths clear it at
+    /// construction; the router clears it when a request finds the node
+    /// dead mid-join.
+    pub(crate) health: Vec<bool>,
+    pub(crate) tau: u32,
+    pub(crate) map: ShardMap,
+    pub(crate) shard_count: usize,
+    pub(crate) injector: FaultInjector,
+    pub(crate) retry: RetryPolicy,
+    pub(crate) clock: Arc<dyn Clock>,
+    /// The snapshot recovery restores reassigned shard sections from.
+    snapshot: Arc<SnapshotReader>,
+}
+
+impl Cluster {
+    /// Builds a cluster where every node restores its owned shards from
+    /// the same snapshot `bytes`. Nodes named in
+    /// [`FaultPlan::corrupt_on_load`] get a deterministically damaged
+    /// private copy (one owned shard section flipped), so their restore
+    /// fails with the typed checksum error and they come up down.
+    pub fn from_snapshot(bytes: Vec<u8>, cfg: &ClusterConfig) -> Result<Cluster, ClusterError> {
+        let reader = SnapshotReader::from_bytes(bytes.clone())?;
+        let topology = Self::check_topology(&reader, cfg)?;
+        let mut slots = Vec::with_capacity(cfg.nodes);
+        for n in 0..cfg.nodes {
+            let owned = topology.shards_of(n);
+            let corrupt = cfg.faults.corrupt_on_load.contains(&n) && !owned.is_empty();
+            let slot = if corrupt {
+                let target = owned[(mix(cfg.faults.seed, &[n as u64]) as usize) % owned.len()];
+                let range = reader.shard_section_range(target as usize)?;
+                let mut dirty = bytes.clone();
+                corrupt_range(&mut dirty, range, cfg.faults.seed ^ n as u64);
+                match SnapshotReader::from_bytes(dirty)
+                    .map_err(ClusterError::from)
+                    .and_then(|r| Node::restore(n, &r, &owned))
+                {
+                    Ok(node) => NodeSlot::Up(node),
+                    Err(e) => NodeSlot::Down(e),
+                }
+            } else {
+                match Node::restore(n, &reader, &owned) {
+                    Ok(node) => NodeSlot::Up(node),
+                    Err(e) => NodeSlot::Down(e),
+                }
+            };
+            slots.push(slot);
+        }
+        Self::assemble(reader, topology, slots, cfg)
+    }
+
+    /// Builds a cluster where node `n` restores from `snapshots[n]` —
+    /// its own, possibly damaged, copy. A node whose copy fails to parse
+    /// or decode comes up down with the typed error; construction only
+    /// fails outright when *no* node's copy parses (there is no catalog
+    /// to serve). Recovery uses the first parseable copy as its section
+    /// source.
+    pub fn from_node_snapshots(
+        snapshots: Vec<Vec<u8>>,
+        cfg: &ClusterConfig,
+    ) -> Result<Cluster, ClusterError> {
+        if snapshots.len() != cfg.nodes {
+            return Err(ClusterError::Topology {
+                context: format!("{} node snapshots for {} nodes", snapshots.len(), cfg.nodes),
+            });
+        }
+        let mut parsed: Vec<Result<SnapshotReader, ClusterError>> = snapshots
+            .into_iter()
+            .map(|bytes| SnapshotReader::from_bytes(bytes).map_err(ClusterError::from))
+            .collect();
+        let Some(canonical) = parsed.iter().position(|r| r.is_ok()) else {
+            // No copy parses at all: there is no catalog to serve.
+            return Err(parsed.swap_remove(0).unwrap_err());
+        };
+        let (topology, shards, tau) = {
+            let Ok(reader) = &parsed[canonical] else {
+                unreachable!("canonical picked among Ok entries")
+            };
+            (
+                Self::check_topology(reader, cfg)?,
+                reader.shard_count(),
+                reader.tau(),
+            )
+        };
+        let mut canonical_reader = None;
+        let mut slots = Vec::with_capacity(cfg.nodes);
+        for (n, res) in parsed.into_iter().enumerate() {
+            let slot = match res {
+                Err(e) => NodeSlot::Down(e),
+                Ok(reader) if reader.shard_count() != shards || reader.tau() != tau => {
+                    NodeSlot::Down(ClusterError::Topology {
+                        context: format!(
+                            "node {n} holds a different catalog (shards {}, tau {}) than the \
+                             cluster (shards {shards}, tau {tau})",
+                            reader.shard_count(),
+                            reader.tau()
+                        ),
+                    })
+                }
+                Ok(reader) => {
+                    let slot = match Node::restore(n, &reader, &topology.shards_of(n)) {
+                        Ok(node) => NodeSlot::Up(node),
+                        Err(e) => NodeSlot::Down(e),
+                    };
+                    if canonical_reader.is_none() {
+                        // Recovery's section source: the first parseable
+                        // copy (sections stay checksum-verified at use).
+                        canonical_reader = Some(reader);
+                    }
+                    slot
+                }
+            };
+            slots.push(slot);
+        }
+        let reader = canonical_reader.expect("at least one copy parsed");
+        Self::assemble(reader, topology, slots, cfg)
+    }
+
+    fn check_topology(
+        reader: &SnapshotReader,
+        cfg: &ClusterConfig,
+    ) -> Result<Topology, ClusterError> {
+        if reader.shard_count() == 0 {
+            return Err(ClusterError::Topology {
+                context: "snapshot holds no shards".into(),
+            });
+        }
+        Topology::new(reader.shard_count(), cfg.nodes, cfg.replication)
+    }
+
+    fn assemble(
+        reader: SnapshotReader,
+        topology: Topology,
+        slots: Vec<NodeSlot>,
+        cfg: &ClusterConfig,
+    ) -> Result<Cluster, ClusterError> {
+        let map = reader.shard_map()?;
+        let health = slots
+            .iter()
+            .enumerate()
+            .map(|(n, slot)| matches!(slot, NodeSlot::Up(_)) && !cfg.faults.down_nodes.contains(&n))
+            .collect();
+        Ok(Cluster {
+            tau: reader.tau(),
+            shard_count: reader.shard_count(),
+            map,
+            topology,
+            slots,
+            health,
+            injector: FaultInjector::new(cfg.faults.clone()),
+            retry: cfg.retry.clone(),
+            clock: Arc::new(VirtualClock::new()),
+            snapshot: Arc::new(reader),
+        })
+    }
+
+    /// Swaps the clock (e.g. [`crate::SystemClock`] for real waiting, or
+    /// a shared [`VirtualClock`] a test inspects).
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Cluster {
+        self.clock = clock;
+        self
+    }
+
+    /// The threshold the underlying snapshot was frozen for.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Number of shards in the snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Number of nodes (up or down).
+    pub fn node_count(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// The shard placement table.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Whether node `n` is currently believed alive.
+    pub fn is_alive(&self, n: usize) -> bool {
+        self.health.get(n).copied().unwrap_or(false)
+    }
+
+    /// Nodes currently believed alive, ascending.
+    pub fn alive_nodes(&self) -> Vec<usize> {
+        (0..self.slots.len()).filter(|&n| self.health[n]).collect()
+    }
+
+    /// The restore error that downed node `n`, if any.
+    pub fn node_error(&self, n: usize) -> Option<&ClusterError> {
+        match self.slots.get(n) {
+            Some(NodeSlot::Down(e)) => Some(e),
+            _ => None,
+        }
+    }
+
+    /// Marks node `n` dead: subsequent joins route around it. (The
+    /// in-process analogue of pulling the plug mid-workload.)
+    pub fn kill_node(&mut self, n: usize) {
+        if let Some(h) = self.health.get_mut(n) {
+            *h = false;
+        }
+    }
+
+    /// Shards with no alive replica — joins touching their size classes
+    /// will degrade until [`Cluster::recover`] reassigns them.
+    pub fn lost_shards(&self) -> Vec<u32> {
+        (0..self.shard_count as u32)
+            .filter(|&s| self.topology.replicas(s).iter().all(|&n| !self.health[n]))
+            .collect()
+    }
+
+    /// Re-replicates every shard slot held by a dead node onto the
+    /// least-loaded alive node not already holding that shard, decoding
+    /// the section from the retained snapshot (checksum-verified — a
+    /// damaged section is a typed error, and that shard keeps its dead
+    /// slot). Returns the number of shard slots moved.
+    pub fn recover(&mut self) -> Result<usize, ClusterError> {
+        let mut loads: Vec<usize> = (0..self.slots.len())
+            .map(|n| match &self.slots[n] {
+                NodeSlot::Up(node) => node.owned_shards().len(),
+                NodeSlot::Down(_) => 0,
+            })
+            .collect();
+        let mut moved = 0;
+        for shard in 0..self.shard_count as u32 {
+            let replicas = self.topology.replicas(shard).to_vec();
+            for dead in replicas.iter().copied().filter(|&n| !self.health[n]) {
+                let holders = self.topology.replicas(shard).to_vec();
+                let target = (0..self.slots.len())
+                    .filter(|&n| self.health[n] && !holders.contains(&n))
+                    .min_by_key(|&n| (loads[n], n));
+                let Some(target) = target else { continue };
+                let index = self.snapshot.shard(shard as usize)?;
+                let NodeSlot::Up(node) = &mut self.slots[target] else {
+                    unreachable!("healthy nodes are restored");
+                };
+                node.add_shard(shard, index);
+                self.topology.reassign(shard, dead, target)?;
+                loads[target] += 1;
+                moved += 1;
+            }
+        }
+        Ok(moved)
+    }
+}

@@ -1,0 +1,314 @@
+//! The scatter/gather router: planning, fan-out, retry, degradation.
+//!
+//! A join runs in three deterministic phases:
+//!
+//! 1. **Plan** — each probe's size window `[|T| − τ, |T| + τ]`
+//!    ([`partsj::window_of`]) is split by the snapshot's `ShardMap` into
+//!    one [`ShardRequest`] per owning shard, carrying exactly the classes
+//!    that shard owns (the unit of coverage accounting). Requests go to
+//!    the first *alive* replica of their shard.
+//! 2. **Scatter** — one worker per addressed node serves its batch in
+//!    planning order over the crossbeam scope. The fault injector is
+//!    consulted *before* any compute, so failed attempts contribute no
+//!    stats and retries can never double-count. Fault decisions are
+//!    stateless hashes, so the schedule is identical under any thread
+//!    interleaving.
+//! 3. **Gather + retry** — failed requests are retried *sequentially* in
+//!    request order against replicas: a dead node means immediate
+//!    failover (and a health mark the rest of the join sees); anything
+//!    else backs off exponentially with deterministic jitter, bounded by
+//!    [`crate::RetryPolicy::max_attempts`] and the per-probe deadline.
+//!    Requests that exhaust replicas, attempts or deadline degrade: their
+//!    classes are reported unserved, never silently dropped.
+//!
+//! Because every catalog tree's postings live in exactly one shard,
+//! per-request candidate sets are disjoint and the gathered union is
+//! bit-identical — pairs, candidate counts and filter-stage counters —
+//! to single-node `Catalog::join`.
+
+use crate::cluster::{Cluster, NodeSlot};
+use crate::error::ClusterError;
+use crate::fault::Fault;
+use crate::node::{NodeScratch, ProbeCtx, ShardRequest, ShardResponse};
+use crate::outcome::{ClusterJoin, Degraded, Telemetry};
+use partsj::{window_of, PartSjConfig};
+use std::collections::BTreeMap;
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
+use tsj_tree::Tree;
+
+/// Outcome of a request's first (scattered) attempt.
+enum Attempt {
+    /// Served, absorbing this much injected delay.
+    Served(ShardResponse, u64),
+    /// Failed with this fault on this node.
+    Failed(Fault, usize),
+    /// Never attempted: no alive replica at planning time.
+    NoReplica,
+}
+
+impl Cluster {
+    /// Scatter/gather join of `probes` against the cluster at threshold
+    /// `tau ≤ tau_frozen`: all `(catalog tree, probe)` pairs within TED
+    /// `tau`, plus a [`Degraded`] report if any size classes went
+    /// unserved. Fault handling is part of the contract: results are
+    /// never silently incomplete and faults never panic.
+    pub fn join(
+        &mut self,
+        probes: &[Tree],
+        tau: u32,
+        config: &PartSjConfig,
+    ) -> Result<ClusterJoin, ClusterError> {
+        if tau > self.tau {
+            return Err(ClusterError::TauExceedsFrozen {
+                query: tau,
+                frozen: self.tau,
+            });
+        }
+        let mut telemetry = Telemetry::default();
+
+        // Phase 1: plan shard requests.
+        let mut requests: Vec<ShardRequest> = Vec::new();
+        for (j, tree) in probes.iter().enumerate() {
+            let (lo, hi) = window_of(tree.len() as u32, tau);
+            let mut by_shard: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+            for n in lo..=hi {
+                by_shard
+                    .entry(self.map.shard_of(n, self.shard_count) as u32)
+                    .or_default()
+                    .push(n);
+            }
+            for (shard, classes) in by_shard {
+                requests.push(ShardRequest {
+                    probe: j as TreeIdx,
+                    shard,
+                    classes,
+                });
+            }
+        }
+        telemetry.requests = requests.len() as u64;
+        let ctxs: Vec<ProbeCtx> = probes.iter().map(|t| ProbeCtx::new(t, config)).collect();
+
+        // Phase 2: scatter to the first alive replica of each shard.
+        let mut outcomes: Vec<Option<Attempt>> = requests.iter().map(|_| None).collect();
+        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.topology.nodes()];
+        for (r, req) in requests.iter().enumerate() {
+            match self
+                .topology
+                .replicas(req.shard)
+                .iter()
+                .copied()
+                .find(|&n| self.health[n])
+            {
+                Some(n) => per_node[n].push(r),
+                None => outcomes[r] = Some(Attempt::NoReplica),
+            }
+        }
+        {
+            let slots = &self.slots;
+            let injector = &self.injector;
+            let clock = &*self.clock;
+            let timeout = self.retry.request_timeout_ms;
+            let requests = &requests;
+            let ctxs = &ctxs;
+            let gathered = crossbeam::scope(|scope| {
+                let handles: Vec<_> = per_node
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, list)| !list.is_empty())
+                    .map(|(n, list)| {
+                        scope.spawn(move |_| -> Result<Vec<(usize, Attempt)>, ClusterError> {
+                            let NodeSlot::Up(node) = &slots[n] else {
+                                unreachable!("healthy nodes are restored")
+                            };
+                            let mut scratch = NodeScratch::default();
+                            let mut out = Vec::with_capacity(list.len());
+                            for &r in list {
+                                let req = &requests[r];
+                                let ctx = &ctxs[req.probe as usize];
+                                let attempt = match injector.decide(n, req.probe, req.shard, 0) {
+                                    None => Attempt::Served(
+                                        node.serve(req, ctx, tau, config, &mut scratch)?,
+                                        0,
+                                    ),
+                                    Some(Fault::Delay(d)) if d <= timeout => {
+                                        clock.sleep_ms(d);
+                                        Attempt::Served(
+                                            node.serve(req, ctx, tau, config, &mut scratch)?,
+                                            d,
+                                        )
+                                    }
+                                    // A delay past the timeout *is* a
+                                    // timeout: the response is discarded
+                                    // before any work runs.
+                                    Some(Fault::Delay(_)) => Attempt::Failed(Fault::Timeout, n),
+                                    Some(fault) => Attempt::Failed(fault, n),
+                                };
+                                out.push((r, attempt));
+                            }
+                            Ok(out)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter worker panicked"))
+                    .collect::<Vec<_>>()
+            })
+            .expect("scatter scope");
+            for worker in gathered {
+                for (r, attempt) in worker? {
+                    outcomes[r] = Some(attempt);
+                }
+            }
+        }
+
+        // Phase 3: gather; retry failures sequentially, in request order.
+        let mut responses: Vec<ShardResponse> = Vec::new();
+        let mut unserved: Vec<(TreeIdx, u32)> = Vec::new();
+        let mut probe_spent: Vec<u64> = vec![0; probes.len()];
+        let mut scratch = NodeScratch::default();
+        for (r, outcome) in outcomes.into_iter().enumerate() {
+            let req = &requests[r];
+            let p = req.probe as usize;
+            let mut last_fault = match outcome.expect("every request got a first attempt") {
+                Attempt::Served(resp, delay) => {
+                    if delay > 0 {
+                        telemetry.faults += 1;
+                        telemetry.delay_ms += delay;
+                        probe_spent[p] += delay;
+                    }
+                    responses.push(resp);
+                    continue;
+                }
+                Attempt::Failed(fault, n) => {
+                    telemetry.faults += 1;
+                    match fault {
+                        Fault::NodeDown => {
+                            self.health[n] = false;
+                            telemetry.failovers += 1;
+                        }
+                        Fault::Timeout => probe_spent[p] += self.retry.request_timeout_ms,
+                        Fault::Transient => {}
+                        Fault::Delay(_) => unreachable!("scatter maps delays to served/timeout"),
+                    }
+                    fault
+                }
+                Attempt::NoReplica => Fault::NodeDown,
+            };
+            let mut served = false;
+            for attempt in 1..self.retry.max_attempts {
+                // Failover target: scan the replica ring from `attempt`
+                // so consecutive retries of the same request prefer
+                // different copies; skip anything known dead.
+                let replicas = self.topology.replicas(req.shard);
+                let target = (0..replicas.len())
+                    .map(|i| replicas[(attempt as usize + i) % replicas.len()])
+                    .find(|&n| self.health[n]);
+                let Some(target) = target else {
+                    break; // every replica lost: unrecoverable
+                };
+                if last_fault != Fault::NodeDown {
+                    // Dead nodes fail over immediately; everything else
+                    // backs off first — within the probe's deadline.
+                    let backoff = self.retry.backoff_ms(
+                        self.injector.plan().seed,
+                        req.probe,
+                        req.shard,
+                        attempt,
+                    );
+                    if probe_spent[p] + backoff > self.retry.probe_deadline_ms {
+                        break;
+                    }
+                    self.clock.sleep_ms(backoff);
+                    probe_spent[p] += backoff;
+                    telemetry.backoff_ms += backoff;
+                }
+                telemetry.retries += 1;
+                match self.injector.decide(target, req.probe, req.shard, attempt) {
+                    None => {
+                        let NodeSlot::Up(node) = &self.slots[target] else {
+                            unreachable!("healthy nodes are restored")
+                        };
+                        responses.push(node.serve(
+                            req,
+                            &ctxs[req.probe as usize],
+                            tau,
+                            config,
+                            &mut scratch,
+                        )?);
+                        served = true;
+                        break;
+                    }
+                    Some(Fault::Delay(d)) if d <= self.retry.request_timeout_ms => {
+                        telemetry.faults += 1;
+                        if probe_spent[p] + d > self.retry.probe_deadline_ms {
+                            probe_spent[p] = self.retry.probe_deadline_ms;
+                            break; // the late response would land past the deadline
+                        }
+                        self.clock.sleep_ms(d);
+                        probe_spent[p] += d;
+                        telemetry.delay_ms += d;
+                        let NodeSlot::Up(node) = &self.slots[target] else {
+                            unreachable!("healthy nodes are restored")
+                        };
+                        responses.push(node.serve(
+                            req,
+                            &ctxs[req.probe as usize],
+                            tau,
+                            config,
+                            &mut scratch,
+                        )?);
+                        served = true;
+                        break;
+                    }
+                    Some(Fault::Delay(_)) | Some(Fault::Timeout) => {
+                        telemetry.faults += 1;
+                        probe_spent[p] += self.retry.request_timeout_ms;
+                        last_fault = Fault::Timeout;
+                        if probe_spent[p] >= self.retry.probe_deadline_ms {
+                            break;
+                        }
+                    }
+                    Some(Fault::Transient) => {
+                        telemetry.faults += 1;
+                        last_fault = Fault::Transient;
+                    }
+                    Some(Fault::NodeDown) => {
+                        telemetry.faults += 1;
+                        self.health[target] = false;
+                        telemetry.failovers += 1;
+                        last_fault = Fault::NodeDown;
+                    }
+                }
+            }
+            if !served {
+                unserved.extend(req.classes.iter().map(|&c| (req.probe, c)));
+            }
+        }
+
+        // Union: pair sets are disjoint across shards, stats fold by name.
+        telemetry.served = responses.len() as u64;
+        let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+        let mut stats = JoinStats::default();
+        for resp in &responses {
+            pairs.extend(resp.matches.iter().map(|&i| (i, resp.probe)));
+            stats.merge_partial(&resp.stats);
+        }
+        let outcome = JoinOutcome::new_bipartite(pairs, stats);
+        let degraded = if unserved.is_empty() {
+            None
+        } else {
+            unserved.sort_unstable();
+            unserved.dedup();
+            Some(Degraded {
+                unserved,
+                lost_shards: self.lost_shards(),
+            })
+        };
+        Ok(ClusterJoin {
+            outcome,
+            degraded,
+            telemetry,
+        })
+    }
+}

@@ -1,0 +1,121 @@
+//! Shard placement: which nodes hold which shard sections.
+//!
+//! Placement is round-robin with replication: shard `s`'s replica list
+//! is `[(s + k) mod N for k in 0..R]`, primary first — deterministic,
+//! balanced (node loads differ by at most one shard), and every replica
+//! set holds `R` *distinct* nodes as long as `R ≤ N`. The topology is a
+//! plain table, so recovery can reassign a dead node's slot to a
+//! survivor ([`Topology::reassign`]) without disturbing anything else.
+
+use crate::error::ClusterError;
+
+/// The shard→replica-nodes table of one cluster.
+#[derive(Debug, Clone)]
+pub struct Topology {
+    nodes: usize,
+    replication: usize,
+    /// `assignment[shard]` = replica nodes, primary first.
+    assignment: Vec<Vec<usize>>,
+}
+
+impl Topology {
+    /// Round-robin placement of `shards` shards over `nodes` nodes with
+    /// `replication` copies each. `replication` is clamped to the node
+    /// count (more copies than nodes is not placeable); zero nodes is a
+    /// typed error.
+    pub fn new(shards: usize, nodes: usize, replication: usize) -> Result<Topology, ClusterError> {
+        if nodes == 0 {
+            return Err(ClusterError::Topology {
+                context: "a cluster needs at least one node".into(),
+            });
+        }
+        let replication = replication.clamp(1, nodes);
+        let assignment = (0..shards)
+            .map(|s| (0..replication).map(|k| (s + k) % nodes).collect())
+            .collect();
+        Ok(Topology {
+            nodes,
+            replication,
+            assignment,
+        })
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// Copies per shard.
+    pub fn replication(&self) -> usize {
+        self.replication
+    }
+
+    /// Number of shards placed.
+    pub fn shards(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Replica nodes of `shard`, primary first.
+    pub fn replicas(&self, shard: u32) -> &[usize] {
+        &self.assignment[shard as usize]
+    }
+
+    /// The shards `node` holds a replica of, ascending.
+    pub fn shards_of(&self, node: usize) -> Vec<u32> {
+        (0..self.assignment.len() as u32)
+            .filter(|&s| self.assignment[s as usize].contains(&node))
+            .collect()
+    }
+
+    /// Moves `shard`'s replica slot from `from` to `to` (recovery after
+    /// node loss). No-op if `from` holds no slot; refuses to create a
+    /// duplicate replica on `to`.
+    pub fn reassign(&mut self, shard: u32, from: usize, to: usize) -> Result<(), ClusterError> {
+        let slots = &mut self.assignment[shard as usize];
+        if slots.contains(&to) {
+            return Err(ClusterError::Topology {
+                context: format!("node {to} already holds a replica of shard {shard}"),
+            });
+        }
+        if let Some(slot) = slots.iter_mut().find(|n| **n == from) {
+            *slot = to;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replicas_are_distinct_and_balanced() {
+        let topo = Topology::new(8, 4, 2).unwrap();
+        for s in 0..8 {
+            let replicas = topo.replicas(s);
+            assert_eq!(replicas.len(), 2);
+            assert_ne!(replicas[0], replicas[1]);
+        }
+        let loads: Vec<usize> = (0..4).map(|n| topo.shards_of(n).len()).collect();
+        assert_eq!(loads, vec![4, 4, 4, 4]);
+    }
+
+    #[test]
+    fn replication_clamps_to_node_count() {
+        let topo = Topology::new(4, 2, 5).unwrap();
+        assert_eq!(topo.replication(), 2);
+        assert!(Topology::new(4, 0, 1).is_err());
+    }
+
+    #[test]
+    fn reassign_moves_a_slot() {
+        let mut topo = Topology::new(4, 4, 2).unwrap();
+        let replicas = topo.replicas(0).to_vec();
+        let spare = (0..4).find(|n| !replicas.contains(n)).unwrap();
+        topo.reassign(0, replicas[1], spare).unwrap();
+        assert!(topo.replicas(0).contains(&spare));
+        assert!(!topo.replicas(0).contains(&replicas[1]));
+        // A duplicate replica is refused.
+        assert!(topo.reassign(0, replicas[0], spare).is_err());
+    }
+}

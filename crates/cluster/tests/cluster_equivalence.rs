@@ -1,0 +1,267 @@
+//! The cluster's correctness contract: with zero faults, a scatter/gather
+//! [`Cluster::join`] is **bit-identical** to single-node `Catalog::join` —
+//! same pairs, same candidate counts, same filter-stage counters — across
+//! every (nodes × replication × shards × τ) combination; with replication,
+//! losing a node changes nothing; without it, the join degrades to a typed
+//! coverage report whose served pairs are exactly the surviving shards'
+//! contribution.
+
+use partsj::PartSjConfig;
+use std::collections::BTreeMap;
+use tsj_catalog::Catalog;
+use tsj_cluster::{Cluster, ClusterConfig, ClusterError, FaultPlan};
+use tsj_datagen::{synthetic, SyntheticParams};
+use tsj_shard::ShardConfig;
+use tsj_ted::{JoinOutcome, JoinStats};
+use tsj_tree::{LabelInterner, Tree};
+
+fn collection(n: usize, avg_size: usize, seed: u64) -> Vec<Tree> {
+    synthetic(
+        n,
+        &SyntheticParams {
+            avg_size,
+            ..Default::default()
+        },
+        seed,
+    )
+}
+
+fn freeze(left: &[Tree], tau: u32, shards: usize) -> Catalog {
+    Catalog::freeze(
+        left.to_vec(),
+        LabelInterner::new(),
+        tau,
+        &PartSjConfig::default(),
+        &ShardConfig {
+            shards,
+            probe_threads: 1,
+            verify_threads: 1,
+            ..Default::default()
+        },
+    )
+}
+
+fn reference(catalog: &Catalog, probes: &[Tree], tau: u32) -> JoinOutcome {
+    catalog
+        .join(
+            probes,
+            tau,
+            &PartSjConfig::default(),
+            &ShardConfig {
+                shards: catalog.shard_count(),
+                probe_threads: 1,
+                verify_threads: 1,
+                ..Default::default()
+            },
+        )
+        .unwrap()
+}
+
+/// Stage counters keyed by name, zero entries dropped — response order
+/// must not matter, only the per-stage totals.
+fn stages(stats: &JoinStats) -> BTreeMap<&'static str, u64> {
+    stats
+        .stage_counts
+        .iter()
+        .filter(|s| s.count > 0)
+        .map(|s| (s.stage, s.count))
+        .collect()
+}
+
+/// Field-by-field identity, durations excluded (JoinStats's derived
+/// equality would compare wall times).
+fn assert_identical(served: &tsj_cluster::ClusterJoin, reference: &JoinOutcome, label: &str) {
+    assert!(
+        served.is_complete(),
+        "{label}: unexpectedly degraded: {:?}",
+        served.degraded
+    );
+    assert_eq!(served.outcome.pairs, reference.pairs, "{label}: pairs");
+    let (a, b) = (&served.outcome.stats, &reference.stats);
+    assert_eq!(a.results, b.results, "{label}: results");
+    assert_eq!(a.candidates, b.candidates, "{label}: candidates");
+    assert_eq!(
+        a.pairs_examined, b.pairs_examined,
+        "{label}: pairs_examined"
+    );
+    assert_eq!(a.ted_calls, b.ted_calls, "{label}: ted_calls");
+    assert_eq!(
+        a.prefilter_skips, b.prefilter_skips,
+        "{label}: prefilter_skips"
+    );
+    assert_eq!(a.early_accepts, b.early_accepts, "{label}: early_accepts");
+    assert_eq!(stages(a), stages(b), "{label}: stage_counts");
+}
+
+/// The issue's headline property: zero faults → bit-identical to the
+/// single-node catalog join, over nodes {1, 2, 4} × replication {1, 2} ×
+/// shards {1, 2, 4, 8} × τ {0, 1, 3}.
+#[test]
+fn zero_fault_cluster_join_is_bit_identical_to_catalog_join() {
+    let left = collection(48, 20, 311);
+    // Random probes plus exact copies of catalog trees, so every τ in the
+    // sweep produces real result pairs.
+    let mut right = collection(32, 20, 412);
+    right.extend(left.iter().step_by(6).cloned());
+    for tau in [0u32, 1, 3] {
+        for shards in [1usize, 2, 4, 8] {
+            let catalog = freeze(&left, tau, shards);
+            let expected = reference(&catalog, &right, tau);
+            assert!(!expected.pairs.is_empty(), "sweep must exercise real joins");
+            let bytes = catalog.to_bytes();
+            for nodes in [1usize, 2, 4] {
+                for replication in [1usize, 2] {
+                    let mut cluster = Cluster::from_snapshot(
+                        bytes.clone(),
+                        &ClusterConfig::new(nodes, replication),
+                    )
+                    .unwrap();
+                    let served = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+                    let label = format!(
+                        "tau {tau}, shards {shards}, nodes {nodes}, replication {replication}"
+                    );
+                    assert_identical(&served, &expected, &label);
+                    // Every planned request was answered, none retried.
+                    assert_eq!(
+                        served.telemetry.served, served.telemetry.requests,
+                        "{label}"
+                    );
+                    assert_eq!(served.telemetry.faults, 0, "{label}");
+                }
+            }
+        }
+    }
+}
+
+/// With R = 2, losing any single node — before the join or between joins —
+/// still yields the bit-identical result: every shard keeps a live
+/// replica, the router fails over, nothing degrades.
+#[test]
+fn single_node_loss_with_replication_two_is_bit_identical() {
+    let left = collection(48, 20, 311);
+    let mut right = collection(24, 20, 413);
+    right.extend(left.iter().step_by(5).cloned());
+    let tau = 1;
+    let catalog = freeze(&left, tau, 4);
+    let expected = reference(&catalog, &right, tau);
+    let bytes = catalog.to_bytes();
+    for dead in 0..4usize {
+        // Killed mid-workload: a healthy join first, then the loss.
+        let mut cluster = Cluster::from_snapshot(bytes.clone(), &ClusterConfig::new(4, 2)).unwrap();
+        let before = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+        assert_identical(&before, &expected, &format!("healthy, pre-kill {dead}"));
+        cluster.kill_node(dead);
+        assert!(cluster.lost_shards().is_empty(), "R = 2 survives one loss");
+        let after = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+        assert_identical(&after, &expected, &format!("node {dead} killed"));
+
+        // Down from the start (static fault plan): same story.
+        let mut cfg = ClusterConfig::new(4, 2);
+        cfg.faults = FaultPlan {
+            down_nodes: vec![dead],
+            ..FaultPlan::none()
+        };
+        let mut cluster = Cluster::from_snapshot(bytes.clone(), &cfg).unwrap();
+        let served = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+        assert_identical(&served, &expected, &format!("node {dead} down at start"));
+    }
+}
+
+/// With R = 1, losing a node is unrecoverable: the join must return
+/// exactly the surviving shards' pairs plus a [`Degraded`] report naming
+/// precisely the lost shard and the `(probe, size class)` combinations it
+/// owned — never a silent partial answer.
+#[test]
+fn unrecoverable_loss_degrades_to_exactly_the_surviving_shards() {
+    let left = collection(48, 20, 311);
+    let mut right = collection(24, 20, 413);
+    right.extend(left.iter().step_by(5).cloned());
+    let tau = 1;
+    let shards = 4usize;
+    let catalog = freeze(&left, tau, shards);
+    let expected = reference(&catalog, &right, tau);
+    let owner = |size: u32| catalog.index().shard_of_size(size) as u32;
+    let bytes = catalog.to_bytes();
+    for dead in 0..4usize {
+        // R = 1 over 4 nodes and 4 shards: shard s lives only on node s.
+        let mut cluster = Cluster::from_snapshot(bytes.clone(), &ClusterConfig::new(4, 1)).unwrap();
+        cluster.kill_node(dead);
+        let lost = dead as u32;
+        assert_eq!(cluster.lost_shards(), vec![lost]);
+
+        let served = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+        let degraded = served.degraded.as_ref().expect("loss must be reported");
+        assert_eq!(degraded.lost_shards, vec![lost]);
+
+        // Unserved coverage: per probe, exactly its window classes owned
+        // by the lost shard, sorted and deduplicated.
+        let mut unserved: Vec<(u32, u32)> = Vec::new();
+        for (j, tree) in right.iter().enumerate() {
+            let (lo, hi) = partsj::window_of(tree.len() as u32, tau);
+            for class in lo..=hi {
+                if owner(class) == lost {
+                    unserved.push((j as u32, class));
+                }
+            }
+        }
+        unserved.sort_unstable();
+        unserved.dedup();
+        assert_eq!(degraded.unserved, unserved, "node {dead}: coverage report");
+        assert!(!unserved.is_empty(), "sweep must exercise real losses");
+
+        // Served pairs: exactly the reference pairs whose left tree's
+        // size class survived — nothing extra, nothing silently dropped.
+        let surviving: Vec<(u32, u32)> = expected
+            .pairs
+            .iter()
+            .copied()
+            .filter(|&(i, _)| owner(left[i as usize].len() as u32) != lost)
+            .collect();
+        assert_eq!(served.outcome.pairs, surviving, "node {dead}: served pairs");
+    }
+}
+
+/// After an unrecoverable loss, [`Cluster::recover`] re-replicates the
+/// dead node's shard slots from the retained snapshot onto survivors and
+/// full bit-identical service resumes.
+#[test]
+fn recover_reassigns_lost_shards_and_restores_identical_service() {
+    let left = collection(48, 20, 311);
+    let mut right = collection(24, 20, 413);
+    right.extend(left.iter().step_by(5).cloned());
+    let tau = 1;
+    let catalog = freeze(&left, tau, 8);
+    let expected = reference(&catalog, &right, tau);
+    let mut cluster =
+        Cluster::from_snapshot(catalog.to_bytes(), &ClusterConfig::new(4, 2)).unwrap();
+
+    // Two adjacent losses defeat R = 2 for the shards they co-own.
+    cluster.kill_node(0);
+    cluster.kill_node(1);
+    assert!(!cluster.lost_shards().is_empty());
+    let degraded = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+    assert!(!degraded.is_complete());
+
+    let moved = cluster.recover().unwrap();
+    assert!(moved > 0, "recovery must move shard slots");
+    assert!(cluster.lost_shards().is_empty());
+    let healed = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
+    assert_identical(&healed, &expected, "after recover()");
+}
+
+/// A query threshold above the frozen one is a typed error, not a wrong
+/// (under-filtered) answer.
+#[test]
+fn tau_above_frozen_is_a_typed_error() {
+    let left = collection(12, 14, 311);
+    let catalog = freeze(&left, 1, 2);
+    let mut cluster =
+        Cluster::from_snapshot(catalog.to_bytes(), &ClusterConfig::new(2, 1)).unwrap();
+    match cluster.join(&left, 3, &PartSjConfig::default()) {
+        Err(ClusterError::TauExceedsFrozen {
+            query: 3,
+            frozen: 1,
+        }) => {}
+        other => panic!("expected TauExceedsFrozen, got {other:?}"),
+    }
+}

@@ -66,7 +66,9 @@ pub use join::{
 };
 pub use parallel::{default_verify_threads, partsj_join_parallel, partsj_join_parallel_auto};
 pub use partition::{cuts_for, max_min_size, partitionable, select_cuts, select_random_cuts};
-pub use probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters, StampSink};
+pub use probe::{
+    probe_tree_nodes, resolve_layers, window_of, CandidateSink, ProbeCounters, StampSink,
+};
 pub use rs_join::partsj_join_rs;
 pub use search::SearchIndex;
 pub use streaming::StreamingJoin;

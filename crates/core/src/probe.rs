@@ -50,6 +50,16 @@ pub struct ProbeCounters {
     pub matches: u64,
 }
 
+/// The container-size window a probe of `size` nodes must visit at
+/// threshold `tau`: `[max(size − τ, 1), size + τ]`. Every consumer —
+/// batch joins, point queries, the frozen catalog and the cluster
+/// router — derives its probed size classes from this one definition,
+/// so candidate generation cannot drift between entry points.
+#[inline]
+pub fn window_of(size: u32, tau: u32) -> (u32, u32) {
+    (size.saturating_sub(tau).max(1), size + tau)
+}
+
 /// Resolves the populated size layers of `[lo, hi]` into `out` (cleared
 /// first). Resolve once per probing tree; every node then walks the same
 /// slice instead of re-querying the size map.

@@ -136,8 +136,7 @@ pub fn frozen_rs_join(
             let probe_start = Instant::now();
             let marker = j as TreeIdx;
             let size_j = tree.len() as u32;
-            let lo = size_j.saturating_sub(tau).max(1);
-            let hi = size_j + tau;
+            let (lo, hi) = partsj::window_of(size_j, tau);
             candidates.clear();
             for n in lo..=hi {
                 if let Some(list) = small_by_size.get(&n) {
@@ -239,8 +238,7 @@ pub fn frozen_rs_join(
                             let tree = &right[j];
                             let marker = j as TreeIdx;
                             let size_j = tree.len() as u32;
-                            let lo = size_j.saturating_sub(tau).max(1);
-                            let hi = size_j + tau;
+                            let (lo, hi) = partsj::window_of(size_j, tau);
                             candidates.clear();
                             for n in lo..=hi {
                                 if let Some(list) = small_by_size.get(&n) {

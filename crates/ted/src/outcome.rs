@@ -67,6 +67,29 @@ impl JoinStats {
     pub fn total_time(&self) -> Duration {
         self.candidate_time + self.verify_time
     }
+
+    /// Folds a partial result's counters into `self` — the gather half of
+    /// a scatter/gather join, where each partition reports its own
+    /// `JoinStats` and the router sums them. Work counters and phase
+    /// timings add; `stage_counts` merge *by stage name* (partitions may
+    /// report stages in different orders or omit stages that resolved
+    /// nothing); `results` is left untouched because result pairs are
+    /// deduplicated by the caller after the union, not summable here.
+    pub fn merge_partial(&mut self, part: &JoinStats) {
+        self.pairs_examined += part.pairs_examined;
+        self.candidates += part.candidates;
+        self.candidate_time += part.candidate_time;
+        self.verify_time += part.verify_time;
+        self.ted_calls += part.ted_calls;
+        self.prefilter_skips += part.prefilter_skips;
+        self.early_accepts += part.early_accepts;
+        for sc in &part.stage_counts {
+            match self.stage_counts.iter_mut().find(|c| c.stage == sc.stage) {
+                Some(mine) => mine.count += sc.count,
+                None => self.stage_counts.push(sc.clone()),
+            }
+        }
+    }
 }
 
 /// The output of a similarity self-join.
@@ -115,6 +138,76 @@ mod tests {
         let outcome = JoinOutcome::new(vec![(3, 1), (0, 2), (1, 3), (2, 0)], JoinStats::default());
         assert_eq!(outcome.pairs, vec![(0, 2), (1, 3)]);
         assert_eq!(outcome.stats.results, 2);
+    }
+
+    #[test]
+    fn merge_partial_sums_counters_and_folds_stages_by_name() {
+        let mut total = JoinStats {
+            pairs_examined: 10,
+            candidates: 4,
+            results: 2,
+            ted_calls: 3,
+            prefilter_skips: 1,
+            early_accepts: 0,
+            candidate_time: Duration::from_millis(5),
+            verify_time: Duration::from_millis(7),
+            stage_counts: vec![
+                StageCount {
+                    stage: "size",
+                    count: 1,
+                },
+                StageCount {
+                    stage: "traversal-sed",
+                    count: 2,
+                },
+            ],
+        };
+        let part = JoinStats {
+            pairs_examined: 6,
+            candidates: 3,
+            results: 99, // must not leak into the merged total
+            ted_calls: 2,
+            prefilter_skips: 2,
+            early_accepts: 1,
+            candidate_time: Duration::from_millis(1),
+            verify_time: Duration::from_millis(2),
+            stage_counts: vec![
+                StageCount {
+                    stage: "traversal-sed",
+                    count: 5,
+                },
+                StageCount {
+                    stage: "label-hist",
+                    count: 4,
+                },
+            ],
+        };
+        total.merge_partial(&part);
+        assert_eq!(total.pairs_examined, 16);
+        assert_eq!(total.candidates, 7);
+        assert_eq!(total.results, 2);
+        assert_eq!(total.ted_calls, 5);
+        assert_eq!(total.prefilter_skips, 3);
+        assert_eq!(total.early_accepts, 1);
+        assert_eq!(total.candidate_time, Duration::from_millis(6));
+        assert_eq!(total.verify_time, Duration::from_millis(9));
+        assert_eq!(
+            total.stage_counts,
+            vec![
+                StageCount {
+                    stage: "size",
+                    count: 1,
+                },
+                StageCount {
+                    stage: "traversal-sed",
+                    count: 7,
+                },
+                StageCount {
+                    stage: "label-hist",
+                    count: 4,
+                },
+            ]
+        );
     }
 
     #[test]

@@ -153,10 +153,25 @@
 //! See `examples/catalog_server.rs` for the full freeze → save → load →
 //! serve loop, and the README's "Catalog service" section for the
 //! snapshot format and the freeze-vs-rebuild trade-off.
+//!
+//! ## Cluster serving & fault tolerance
+//!
+//! The [`cluster`] crate (`tsj-cluster`) splits a frozen snapshot's
+//! per-shard sections across N in-process catalog nodes (replication
+//! factor R) behind a scatter/gather router:
+//! [`prelude::Cluster::join`] is bit-identical to single-node
+//! `Catalog::join` — pairs, candidate counts and stage counters — and
+//! stays so under single-node loss with R ≥ 2 (failover). Every node
+//! sits behind a deterministic fault injector ([`prelude::FaultPlan`]);
+//! unrecoverable losses produce a typed [`prelude::Degraded`] coverage
+//! report, never a silent wrong answer. See
+//! `examples/cluster_failover.rs` and the README's "Cluster serving &
+//! fault tolerance" section.
 
 pub use partsj;
 pub use tsj_baselines as baselines;
 pub use tsj_catalog as catalog;
+pub use tsj_cluster as cluster;
 pub use tsj_datagen as datagen;
 pub use tsj_shard as shard;
 pub use tsj_ted as ted;
@@ -177,6 +192,10 @@ pub mod prelude {
     };
     pub use tsj_baselines::{brute_force_join, set_join, str_join};
     pub use tsj_catalog::{Catalog, CatalogError, SnapshotReader};
+    pub use tsj_cluster::{
+        Cluster, ClusterConfig, ClusterError, ClusterJoin, Degraded, Fault, FaultInjector,
+        FaultPlan, RetryPolicy, SystemClock, Topology, VirtualClock,
+    };
     pub use tsj_datagen::{
         collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, SyntheticParams,
     };
