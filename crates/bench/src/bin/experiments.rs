@@ -20,6 +20,16 @@
 //!   absent, loads and reuses it when present; either way the served
 //!   join is cross-checked against a fresh `sharded_rs_join` and the
 //!   process exits nonzero on any mismatch)
+//! * `metrics`             — runs a representative workload through
+//!   every layer (batch join, sharded join, frozen catalog, streaming,
+//!   faulty cluster on a virtual clock), then prints the merged
+//!   [`tsj_obs`] metrics in both export formats and self-validates
+//!   them: the Prometheus text must pass
+//!   [`tsj_obs::export::validate_prometheus`] (no duplicate series,
+//!   cumulative buckets monotone), counters must be monotone across
+//!   two passes, and the JSON must round-trip through
+//!   [`tsj_bench::compare::parse_json`]. Exits nonzero on any failure —
+//!   the CI metrics smoke.
 //! * `all`                 — everything above in sequence (except
 //!   `catalog`, which needs a path)
 //!
@@ -74,7 +84,7 @@ impl Options {
 fn parse_args() -> (String, Options) {
     let mut args = std::env::args().skip(1);
     let command = args.next().unwrap_or_else(|| {
-        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|catalog|all> [--scale F] [--seed N] [--param P] [--shards N] [--catalog PATH] [--tau N] [--adaptive]");
+        eprintln!("usage: experiments <table1|fig10|fig11|fig12|fig13|fig14|ablation-partition|ablation-window|ablation-matching|catalog|metrics|all> [--scale F] [--seed N] [--param P] [--shards N] [--catalog PATH] [--tau N] [--adaptive]");
         std::process::exit(2);
     });
     let mut options = Options {
@@ -133,6 +143,7 @@ fn main() {
         "ablation-window" => ablation_window(&options),
         "ablation-matching" => ablation_matching(&options),
         "catalog" => catalog_cmd(&options),
+        "metrics" => metrics_cmd(&options),
         "all" => {
             table1(&options);
             fig10_11(&options, true);
@@ -145,6 +156,7 @@ fn main() {
             ablation_partition(&options);
             ablation_window(&options);
             ablation_matching(&options);
+            metrics_cmd(&options);
         }
         other => {
             eprintln!("unknown command {other}");
@@ -481,6 +493,178 @@ fn catalog_cmd(options: &Options) {
         );
         std::process::exit(1);
     }
+}
+
+/// The observability smoke: exercise every instrumented layer, export
+/// the merged metrics both ways, and self-validate the exports — exit
+/// nonzero on any violation so CI can gate on it.
+fn metrics_cmd(options: &Options) {
+    use std::sync::Arc;
+    use tsj_bench::compare::parse_json;
+    use tsj_catalog::Catalog;
+    use tsj_cluster::{Cluster, ClusterConfig, FaultPlan, VirtualClock};
+    use tsj_obs::export::{to_json, to_prometheus, validate_prometheus};
+    use tsj_obs::MetricsSnapshot;
+    use tsj_shard::{sharded_join, EvictionPolicy, ShardConfig, ShardedStreamingJoin};
+
+    let tau = 2u32;
+    let config = PartSjConfig::default();
+    let shard_cfg = ShardConfig {
+        shards: options.shards.max(2),
+        probe_threads: 1,
+        verify_threads: 1,
+        ..Default::default()
+    };
+    let n = scaled(48, options.scale);
+    let trees = synthetic(
+        n,
+        &SyntheticParams {
+            avg_size: 12,
+            ..Default::default()
+        },
+        options.seed,
+    );
+    let probes = synthetic(
+        n / 3,
+        &SyntheticParams {
+            avg_size: 12,
+            ..Default::default()
+        },
+        options.seed + 1,
+    );
+    println!(
+        "\n== Metrics smoke ({n} trees, {} probes, tau = {tau}, {} shards) ==\n",
+        probes.len(),
+        shard_cfg.shards
+    );
+
+    // One catalog and one faulty cluster, long-lived so counters
+    // accumulate across passes.
+    let catalog = Catalog::freeze(
+        trees.clone(),
+        tsj_tree::LabelInterner::new(),
+        tau,
+        &config,
+        &shard_cfg,
+    );
+    let mut cluster_cfg = ClusterConfig::new(3, 2);
+    cluster_cfg.faults = FaultPlan {
+        seed: options.seed,
+        delay_permille: 120,
+        delay_ms: 4,
+        timeout_permille: 60,
+        transient_permille: 100,
+        node_down_permille: 30,
+        ..FaultPlan::none()
+    };
+    let mut cluster = Cluster::from_snapshot(catalog.to_bytes(), &cluster_cfg)
+        .unwrap_or_else(|e| {
+            eprintln!("metrics smoke: snapshot assembly failed: {e}");
+            std::process::exit(1);
+        })
+        .with_clock(Arc::new(VirtualClock::new()));
+
+    // Every instrumented layer once per pass: batch join, sharded join,
+    // catalog search, streaming with eviction, cluster scatter/gather.
+    let run_pass = |cluster: &mut Cluster| {
+        let _ = partsj_join_with(&trees, tau, &config);
+        let _ = sharded_join(&trees, tau, &config, &shard_cfg);
+        for probe in &probes {
+            let _ = catalog
+                .query(probe, tau, &config)
+                .expect("tau within the frozen ceiling");
+        }
+        let mut stream = ShardedStreamingJoin::new(
+            tau,
+            config,
+            ShardConfig {
+                max_dead_fraction: 0.3,
+                min_dead_postings: 1,
+                ..shard_cfg
+            },
+            EvictionPolicy::SlidingCount(8),
+        );
+        for tree in trees.iter().chain(probes.iter()) {
+            let _ = stream.insert(tree);
+        }
+        cluster
+            .join(&probes, tau, &config)
+            .expect("faults alone never error the join");
+    };
+    let merged = |cluster: &Cluster| {
+        let mut snapshot: MetricsSnapshot = tsj_obs::global().snapshot();
+        snapshot.merge(&cluster.metrics_snapshot());
+        snapshot
+    };
+
+    run_pass(&mut cluster);
+    let first = merged(&cluster);
+    run_pass(&mut cluster);
+    let second = merged(&cluster);
+
+    let mut failures = Vec::new();
+
+    // Counters only ever go up: everything the first pass recorded must
+    // still be there, no lower, after the second.
+    for (name, before) in &first.counters {
+        match second.counter(name) {
+            Some(after) if after >= *before => {}
+            Some(after) => failures.push(format!(
+                "counter {name} went backwards: {before} -> {after}"
+            )),
+            None => failures.push(format!("counter {name} vanished between passes")),
+        }
+    }
+
+    // The workload must actually have reached every layer.
+    for required in [
+        "tsj_core_joins_total",
+        "tsj_shard_trees_inserted_total",
+        "tsj_shard_evictions_total",
+        "tsj_catalog_freezes_total",
+        "tsj_catalog_saves_total",
+        "tsj_cluster_joins_total",
+    ] {
+        if second.counter(required).unwrap_or(0) == 0 {
+            failures.push(format!("required series {required} is missing or zero"));
+        }
+    }
+
+    let prometheus = to_prometheus(&second);
+    match validate_prometheus(&prometheus) {
+        Ok(report) => println!(
+            "prometheus: {} families, {} series, {} samples — valid",
+            report.families, report.series, report.samples
+        ),
+        Err(e) => failures.push(format!("prometheus output invalid: {e}")),
+    }
+
+    let json = to_json(&second);
+    match parse_json(&json) {
+        Ok(value) => {
+            for section in ["counters", "gauges", "histograms"] {
+                if value.get(section).is_none() {
+                    failures.push(format!("json export lacks the {section:?} object"));
+                }
+            }
+            println!(
+                "json: {} bytes — parses and carries all three sections",
+                json.len()
+            );
+        }
+        Err(e) => failures.push(format!("json export does not parse: {e}")),
+    }
+
+    println!("\n--- prometheus ---\n{prometheus}");
+    println!("--- json ---\n{json}\n");
+
+    if !failures.is_empty() {
+        for failure in &failures {
+            eprintln!("metrics smoke FAILED: {failure}");
+        }
+        std::process::exit(1);
+    }
+    println!("metrics smoke: all checks passed");
 }
 
 /// §4.3 closing note: the max-min partitioning scheme vs random cuts.

@@ -99,6 +99,7 @@ impl Catalog {
         config: &PartSjConfig,
         shard_cfg: &ShardConfig,
     ) -> Catalog {
+        let freeze_span = tsj_obs::span("catalog.freeze", "catalog");
         // The exact build phase of `sharded_rs_join` — sharing the one
         // builder is what keeps a frozen catalog bit-identical to the
         // direct join. The catalog additionally tracks the side-listed
@@ -110,6 +111,13 @@ impl Catalog {
             }
         }
         let left_data = trees.iter().map(VerifyData::new).collect();
+        let obs = tsj_obs::global();
+        if obs.is_enabled() {
+            obs.counter("tsj_catalog_freezes_total").inc();
+            obs.counter("tsj_catalog_trees_frozen_total")
+                .add(trees.len() as u64);
+        }
+        freeze_span.end();
         Catalog {
             labels,
             trees,
@@ -295,6 +303,7 @@ impl Catalog {
     /// Serializes the catalog into the versioned snapshot byte format
     /// (see [`crate::snapshot`] for the layout).
     pub fn to_bytes(&self) -> Vec<u8> {
+        let save_span = tsj_obs::span("catalog.save", "catalog");
         let mut sections = Vec::with_capacity(3 + self.index.shard_count());
         sections.push(encode_labels(&self.labels));
         sections.push(encode_trees(&self.trees));
@@ -302,7 +311,15 @@ impl Catalog {
         for s in 0..self.index.shard_count() {
             sections.push(encode_shard(&self.index.shard_index(s).dump()));
         }
-        assemble(self.tau, self.window, self.trees.len() as u32, &sections)
+        let bytes = assemble(self.tau, self.window, self.trees.len() as u32, &sections);
+        let obs = tsj_obs::global();
+        if obs.is_enabled() {
+            obs.counter("tsj_catalog_saves_total").inc();
+            obs.histogram("tsj_catalog_snapshot_bytes")
+                .record(bytes.len() as u64);
+        }
+        save_span.end();
+        bytes
     }
 
     /// Writes the snapshot to `path` — atomically *and* durably: the
@@ -357,6 +374,7 @@ impl Catalog {
     /// useful when the caller has inspected the header (or wants to
     /// keep the reader around for per-shard redistribution).
     pub fn from_reader(reader: &SnapshotReader) -> Result<Catalog, CatalogError> {
+        let load_span = tsj_obs::span("catalog.load", "catalog");
         let labels = reader.labels()?;
         let trees = reader.trees()?;
         let tau = reader.tau();
@@ -402,6 +420,11 @@ impl Catalog {
             }
         }
         let left_data = trees.iter().map(VerifyData::new).collect();
+        let obs = tsj_obs::global();
+        if obs.is_enabled() {
+            obs.counter("tsj_catalog_loads_total").inc();
+        }
+        load_span.end();
         Ok(Catalog {
             labels,
             trees,

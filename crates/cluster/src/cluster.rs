@@ -13,14 +13,15 @@
 //! loss + shard reassignment from the same snapshot" path of the
 //! roadmap's serving-layer item.
 
-use crate::clock::{Clock, VirtualClock};
 use crate::error::ClusterError;
 use crate::fault::{corrupt_range, mix, FaultInjector, FaultPlan};
+use crate::metrics::{ClusterMetrics, NodeMetricsSnapshot};
 use crate::node::Node;
 use crate::retry::RetryPolicy;
 use crate::topology::Topology;
 use std::sync::Arc;
 use tsj_catalog::SnapshotReader;
+use tsj_obs::{Clock, MetricsSnapshot, VirtualClock};
 use tsj_shard::ShardMap;
 
 /// How to build a [`Cluster`].
@@ -78,6 +79,9 @@ pub struct Cluster {
     pub(crate) injector: FaultInjector,
     pub(crate) retry: RetryPolicy,
     pub(crate) clock: Arc<dyn Clock>,
+    /// Per-node lifetime counters and latency histograms; increments
+    /// mirror the router's telemetry so sums reconcile exactly.
+    pub(crate) metrics: ClusterMetrics,
     /// The snapshot recovery restores reassigned shard sections from.
     snapshot: Arc<SnapshotReader>,
 }
@@ -209,6 +213,7 @@ impl Cluster {
             .enumerate()
             .map(|(n, slot)| matches!(slot, NodeSlot::Up(_)) && !cfg.faults.down_nodes.contains(&n))
             .collect();
+        let metrics = ClusterMetrics::new(cfg.nodes);
         Ok(Cluster {
             tau: reader.tau(),
             shard_count: reader.shard_count(),
@@ -219,6 +224,7 @@ impl Cluster {
             injector: FaultInjector::new(cfg.faults.clone()),
             retry: cfg.retry.clone(),
             clock: Arc::new(VirtualClock::new()),
+            metrics,
             snapshot: Arc::new(reader),
         })
     }
@@ -228,6 +234,25 @@ impl Cluster {
     pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Cluster {
         self.clock = clock;
         self
+    }
+
+    /// Per-node lifetime metrics: serve attempts, responses, failures,
+    /// retries, failovers, backoff/delay milliseconds and the
+    /// request-latency histogram, cumulative across every join this
+    /// cluster served. Per-node sums reconcile exactly with each join's
+    /// [`crate::Telemetry`]; on a `VirtualClock` the latency
+    /// distributions are deterministic. Zeros when the global
+    /// observability registry was disabled at construction.
+    pub fn metrics(&self) -> Vec<NodeMetricsSnapshot> {
+        self.metrics.per_node(&self.health)
+    }
+
+    /// The raw per-node metric series (names labeled `{node="n"}`),
+    /// ready for [`tsj_obs::export::to_prometheus`] /
+    /// [`tsj_obs::export::to_json`] — what a `catalogd` server would
+    /// expose on its `/metrics` endpoint.
+    pub fn metrics_snapshot(&self) -> MetricsSnapshot {
+        self.metrics.snapshot()
     }
 
     /// The threshold the underlying snapshot was frozen for.

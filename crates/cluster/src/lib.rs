@@ -70,21 +70,25 @@
 
 #![warn(missing_docs)]
 
-mod clock;
 mod cluster;
 mod error;
 mod fault;
+mod metrics;
 mod node;
 mod outcome;
 mod retry;
 mod router;
 mod topology;
 
-pub use clock::{Clock, SystemClock, VirtualClock};
+/// The injectable clock, promoted into [`tsj_obs`] (so trace spans and
+/// the router share one notion of time) and re-exported here unchanged.
+pub use tsj_obs::{Clock, SystemClock, VirtualClock};
+
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::ClusterError;
 pub use fault::{corrupt_range, mix, mix_unit, Fault, FaultInjector, FaultPlan};
+pub use metrics::NodeMetricsSnapshot;
 pub use node::{Node, NodeScratch, ProbeCtx, ShardRequest, ShardResponse};
-pub use outcome::{ClusterJoin, Degraded, Telemetry};
+pub use outcome::{ClusterJoin, Degraded, RequestStats, Telemetry};
 pub use retry::RetryPolicy;
 pub use topology::Topology;

@@ -7,6 +7,12 @@
 //! unserved — never a silently incomplete answer, never a panic. Served
 //! pairs are always correct (verification ran); degradation can only
 //! *omit* pairs whose left tree lives in an unserved size class.
+//!
+//! [`Telemetry`] carries both join-level totals and a [`RequestStats`]
+//! row per planned shard request (attempts, retries, backoff), so retry
+//! pressure is visible without injecting a virtual clock. All of it is
+//! deterministic under a seeded fault plan, and per-node sums from
+//! [`crate::Cluster::metrics`] reconcile exactly with these totals.
 
 use tsj_ted::{JoinOutcome, TreeIdx};
 
@@ -22,6 +28,13 @@ pub struct Degraded {
     /// unrecoverable losses behind the unserved classes. Empty when the
     /// degradation was transient (deadline exhaustion on a live shard).
     pub lost_shards: Vec<u32>,
+    /// Serve attempts spent on the requests that still went unserved.
+    pub attempts: u64,
+    /// Retries spent on the requests that still went unserved.
+    pub retries: u64,
+    /// Backoff slept for the requests that still went unserved, in
+    /// clock milliseconds.
+    pub backoff_ms: u64,
 }
 
 impl Degraded {
@@ -41,13 +54,37 @@ impl Degraded {
     }
 }
 
+/// What one planned shard request cost the router.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RequestStats {
+    /// The probing tree's index in the join's probe batch.
+    pub probe: TreeIdx,
+    /// The shard the request was planned against.
+    pub shard: u32,
+    /// Serve attempts consulted for this request (first try + retries;
+    /// 0 when no replica was alive at planning time and none recovered).
+    pub attempts: u32,
+    /// Attempts after the first.
+    pub retries: u32,
+    /// Backoff slept before this request's retries, in clock ms.
+    pub backoff_ms: u64,
+    /// Deadline-accounted time charged to this request (absorbed delays,
+    /// request timeouts and backoffs), in clock ms.
+    pub spent_ms: u64,
+    /// Whether the request ultimately produced a response.
+    pub served: bool,
+}
+
 /// What the router did to produce a result.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct Telemetry {
     /// Shard requests planned (probes × owning shards).
     pub requests: u64,
     /// Requests that ultimately produced a response.
     pub served: u64,
+    /// Serve attempts issued across all requests (first tries and
+    /// retries, successful or not).
+    pub attempts: u64,
     /// Faults injected across all attempts.
     pub faults: u64,
     /// Retry attempts issued after a failed first attempt.
@@ -58,6 +95,23 @@ pub struct Telemetry {
     pub backoff_ms: u64,
     /// Total injected delay absorbed, in clock milliseconds.
     pub delay_ms: u64,
+    /// One row per planned shard request, in planning order.
+    pub per_request: Vec<RequestStats>,
+}
+
+impl Telemetry {
+    /// The request rows that went unserved.
+    pub fn unserved_requests(&self) -> impl Iterator<Item = &RequestStats> {
+        self.per_request.iter().filter(|r| !r.served)
+    }
+
+    /// The most-retried request, if any retried at all.
+    pub fn hottest_request(&self) -> Option<&RequestStats> {
+        self.per_request
+            .iter()
+            .filter(|r| r.retries > 0)
+            .max_by_key(|r| (r.retries, r.backoff_ms))
+    }
 }
 
 /// The result of a cluster join.
@@ -90,8 +144,34 @@ mod tests {
         let degraded = Degraded {
             unserved: vec![(0, 5), (0, 7), (2, 5)],
             lost_shards: vec![1],
+            ..Degraded::default()
         };
         assert_eq!(degraded.affected_probes(), 2);
         assert_eq!(degraded.unserved_classes(), vec![5, 7]);
+    }
+
+    #[test]
+    fn telemetry_surfaces_retry_pressure() {
+        let row = |probe, retries, backoff_ms, served| RequestStats {
+            probe,
+            shard: 0,
+            attempts: retries + 1,
+            retries,
+            backoff_ms,
+            spent_ms: backoff_ms,
+            served,
+        };
+        let telemetry = Telemetry {
+            requests: 3,
+            served: 2,
+            per_request: vec![
+                row(0, 0, 0, true),
+                row(1, 2, 30, true),
+                row(2, 3, 70, false),
+            ],
+            ..Telemetry::default()
+        };
+        assert_eq!(telemetry.unserved_requests().count(), 1);
+        assert_eq!(telemetry.hottest_request().unwrap().probe, 2);
     }
 }

@@ -25,12 +25,18 @@
 //! per-request candidate sets are disjoint and the gathered union is
 //! bit-identical — pairs, candidate counts and filter-stage counters —
 //! to single-node `Catalog::join`.
+//!
+//! **Accounting**: every [`crate::Telemetry`] increment has a per-node
+//! twin in [`crate::Cluster::metrics`] (recorded in the sequential
+//! gather phase under identical conditions, so sums reconcile exactly)
+//! and a per-request row in [`crate::RequestStats`]. The whole join runs
+//! under a `cluster.join` trace span on the cluster's clock.
 
 use crate::cluster::{Cluster, NodeSlot};
 use crate::error::ClusterError;
 use crate::fault::Fault;
 use crate::node::{NodeScratch, ProbeCtx, ShardRequest, ShardResponse};
-use crate::outcome::{ClusterJoin, Degraded, Telemetry};
+use crate::outcome::{ClusterJoin, Degraded, RequestStats, Telemetry};
 use partsj::{window_of, PartSjConfig};
 use std::collections::BTreeMap;
 use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
@@ -38,8 +44,8 @@ use tsj_tree::Tree;
 
 /// Outcome of a request's first (scattered) attempt.
 enum Attempt {
-    /// Served, absorbing this much injected delay.
-    Served(ShardResponse, u64),
+    /// Served by this node, absorbing this much injected delay.
+    Served(ShardResponse, u64, usize),
     /// Failed with this fault on this node.
     Failed(Fault, usize),
     /// Never attempted: no alive replica at planning time.
@@ -64,6 +70,7 @@ impl Cluster {
                 frozen: self.tau,
             });
         }
+        let join_span = tsj_obs::tracer().span(&self.clock, "cluster.join", "cluster");
         let mut telemetry = Telemetry::default();
 
         // Phase 1: plan shard requests.
@@ -129,12 +136,14 @@ impl Cluster {
                                     None => Attempt::Served(
                                         node.serve(req, ctx, tau, config, &mut scratch)?,
                                         0,
+                                        n,
                                     ),
                                     Some(Fault::Delay(d)) if d <= timeout => {
                                         clock.sleep_ms(d);
                                         Attempt::Served(
                                             node.serve(req, ctx, tau, config, &mut scratch)?,
                                             d,
+                                            n,
                                         )
                                     }
                                     // A delay past the timeout *is* a
@@ -163,31 +172,65 @@ impl Cluster {
         }
 
         // Phase 3: gather; retry failures sequentially, in request order.
+        // All metric attribution happens here (never in the scatter
+        // workers), so per-node counters are deterministic under any
+        // thread interleaving.
         let mut responses: Vec<ShardResponse> = Vec::new();
         let mut unserved: Vec<(TreeIdx, u32)> = Vec::new();
         let mut probe_spent: Vec<u64> = vec![0; probes.len()];
         let mut scratch = NodeScratch::default();
+        // Effort sunk into requests that still went unserved.
+        let (mut lost_attempts, mut lost_retries, mut lost_backoff) = (0u64, 0u64, 0u64);
         for (r, outcome) in outcomes.into_iter().enumerate() {
             let req = &requests[r];
             let p = req.probe as usize;
+            let mut request = RequestStats {
+                probe: req.probe,
+                shard: req.shard,
+                attempts: 0,
+                retries: 0,
+                backoff_ms: 0,
+                spent_ms: 0,
+                served: false,
+            };
             let mut last_fault = match outcome.expect("every request got a first attempt") {
-                Attempt::Served(resp, delay) => {
+                Attempt::Served(resp, delay, node) => {
+                    telemetry.attempts += 1;
+                    request.attempts = 1;
+                    request.served = true;
+                    let cells = self.metrics.node(node);
+                    cells.attempts.inc();
+                    cells.served.inc();
                     if delay > 0 {
                         telemetry.faults += 1;
                         telemetry.delay_ms += delay;
                         probe_spent[p] += delay;
+                        request.spent_ms += delay;
+                        cells.delays.inc();
+                        cells.delay_ms.add(delay);
                     }
+                    cells.latency.record(request.spent_ms);
+                    telemetry.per_request.push(request);
                     responses.push(resp);
                     continue;
                 }
                 Attempt::Failed(fault, n) => {
+                    telemetry.attempts += 1;
+                    request.attempts = 1;
                     telemetry.faults += 1;
+                    let cells = self.metrics.node(n);
+                    cells.attempts.inc();
+                    cells.failed.inc();
                     match fault {
                         Fault::NodeDown => {
                             self.health[n] = false;
                             telemetry.failovers += 1;
+                            cells.failovers.inc();
                         }
-                        Fault::Timeout => probe_spent[p] += self.retry.request_timeout_ms,
+                        Fault::Timeout => {
+                            probe_spent[p] += self.retry.request_timeout_ms;
+                            request.spent_ms += self.retry.request_timeout_ms;
+                        }
                         Fault::Transient => {}
                         Fault::Delay(_) => unreachable!("scatter maps delays to served/timeout"),
                     }
@@ -222,8 +265,17 @@ impl Cluster {
                     self.clock.sleep_ms(backoff);
                     probe_spent[p] += backoff;
                     telemetry.backoff_ms += backoff;
+                    request.backoff_ms += backoff;
+                    request.spent_ms += backoff;
+                    self.metrics.node(target).backoff_ms.add(backoff);
                 }
                 telemetry.retries += 1;
+                telemetry.attempts += 1;
+                request.retries += 1;
+                request.attempts += 1;
+                let cells = self.metrics.node(target);
+                cells.retries.inc();
+                cells.attempts.inc();
                 match self.injector.decide(target, req.probe, req.shard, attempt) {
                     None => {
                         let NodeSlot::Up(node) = &self.slots[target] else {
@@ -236,6 +288,8 @@ impl Cluster {
                             config,
                             &mut scratch,
                         )?);
+                        cells.served.inc();
+                        cells.latency.record(request.spent_ms);
                         served = true;
                         break;
                     }
@@ -243,11 +297,17 @@ impl Cluster {
                         telemetry.faults += 1;
                         if probe_spent[p] + d > self.retry.probe_deadline_ms {
                             probe_spent[p] = self.retry.probe_deadline_ms;
+                            // The late response is discarded: the attempt
+                            // produced nothing usable.
+                            cells.failed.inc();
                             break; // the late response would land past the deadline
                         }
                         self.clock.sleep_ms(d);
                         probe_spent[p] += d;
                         telemetry.delay_ms += d;
+                        request.spent_ms += d;
+                        cells.delays.inc();
+                        cells.delay_ms.add(d);
                         let NodeSlot::Up(node) = &self.slots[target] else {
                             unreachable!("healthy nodes are restored")
                         };
@@ -258,12 +318,16 @@ impl Cluster {
                             config,
                             &mut scratch,
                         )?);
+                        cells.served.inc();
+                        cells.latency.record(request.spent_ms);
                         served = true;
                         break;
                     }
                     Some(Fault::Delay(_)) | Some(Fault::Timeout) => {
                         telemetry.faults += 1;
                         probe_spent[p] += self.retry.request_timeout_ms;
+                        request.spent_ms += self.retry.request_timeout_ms;
+                        cells.failed.inc();
                         last_fault = Fault::Timeout;
                         if probe_spent[p] >= self.retry.probe_deadline_ms {
                             break;
@@ -271,19 +335,27 @@ impl Cluster {
                     }
                     Some(Fault::Transient) => {
                         telemetry.faults += 1;
+                        cells.failed.inc();
                         last_fault = Fault::Transient;
                     }
                     Some(Fault::NodeDown) => {
                         telemetry.faults += 1;
                         self.health[target] = false;
                         telemetry.failovers += 1;
+                        cells.failed.inc();
+                        cells.failovers.inc();
                         last_fault = Fault::NodeDown;
                     }
                 }
             }
+            request.served = served;
             if !served {
                 unserved.extend(req.classes.iter().map(|&c| (req.probe, c)));
+                lost_attempts += u64::from(request.attempts);
+                lost_retries += u64::from(request.retries);
+                lost_backoff += request.backoff_ms;
             }
+            telemetry.per_request.push(request);
         }
 
         // Union: pair sets are disjoint across shards, stats fold by name.
@@ -300,11 +372,23 @@ impl Cluster {
         } else {
             unserved.sort_unstable();
             unserved.dedup();
+            tsj_obs::tracer().instant(&*self.clock, "cluster.degraded", "cluster");
             Some(Degraded {
                 unserved,
                 lost_shards: self.lost_shards(),
+                attempts: lost_attempts,
+                retries: lost_retries,
+                backoff_ms: lost_backoff,
             })
         };
+        let obs = tsj_obs::global();
+        if obs.is_enabled() {
+            obs.counter("tsj_cluster_joins_total").inc();
+            if degraded.is_some() {
+                obs.counter("tsj_cluster_degraded_joins_total").inc();
+            }
+        }
+        join_span.end();
         Ok(ClusterJoin {
             outcome,
             degraded,

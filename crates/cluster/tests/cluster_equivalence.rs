@@ -111,15 +111,17 @@ fn zero_fault_cluster_join_is_bit_identical_to_catalog_join() {
             let bytes = catalog.to_bytes();
             for nodes in [1usize, 2, 4] {
                 for replication in [1usize, 2] {
+                    let label = format!(
+                        "tau {tau}, shards {shards}, nodes {nodes}, replication {replication}"
+                    );
                     let mut cluster = Cluster::from_snapshot(
                         bytes.clone(),
                         &ClusterConfig::new(nodes, replication),
                     )
-                    .unwrap();
-                    let served = cluster.join(&right, tau, &PartSjConfig::default()).unwrap();
-                    let label = format!(
-                        "tau {tau}, shards {shards}, nodes {nodes}, replication {replication}"
-                    );
+                    .unwrap_or_else(|e| panic!("{label}: snapshot assembly failed: {e}"));
+                    let served = cluster
+                        .join(&right, tau, &PartSjConfig::default())
+                        .unwrap_or_else(|e| panic!("{label}: join errored: {e}"));
                     assert_identical(&served, &expected, &label);
                     // Every planned request was answered, none retried.
                     assert_eq!(

@@ -107,10 +107,16 @@ fn run(seed: u64, replication: usize) -> ClusterJoin {
     let fx = fixture();
     let mut cfg = ClusterConfig::new(4, replication);
     cfg.faults = mixed_plan(seed);
-    let mut cluster = Cluster::from_snapshot(fx.bytes.clone(), &cfg).unwrap();
+    // Any panic out of here must name the case coordinates, so a CI
+    // failure is replayable with `TSJ_FAULT_SEED=<seed>`.
+    let mut cluster = Cluster::from_snapshot(fx.bytes.clone(), &cfg).unwrap_or_else(|e| {
+        panic!("TSJ_FAULT_SEED={seed:#x} R={replication}: snapshot assembly failed: {e}")
+    });
     cluster
         .join(&fx.right, 1, &PartSjConfig::default())
-        .unwrap()
+        .unwrap_or_else(|e| {
+            panic!("TSJ_FAULT_SEED={seed:#x} R={replication}: join errored on faults alone: {e}")
+        })
 }
 
 /// The invariants every seed must satisfy; returns a failure description
@@ -118,7 +124,7 @@ fn run(seed: u64, replication: usize) -> ClusterJoin {
 fn check(seed: u64, replication: usize) -> Result<(), String> {
     let fx = fixture();
     let served = run(seed, replication);
-    let err = |msg: String| Err(format!("seed {seed:#x}, R {replication}: {msg}"));
+    let err = |msg: String| Err(format!("TSJ_FAULT_SEED={seed:#x} R={replication}: {msg}"));
 
     if served.outcome.stats.candidates > fx.expected.stats.candidates {
         return err(format!(

@@ -67,6 +67,14 @@ pub fn partsj_join_detailed(
     let delta = 2 * tau as usize + 1;
     let mut stats = JoinStats::default();
     let mut detail = PartSjDetail::default();
+    // Observability handles, hoisted out of the probe loop (handle lookup
+    // locks the registry; recording is a relaxed atomic). None of this
+    // affects results: the ON/DISABLED equivalence is property-tested.
+    let obs = tsj_obs::global();
+    let obs_on = obs.is_enabled();
+    let join_span = tsj_obs::span("core.join", "core");
+    let fanout_hist = obs.histogram("tsj_core_probe_fanout_layers");
+    let cand_hist = obs.histogram("tsj_core_probe_candidates");
 
     // Preprocessing: LC-RS representations for probing/partitioning and
     // per-tree verification data (charged to candidate generation, like
@@ -142,6 +150,10 @@ pub fn partsj_join_detailed(
         stats.candidates += candidates.len() as u64;
         stats.pairs_examined += candidates.len() as u64;
         stats.candidate_time += cand_start.elapsed();
+        if obs_on {
+            fanout_hist.record(layer_window.len() as u64);
+            cand_hist.record(candidates.len() as u64);
+        }
 
         // Verification through the configured filter chain (cheap bounds
         // first, exact TED only for undecided pairs — see
@@ -172,6 +184,19 @@ pub fn partsj_join_detailed(
     detail.matches = counters.matches;
     detail.index_registrations = index.registrations();
     verify.fold_into(&mut stats);
+    if obs_on {
+        obs.counter("tsj_core_joins_total").inc();
+        obs.counter("tsj_core_candidates_total")
+            .add(stats.candidates);
+        obs.counter("tsj_core_ted_calls_total").add(stats.ted_calls);
+        obs.counter("tsj_core_result_pairs_total")
+            .add(pairs.len() as u64);
+        obs.histogram("tsj_core_candidate_ms")
+            .record(stats.candidate_time.as_millis() as u64);
+        obs.histogram("tsj_core_verify_ms")
+            .record(stats.verify_time.as_millis() as u64);
+    }
+    join_span.end();
     (JoinOutcome::new(pairs, stats), detail)
 }
 

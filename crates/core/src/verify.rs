@@ -46,7 +46,9 @@
 //! TED calls on the paper's workloads.
 
 use crate::config::{AdaptiveConfig, PartSjConfig, VerifyConfig};
+use std::cell::Cell;
 use std::hash::Hasher as _;
+use std::time::Instant;
 use tsj_ted::bounds::{histogram_bound, label_histogram, traversal_within, TraversalStrings};
 use tsj_ted::{JoinStats, PreparedTree, StageCount, TedEngine};
 use tsj_tree::{FxHasher, Label, Tree};
@@ -379,6 +381,16 @@ pub struct VerifyEngine {
     lower_skips: u64,
     /// Total upper-bound admissions (sum over upper stages).
     early_accepts: u64,
+    /// Whether to stopwatch each stage evaluation. Sampled from
+    /// [`tsj_obs::stage_timings_enabled`] at construction (off by
+    /// default: the `Instant` stamps would dominate the O(1) stages).
+    time_stages: bool,
+    /// Accumulated per-stage wall time in nanoseconds, aligned with
+    /// `stages`; only written when `time_stages` is set.
+    stage_ns: Vec<u64>,
+    /// One-shot guard so [`VerifyEngine::fold_into`] publishes the stage
+    /// timings to the global registry exactly once per engine.
+    timings_flushed: Cell<bool>,
     ted: TedEngine,
 }
 
@@ -424,7 +436,9 @@ impl VerifyEngine {
         }
         let counts = vec![0; stages.len()];
         let seen = vec![0; stages.len()];
+        let stage_ns = vec![0; stages.len()];
         let order = (0..stages.len()).collect();
+        let time_stages = tsj_obs::stage_timings_enabled() && tsj_obs::global().is_enabled();
         VerifyEngine {
             tau,
             stages,
@@ -435,6 +449,9 @@ impl VerifyEngine {
             since_reorder: 0,
             lower_skips: 0,
             early_accepts: 0,
+            time_stages,
+            stage_ns,
+            timings_flushed: Cell::new(false),
             ted: TedEngine::unit(),
         }
     }
@@ -515,7 +532,12 @@ impl VerifyEngine {
         for pos in 0..self.order.len() {
             let idx = self.order[pos];
             self.seen[idx] += 1;
-            match self.stages[idx].apply(a, b, self.tau) {
+            let started = self.time_stages.then(Instant::now);
+            let verdict = self.stages[idx].apply(a, b, self.tau);
+            if let Some(t) = started {
+                self.stage_ns[idx] += t.elapsed().as_nanos() as u64;
+            }
+            match verdict {
                 StageVerdict::Reject => {
                     self.counts[idx] += 1;
                     self.lower_skips += 1;
@@ -604,6 +626,19 @@ impl VerifyEngine {
                     stage: name,
                     count: self.counts[idx],
                 }),
+            }
+        }
+        // Publish stage timings (profile mode) exactly once per engine —
+        // fold_into may be called again on a still-live engine.
+        if self.time_stages && !self.timings_flushed.replace(true) {
+            let obs = tsj_obs::global();
+            for (idx, stage) in self.stages.iter().enumerate() {
+                obs.counter(&tsj_obs::labeled(
+                    "tsj_core_verify_stage_ns_total",
+                    "stage",
+                    stage.name(),
+                ))
+                .add(self.stage_ns[idx]);
             }
         }
     }

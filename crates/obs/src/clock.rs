@@ -1,13 +1,18 @@
-//! Injectable time for deterministic retry/backoff behavior.
+//! Injectable time for deterministic timing behavior.
 //!
-//! The router's resilience policy is driven entirely through a [`Clock`]:
-//! injected delays, backoff sleeps and deadline accounting all go through
-//! it. Tests and the in-process cluster default to [`VirtualClock`] —
-//! time is an atomic counter that only "sleeping" advances, so a fault
-//! matrix with thousands of injected delays runs in microseconds and the
-//! exact backoff schedule can be asserted down to the millisecond. A
-//! deployment that wants real waiting swaps in [`SystemClock`] without
-//! touching the policy.
+//! Everything in the observability layer that stamps a time — trace
+//! spans, request-latency histograms, backoff accounting in
+//! `tsj-cluster` — goes through a [`Clock`]. Tests and the in-process
+//! cluster default to [`VirtualClock`] — time is an atomic counter that
+//! only "sleeping" advances, so a fault matrix with thousands of
+//! injected delays runs in microseconds and exact spans/backoff
+//! schedules can be asserted down to the millisecond. A deployment that
+//! wants real waiting swaps in [`SystemClock`] without touching any
+//! policy.
+//!
+//! This module originated in `tsj-cluster` and was promoted here so the
+//! trace layer and the router share one notion of time; `tsj-cluster`
+//! re-exports it unchanged.
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;

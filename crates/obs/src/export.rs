@@ -1,0 +1,429 @@
+//! Exporters: Prometheus text format and a stable JSON snapshot — plus
+//! a tiny Prometheus parser/validator CI uses to keep the text output
+//! honest (no duplicate series, cumulative buckets monotone, counts
+//! consistent).
+//!
+//! Both exporters are pure functions of a [`MetricsSnapshot`], so their
+//! output is deterministic given deterministic metrics (e.g. a cluster
+//! on a `VirtualClock`): names are sorted, buckets are emitted in bound
+//! order, and no timestamps are embedded.
+
+use crate::metrics::{bucket_bound, HistogramSnapshot, MetricsSnapshot, NUM_BUCKETS};
+use std::collections::BTreeMap;
+
+/// Splits a registry name into `(family, inline labels)` — the
+/// `family{key="value"}` convention of [`crate::labeled`].
+fn split_name(name: &str) -> (&str, Option<&str>) {
+    match name.split_once('{') {
+        Some((family, rest)) => (family, Some(rest.trim_end_matches('}'))),
+        None => (name, None),
+    }
+}
+
+/// Joins base labels with an extra label into one `{…}` block.
+fn label_block(base: Option<&str>, extra: Option<&str>) -> String {
+    match (base, extra) {
+        (None, None) => String::new(),
+        (Some(labels), None) | (None, Some(labels)) => format!("{{{labels}}}"),
+        (Some(base), Some(extra)) => format!("{{{base},{extra}}}"),
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format:
+/// one `# TYPE` line per family, samples grouped under it, histogram
+/// series expanded into cumulative `_bucket{le=…}` / `_sum` / `_count`.
+pub fn to_prometheus(snapshot: &MetricsSnapshot) -> String {
+    // Group by family so multi-label families share one TYPE line even
+    // when plain names sort between their labeled variants.
+    let mut counters: BTreeMap<&str, Vec<(Option<&str>, u64)>> = BTreeMap::new();
+    for (name, v) in &snapshot.counters {
+        let (family, labels) = split_name(name);
+        counters.entry(family).or_default().push((labels, *v));
+    }
+    let mut gauges: BTreeMap<&str, Vec<(Option<&str>, i64)>> = BTreeMap::new();
+    for (name, v) in &snapshot.gauges {
+        let (family, labels) = split_name(name);
+        gauges.entry(family).or_default().push((labels, *v));
+    }
+    let mut histograms: BTreeMap<&str, Vec<(Option<&str>, &HistogramSnapshot)>> = BTreeMap::new();
+    for (name, h) in &snapshot.histograms {
+        let (family, labels) = split_name(name);
+        histograms.entry(family).or_default().push((labels, h));
+    }
+
+    let mut out = String::new();
+    for (family, series) in &counters {
+        out.push_str(&format!("# TYPE {family} counter\n"));
+        for (labels, v) in series {
+            out.push_str(&format!("{family}{} {v}\n", label_block(*labels, None)));
+        }
+    }
+    for (family, series) in &gauges {
+        out.push_str(&format!("# TYPE {family} gauge\n"));
+        for (labels, v) in series {
+            out.push_str(&format!("{family}{} {v}\n", label_block(*labels, None)));
+        }
+    }
+    for (family, series) in &histograms {
+        out.push_str(&format!("# TYPE {family} histogram\n"));
+        for (labels, h) in series {
+            let mut cumulative = 0u64;
+            for (i, &count) in h.buckets.iter().enumerate() {
+                cumulative += count;
+                let Some(bound) = bucket_bound(i) else { break };
+                // Skip the long empty tail: stop once everything finite
+                // is covered (the +Inf bucket below closes the series).
+                if bound > h.max && cumulative == h.count() {
+                    break;
+                }
+                if count > 0 || bound <= h.max {
+                    let le = labeled_le(*labels, &bound.to_string());
+                    out.push_str(&format!("{family}_bucket{le} {cumulative}\n"));
+                }
+            }
+            let le = labeled_le(*labels, "+Inf");
+            out.push_str(&format!("{family}_bucket{le} {}\n", h.count()));
+            out.push_str(&format!(
+                "{family}_sum{} {}\n",
+                label_block(*labels, None),
+                h.sum
+            ));
+            out.push_str(&format!(
+                "{family}_count{} {}\n",
+                label_block(*labels, None),
+                h.count()
+            ));
+        }
+    }
+    out
+}
+
+fn labeled_le(base: Option<&str>, le: &str) -> String {
+    label_block(base, Some(&format!("le=\"{le}\"")))
+}
+
+/// Appends `s` to `out` as a JSON string literal, escaping as needed.
+pub(crate) fn push_json_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a snapshot as one stable JSON object:
+///
+/// ```json
+/// {"counters": {"name": 1},
+///  "gauges": {"name": -2},
+///  "histograms": {"name": {"count": 3, "sum": 10, "max": 6,
+///                          "p50": 4, "p90": 6, "p99": 6,
+///                          "overflow": 0, "buckets": [[4, 2], [6, 1]]}}}
+/// ```
+///
+/// Keys are sorted, `buckets` lists `[upper bound, count]` for each
+/// non-empty finite bucket, and `overflow` counts values above
+/// [`crate::MAX_TRACKED`]. The output parses with any JSON parser —
+/// CI round-trips it through `tsj-bench`'s.
+pub fn to_json(snapshot: &MetricsSnapshot) -> String {
+    let mut out = String::from("{\"counters\":{");
+    for (i, (name, v)) in snapshot.counters.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"gauges\":{");
+    for (i, (name, v)) in snapshot.gauges.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        out.push_str(&format!(":{v}"));
+    }
+    out.push_str("},\"histograms\":{");
+    for (i, (name, h)) in snapshot.histograms.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        push_json_string(&mut out, name);
+        let overflow = h.buckets.get(NUM_BUCKETS - 1).copied().unwrap_or(0);
+        out.push_str(&format!(
+            ":{{\"count\":{},\"sum\":{},\"max\":{},\"p50\":{},\"p90\":{},\"p99\":{},\
+             \"overflow\":{overflow},\"buckets\":[",
+            h.count(),
+            h.sum,
+            h.max,
+            h.p50(),
+            h.p90(),
+            h.p99(),
+        ));
+        let mut first = true;
+        for (i, &count) in h.buckets.iter().enumerate() {
+            let Some(bound) = bucket_bound(i) else { break };
+            if count == 0 {
+                continue;
+            }
+            if !first {
+                out.push(',');
+            }
+            first = false;
+            out.push_str(&format!("[{bound},{count}]"));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("}}");
+    out
+}
+
+/// What [`validate_prometheus`] measured while checking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PromReport {
+    /// Families declared with `# TYPE` lines.
+    pub families: usize,
+    /// Distinct sample series.
+    pub series: usize,
+    /// Total sample lines.
+    pub samples: usize,
+}
+
+/// Parses and validates Prometheus text output: every line must parse;
+/// every family gets exactly one `# TYPE`; every sample belongs to a
+/// declared family; no series appears twice; counters are integers ≥ 0;
+/// histogram `_bucket` series are cumulative (monotone in `le`), end at
+/// `+Inf`, and agree with `_count`.
+pub fn validate_prometheus(text: &str) -> Result<PromReport, String> {
+    let mut families: BTreeMap<String, String> = BTreeMap::new();
+    let mut seen_series: BTreeMap<String, f64> = BTreeMap::new();
+    // Histogram bucket chains keyed by series-without-le, in file order.
+    let mut bucket_chains: BTreeMap<String, Vec<(f64, f64)>> = BTreeMap::new();
+    let mut samples = 0usize;
+
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| Err(format!("line {}: {msg}", lineno + 1));
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let mut parts = rest.split_whitespace();
+            let (Some(family), Some(kind), None) = (parts.next(), parts.next(), parts.next())
+            else {
+                return err(format!("malformed TYPE line: {line:?}"));
+            };
+            if !matches!(kind, "counter" | "gauge" | "histogram") {
+                return err(format!("unknown metric type {kind:?}"));
+            }
+            if families
+                .insert(family.to_string(), kind.to_string())
+                .is_some()
+            {
+                return err(format!("duplicate TYPE for family {family:?}"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue; // HELP or comment
+        }
+        // Sample: `name{labels} value` or `name value`.
+        let Some(space) = line.rfind(' ') else {
+            return err(format!("malformed sample line: {line:?}"));
+        };
+        let (series, value) = line.split_at(space);
+        let Ok(value) = value.trim().parse::<f64>() else {
+            return err(format!("unparseable value in {line:?}"));
+        };
+        let name_end = series.find('{').unwrap_or(series.len());
+        let name = &series[..name_end];
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+        {
+            return err(format!("invalid metric name {name:?}"));
+        }
+        if series.contains('{') && !series.ends_with('}') {
+            return err(format!("unterminated label block in {series:?}"));
+        }
+        let family = family_of(name, &families)
+            .ok_or_else(|| format!("line {}: sample {name:?} has no TYPE line", lineno + 1))?;
+        let kind = families[&family].clone();
+        if kind == "counter" && (value < 0.0 || value.fract() != 0.0) {
+            return err(format!("counter {series:?} is not a non-negative integer"));
+        }
+        if seen_series.insert(series.to_string(), value).is_some() {
+            return err(format!("duplicate series {series:?}"));
+        }
+        samples += 1;
+        if kind == "histogram" && name == format!("{family}_bucket") {
+            let Some(le) = extract_label(series, "le") else {
+                return err(format!("bucket series {series:?} lacks an le label"));
+            };
+            let le = if le == "+Inf" {
+                f64::INFINITY
+            } else {
+                le.parse::<f64>()
+                    .map_err(|_| format!("line {}: bad le {le:?}", lineno + 1))?
+            };
+            let base = strip_label(series, "le");
+            bucket_chains.entry(base).or_default().push((le, value));
+        }
+    }
+
+    for (base, chain) in &bucket_chains {
+        for pair in chain.windows(2) {
+            if pair[1].0 <= pair[0].0 || pair[1].1 < pair[0].1 {
+                return Err(format!(
+                    "histogram {base:?}: buckets not cumulative/monotone in le"
+                ));
+            }
+        }
+        let Some(&(last_le, last_count)) = chain.last() else {
+            continue;
+        };
+        if last_le != f64::INFINITY {
+            return Err(format!("histogram {base:?}: bucket chain must end at +Inf"));
+        }
+        let count_series = base.replacen("_bucket", "_count", 1);
+        match seen_series.get(&count_series) {
+            Some(&count) if count == last_count => {}
+            Some(&count) => {
+                return Err(format!(
+                    "histogram {base:?}: +Inf bucket {last_count} != count {count}"
+                ))
+            }
+            None => return Err(format!("histogram {base:?}: missing {count_series:?}")),
+        }
+    }
+
+    Ok(PromReport {
+        families: families.len(),
+        series: seen_series.len(),
+        samples,
+    })
+}
+
+/// Maps a sample name back to its declared family, accounting for
+/// histogram suffixes.
+fn family_of(name: &str, families: &BTreeMap<String, String>) -> Option<String> {
+    if families.contains_key(name) {
+        return Some(name.to_string());
+    }
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(family) = name.strip_suffix(suffix) {
+            if families.get(family).map(String::as_str) == Some("histogram") {
+                return Some(family.to_string());
+            }
+        }
+    }
+    None
+}
+
+/// The value of label `key` in a `name{…}` series, if present.
+fn extract_label(series: &str, key: &str) -> Option<String> {
+    let (_, labels) = series.split_once('{')?;
+    let labels = labels.trim_end_matches('}');
+    for part in labels.split(',') {
+        let (k, v) = part.split_once('=')?;
+        if k == key {
+            return Some(v.trim_matches('"').to_string());
+        }
+    }
+    None
+}
+
+/// The series identity with label `key` removed (bucket-chain key).
+fn strip_label(series: &str, key: &str) -> String {
+    let Some((name, labels)) = series.split_once('{') else {
+        return series.to_string();
+    };
+    let labels = labels.trim_end_matches('}');
+    let kept: Vec<&str> = labels
+        .split(',')
+        .filter(|part| part.split_once('=').map(|(k, _)| k) != Some(key))
+        .collect();
+    if kept.is_empty() {
+        name.to_string()
+    } else {
+        format!("{name}{{{}}}", kept.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::MetricsRegistry;
+
+    fn sample_snapshot() -> MetricsSnapshot {
+        let registry = MetricsRegistry::new();
+        registry.counter("req_total").add(7);
+        registry
+            .counter(&crate::labeled("req_node_total", "node", 0))
+            .add(4);
+        registry
+            .counter(&crate::labeled("req_node_total", "node", 1))
+            .add(3);
+        registry.gauge("live_trees").set(42);
+        let lat = registry.histogram("lat_ms");
+        for v in [0, 1, 4, 6, 6, 48] {
+            lat.record(v);
+        }
+        registry.snapshot()
+    }
+
+    #[test]
+    fn prometheus_output_validates() {
+        let text = to_prometheus(&sample_snapshot());
+        let report = validate_prometheus(&text).unwrap();
+        assert_eq!(report.families, 4);
+        assert!(text.contains("# TYPE req_node_total counter"));
+        assert!(text.contains("req_node_total{node=\"1\"} 3"));
+        assert!(text.contains("lat_ms_bucket{le=\"+Inf\"} 6"));
+        assert!(text.contains("lat_ms_count 6"));
+        // Exactly one TYPE line per family.
+        assert_eq!(text.matches("# TYPE req_node_total").count(), 1);
+    }
+
+    #[test]
+    fn validator_rejects_duplicates_and_broken_chains() {
+        let dup = "# TYPE a counter\na 1\na 2\n";
+        assert!(validate_prometheus(dup).unwrap_err().contains("duplicate"));
+        let untyped = "a 1\n";
+        assert!(validate_prometheus(untyped)
+            .unwrap_err()
+            .contains("no TYPE"));
+        let negative = "# TYPE a counter\na -1\n";
+        assert!(validate_prometheus(negative)
+            .unwrap_err()
+            .contains("non-negative"));
+        let nonmono =
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n";
+        assert!(validate_prometheus(nonmono)
+            .unwrap_err()
+            .contains("monotone"));
+        let miscount =
+            "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n";
+        assert!(validate_prometheus(miscount).unwrap_err().contains("!="));
+    }
+
+    #[test]
+    fn json_is_stable_and_carries_percentiles() {
+        let snapshot = sample_snapshot();
+        let json = to_json(&snapshot);
+        assert_eq!(json, to_json(&snapshot), "byte-stable");
+        assert!(json.contains("\"req_total\":7"));
+        assert!(json.contains("\"live_trees\":42"));
+        assert!(json.contains("\"count\":6"));
+        assert!(json.contains("\"max\":48"));
+        assert!(json.contains("[6,2]"));
+    }
+}

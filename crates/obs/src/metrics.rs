@@ -1,0 +1,597 @@
+//! The lock-free metrics registry: named counters, gauges, and
+//! log-scale latency histograms.
+//!
+//! Registration (the cold path) takes a mutex on the name table; the
+//! handles it returns are `Arc`ed atomic cells, so recording (the hot
+//! path) is a single relaxed atomic RMW with no lock and no allocation.
+//! Per-worker engines record into a local registry and
+//! [`MetricsRegistry::fold_into`] a shared one on gather — the same
+//! name-keyed merge discipline as `JoinStats`'s stage counters.
+//!
+//! A **disabled** registry ([`MetricsRegistry::disabled`]) hands every
+//! caller the same process-wide sink cells: instrumented code keeps its
+//! exact shape (one relaxed atomic add), values just land in a shared
+//! bit-bucket and snapshots come back empty. Toggling observability can
+//! therefore never change join results — only whether anyone is looking.
+//!
+//! ## Histogram bucket scheme
+//!
+//! Histograms are log-scale with ~2 buckets per octave: upper bounds
+//! `0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, …` up to
+//! [`MAX_TRACKED`] = 2³¹, then one saturating overflow bucket.
+//! Consecutive bounds differ by at most 1.5×, so any quantile read is
+//! within 50% of the true value — and reads are *exact* whenever the
+//! recorded values sit on bucket bounds (which clock-millisecond tests
+//! arrange). The true maximum is tracked exactly on the side, and
+//! quantiles are clamped to it, so `p99`/`max` never over-report.
+
+use std::collections::BTreeMap;
+use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Number of histogram buckets, including the overflow bucket.
+pub const NUM_BUCKETS: usize = 64;
+/// Index of the saturating overflow bucket (values above [`MAX_TRACKED`]).
+const OVERFLOW_BUCKET: usize = NUM_BUCKETS - 1;
+/// Largest value with a finite bucket bound: 2³¹ milliseconds ≈ 24 days.
+pub const MAX_TRACKED: u64 = 1 << 31;
+
+/// The bucket a value lands in: `0..=2` map to themselves, values above
+/// [`MAX_TRACKED`] saturate into the overflow bucket, everything else
+/// follows the 2-buckets-per-octave scheme.
+pub fn bucket_index(v: u64) -> usize {
+    if v <= 2 {
+        return v as usize;
+    }
+    if v > MAX_TRACKED {
+        return OVERFLOW_BUCKET;
+    }
+    // v ∈ [2^k + 1, 2^(k+1)] for this k ≥ 1; the octave splits at 3·2^(k-1).
+    let k = (63 - (v - 1).leading_zeros()) as usize;
+    2 * k + 1 + usize::from(v > 3 << (k - 1))
+}
+
+/// The inclusive upper bound of bucket `i`, or `None` for the overflow
+/// bucket (rendered `+Inf` by the Prometheus exporter).
+pub fn bucket_bound(i: usize) -> Option<u64> {
+    match i {
+        0..=2 => Some(i as u64),
+        OVERFLOW_BUCKET => None,
+        i if i % 2 == 1 => Some(3u64 << ((i - 3) / 2)),
+        i => Some(4u64 << ((i - 4) / 2)),
+    }
+}
+
+/// A monotonically increasing counter handle. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// Adds one.
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `v`.
+    pub fn add(&self, v: u64) {
+        self.0.fetch_add(v, Ordering::Relaxed);
+    }
+
+    /// Current value. (Meaningless on a disabled registry's sink.)
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge handle: a settable signed level. Cloning shares the cell.
+#[derive(Debug, Clone)]
+pub struct Gauge(Arc<AtomicI64>);
+
+impl Gauge {
+    /// Sets the level.
+    pub fn set(&self, v: i64) {
+        self.0.store(v, Ordering::Relaxed);
+    }
+
+    /// Adjusts the level by `delta`.
+    pub fn add(&self, delta: i64) {
+        self.0.fetch_add(delta, Ordering::Relaxed);
+    }
+
+    /// Current level. (Meaningless on a disabled registry's sink.)
+    pub fn get(&self) -> i64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// The atomic storage behind a histogram handle.
+#[derive(Debug)]
+pub struct HistogramCore {
+    buckets: [AtomicU64; NUM_BUCKETS],
+    sum: AtomicU64,
+    max: AtomicU64,
+}
+
+impl HistogramCore {
+    fn new() -> HistogramCore {
+        HistogramCore {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            sum: AtomicU64::new(0),
+            max: AtomicU64::new(0),
+        }
+    }
+
+    fn record(&self, v: u64) {
+        self.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.sum.fetch_add(v, Ordering::Relaxed);
+        self.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            buckets: self
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            sum: self.sum.load(Ordering::Relaxed),
+            max: self.max.load(Ordering::Relaxed),
+        }
+    }
+
+    fn merge(&self, snap: &HistogramSnapshot) {
+        for (bucket, &count) in self.buckets.iter().zip(&snap.buckets) {
+            if count > 0 {
+                bucket.fetch_add(count, Ordering::Relaxed);
+            }
+        }
+        self.sum.fetch_add(snap.sum, Ordering::Relaxed);
+        self.max.fetch_max(snap.max, Ordering::Relaxed);
+    }
+}
+
+/// A latency histogram handle. Cloning shares the cells.
+#[derive(Debug, Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    /// Records one observation.
+    pub fn record(&self, v: u64) {
+        self.0.record(v);
+    }
+
+    /// A point-in-time copy of the distribution.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        self.0.snapshot()
+    }
+}
+
+/// A point-in-time copy of one histogram's distribution.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct HistogramSnapshot {
+    /// Per-bucket observation counts ([`NUM_BUCKETS`] entries; the last
+    /// is the saturating overflow bucket).
+    pub buckets: Vec<u64>,
+    /// Exact sum of all recorded values.
+    pub sum: u64,
+    /// Exact maximum recorded value (0 when empty).
+    pub max: u64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.buckets.iter().sum()
+    }
+
+    /// Mean recorded value, or 0.0 when empty.
+    pub fn mean(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / count as f64
+        }
+    }
+
+    /// The value at quantile `q ∈ [0, 1]`: the upper bound of the bucket
+    /// holding the rank-⌈q·count⌉ observation, clamped to the exact
+    /// recorded [`HistogramSnapshot::max`] (the overflow bucket reads as
+    /// the max). Returns 0 when empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let rank = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return match bucket_bound(i) {
+                    Some(bound) => bound.min(self.max),
+                    None => self.max,
+                };
+            }
+        }
+        self.max
+    }
+
+    /// Median (see [`HistogramSnapshot::quantile`]).
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 90th percentile.
+    pub fn p90(&self) -> u64 {
+        self.quantile(0.90)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+
+    /// Adds `other`'s observations into this snapshot.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        if self.buckets.is_empty() {
+            self.buckets = vec![0; NUM_BUCKETS];
+        }
+        for (mine, &theirs) in self.buckets.iter_mut().zip(&other.buckets) {
+            *mine += theirs;
+        }
+        self.sum += other.sum;
+        self.max = self.max.max(other.max);
+    }
+
+    /// `(upper bound, count)` for every non-empty bucket; the overflow
+    /// bucket reports the exact max as its bound.
+    pub fn nonzero_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (bucket_bound(i).unwrap_or(self.max), c))
+            .collect()
+    }
+}
+
+#[derive(Debug)]
+enum MetricCell {
+    Counter(Arc<AtomicU64>),
+    Gauge(Arc<AtomicI64>),
+    Histogram(Arc<HistogramCore>),
+}
+
+/// A named family of counters, gauges, and histograms.
+///
+/// See the module docs for the recording model and the disabled
+/// mode. Metric names follow the Prometheus convention, optionally with
+/// inline labels — see [`labeled`].
+#[derive(Debug)]
+pub struct MetricsRegistry {
+    enabled: AtomicBool,
+    metrics: Mutex<BTreeMap<String, MetricCell>>,
+}
+
+impl MetricsRegistry {
+    /// An enabled, empty registry.
+    pub fn new() -> MetricsRegistry {
+        MetricsRegistry {
+            enabled: AtomicBool::new(true),
+            metrics: Mutex::new(BTreeMap::new()),
+        }
+    }
+
+    /// A registry that hands out shared sink cells: recording stays a
+    /// relaxed atomic add, but nothing is retained and snapshots are
+    /// empty.
+    pub fn disabled() -> MetricsRegistry {
+        let registry = MetricsRegistry::new();
+        registry.set_enabled(false);
+        registry
+    }
+
+    /// Whether this registry retains recordings.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips retention on or off. Handles registered while disabled are
+    /// sinks and stay sinks; re-fetch handles after enabling.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// The counter named `name`, registered on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.is_enabled() {
+            return Counter(sink_u64().clone());
+        }
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let cell = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| MetricCell::Counter(Arc::new(AtomicU64::new(0))));
+        match cell {
+            MetricCell::Counter(c) => Counter(c.clone()),
+            _ => panic!("metric {name:?} is already registered as a non-counter"),
+        }
+    }
+
+    /// The gauge named `name`, registered on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.is_enabled() {
+            return Gauge(sink_i64().clone());
+        }
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let cell = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| MetricCell::Gauge(Arc::new(AtomicI64::new(0))));
+        match cell {
+            MetricCell::Gauge(g) => Gauge(g.clone()),
+            _ => panic!("metric {name:?} is already registered as a non-gauge"),
+        }
+    }
+
+    /// The histogram named `name`, registered on first use.
+    ///
+    /// # Panics
+    /// If `name` is already registered as a different metric kind.
+    pub fn histogram(&self, name: &str) -> Histogram {
+        if !self.is_enabled() {
+            return Histogram(sink_histogram().clone());
+        }
+        let mut metrics = self.metrics.lock().expect("metrics lock");
+        let cell = metrics
+            .entry(name.to_string())
+            .or_insert_with(|| MetricCell::Histogram(Arc::new(HistogramCore::new())));
+        match cell {
+            MetricCell::Histogram(h) => Histogram(h.clone()),
+            _ => panic!("metric {name:?} is already registered as a non-histogram"),
+        }
+    }
+
+    /// A point-in-time copy of every metric, sorted by name. Empty when
+    /// disabled.
+    pub fn snapshot(&self) -> MetricsSnapshot {
+        let mut snapshot = MetricsSnapshot::default();
+        if !self.is_enabled() {
+            return snapshot;
+        }
+        let metrics = self.metrics.lock().expect("metrics lock");
+        for (name, cell) in metrics.iter() {
+            match cell {
+                MetricCell::Counter(c) => snapshot
+                    .counters
+                    .push((name.clone(), c.load(Ordering::Relaxed))),
+                MetricCell::Gauge(g) => snapshot
+                    .gauges
+                    .push((name.clone(), g.load(Ordering::Relaxed))),
+                MetricCell::Histogram(h) => snapshot.histograms.push((name.clone(), h.snapshot())),
+            }
+        }
+        snapshot
+    }
+
+    /// Folds this registry's current values into `target` by name —
+    /// counters and histograms add, gauges overwrite — mirroring
+    /// `JoinStats`'s name-keyed stage merge. The local registry is left
+    /// untouched; call once per worker on gather.
+    pub fn fold_into(&self, target: &MetricsRegistry) {
+        if !self.is_enabled() || !target.is_enabled() {
+            return;
+        }
+        let snapshot = self.snapshot();
+        for (name, v) in &snapshot.counters {
+            target.counter(name).add(*v);
+        }
+        for (name, v) in &snapshot.gauges {
+            target.gauge(name).set(*v);
+        }
+        for (name, h) in &snapshot.histograms {
+            let Histogram(core) = target.histogram(name);
+            core.merge(h);
+        }
+    }
+
+    /// Drops every registered metric. Handles already handed out keep
+    /// working but are no longer visible to snapshots; re-fetch after
+    /// resetting.
+    pub fn reset(&self) {
+        self.metrics.lock().expect("metrics lock").clear();
+    }
+}
+
+impl Default for MetricsRegistry {
+    fn default() -> MetricsRegistry {
+        MetricsRegistry::new()
+    }
+}
+
+/// A point-in-time copy of a whole registry, each section sorted by name.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct MetricsSnapshot {
+    /// `(name, value)` for every counter.
+    pub counters: Vec<(String, u64)>,
+    /// `(name, level)` for every gauge.
+    pub gauges: Vec<(String, i64)>,
+    /// `(name, distribution)` for every histogram.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// The counter named `name`, if present.
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        self.counters
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|&(_, v)| v)
+    }
+
+    /// The gauge named `name`, if present.
+    pub fn gauge(&self, name: &str) -> Option<i64> {
+        self.gauges.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The histogram named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&HistogramSnapshot> {
+        self.histograms
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, h)| h)
+    }
+
+    /// Whether the snapshot holds no metrics at all.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges `other` by name: counters and histograms add, gauges take
+    /// `other`'s value. Keeps each section sorted.
+    pub fn merge(&mut self, other: &MetricsSnapshot) {
+        for (name, v) in &other.counters {
+            match self.counters.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.counters[i].1 += v,
+                Err(i) => self.counters.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, v) in &other.gauges {
+            match self.gauges.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.gauges[i].1 = *v,
+                Err(i) => self.gauges.insert(i, (name.clone(), *v)),
+            }
+        }
+        for (name, h) in &other.histograms {
+            match self.histograms.binary_search_by(|(n, _)| n.cmp(name)) {
+                Ok(i) => self.histograms[i].1.merge(h),
+                Err(i) => self.histograms.insert(i, (name.clone(), h.clone())),
+            }
+        }
+    }
+}
+
+/// `family{key="value"}`: the inline-label naming convention the
+/// exporters understand. The value is rendered with `Display`; quotes
+/// and backslashes in it are escaped.
+pub fn labeled(family: &str, key: &str, value: impl Display) -> String {
+    let rendered = value.to_string();
+    let mut escaped = String::with_capacity(rendered.len());
+    for c in rendered.chars() {
+        match c {
+            '"' | '\\' => {
+                escaped.push('\\');
+                escaped.push(c);
+            }
+            '\n' => escaped.push_str("\\n"),
+            c => escaped.push(c),
+        }
+    }
+    format!("{family}{{{key}=\"{escaped}\"}}")
+}
+
+fn sink_u64() -> &'static Arc<AtomicU64> {
+    static SINK: OnceLock<Arc<AtomicU64>> = OnceLock::new();
+    SINK.get_or_init(|| Arc::new(AtomicU64::new(0)))
+}
+
+fn sink_i64() -> &'static Arc<AtomicI64> {
+    static SINK: OnceLock<Arc<AtomicI64>> = OnceLock::new();
+    SINK.get_or_init(|| Arc::new(AtomicI64::new(0)))
+}
+
+fn sink_histogram() -> &'static Arc<HistogramCore> {
+    static SINK: OnceLock<Arc<HistogramCore>> = OnceLock::new();
+    SINK.get_or_init(|| Arc::new(HistogramCore::new()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_bounds_and_indices_round_trip() {
+        let mut previous = None;
+        for i in 0..NUM_BUCKETS - 1 {
+            let bound = bucket_bound(i).expect("finite bound");
+            assert_eq!(bucket_index(bound), i, "bound {bound} of bucket {i}");
+            if bound < MAX_TRACKED {
+                assert_eq!(bucket_index(bound + 1), i + 1, "first value past {bound}");
+            }
+            if let Some(prev) = previous {
+                assert!(bound > prev, "bounds strictly increase");
+                if prev >= 2 {
+                    // ~2 buckets/octave: at most 1.5× apart.
+                    assert!(bound * 2 <= prev * 3, "bucket {i}: {prev} → {bound}");
+                }
+            }
+            previous = Some(bound);
+        }
+        assert_eq!(previous, Some(MAX_TRACKED));
+        assert_eq!(bucket_index(MAX_TRACKED + 1), NUM_BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NUM_BUCKETS - 1);
+    }
+
+    #[test]
+    fn registry_hands_out_shared_cells_and_snapshots_by_name() {
+        let registry = MetricsRegistry::new();
+        registry.counter("a_total").inc();
+        registry.counter("a_total").add(2);
+        registry.gauge("level").set(-4);
+        registry.histogram("lat_ms").record(6);
+        let snapshot = registry.snapshot();
+        assert_eq!(snapshot.counter("a_total"), Some(3));
+        assert_eq!(snapshot.gauge("level"), Some(-4));
+        let h = snapshot.histogram("lat_ms").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.max, 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn kind_collisions_panic() {
+        let registry = MetricsRegistry::new();
+        registry.counter("x").inc();
+        registry.gauge("x");
+    }
+
+    #[test]
+    fn disabled_registry_retains_nothing() {
+        let registry = MetricsRegistry::disabled();
+        registry.counter("a_total").add(10);
+        registry.gauge("g").set(5);
+        registry.histogram("h").record(100);
+        assert!(registry.snapshot().is_empty());
+    }
+
+    #[test]
+    fn fold_adds_counters_and_merges_histograms() {
+        let worker_a = MetricsRegistry::new();
+        let worker_b = MetricsRegistry::new();
+        worker_a.counter("probes_total").add(2);
+        worker_b.counter("probes_total").add(3);
+        worker_a.histogram("lat_ms").record(4);
+        worker_b.histogram("lat_ms").record(16);
+        let target = MetricsRegistry::new();
+        worker_a.fold_into(&target);
+        worker_b.fold_into(&target);
+        let snapshot = target.snapshot();
+        assert_eq!(snapshot.counter("probes_total"), Some(5));
+        let h = snapshot.histogram("lat_ms").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum, 20);
+        assert_eq!(h.max, 16);
+    }
+
+    #[test]
+    fn labeled_escapes_quotes() {
+        assert_eq!(labeled("req", "node", 3), "req{node=\"3\"}");
+        assert_eq!(labeled("req", "s", "a\"b"), "req{s=\"a\\\"b\"}");
+    }
+}

@@ -1,0 +1,314 @@
+//! Structured trace events: spans with begin/end stamps on an
+//! injectable [`Clock`], collected in a bounded ring buffer.
+//!
+//! A [`Span`] is an RAII guard: it stamps its begin time at creation
+//! and records a [`TraceEvent`] with the exact duration when dropped
+//! (or explicitly [`Span::end`]ed, which also returns the duration).
+//! Because stamps come from the same [`Clock`] abstraction the cluster
+//! router sleeps on, a test driving a `VirtualClock` can assert span
+//! durations to the millisecond — no wall-clock flakiness.
+//!
+//! The buffer is a fixed-capacity ring: once full, the oldest events
+//! are dropped and counted, never blocking the recording path. The
+//! whole buffer can be dumped as chrome-trace JSON
+//! ([`TraceBuffer::to_chrome_json`]) and loaded into `about:tracing`
+//! or Perfetto.
+
+use crate::clock::Clock;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// One recorded trace event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Event name, e.g. `"catalog.freeze"`.
+    pub name: String,
+    /// Category (one per instrumented layer: `"core"`, `"shard"`, …).
+    pub cat: &'static str,
+    /// Begin stamp, in clock milliseconds.
+    pub ts_ms: u64,
+    /// Duration in clock milliseconds (0 for instant events).
+    pub dur_ms: u64,
+    /// Whether this was a span or an instant marker.
+    pub kind: EventKind,
+}
+
+/// The shape of a [`TraceEvent`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A complete span with a duration (chrome-trace phase `X`).
+    Span,
+    /// A zero-duration marker (chrome-trace phase `i`).
+    Instant,
+}
+
+#[derive(Debug)]
+struct Ring {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+    dropped: u64,
+}
+
+/// A bounded ring buffer of [`TraceEvent`]s.
+#[derive(Debug)]
+pub struct TraceBuffer {
+    enabled: AtomicBool,
+    ring: Mutex<Ring>,
+}
+
+impl TraceBuffer {
+    /// An enabled buffer retaining at most `capacity` events (clamped to
+    /// at least 1).
+    pub fn new(capacity: usize) -> TraceBuffer {
+        TraceBuffer {
+            enabled: AtomicBool::new(true),
+            ring: Mutex::new(Ring {
+                events: VecDeque::new(),
+                capacity: capacity.max(1),
+                dropped: 0,
+            }),
+        }
+    }
+
+    /// Whether events are being recorded.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Flips recording on or off; disabling makes spans no-ops.
+    pub fn set_enabled(&self, enabled: bool) {
+        self.enabled.store(enabled, Ordering::Relaxed);
+    }
+
+    /// Resizes the ring (clamped to at least 1), evicting oldest events
+    /// if it shrinks.
+    pub fn set_capacity(&self, capacity: usize) {
+        let mut ring = self.ring.lock().expect("trace lock");
+        ring.capacity = capacity.max(1);
+        while ring.events.len() > ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+    }
+
+    /// Begins a span stamped on `clock`; the event is recorded when the
+    /// guard drops. No-op (but still returned) when disabled.
+    pub fn span(
+        self: &Arc<TraceBuffer>,
+        clock: &Arc<dyn Clock>,
+        name: impl Into<String>,
+        cat: &'static str,
+    ) -> Span {
+        if !self.is_enabled() {
+            return Span {
+                buffer: None,
+                clock: clock.clone(),
+                name: String::new(),
+                cat,
+                begin_ms: 0,
+            };
+        }
+        Span {
+            buffer: Some(self.clone()),
+            clock: clock.clone(),
+            name: name.into(),
+            cat,
+            begin_ms: clock.now_ms(),
+        }
+    }
+
+    /// Records a zero-duration marker stamped on `clock`.
+    pub fn instant(&self, clock: &dyn Clock, name: impl Into<String>, cat: &'static str) {
+        if !self.is_enabled() {
+            return;
+        }
+        self.record(TraceEvent {
+            name: name.into(),
+            cat,
+            ts_ms: clock.now_ms(),
+            dur_ms: 0,
+            kind: EventKind::Instant,
+        });
+    }
+
+    /// Appends a pre-built event, evicting the oldest when full.
+    pub fn record(&self, event: TraceEvent) {
+        if !self.is_enabled() {
+            return;
+        }
+        let mut ring = self.ring.lock().expect("trace lock");
+        if ring.events.len() == ring.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        ring.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.ring
+            .lock()
+            .expect("trace lock")
+            .events
+            .iter()
+            .cloned()
+            .collect()
+    }
+
+    /// Events evicted because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.ring.lock().expect("trace lock").dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.lock().expect("trace lock").events.len()
+    }
+
+    /// Whether no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Empties the ring and resets the dropped count.
+    pub fn clear(&self) {
+        let mut ring = self.ring.lock().expect("trace lock");
+        ring.events.clear();
+        ring.dropped = 0;
+    }
+
+    /// The retained events as chrome-trace JSON (the
+    /// `{"traceEvents": […]}` object format; timestamps in µs), loadable
+    /// in `about:tracing` or Perfetto.
+    pub fn to_chrome_json(&self) -> String {
+        let ring = self.ring.lock().expect("trace lock");
+        let mut out = String::from("{\"traceEvents\":[");
+        for (i, event) in ring.events.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("{\"name\":");
+            crate::export::push_json_string(&mut out, &event.name);
+            out.push_str(",\"cat\":");
+            crate::export::push_json_string(&mut out, event.cat);
+            match event.kind {
+                EventKind::Span => {
+                    out.push_str(&format!(
+                        ",\"ph\":\"X\",\"ts\":{},\"dur\":{}",
+                        event.ts_ms * 1000,
+                        event.dur_ms * 1000
+                    ));
+                }
+                EventKind::Instant => {
+                    out.push_str(&format!(
+                        ",\"ph\":\"i\",\"ts\":{},\"s\":\"g\"",
+                        event.ts_ms * 1000
+                    ));
+                }
+            }
+            out.push_str(",\"pid\":0,\"tid\":0}");
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// An in-flight span; records its event when dropped.
+#[derive(Debug)]
+pub struct Span {
+    /// `None` when tracing was disabled at creation: the guard is inert.
+    buffer: Option<Arc<TraceBuffer>>,
+    clock: Arc<dyn Clock>,
+    name: String,
+    cat: &'static str,
+    begin_ms: u64,
+}
+
+impl Span {
+    /// The begin stamp, in clock milliseconds.
+    pub fn begin_ms(&self) -> u64 {
+        self.begin_ms
+    }
+
+    /// Ends the span now and returns its duration in clock milliseconds
+    /// (0 when tracing was disabled at creation).
+    pub fn end(mut self) -> u64 {
+        match self.buffer.take() {
+            None => 0,
+            Some(buffer) => {
+                let dur_ms = self.clock.now_ms().saturating_sub(self.begin_ms);
+                buffer.record(TraceEvent {
+                    name: std::mem::take(&mut self.name),
+                    cat: self.cat,
+                    ts_ms: self.begin_ms,
+                    dur_ms,
+                    kind: EventKind::Span,
+                });
+                dur_ms
+            }
+        }
+    }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if let Some(buffer) = self.buffer.take() {
+            let dur_ms = self.clock.now_ms().saturating_sub(self.begin_ms);
+            buffer.record(TraceEvent {
+                name: std::mem::take(&mut self.name),
+                cat: self.cat,
+                ts_ms: self.begin_ms,
+                dur_ms,
+                kind: EventKind::Span,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::clock::VirtualClock;
+
+    fn virtual_clock() -> Arc<dyn Clock> {
+        Arc::new(VirtualClock::new())
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_counts_drops() {
+        let buffer = TraceBuffer::new(2);
+        let clock = virtual_clock();
+        for name in ["a", "b", "c"] {
+            buffer.instant(&*clock, name, "test");
+        }
+        let names: Vec<String> = buffer.events().into_iter().map(|e| e.name).collect();
+        assert_eq!(names, ["b", "c"]);
+        assert_eq!(buffer.dropped(), 1);
+    }
+
+    #[test]
+    fn disabled_buffer_records_nothing() {
+        let buffer = Arc::new(TraceBuffer::new(8));
+        buffer.set_enabled(false);
+        let clock = virtual_clock();
+        let span = buffer.span(&clock, "quiet", "test");
+        assert_eq!(span.end(), 0);
+        buffer.instant(&*clock, "quiet", "test");
+        assert!(buffer.is_empty());
+    }
+
+    #[test]
+    fn chrome_json_is_structurally_sound() {
+        let buffer = Arc::new(TraceBuffer::new(8));
+        let clock: Arc<dyn Clock> = Arc::new(VirtualClock::new());
+        let span = buffer.span(&clock, "work \"quoted\"", "test");
+        clock.sleep_ms(3);
+        drop(span);
+        let json = buffer.to_chrome_json();
+        assert!(json.starts_with("{\"traceEvents\":["));
+        assert!(json.contains("\"ph\":\"X\""));
+        assert!(json.contains("\"dur\":3000"), "{json}");
+        assert!(json.contains("work \\\"quoted\\\""));
+    }
+}

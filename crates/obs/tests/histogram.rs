@@ -1,0 +1,159 @@
+//! Histogram correctness: percentile exactness on known distributions,
+//! the saturating overflow bucket, and concurrent multi-thread
+//! recording folding to the same totals as sequential recording.
+
+use std::sync::Arc;
+use std::thread;
+use tsj_obs::{bucket_bound, MetricsRegistry, MAX_TRACKED, NUM_BUCKETS};
+
+/// The same rank rule the histogram uses: value at rank ⌈q·n⌉ of the
+/// sorted data, clamped to [1, n].
+fn exact_percentile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// When every recorded value sits on a bucket bound, quantile readout
+/// is *exact* — not approximate — for any q: this is what clock-ms
+/// tests rely on.
+#[test]
+fn percentiles_are_exact_on_bucket_bound_distributions() {
+    // A skewed distribution over bucket bounds: lots of fast requests,
+    // a slow tail. 3 is recorded 50×, 16 recorded 30×, and so on.
+    let distribution: &[(u64, usize)] = &[(3, 50), (16, 30), (96, 15), (1536, 4), (24576, 1)];
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("lat_ms");
+    let mut values = Vec::new();
+    for &(v, times) in distribution {
+        for _ in 0..times {
+            histogram.record(v);
+            values.push(v);
+        }
+    }
+    values.sort_unstable();
+
+    let snapshot = registry.snapshot();
+    let h = snapshot.histogram("lat_ms").unwrap();
+    assert_eq!(h.count(), values.len() as u64);
+    assert_eq!(h.sum, values.iter().sum::<u64>());
+    assert_eq!(h.max, 24576);
+    for q in [0.0, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99, 1.0] {
+        assert_eq!(
+            h.quantile(q),
+            exact_percentile(&values, q),
+            "quantile {q} must be exact on bucket-bound data"
+        );
+    }
+    assert_eq!(h.p50(), 3);
+    assert_eq!(h.p90(), 96);
+    assert_eq!(h.p99(), 1536);
+}
+
+/// Off-bound values land in the right bucket and quantiles never
+/// over-report past the exact tracked max.
+#[test]
+fn quantiles_clamp_to_the_exact_max() {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("lat_ms");
+    // 5 falls in the (4, 6] bucket; the readout would be 6, but the
+    // exact max 5 clamps it.
+    for _ in 0..10 {
+        histogram.record(5);
+    }
+    let snapshot = registry.snapshot();
+    let h = snapshot.histogram("lat_ms").unwrap();
+    assert_eq!(h.max, 5);
+    assert_eq!(h.p50(), 5);
+    assert_eq!(h.p99(), 5);
+}
+
+/// Values above `MAX_TRACKED` saturate into the overflow bucket: counts
+/// stay exact, the max stays exact, and tail quantiles read as the max.
+#[test]
+fn overflow_bucket_saturates_without_losing_counts() {
+    let registry = MetricsRegistry::new();
+    let histogram = registry.histogram("lat_ms");
+    histogram.record(1);
+    histogram.record(MAX_TRACKED); // last finite bucket
+    histogram.record(MAX_TRACKED + 1); // first overflowing value
+    histogram.record(MAX_TRACKED * 1000);
+    let snapshot = registry.snapshot();
+    let h = snapshot.histogram("lat_ms").unwrap();
+    assert_eq!(h.count(), 4);
+    assert_eq!(h.buckets[NUM_BUCKETS - 1], 2, "two values overflowed");
+    assert_eq!(h.max, MAX_TRACKED * 1000);
+    assert_eq!(h.quantile(1.0), MAX_TRACKED * 1000, "overflow reads as max");
+    assert_eq!(h.p50(), MAX_TRACKED);
+    // The finite bounds end exactly at MAX_TRACKED.
+    assert_eq!(bucket_bound(NUM_BUCKETS - 2), Some(MAX_TRACKED));
+    assert_eq!(bucket_bound(NUM_BUCKETS - 1), None);
+}
+
+/// Four threads hammering one shared histogram lose nothing: the merged
+/// totals equal a sequential run over the same values.
+#[test]
+fn concurrent_recording_matches_sequential_totals() {
+    let values: Vec<u64> = (0..4000).map(|i| (i * i) % 3000).collect();
+
+    let sequential = MetricsRegistry::new();
+    let histogram = sequential.histogram("lat_ms");
+    for &v in &values {
+        histogram.record(v);
+    }
+    let expected = sequential.snapshot();
+
+    let shared = Arc::new(MetricsRegistry::new());
+    let chunk = values.len() / 4;
+    thread::scope(|scope| {
+        for part in values.chunks(chunk) {
+            let registry = shared.clone();
+            scope.spawn(move || {
+                let histogram = registry.histogram("lat_ms");
+                registry.counter("records_total").add(part.len() as u64);
+                for &v in part {
+                    histogram.record(v);
+                }
+            });
+        }
+    });
+    let concurrent = shared.snapshot();
+    assert_eq!(
+        concurrent.histogram("lat_ms"),
+        expected.histogram("lat_ms"),
+        "shared-histogram recording must be lossless"
+    );
+    assert_eq!(concurrent.counter("records_total"), Some(4000));
+}
+
+/// Per-worker local registries folded on gather reach the same totals
+/// as recording everything into one registry — the fold model the join
+/// engines use.
+#[test]
+fn per_worker_registries_fold_to_sequential_totals() {
+    let values: Vec<u64> = (0..4000).map(|i| (i * 7) % 2500).collect();
+
+    let direct = MetricsRegistry::new();
+    let histogram = direct.histogram("lat_ms");
+    for &v in &values {
+        histogram.record(v);
+    }
+    direct.counter("records_total").add(values.len() as u64);
+    let expected = direct.snapshot();
+
+    let target = MetricsRegistry::new();
+    thread::scope(|scope| {
+        let target = &target;
+        for part in values.chunks(values.len() / 4) {
+            scope.spawn(move || {
+                let local = MetricsRegistry::new();
+                let histogram = local.histogram("lat_ms");
+                local.counter("records_total").add(part.len() as u64);
+                for &v in part {
+                    histogram.record(v);
+                }
+                local.fold_into(target);
+            });
+        }
+    });
+    assert_eq!(target.snapshot(), expected, "fold-on-gather is lossless");
+}

@@ -1,0 +1,97 @@
+//! Virtual-clock span timing: spans stamped on a [`VirtualClock`]
+//! record *exact* begin stamps and durations — no tolerance windows —
+//! and the chrome-trace dump carries them verbatim in microseconds.
+
+use std::sync::Arc;
+use tsj_obs::{Clock, EventKind, ObsConfig, TraceBuffer, VirtualClock};
+
+fn setup() -> (Arc<TraceBuffer>, Arc<VirtualClock>, Arc<dyn Clock>) {
+    let buffer = Arc::new(TraceBuffer::new(64));
+    let virtual_clock = Arc::new(VirtualClock::new());
+    let clock: Arc<dyn Clock> = virtual_clock.clone();
+    (buffer, virtual_clock, clock)
+}
+
+#[test]
+fn span_durations_are_exact_on_a_virtual_clock() {
+    let (buffer, virtual_clock, clock) = setup();
+    virtual_clock.sleep_ms(100); // begin at t = 100
+    let span = buffer.span(&clock, "serve", "cluster");
+    assert_eq!(span.begin_ms(), 100);
+    virtual_clock.sleep_ms(37);
+    assert_eq!(span.end(), 37, "end() returns the exact duration");
+
+    let events = buffer.events();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].name, "serve");
+    assert_eq!(events[0].cat, "cluster");
+    assert_eq!(events[0].ts_ms, 100);
+    assert_eq!(events[0].dur_ms, 37);
+    assert_eq!(events[0].kind, EventKind::Span);
+}
+
+#[test]
+fn nested_spans_record_their_own_exact_windows() {
+    let (buffer, virtual_clock, clock) = setup();
+    let outer = buffer.span(&clock, "join", "core");
+    virtual_clock.sleep_ms(5);
+    {
+        let inner = buffer.span(&clock, "verify", "core");
+        virtual_clock.sleep_ms(11);
+        drop(inner); // recorded first: [5, 16)
+    }
+    virtual_clock.sleep_ms(4);
+    drop(outer); // recorded second: [0, 20)
+
+    let events = buffer.events();
+    assert_eq!(events.len(), 2);
+    assert_eq!((events[0].ts_ms, events[0].dur_ms), (5, 11), "inner");
+    assert_eq!((events[1].ts_ms, events[1].dur_ms), (0, 20), "outer");
+}
+
+#[test]
+fn instants_stamp_the_current_time() {
+    let (buffer, virtual_clock, clock) = setup();
+    virtual_clock.sleep_ms(42);
+    buffer.instant(&*clock, "node.down", "cluster");
+    let events = buffer.events();
+    assert_eq!((events[0].ts_ms, events[0].dur_ms), (42, 0));
+    assert_eq!(events[0].kind, EventKind::Instant);
+}
+
+#[test]
+fn chrome_trace_dump_carries_exact_microsecond_stamps() {
+    let (buffer, virtual_clock, clock) = setup();
+    virtual_clock.sleep_ms(3);
+    let span = buffer.span(&clock, "freeze", "catalog");
+    virtual_clock.sleep_ms(9);
+    drop(span);
+    let json = buffer.to_chrome_json();
+    assert!(
+        json.contains("\"ph\":\"X\",\"ts\":3000,\"dur\":9000"),
+        "exact µs stamps, got: {json}"
+    );
+}
+
+/// The global layer obeys [`ObsConfig`]: a disabled tracer makes spans
+/// inert, re-enabling restores exact recording on an injected clock.
+#[test]
+fn global_spans_follow_the_config_and_injected_clock() {
+    let virtual_clock = Arc::new(VirtualClock::new());
+    tsj_obs::set_clock(virtual_clock.clone());
+    tsj_obs::configure(&ObsConfig::DISABLED);
+    tsj_obs::tracer().clear();
+    let quiet = tsj_obs::span("invisible", "test");
+    virtual_clock.sleep_ms(8);
+    assert_eq!(quiet.end(), 0, "disabled spans are inert");
+    assert!(tsj_obs::tracer().is_empty());
+
+    tsj_obs::configure(&ObsConfig::ON);
+    let span = tsj_obs::span("visible", "test");
+    virtual_clock.sleep_ms(13);
+    assert_eq!(span.end(), 13);
+    let events = tsj_obs::tracer().events();
+    let visible = events.iter().find(|e| e.name == "visible").unwrap();
+    assert_eq!(visible.dur_ms, 13);
+    tsj_obs::configure(&ObsConfig::default());
+}

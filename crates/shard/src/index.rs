@@ -35,8 +35,36 @@
 use partsj::probe::{probe_tree_nodes, CandidateSink, ProbeCounters};
 use partsj::subgraph::Subgraph;
 use partsj::{resolve_layers, LayerId, MatchCache, SubgraphIndex, WindowPolicy};
+use tsj_obs::{Counter, Gauge};
 use tsj_ted::TreeIdx;
 use tsj_tree::{BinaryTree, FxHashMap};
+
+/// Hoisted observability handles (global registry, sampled once at index
+/// construction). Recording is a relaxed atomic op; with observability
+/// disabled nothing is recorded at all.
+#[derive(Debug)]
+struct ObsCells {
+    enabled: bool,
+    inserts: Counter,
+    removals: Counter,
+    compactions: Counter,
+    live_trees: Gauge,
+    live_postings: Gauge,
+}
+
+impl ObsCells {
+    fn new() -> ObsCells {
+        let obs = tsj_obs::global();
+        ObsCells {
+            enabled: obs.is_enabled(),
+            inserts: obs.counter("tsj_shard_trees_inserted_total"),
+            removals: obs.counter("tsj_shard_trees_removed_total"),
+            compactions: obs.counter("tsj_shard_compactions_total"),
+            live_trees: obs.gauge("tsj_shard_live_trees"),
+            live_postings: obs.gauge("tsj_shard_live_postings"),
+        }
+    }
+}
 
 /// Configuration of the shard layer (the join-level knobs — window,
 /// partitioning, matching — stay in [`partsj::PartSjConfig`]).
@@ -348,6 +376,7 @@ pub struct ShardedIndex {
     live_trees: usize,
     removed_trees: u64,
     compactions: u64,
+    obs: ObsCells,
 }
 
 impl ShardedIndex {
@@ -367,6 +396,7 @@ impl ShardedIndex {
             live_trees: 0,
             removed_trees: 0,
             compactions: 0,
+            obs: ObsCells::new(),
         }
     }
 
@@ -500,6 +530,10 @@ impl ShardedIndex {
         self.alive[idx] = true;
         self.sizes[idx] = size;
         self.live_trees += 1;
+        if self.obs.enabled {
+            self.obs.inserts.inc();
+            self.obs.live_trees.set(self.live_trees as i64);
+        }
     }
 
     /// Inserts a partitioned tree: tracks it and registers its subgraphs
@@ -509,6 +543,9 @@ impl ShardedIndex {
         let shard = self.shard_of_size(size);
         let replay = self.replay;
         self.shards[shard].insert(tree, size, subgraphs, replay);
+        if self.obs.enabled {
+            self.obs.live_postings.set(self.live_postings() as i64);
+        }
     }
 
     /// Bulk-inserts `(tree, size, subgraphs)` triples, preserving the
@@ -517,6 +554,7 @@ impl ShardedIndex {
     /// so no synchronization is needed); the resulting index is
     /// *identical* to sequential insertion either way.
     pub fn insert_all(&mut self, items: Vec<(TreeIdx, u32, Vec<Subgraph>)>, parallel: bool) {
+        let build_span = tsj_obs::span("shard.build", "shard");
         let mut per_shard: Vec<Vec<(TreeIdx, u32, Vec<Subgraph>)>> =
             (0..self.shards.len()).map(|_| Vec::new()).collect();
         for (tree, size, subgraphs) in items {
@@ -545,6 +583,10 @@ impl ShardedIndex {
                 }
             }
         }
+        if self.obs.enabled {
+            self.obs.live_postings.set(self.live_postings() as i64);
+        }
+        build_span.end();
     }
 
     /// Removes a tracked tree: clears its liveness bit (probes stop
@@ -566,6 +608,14 @@ impl ShardedIndex {
         {
             shard.compact();
             self.compactions += 1;
+            if self.obs.enabled {
+                self.obs.compactions.inc();
+            }
+        }
+        if self.obs.enabled {
+            self.obs.removals.inc();
+            self.obs.live_trees.set(self.live_trees as i64);
+            self.obs.live_postings.set(self.live_postings() as i64);
         }
         true
     }

@@ -102,6 +102,10 @@ pub struct ShardedStreamingJoin {
     verify: VerifyEngine,
     pairs_found: u64,
     evictions: u64,
+    /// Hoisted observability handle (global registry, sampled at
+    /// construction); the paired live-trees/postings gauges are kept by
+    /// the index itself.
+    obs_evictions: Option<tsj_obs::Counter>,
 }
 
 impl ShardedStreamingJoin {
@@ -133,6 +137,9 @@ impl ShardedStreamingJoin {
             verify: VerifyEngine::new(tau, &config),
             pairs_found: 0,
             evictions: 0,
+            obs_evictions: tsj_obs::global()
+                .is_enabled()
+                .then(|| tsj_obs::global().counter("tsj_shard_evictions_total")),
         }
     }
 
@@ -326,5 +333,8 @@ impl ShardedStreamingJoin {
             }
         }
         self.evictions += 1;
+        if let Some(counter) = &self.obs_evictions {
+            counter.inc();
+        }
     }
 }

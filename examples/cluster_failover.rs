@@ -81,6 +81,19 @@ fn main() {
         failed_over.outcome.pairs.len(),
         cluster.alive_nodes()
     );
+    // The telemetry quantifies what the failover cost: every request
+    // carries its attempt/retry/backoff tally.
+    let t = &failed_over.telemetry;
+    println!(
+        "           effort: {} attempts for {} requests, {} retries, {} failovers, {} ms backoff",
+        t.attempts, t.requests, t.retries, t.failovers, t.backoff_ms
+    );
+    if let Some(hot) = t.hottest_request() {
+        println!(
+            "           hottest request: probe {} shard {} took {} attempts ({} ms backoff)",
+            hot.probe, hot.shard, hot.attempts, hot.backoff_ms
+        );
+    }
 
     // 4. Kill its replica neighbor: the shards they co-owned are gone.
     cluster.kill_node(2);
@@ -105,6 +118,10 @@ fn main() {
         degraded.outcome.pairs.len(),
         expected.pairs.len()
     );
+    println!(
+        "           effort sunk into the unserved requests: {} attempts, {} retries, {} ms backoff",
+        report.attempts, report.retries, report.backoff_ms
+    );
 
     // 5. Recover: re-replicate the dead nodes' shard slots onto the
     //    survivors from the retained snapshot.
@@ -118,4 +135,21 @@ fn main() {
         "recover:   {moved} shard slots re-replicated onto {:?} — bit-identical service resumed",
         cluster.alive_nodes()
     );
+
+    // Lifetime per-node accounting across the whole arc, straight from
+    // `Cluster::metrics()` — the substrate a `catalogd` would export.
+    println!("per-node lifetime metrics:");
+    for node in cluster.metrics() {
+        println!(
+            "  node {} ({}): {} attempts = {} served + {} failed | {} retries, {} failovers, p99 latency {} ms",
+            node.node,
+            if node.alive { "alive" } else { "down" },
+            node.attempts,
+            node.served,
+            node.failed_attempts,
+            node.retries,
+            node.failovers,
+            node.request_latency_ms.p99()
+        );
+    }
 }

@@ -167,12 +167,39 @@
 //! report, never a silent wrong answer. See
 //! `examples/cluster_failover.rs` and the README's "Cluster serving &
 //! fault tolerance" section.
+//!
+//! ## Observability
+//!
+//! The [`obs`] crate (`tsj-obs`) instruments every layer above:
+//! lock-free counters, gauges and log-scale latency histograms in a
+//! global [`obs::MetricsRegistry`], structured trace spans on an
+//! injectable clock, and two exporters (Prometheus text,
+//! [`obs::export::to_json`]). It is on by default and configured with
+//! [`prelude::ObsConfig`]; disabling it never changes any join result —
+//! a property test pins bit-identical pairs, candidates and stage
+//! counters across configurations. See the README's "Observability"
+//! section and `experiments -- metrics`.
+//!
+//! ```
+//! use tree_similarity_join::prelude::*;
+//!
+//! let mut labels = LabelInterner::new();
+//! let trees: Vec<_> = ["{a{b}{c}}", "{a{b}{z}}"]
+//!     .iter()
+//!     .map(|s| parse_bracket(s, &mut labels).unwrap())
+//!     .collect();
+//! let _ = partsj_join(&trees, 1);
+//! let snapshot = tree_similarity_join::obs::global().snapshot();
+//! assert!(snapshot.counter("tsj_core_joins_total").unwrap_or(0) >= 1);
+//! println!("{}", tree_similarity_join::obs::export::to_prometheus(&snapshot));
+//! ```
 
 pub use partsj;
 pub use tsj_baselines as baselines;
 pub use tsj_catalog as catalog;
 pub use tsj_cluster as cluster;
 pub use tsj_datagen as datagen;
+pub use tsj_obs as obs;
 pub use tsj_shard as shard;
 pub use tsj_ted as ted;
 pub use tsj_tree as tree;
@@ -194,10 +221,15 @@ pub mod prelude {
     pub use tsj_catalog::{Catalog, CatalogError, SnapshotReader};
     pub use tsj_cluster::{
         Cluster, ClusterConfig, ClusterError, ClusterJoin, Degraded, Fault, FaultInjector,
-        FaultPlan, RetryPolicy, SystemClock, Topology, VirtualClock,
+        FaultPlan, NodeMetricsSnapshot, RequestStats, RetryPolicy, SystemClock, Telemetry,
+        Topology, VirtualClock,
     };
     pub use tsj_datagen::{
         collection_stats, sentiment_like, swissprot_like, synthetic, treebank_like, SyntheticParams,
+    };
+    pub use tsj_obs::{
+        Clock, Counter, Gauge, Histogram, HistogramSnapshot, MetricsRegistry, MetricsSnapshot,
+        ObsConfig, Span, TraceBuffer, TraceEvent,
     };
     pub use tsj_shard::{
         sharded_join, sharded_rs_join, EvictionPolicy, ShardConfig, ShardMap, ShardedIndex,
