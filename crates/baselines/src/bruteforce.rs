@@ -8,7 +8,7 @@
 
 use crate::common::{filter_verify_join, SizeOrder};
 use std::time::Instant;
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedBuildScratch, TedEngine, TreeIdx};
 use tsj_tree::Tree;
 
 /// Per-worker result: found pairs, pairs examined, TED calls.
@@ -32,7 +32,11 @@ pub fn brute_force_join_parallel(trees: &[Tree], tau: u32, threads: usize) -> Jo
 
     let start = Instant::now();
     let ordering = SizeOrder::new(trees);
-    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    let mut build = TedBuildScratch::default();
+    let prepared: Vec<PreparedTree> = trees
+        .iter()
+        .map(|t| PreparedTree::new_with(t, &mut build))
+        .collect();
     let setup = start.elapsed();
 
     let verify_start = Instant::now();

@@ -9,7 +9,7 @@
 //! only `O(window)` pairs are touched per probe tree.
 
 use std::time::Instant;
-use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedEngine, TreeIdx};
+use tsj_ted::{JoinOutcome, JoinStats, PreparedTree, TedBuildScratch, TedEngine, TreeIdx};
 use tsj_tree::Tree;
 
 /// Probe order and sizes for a size-sorted self-join.
@@ -53,7 +53,12 @@ where
     let setup_start = Instant::now();
     let prep_data = prepare();
     let ordering = SizeOrder::new(trees);
-    let prepared: Vec<PreparedTree> = trees.iter().map(PreparedTree::new).collect();
+    // One set of build temporaries across the whole collection.
+    let mut build = TedBuildScratch::default();
+    let prepared: Vec<PreparedTree> = trees
+        .iter()
+        .map(|t| PreparedTree::new_with(t, &mut build))
+        .collect();
     stats.candidate_time += setup_start.elapsed();
 
     let mut engine = TedEngine::unit();

@@ -9,16 +9,19 @@
 //! join of Li et al. \[19\] that the paper's `STR` implementation adopts.
 
 use crate::common::filter_verify_join;
-use tsj_ted::{traversal_within, JoinOutcome, TraversalStrings};
+use tsj_ted::{traversal_within_with, JoinOutcome, SedScratch, TraversalStrings};
 use tsj_tree::Tree;
 
 /// Evaluates the STR similarity self-join at threshold `tau`.
 pub fn str_join(trees: &[Tree], tau: u32) -> JoinOutcome {
+    // One set of banded-DP row buffers for every filtered pair: the
+    // filter itself is allocation-free once the band has grown.
+    let mut scratch = SedScratch::new();
     filter_verify_join(
         trees,
         tau,
         || trees.iter().map(TraversalStrings::new).collect::<Vec<_>>(),
-        |strings, i, j| traversal_within(&strings[i], &strings[j], tau),
+        move |strings, i, j| traversal_within_with(&strings[i], &strings[j], tau, &mut scratch),
     )
 }
 

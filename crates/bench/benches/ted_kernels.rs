@@ -9,7 +9,8 @@ use rand::SeedableRng;
 use std::hint::black_box;
 use tsj_datagen::{grow_tree, ShapeProfile};
 use tsj_ted::{
-    sed, sed_within, tree_distance, CostModel, Strategy, TedEngine, TedTree, TedWorkspace,
+    sed, sed_with, sed_within, sed_within_with, tree_distance, CostModel, SedScratch, Strategy,
+    TedEngine, TedTree, TedWorkspace,
 };
 use tsj_tree::Tree;
 
@@ -69,10 +70,31 @@ fn bench_sed(c: &mut Criterion) {
     group.bench_function("full", |bench| {
         bench.iter(|| black_box(sed(black_box(&a), black_box(&b))))
     });
+    // `_scratch` rows reuse one set of DP row buffers across iterations —
+    // the join's steady state, isolating the kernel from the allocator.
+    let mut scratch = SedScratch::new();
+    group.bench_function("full_scratch", |bench| {
+        bench.iter(|| black_box(sed_with(black_box(&a), black_box(&b), &mut scratch)))
+    });
     for tau in [1u32, 3, 5] {
         group.bench_with_input(BenchmarkId::new("banded", tau), &tau, |bench, &tau| {
             bench.iter(|| black_box(sed_within(black_box(&a), black_box(&b), tau)))
         });
+        let mut scratch = SedScratch::new();
+        group.bench_with_input(
+            BenchmarkId::new("banded_scratch", tau),
+            &tau,
+            |bench, &tau| {
+                bench.iter(|| {
+                    black_box(sed_within_with(
+                        black_box(&a),
+                        black_box(&b),
+                        tau,
+                        &mut scratch,
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }

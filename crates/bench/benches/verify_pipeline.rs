@@ -11,12 +11,16 @@
 //! `join/tau` dataset (synthetic, n = 150, seed 2015): the ratio is the
 //! figure-of-merit for the chain — how many candidates one cubic DP
 //! amortizes over — and `ted_calls` with the chain enabled must sit
-//! strictly below the filter-free count.
+//! strictly below the filter-free count. A second set of info lines runs
+//! the check workload under [`ObsConfig::PROFILE`] and prints where the
+//! chain's nanoseconds go per stage, fresh-engine vs reused-engine (the
+//! scratch-arena payoff, stage by stage).
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use partsj::{partsj_join_with, PartSjConfig, VerifyConfig, VerifyData, VerifyEngine};
 use std::hint::black_box;
 use tsj_datagen::{swissprot_like, synthetic, SyntheticParams};
+use tsj_obs::ObsConfig;
 use tsj_tree::Tree;
 
 fn chain_configs() -> [(&'static str, PartSjConfig); 2] {
@@ -77,9 +81,67 @@ fn report_ratios() {
     }
 }
 
+/// Per-stage nanosecond profile of the full-chain check workload,
+/// before/after the scratch refactor's usage pattern: a fresh engine per
+/// pass (cold TED workspace and SED bands every time) vs one engine
+/// reused across passes (the serving-loop steady state). Uses
+/// [`ObsConfig::PROFILE`]'s stage-timing stamps; restores the default
+/// observability configuration before any timed benchmark runs.
+fn report_stage_profile() {
+    tsj_obs::configure(&ObsConfig::PROFILE);
+    let trees = swissprot_like(90, 2015);
+    let data: Vec<VerifyData> = VerifyData::batch(&trees);
+    let tau = 3u32;
+    let pairs = candidate_pairs(&trees, tau);
+    let config = PartSjConfig::default();
+    let passes = 10u32;
+    let stage_ns = |stage: &str| {
+        tsj_obs::global()
+            .counter(&tsj_obs::labeled(
+                "tsj_core_verify_stage_ns_total",
+                "stage",
+                stage,
+            ))
+            .get()
+    };
+    let run = |engine: &mut VerifyEngine| {
+        let mut within = 0usize;
+        for &(i, j) in &pairs {
+            within += usize::from(engine.check(&data[i], &data[j]).is_some());
+        }
+        black_box(within);
+    };
+
+    let stage_names = VerifyEngine::new(tau, &config).stage_names();
+    let mut baseline: Vec<u64> = stage_names.iter().map(|s| stage_ns(s)).collect();
+    for mode in ["fresh_engine", "reused_engine"] {
+        let mut stats = tsj_ted::JoinStats::default();
+        if mode == "fresh_engine" {
+            for _ in 0..passes {
+                let mut engine = VerifyEngine::new(tau, &config);
+                run(&mut engine);
+                engine.fold_into(&mut stats);
+            }
+        } else {
+            let mut engine = VerifyEngine::new(tau, &config);
+            for _ in 0..passes {
+                run(&mut engine);
+            }
+            engine.fold_into(&mut stats);
+        }
+        for (name, base) in stage_names.iter().zip(&mut baseline) {
+            let total = stage_ns(name);
+            let per_pass = (total - *base) / u64::from(passes);
+            println!("verify_pipeline: profile mode={mode} stage={name} ns_per_pass={per_pass}");
+            *base = total;
+        }
+    }
+    tsj_obs::configure(&ObsConfig::ON);
+}
+
 fn bench_check(c: &mut Criterion) {
     let trees = swissprot_like(90, 2015);
-    let data: Vec<VerifyData> = trees.iter().map(VerifyData::new).collect();
+    let data: Vec<VerifyData> = VerifyData::batch(&trees);
     let mut group = c.benchmark_group("verify_pipeline/check");
     for tau in [1u32, 3] {
         let pairs = candidate_pairs(&trees, tau);
@@ -87,6 +149,20 @@ fn bench_check(c: &mut Criterion) {
             group.bench_with_input(BenchmarkId::new(name, tau), &tau, |bench, &tau| {
                 bench.iter(|| {
                     let mut engine = VerifyEngine::new(tau, &config);
+                    let mut within = 0usize;
+                    for &(i, j) in &pairs {
+                        within += usize::from(engine.check(&data[i], &data[j]).is_some());
+                    }
+                    black_box(within)
+                })
+            });
+            // The serving-loop steady state: the engine (and its scratch
+            // arena — TED workspace, SED bands) outlives the batch.
+            let reused = format!("{name}_reused");
+            let mut engine = VerifyEngine::new(tau, &config);
+            group.bench_with_input(BenchmarkId::new(reused, tau), &tau, |bench, _| {
+                bench.iter(|| {
+                    engine.reset_counters();
                     let mut within = 0usize;
                     for &(i, j) in &pairs {
                         within += usize::from(engine.check(&data[i], &data[j]).is_some());
@@ -114,6 +190,7 @@ fn bench_join(c: &mut Criterion) {
 
 fn bench_all(c: &mut Criterion) {
     report_ratios();
+    report_stage_profile();
     bench_check(c);
     bench_join(c);
 }

@@ -6,13 +6,16 @@ use crate::snapshot::{
 };
 use partsj::probe::ProbeCounters;
 use partsj::{
-    LayerId, MatchCache, PartSjConfig, StampSink, SubgraphIndex, VerifyData, VerifyEngine,
-    WindowPolicy,
+    LayerId, MatchCache, PartSjConfig, ProbeScratch, ProbeVerify, StampSink, SubgraphIndex,
+    VerifyConfig, VerifyData, VerifyEngine, WindowPolicy,
 };
 use std::path::Path;
-use tsj_shard::{build_frozen_left, frozen_rs_join, FrozenLeft, ShardConfig, ShardedIndex};
-use tsj_ted::{JoinOutcome, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, LabelInterner, Tree};
+use tsj_shard::{
+    build_frozen_left, frozen_rs_join, frozen_rs_join_seq, FrozenJoinScratch, FrozenLeft,
+    ShardConfig, ShardedIndex,
+};
+use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
+use tsj_tree::{FxHashMap, LabelInterner, Tree};
 
 /// A frozen left collection: the sharded subgraph index over its trees,
 /// the trees themselves, their label space and their precomputed
@@ -60,6 +63,9 @@ pub struct QueryScratch {
     caches: Vec<MatchCache>,
     shard_scratch: Vec<usize>,
     layer_scratch: Vec<LayerId>,
+    candidates: Vec<TreeIdx>,
+    probe: ProbeScratch,
+    verify: ProbeVerify,
 }
 
 impl QueryScratch {
@@ -110,7 +116,7 @@ impl Catalog {
                 index.track(i, size);
             }
         }
-        let left_data = trees.iter().map(VerifyData::new).collect();
+        let left_data = VerifyData::batch(&trees);
         let obs = tsj_obs::global();
         if obs.is_enabled() {
             obs.counter("tsj_catalog_freezes_total").inc();
@@ -220,6 +226,39 @@ impl Catalog {
         ))
     }
 
+    /// Sequential indexed-left join with caller-owned state: the
+    /// verification engine, [`FrozenJoinScratch`] and result vector all
+    /// persist across calls, so a serving loop issuing repeated probe
+    /// batches allocates only what the result set itself needs. Pairs
+    /// land in `pairs` (cleared first, `(catalog index, probe index)`
+    /// normalized like [`Catalog::join`]); candidate counts and stage
+    /// counters are bit-identical to the single-threaded
+    /// [`Catalog::join`] path.
+    pub fn join_with_scratch(
+        &self,
+        probes: &[Tree],
+        tau: u32,
+        config: &PartSjConfig,
+        verify: &mut VerifyEngine,
+        scratch: &mut FrozenJoinScratch,
+        pairs: &mut Vec<(TreeIdx, TreeIdx)>,
+    ) -> Result<JoinStats, CatalogError> {
+        self.check_tau(tau)?;
+        Ok(frozen_rs_join_seq(
+            &FrozenLeft {
+                index: &self.index,
+                small_by_size: &self.small_by_size,
+                left_data: &self.left_data,
+            },
+            probes,
+            tau,
+            config,
+            verify,
+            scratch,
+            pairs,
+        ))
+    }
+
     /// Single-probe similarity search, `SearchIndex` semantics: all
     /// catalog trees within `tau` of `probe` as ascending
     /// `(tree index, exact distance)` pairs. Distances are exact — the
@@ -242,7 +281,9 @@ impl Catalog {
     /// Like [`Catalog::query`], reusing a caller-owned engine (its
     /// threshold is the query threshold and must not exceed the frozen
     /// one) and [`QueryScratch`] across probes — repeated point queries
-    /// then allocate nothing proportional to the catalog.
+    /// then allocate nothing proportional to the catalog. Only the
+    /// returned hit vector is fresh per call; [`Catalog::query_into`]
+    /// recycles that too.
     pub fn query_with_engine(
         &self,
         probe: &Tree,
@@ -250,33 +291,53 @@ impl Catalog {
         engine: &mut VerifyEngine,
         scratch: &mut QueryScratch,
     ) -> Result<Vec<(TreeIdx, u32)>, CatalogError> {
+        let mut hits = Vec::new();
+        self.query_into(probe, config, engine, scratch, &mut hits)?;
+        Ok(hits)
+    }
+
+    /// The fully recycled form of [`Catalog::query_with_engine`]: hits
+    /// are written into `out` (cleared first, ascending
+    /// `(tree index, exact distance)`). With a warmed engine and scratch,
+    /// a steady-state query performs **zero heap allocations** — the
+    /// probe tree's LC-RS form, postorder numbers and verification inputs
+    /// are all rebuilt inside grow-only buffers (pinned by the
+    /// `steady_state_allocations` integration test).
+    pub fn query_into(
+        &self,
+        probe: &Tree,
+        config: &PartSjConfig,
+        engine: &mut VerifyEngine,
+        scratch: &mut QueryScratch,
+        out: &mut Vec<(TreeIdx, u32)>,
+    ) -> Result<(), CatalogError> {
         let tau = engine.tau();
         self.check_tau(tau)?;
+        out.clear();
         let size_q = probe.len() as u32;
         let (lo, hi) = partsj::window_of(size_q, tau);
         let marker = scratch.begin_query(self.trees.len(), self.index.shard_count());
-        let mut candidates: Vec<TreeIdx> = Vec::new();
+        scratch.candidates.clear();
         for n in lo..=hi {
             if let Some(list) = self.small_by_size.get(&n) {
                 for &i in list {
                     if scratch.stamp[i as usize] != marker {
                         scratch.stamp[i as usize] = marker;
-                        candidates.push(i);
+                        scratch.candidates.push(i);
                     }
                 }
             }
         }
-        let binary = BinaryTree::from_tree(probe);
-        let posts = probe.postorder_numbers();
+        let (binary, posts) = scratch.probe.prepare(probe);
         let mut counters = ProbeCounters::default();
         let mut sink = StampSink {
             stamp: &mut scratch.stamp,
             marker,
-            candidates: &mut candidates,
+            candidates: &mut scratch.candidates,
         };
         self.index.probe_tree(
-            &binary,
-            &posts,
+            binary,
+            posts,
             size_q,
             lo,
             hi,
@@ -287,17 +348,16 @@ impl Catalog {
             &mut counters,
             &mut sink,
         );
-        let data_q = VerifyData::new(probe);
-        let mut hits: Vec<(TreeIdx, u32)> = candidates
-            .into_iter()
-            .filter_map(|i| {
-                engine
-                    .check_exact(&self.left_data[i as usize], &data_q)
-                    .map(|d| (i, d))
-            })
-            .collect();
-        hits.sort_unstable();
-        Ok(hits)
+        // Full stage inputs, exactly like the frozen left side's
+        // `VerifyData::batch` — `check_exact` may consult any filter.
+        let data_q = scratch.verify.prepare(probe, &VerifyConfig::ALL);
+        out.extend(scratch.candidates.iter().filter_map(|&i| {
+            engine
+                .check_exact(&self.left_data[i as usize], data_q)
+                .map(|d| (i, d))
+        }));
+        out.sort_unstable();
+        Ok(())
     }
 
     /// Serializes the catalog into the versioned snapshot byte format
@@ -419,7 +479,7 @@ impl Catalog {
                 small_by_size.entry(size).or_default().push(i as TreeIdx);
             }
         }
-        let left_data = trees.iter().map(VerifyData::new).collect();
+        let left_data = VerifyData::batch(&trees);
         let obs = tsj_obs::global();
         if obs.is_enabled() {
             obs.counter("tsj_catalog_loads_total").inc();
@@ -496,6 +556,64 @@ mod tests {
                 .query_with_engine(probe, &config, &mut engine, &mut scratch)
                 .unwrap();
             assert_eq!(reused, fresh);
+        }
+    }
+
+    #[test]
+    fn query_into_reuses_buffers_and_matches_fresh_queries() {
+        let catalog = catalog_from(
+            &["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}", "{a{b}{c}{d}}", "{q}"],
+            2,
+        );
+        let mut labels = catalog.labels().clone();
+        // Mismatched probe sizes on purpose: the grow-only buffers must
+        // rebuild correctly when a smaller tree follows a larger one.
+        let probes: Vec<Tree> = ["{a{b}{c}{d}}", "{q}", "{x{y}}", "{a{b}{c}}"]
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let config = PartSjConfig::default();
+        let mut engine = VerifyEngine::with_filters(2, &config.verify);
+        let mut scratch = QueryScratch::default();
+        let mut hits = Vec::new();
+        for probe in &probes {
+            let fresh = catalog.query(probe, 2, &config).unwrap();
+            catalog
+                .query_into(probe, &config, &mut engine, &mut scratch, &mut hits)
+                .unwrap();
+            assert_eq!(hits, fresh);
+        }
+    }
+
+    #[test]
+    fn join_with_scratch_matches_join() {
+        let catalog = catalog_from(
+            &["{a{b}{c}}", "{a{b}{d}}", "{x{y{z}}}", "{a{b}{c}{d}}", "{q}"],
+            2,
+        );
+        let mut labels = catalog.labels().clone();
+        let probes: Vec<Tree> = ["{a{b}{c}}", "{q}", "{a{b}{c}{d}{e}}"]
+            .iter()
+            .map(|s| parse_bracket(s, &mut labels).unwrap())
+            .collect();
+        let config = PartSjConfig::default();
+        let mut engine = VerifyEngine::new(2, &config);
+        let mut scratch = FrozenJoinScratch::new();
+        let mut pairs = Vec::new();
+        for tau in [0u32, 1, 2] {
+            let reference = catalog
+                .join(&probes, tau, &config, &ShardConfig::with_shards(2))
+                .unwrap();
+            let stats = catalog
+                .join_with_scratch(&probes, tau, &config, &mut engine, &mut scratch, &mut pairs)
+                .unwrap();
+            assert_eq!(pairs, reference.pairs, "tau = {tau}");
+            assert_eq!(stats.candidates, reference.stats.candidates, "tau = {tau}");
+            assert_eq!(stats.results, reference.stats.results, "tau = {tau}");
+            assert_eq!(
+                stats.prefilter_skips, reference.stats.prefilter_skips,
+                "tau = {tau}"
+            );
         }
     }
 

@@ -71,6 +71,28 @@ impl ProbeCtx {
             data: VerifyData::for_config(tree, &config.verify),
         }
     }
+
+    /// Precomputes the contexts for a whole probe batch through one
+    /// shared set of build temporaries (the per-context storage itself
+    /// is owned — contexts outlive the scatter).
+    pub fn batch(trees: &[Tree], config: &PartSjConfig) -> Vec<ProbeCtx> {
+        let data = VerifyData::batch_for_config(trees, &config.verify);
+        let mut walk = Vec::new();
+        trees
+            .iter()
+            .zip(data)
+            .map(|(tree, data)| {
+                let mut posts = Vec::new();
+                tree.postorder_numbers_into(&mut posts, &mut walk);
+                ProbeCtx {
+                    binary: BinaryTree::from_tree(tree),
+                    posts,
+                    size: tree.len() as u32,
+                    data,
+                }
+            })
+            .collect()
+    }
 }
 
 /// Per-thread serve scratch: the candidate-dedup stamp array (marker
@@ -140,7 +162,7 @@ impl Node {
                 smalls.entry(size).or_default().push(i as TreeIdx);
             }
         }
-        let left_data = trees.iter().map(VerifyData::new).collect();
+        let left_data = VerifyData::batch(&trees);
         Ok(Node {
             id,
             tau,

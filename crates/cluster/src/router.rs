@@ -93,7 +93,7 @@ impl Cluster {
             }
         }
         telemetry.requests = requests.len() as u64;
-        let ctxs: Vec<ProbeCtx> = probes.iter().map(|t| ProbeCtx::new(t, config)).collect();
+        let ctxs: Vec<ProbeCtx> = ProbeCtx::batch(probes, config);
 
         // Phase 2: scatter to the first alive replica of each shard.
         let mut outcomes: Vec<Option<Attempt>> = requests.iter().map(|_| None).collect();

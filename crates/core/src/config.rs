@@ -126,6 +126,14 @@ impl VerifyConfig {
         histogram: false,
         traversal: false,
     };
+
+    /// Every stage enabled (the default chain, as a `const`).
+    pub const ALL: VerifyConfig = VerifyConfig {
+        size: true,
+        shape_accept: true,
+        histogram: true,
+        traversal: true,
+    };
 }
 
 /// The adaptive, telemetry-driven execution layer (ROADMAP item 3).

@@ -20,12 +20,12 @@
 use crate::config::{PartSjConfig, WindowPolicy};
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
-use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, ProbeScratch, StampSink};
 use crate::subgraph::build_subgraphs;
 use crate::verify::{VerifyData, VerifyEngine};
 use std::time::Instant;
 use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// PartSJ-specific instrumentation beyond the common [`JoinStats`].
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -76,16 +76,14 @@ pub fn partsj_join_detailed(
     let fanout_hist = obs.histogram("tsj_core_probe_fanout_layers");
     let cand_hist = obs.histogram("tsj_core_probe_candidates");
 
-    // Preprocessing: LC-RS representations for probing/partitioning and
-    // per-tree verification data (charged to candidate generation, like
-    // the baselines' traversal strings and branch bags).
+    // Preprocessing: per-tree verification data, batch-prepared through
+    // one shared set of build temporaries (charged to candidate
+    // generation, like the baselines' traversal strings and branch
+    // bags). LC-RS representations and postorder numbers are rebuilt in
+    // place per probing tree below — each is only needed during its own
+    // iteration, so one scratch replaces two O(collection) arrays.
     let setup_start = Instant::now();
-    let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
-    let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let data: Vec<VerifyData> = trees
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    let data: Vec<VerifyData> = VerifyData::batch_for_config(trees, &config.verify);
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     stats.candidate_time += setup_start.elapsed();
@@ -103,9 +101,11 @@ pub fn partsj_join_detailed(
     let mut layer_window: Vec<LayerId> = Vec::new();
     let mut match_cache = MatchCache::new();
     let mut counters = ProbeCounters::default();
+    let mut probe_scratch = ProbeScratch::new();
 
     for &i in &order {
-        let binary = &binaries[i as usize];
+        let tree = &trees[i as usize];
+        let (binary, posts) = probe_scratch.prepare(tree);
         let size_i = binary.len() as u32;
         let lo = size_i.saturating_sub(tau).max(1);
 
@@ -140,7 +140,7 @@ pub fn partsj_join_detailed(
             &index,
             &layer_window,
             binary,
-            &general_posts[i as usize],
+            posts,
             size_i,
             config.matching,
             &mut match_cache,
@@ -172,7 +172,7 @@ pub fn partsj_join_detailed(
             small_by_size.entry(size_i).or_default().push(i);
         } else {
             let cuts = cuts_for(binary, delta, config.partitioning, u64::from(i));
-            let subgraphs = build_subgraphs(binary, &general_posts[i as usize], &cuts, i);
+            let subgraphs = build_subgraphs(binary, posts, &cuts, i);
             detail.subgraphs_built += subgraphs.len() as u64;
             index.insert_tree(size_i, subgraphs);
         }

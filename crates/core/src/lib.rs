@@ -67,14 +67,18 @@ pub use join::{
 pub use parallel::{default_verify_threads, partsj_join_parallel, partsj_join_parallel_auto};
 pub use partition::{cuts_for, max_min_size, partitionable, select_cuts, select_random_cuts};
 pub use probe::{
-    probe_tree_nodes, resolve_layers, window_of, CandidateSink, ProbeCounters, StampSink,
+    probe_tree_nodes, resolve_layers, window_of, CandidateSink, ProbeCounters, ProbeScratch,
+    StampSink,
 };
 pub use rs_join::partsj_join_rs;
-pub use search::SearchIndex;
+pub use search::{SearchIndex, SearchScratch};
 pub use streaming::StreamingJoin;
 pub use subgraph::{
     build_subgraphs, nodes_match_at, subgraph_matches, subgraph_matches_with, ChildKind, SgNode,
     Subgraph,
 };
 pub use topk::{partsj_topk, partsj_topk_with, TopKOutcome, TopKPair};
-pub use verify::{FilterStage, StageKind, StageVerdict, VerifyData, VerifyEngine};
+pub use verify::{
+    FilterStage, ProbeVerify, StageKind, StageVerdict, VerifyData, VerifyEngine, VerifyPrep,
+    VerifyScratch,
+};

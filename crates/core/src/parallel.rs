@@ -17,13 +17,13 @@
 use crate::config::PartSjConfig;
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
-use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters};
+use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters, ProbeScratch};
 use crate::subgraph::build_subgraphs;
 use crate::verify::{VerifyData, VerifyEngine};
 use crossbeam::channel;
 use std::time::Instant;
 use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// Sink that streams accepted candidates to the verifier pool in batches
 /// of `batch_size` instead of buffering them locally.
@@ -89,13 +89,11 @@ pub fn partsj_join_parallel(
     let mut stats = JoinStats::default();
 
     let total_start = Instant::now();
+    // Verification data is batch-prepared through one shared set of
+    // build temporaries; the probing tree's LC-RS form and postorder
+    // numbers are rebuilt in place per tree inside the candidate loop.
     let setup_start = Instant::now();
-    let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
-    let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let data: Vec<VerifyData> = trees
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    let data: Vec<VerifyData> = VerifyData::batch_for_config(trees, &config.verify);
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     let mut candidate_time = setup_start.elapsed();
@@ -139,10 +137,11 @@ pub fn partsj_join_parallel(
         let mut layer_window: Vec<LayerId> = Vec::new();
         let mut match_cache = MatchCache::new();
         let mut counters = ProbeCounters::default();
+        let mut probe_scratch = ProbeScratch::new();
 
         for &i in &order {
             let phase_start = Instant::now();
-            let binary = &binaries[i as usize];
+            let (binary, posts) = probe_scratch.prepare(&trees[i as usize]);
             let size_i = binary.len() as u32;
             let lo = size_i.saturating_sub(tau).max(1);
 
@@ -170,7 +169,7 @@ pub fn partsj_join_parallel(
                     &index,
                     &layer_window,
                     binary,
-                    &general_posts[i as usize],
+                    posts,
                     size_i,
                     config.matching,
                     &mut match_cache,
@@ -183,10 +182,7 @@ pub fn partsj_join_parallel(
                 small_by_size.entry(size_i).or_default().push(i);
             } else {
                 let cuts = cuts_for(binary, delta, config.partitioning, u64::from(i));
-                index.insert_tree(
-                    size_i,
-                    build_subgraphs(binary, &general_posts[i as usize], &cuts, i),
-                );
+                index.insert_tree(size_i, build_subgraphs(binary, posts, &cuts, i));
             }
             candidate_time += phase_start.elapsed();
         }

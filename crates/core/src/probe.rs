@@ -20,7 +20,38 @@
 use crate::config::MatchSemantics;
 use crate::index::{LayerId, MatchCache, SubgraphIndex, TwigKeys};
 use tsj_ted::TreeIdx;
-use tsj_tree::{BinaryTree, Label};
+use tsj_tree::{BinaryTree, Label, NodeId, Tree};
+
+/// Reusable probe-tree preparation: one LC-RS representation and one
+/// general-postorder array, rebuilt in place per probing tree. All
+/// buffers are grow-only, so a serving or join loop that prepares a
+/// stream of probes through one scratch allocates nothing once the
+/// buffers fit the largest tree seen.
+#[derive(Debug, Default)]
+pub struct ProbeScratch {
+    binary: Option<BinaryTree>,
+    posts: Vec<u32>,
+    walk: Vec<(NodeId, usize)>,
+}
+
+impl ProbeScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> ProbeScratch {
+        ProbeScratch::default()
+    }
+
+    /// Prepares `tree` for probing, returning its LC-RS form and its
+    /// 1-based general-postorder numbers (the two hoisted inputs of
+    /// [`probe_tree_nodes`]). Results are valid until the next call.
+    pub fn prepare(&mut self, tree: &Tree) -> (&BinaryTree, &[u32]) {
+        match &mut self.binary {
+            Some(binary) => binary.rebuild_from(tree),
+            None => self.binary = Some(BinaryTree::from_tree(tree)),
+        }
+        tree.postorder_numbers_into(&mut self.posts, &mut self.walk);
+        (self.binary.as_ref().expect("prepared above"), &self.posts)
+    }
+}
 
 /// Consumer-side bookkeeping for one probing tree.
 ///

@@ -12,12 +12,12 @@
 use crate::config::PartSjConfig;
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
-use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, ProbeScratch, StampSink};
 use crate::subgraph::build_subgraphs;
-use crate::verify::{VerifyData, VerifyEngine};
+use crate::verify::{ProbeVerify, VerifyData, VerifyEngine};
 use std::time::Instant;
 use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// R×S similarity join: all pairs `(i, j)` with `TED(left[i], right[j]) ≤
 /// tau`. Pair indices refer to the respective input collections.
@@ -34,19 +34,17 @@ pub fn partsj_join_rs(
     let build_start = Instant::now();
     let mut index = SubgraphIndex::new(tau, config.window);
     let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
-    let left_data: Vec<VerifyData> = left
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    let left_data: Vec<VerifyData> = VerifyData::batch_for_config(left, &config.verify);
+    let mut probe_scratch = ProbeScratch::new();
     for (i, tree) in left.iter().enumerate() {
         let size = tree.len() as u32;
         if (size as usize) < delta {
             small_by_size.entry(size).or_default().push(i as TreeIdx);
             continue;
         }
-        let binary = BinaryTree::from_tree(tree);
-        let cuts = cuts_for(&binary, delta, config.partitioning, i as u64);
-        let subgraphs = build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
+        let (binary, posts) = probe_scratch.prepare(tree);
+        let cuts = cuts_for(binary, delta, config.partitioning, i as u64);
+        let subgraphs = build_subgraphs(binary, posts, &cuts, i as TreeIdx);
         index.insert_tree(size, subgraphs);
     }
     stats.candidate_time += build_start.elapsed();
@@ -60,6 +58,7 @@ pub fn partsj_join_rs(
     let mut layer_window: Vec<LayerId> = Vec::new();
     let mut match_cache = MatchCache::new();
     let mut counters = ProbeCounters::default();
+    let mut probe_verify = ProbeVerify::new();
 
     for (j, tree) in right.iter().enumerate() {
         let probe_start = Instant::now();
@@ -84,8 +83,7 @@ pub fn partsj_join_rs(
         // layers once per right tree.
         resolve_layers(&index, lo, hi, &mut layer_window);
 
-        let binary = BinaryTree::from_tree(tree);
-        let posts = tree.postorder_numbers();
+        let (binary, posts) = probe_scratch.prepare(tree);
         let mut sink = StampSink {
             stamp: &mut stamp,
             marker,
@@ -94,8 +92,8 @@ pub fn partsj_join_rs(
         probe_tree_nodes(
             &index,
             &layer_window,
-            &binary,
-            &posts,
+            binary,
+            posts,
             size_j,
             config.matching,
             &mut match_cache,
@@ -107,9 +105,9 @@ pub fn partsj_join_rs(
         stats.candidate_time += probe_start.elapsed();
 
         let verify_start = Instant::now();
-        let data_j = VerifyData::for_config(tree, &config.verify);
+        let data_j = probe_verify.prepare(tree, &config.verify);
         for &i in &candidates {
-            if verify.check(&left_data[i as usize], &data_j).is_some() {
+            if verify.check(&left_data[i as usize], data_j).is_some() {
                 pairs.push((i, j as TreeIdx));
             }
         }

@@ -12,11 +12,11 @@
 use crate::config::PartSjConfig;
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
-use crate::probe::{probe_tree_nodes, resolve_layers, CandidateSink, ProbeCounters};
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, ProbeScratch, StampSink};
 use crate::subgraph::build_subgraphs;
-use crate::verify::{VerifyData, VerifyEngine};
+use crate::verify::{ProbeVerify, VerifyData, VerifyEngine};
 use tsj_ted::TreeIdx;
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// A similarity-search index over a fixed collection.
 ///
@@ -44,6 +44,45 @@ pub struct SearchIndex {
     data: Vec<VerifyData>,
 }
 
+/// Reusable scratch for [`SearchIndex::query_into`]: the O(collection)
+/// candidate-dedup stamp array, the probe-tree preparation buffers, the
+/// query's verification inputs and the probe loop's working lists. A
+/// serving loop holding one of these (plus a [`VerifyEngine`]) makes
+/// each query allocation-free in the collection size — dedup is by an
+/// incrementing marker, so the stamp array is never re-cleared.
+#[derive(Debug, Default)]
+pub struct SearchScratch {
+    stamp: Vec<TreeIdx>,
+    next_marker: TreeIdx,
+    candidates: Vec<TreeIdx>,
+    layer_window: Vec<LayerId>,
+    match_cache: MatchCache,
+    probe: ProbeScratch,
+    verify: ProbeVerify,
+}
+
+impl SearchScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> SearchScratch {
+        SearchScratch::default()
+    }
+
+    /// Sizes the stamp array for a collection of `trees` trees and
+    /// returns this query's dedup marker.
+    fn begin_query(&mut self, trees: usize) -> TreeIdx {
+        if self.stamp.len() != trees || self.next_marker == TreeIdx::MAX {
+            // First use, a different index, or marker exhaustion: start
+            // a fresh stamp generation.
+            self.stamp.clear();
+            self.stamp.resize(trees, TreeIdx::MAX);
+            self.next_marker = 0;
+        }
+        let marker = self.next_marker;
+        self.next_marker += 1;
+        marker
+    }
+}
+
 impl SearchIndex {
     /// Partitions and indexes every tree of `collection` for threshold
     /// `tau` queries.
@@ -51,16 +90,16 @@ impl SearchIndex {
         let delta = 2 * tau as usize + 1;
         let mut index = SubgraphIndex::new(tau, config.window);
         let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
+        let mut probe_scratch = ProbeScratch::new();
         for (i, tree) in collection.iter().enumerate() {
             let size = tree.len() as u32;
             if (size as usize) < delta {
                 small_by_size.entry(size).or_default().push(i as TreeIdx);
                 continue;
             }
-            let binary = BinaryTree::from_tree(tree);
-            let cuts = cuts_for(&binary, delta, config.partitioning, i as u64);
-            let subgraphs =
-                build_subgraphs(&binary, &tree.postorder_numbers(), &cuts, i as TreeIdx);
+            let (binary, posts) = probe_scratch.prepare(tree);
+            let cuts = cuts_for(binary, delta, config.partitioning, i as u64);
+            let subgraphs = build_subgraphs(binary, posts, &cuts, i as TreeIdx);
             index.insert_tree(size, subgraphs);
         }
         SearchIndex {
@@ -68,10 +107,7 @@ impl SearchIndex {
             config,
             index,
             small_by_size,
-            data: collection
-                .iter()
-                .map(|t| VerifyData::for_config(t, &config.verify))
-                .collect(),
+            data: VerifyData::batch_for_config(collection, &config.verify),
         }
     }
 
@@ -113,22 +149,46 @@ impl SearchIndex {
         query: &Tree,
         engine: &mut VerifyEngine,
     ) -> Vec<(TreeIdx, u32)> {
+        let mut hits = Vec::new();
+        self.query_into(query, engine, &mut SearchScratch::new(), &mut hits);
+        hits
+    }
+
+    /// Like [`SearchIndex::query_with_engine`] but writing the hits into
+    /// a caller-owned buffer (cleared first) and reusing a
+    /// [`SearchScratch`] across queries — a steady-state serving loop
+    /// then allocates nothing per query once every buffer has grown to
+    /// its working size.
+    ///
+    /// # Panics
+    /// Panics if the engine was built for a different threshold than the
+    /// index — candidate generation prunes at the index's `τ`, so a
+    /// mismatched engine would silently return wrong hit sets.
+    pub fn query_into(
+        &self,
+        query: &Tree,
+        engine: &mut VerifyEngine,
+        scratch: &mut SearchScratch,
+        out: &mut Vec<(TreeIdx, u32)>,
+    ) {
         assert_eq!(
             engine.tau(),
             self.tau,
             "engine threshold must match the index threshold"
         );
+        out.clear();
         let size_q = query.len() as u32;
         let lo = size_q.saturating_sub(self.tau).max(1);
         let hi = size_q + self.tau;
-        let mut seen: FxHashMap<TreeIdx, ()> = FxHashMap::default();
-        let mut candidates: Vec<TreeIdx> = Vec::new();
+        let marker = scratch.begin_query(self.data.len());
+        scratch.candidates.clear();
 
         for n in lo..=hi {
             if let Some(list) = self.small_by_size.get(&n) {
                 for &j in list {
-                    if seen.insert(j, ()).is_none() {
-                        candidates.push(j);
+                    if scratch.stamp[j as usize] != marker {
+                        scratch.stamp[j as usize] = marker;
+                        scratch.candidates.push(j);
                     }
                 }
             }
@@ -136,56 +196,34 @@ impl SearchIndex {
 
         // The index is frozen after `build`: resolve the query's size
         // window to layer ids once, then probe per node.
-        let mut layer_window: Vec<LayerId> = Vec::new();
-        resolve_layers(&self.index, lo, hi, &mut layer_window);
-        let mut match_cache = MatchCache::new();
+        resolve_layers(&self.index, lo, hi, &mut scratch.layer_window);
         let mut counters = ProbeCounters::default();
 
-        // Queries are external trees without a collection index, so the
-        // dedup structure is a hash set instead of a stamp array.
-        struct SeenSink<'a> {
-            seen: &'a mut FxHashMap<TreeIdx, ()>,
-            candidates: &'a mut Vec<TreeIdx>,
-        }
-        impl CandidateSink for SeenSink<'_> {
-            fn admit(&mut self, tree: TreeIdx) -> bool {
-                !self.seen.contains_key(&tree)
-            }
-            fn accept(&mut self, tree: TreeIdx) {
-                self.seen.insert(tree, ());
-                self.candidates.push(tree);
-            }
-        }
-
-        let binary = BinaryTree::from_tree(query);
-        let posts = query.postorder_numbers();
-        let mut sink = SeenSink {
-            seen: &mut seen,
-            candidates: &mut candidates,
+        let (binary, posts) = scratch.probe.prepare(query);
+        let mut sink = StampSink {
+            stamp: &mut scratch.stamp,
+            marker,
+            candidates: &mut scratch.candidates,
         };
         probe_tree_nodes(
             &self.index,
-            &layer_window,
-            &binary,
-            &posts,
+            &scratch.layer_window,
+            binary,
+            posts,
             size_q,
             self.config.matching,
-            &mut match_cache,
+            &mut scratch.match_cache,
             &mut counters,
             &mut sink,
         );
 
-        let data_q = VerifyData::for_config(query, &self.config.verify);
-        let mut hits: Vec<(TreeIdx, u32)> = candidates
-            .into_iter()
-            .filter_map(|j| {
-                engine
-                    .check_exact(&self.data[j as usize], &data_q)
-                    .map(|d| (j, d))
-            })
-            .collect();
-        hits.sort_unstable();
-        hits
+        let data_q = scratch.verify.prepare(query, &self.config.verify);
+        out.extend(scratch.candidates.iter().filter_map(|&j| {
+            engine
+                .check_exact(&self.data[j as usize], data_q)
+                .map(|d| (j, d))
+        }));
+        out.sort_unstable();
     }
 }
 

@@ -12,11 +12,11 @@
 use crate::config::PartSjConfig;
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
-use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, ProbeScratch, StampSink};
 use crate::subgraph::build_subgraphs;
-use crate::verify::{VerifyData, VerifyEngine};
+use crate::verify::{VerifyData, VerifyEngine, VerifyPrep};
 use tsj_ted::TreeIdx;
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// An online similarity self-join: insert trees one at a time and learn,
 /// immediately, which earlier trees are within `τ`.
@@ -45,6 +45,15 @@ pub struct StreamingJoin {
     stamp: Vec<u32>,
     verify: VerifyEngine,
     pairs_found: u64,
+    // Per-insert scratch, held across inserts so the steady-state probe
+    // path allocates nothing proportional to the stream or probe size:
+    // LC-RS/postorder preparation, verify-data build temporaries, the
+    // candidate list, the resolved layer window and the match memo.
+    probe_scratch: ProbeScratch,
+    verify_prep: VerifyPrep,
+    candidates: Vec<TreeIdx>,
+    layer_window: Vec<LayerId>,
+    match_cache: MatchCache,
 }
 
 impl StreamingJoin {
@@ -59,6 +68,11 @@ impl StreamingJoin {
             stamp: Vec::new(),
             verify: VerifyEngine::new(tau, &config),
             pairs_found: 0,
+            probe_scratch: ProbeScratch::new(),
+            verify_prep: VerifyPrep::new(),
+            candidates: Vec::new(),
+            layer_window: Vec::new(),
+            match_cache: MatchCache::new(),
         }
     }
 
@@ -97,13 +111,13 @@ impl StreamingJoin {
         let lo = size.saturating_sub(self.tau).max(1);
         let hi = size + self.tau;
 
-        let mut candidates: Vec<TreeIdx> = Vec::new();
+        self.candidates.clear();
         for n in lo..=hi {
             if let Some(list) = self.small_by_size.get(&n) {
                 for &j in list {
                     if self.stamp[j as usize] != marker {
                         self.stamp[j as usize] = marker;
-                        candidates.push(j);
+                        self.candidates.push(j);
                     }
                 }
             }
@@ -111,38 +125,39 @@ impl StreamingJoin {
 
         // Layer ids are plain data (no borrow of the index), so the
         // window survives until the post-probe `insert_tree` mutation.
-        let mut layer_window: Vec<LayerId> = Vec::new();
-        resolve_layers(&self.index, lo, hi, &mut layer_window);
-        let mut match_cache = MatchCache::new();
+        resolve_layers(&self.index, lo, hi, &mut self.layer_window);
         let mut counters = ProbeCounters::default();
 
-        let binary = BinaryTree::from_tree(tree);
-        let posts = tree.postorder_numbers();
+        let (binary, posts) = self.probe_scratch.prepare(tree);
         // Split borrows: the probe loop reads the index while the sink
-        // stamps/collects locally.
+        // stamps/collects into their own fields.
         let mut sink = StampSink {
             stamp: &mut self.stamp,
             marker,
-            candidates: &mut candidates,
+            candidates: &mut self.candidates,
         };
         probe_tree_nodes(
             &self.index,
-            &layer_window,
-            &binary,
-            &posts,
+            &self.layer_window,
+            binary,
+            posts,
             size,
             self.config.matching,
-            &mut match_cache,
+            &mut self.match_cache,
             &mut counters,
             &mut sink,
         );
 
-        let data = VerifyData::for_config(tree, &self.config.verify);
+        // The new tree's data is kept forever (`self.data`), so it is
+        // built owned — only the walk temporaries are reused.
+        let data = VerifyData::for_config_with(tree, &self.config.verify, &mut self.verify_prep);
         let verify = &mut self.verify;
         let known = &self.data;
-        let mut partners: Vec<TreeIdx> = candidates
-            .into_iter()
-            .filter(|&j| verify.check(&known[j as usize], &data).is_some())
+        let mut partners: Vec<TreeIdx> = self
+            .candidates
+            .iter()
+            .filter(|&&j| verify.check(&known[j as usize], &data).is_some())
+            .copied()
             .collect();
         partners.sort_unstable();
         self.pairs_found += partners.len() as u64;
@@ -151,8 +166,8 @@ impl StreamingJoin {
         if (size as usize) < delta {
             self.small_by_size.entry(size).or_default().push(id);
         } else {
-            let cuts = cuts_for(&binary, delta, self.config.partitioning, u64::from(id));
-            let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
+            let cuts = cuts_for(binary, delta, self.config.partitioning, u64::from(id));
+            let subgraphs = build_subgraphs(binary, posts, &cuts, id);
             self.index.insert_tree(size, subgraphs);
         }
         self.data.push(data);

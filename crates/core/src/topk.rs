@@ -39,13 +39,13 @@
 use crate::config::PartSjConfig;
 use crate::index::{LayerId, MatchCache, SubgraphIndex};
 use crate::partition::cuts_for;
-use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, StampSink};
+use crate::probe::{probe_tree_nodes, resolve_layers, ProbeCounters, ProbeScratch, StampSink};
 use crate::subgraph::build_subgraphs;
 use crate::verify::{VerifyData, VerifyEngine};
 use std::collections::BinaryHeap;
 use std::time::Instant;
 use tsj_ted::{JoinStats, TreeIdx};
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// One result of a top-k join: an index pair and its **exact** distance.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -98,12 +98,10 @@ pub fn partsj_topk_with(trees: &[Tree], k: usize, config: &PartSjConfig) -> TopK
     }
 
     // Shared preprocessing — none of it depends on the pass ceiling.
-    let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
-    let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let data: Vec<VerifyData> = trees
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    // LC-RS forms and postorder numbers are rebuilt in place per probing
+    // tree through one scratch shared across escalation passes.
+    let data: Vec<VerifyData> = VerifyData::batch_for_config(trees, &config.verify);
+    let mut probe_scratch = ProbeScratch::new();
     let mut order: Vec<TreeIdx> = (0..n as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
 
@@ -117,13 +115,13 @@ pub fn partsj_topk_with(trees: &[Tree], k: usize, config: &PartSjConfig) -> TopK
     loop {
         passes += 1;
         let (pairs, stats) = topk_pass(
-            &binaries,
-            &general_posts,
+            trees,
             &data,
             &order,
             want,
             tau_c,
             config,
+            &mut probe_scratch,
         );
         if pairs.len() >= want || tau_c >= cap {
             return TopKOutcome {
@@ -140,21 +138,22 @@ pub fn partsj_topk_with(trees: &[Tree], k: usize, config: &PartSjConfig) -> TopK
 /// One Algorithm-1 pass at partition ceiling `tau_c`, keeping the best
 /// `want` pairs in a bounded max-heap whose worst key drives the
 /// effective probe/verify threshold.
+#[allow(clippy::too_many_arguments)] // one orchestration call site, all parts hoisted
 fn topk_pass(
-    binaries: &[BinaryTree],
-    general_posts: &[Vec<u32>],
+    trees: &[Tree],
     data: &[VerifyData],
     order: &[TreeIdx],
     want: usize,
     tau_c: u32,
     config: &PartSjConfig,
+    probe_scratch: &mut ProbeScratch,
 ) -> (Vec<TopKPair>, JoinStats) {
     let delta = 2 * tau_c as usize + 1;
     let mut stats = JoinStats::default();
 
     let mut index = SubgraphIndex::new(tau_c, config.window);
     let mut small_by_size: FxHashMap<u32, Vec<TreeIdx>> = FxHashMap::default();
-    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; binaries.len()];
+    let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; trees.len()];
     let mut verify = VerifyEngine::new(tau_c, config);
     // Max-heap over full `(distance, i, j)` keys: `peek` is the pair to
     // beat, and comparing whole keys makes tie handling (same distance,
@@ -166,7 +165,7 @@ fn topk_pass(
     let mut counters = ProbeCounters::default();
 
     for &i in order {
-        let binary = &binaries[i as usize];
+        let (binary, posts) = probe_scratch.prepare(&trees[i as usize]);
         let size_i = binary.len() as u32;
         // The live threshold: once the heap is full, only pairs beating
         // its worst distance matter.
@@ -201,7 +200,7 @@ fn topk_pass(
             &index,
             &layer_window,
             binary,
-            &general_posts[i as usize],
+            posts,
             size_i,
             config.matching,
             &mut match_cache,
@@ -238,7 +237,7 @@ fn topk_pass(
             small_by_size.entry(size_i).or_default().push(i);
         } else {
             let cuts = cuts_for(binary, delta, config.partitioning, u64::from(i));
-            let subgraphs = build_subgraphs(binary, &general_posts[i as usize], &cuts, i);
+            let subgraphs = build_subgraphs(binary, posts, &cuts, i);
             index.insert_tree(size_i, subgraphs);
         }
         stats.candidate_time += insert_start.elapsed();

@@ -49,9 +49,9 @@ use crate::config::{AdaptiveConfig, PartSjConfig, VerifyConfig};
 use std::cell::Cell;
 use std::hash::Hasher as _;
 use std::time::Instant;
-use tsj_ted::bounds::{histogram_bound, label_histogram, traversal_within, TraversalStrings};
-use tsj_ted::{JoinStats, PreparedTree, StageCount, TedEngine};
-use tsj_tree::{FxHasher, Label, Tree};
+use tsj_ted::bounds::{histogram_bound, traversal_within_with, TraversalStrings};
+use tsj_ted::{JoinStats, PreparedTree, SedScratch, StageCount, TedBuildScratch, TedEngine};
+use tsj_tree::{FxHasher, Label, NodeId, Tree};
 
 /// Per-tree verification inputs, precomputed once at index-build /
 /// data-prep time so every stage is allocation-free per pair.
@@ -77,54 +77,140 @@ pub struct VerifyData {
     pub shape_hash: u64,
 }
 
+/// Reusable temporaries for [`VerifyData`] preparation: the TED-tree
+/// build scratch plus the traversal walk stacks. One instance batched
+/// across a whole collection ([`VerifyData::batch_for_config`]) or
+/// carried in a probe scratch ([`VerifyData::rebuild`]) makes repeated
+/// preparation allocation-free in steady state.
+#[derive(Debug, Default)]
+pub struct VerifyPrep {
+    ted: TedBuildScratch,
+    pre_stack: Vec<NodeId>,
+    post_stack: Vec<(NodeId, usize)>,
+}
+
+impl VerifyPrep {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> VerifyPrep {
+        VerifyPrep::default()
+    }
+}
+
 impl VerifyData {
     /// Precomputes every stage's inputs for `tree`.
     pub fn new(tree: &Tree) -> VerifyData {
-        VerifyData::for_config(
-            tree,
-            &VerifyConfig {
-                size: true,
-                shape_accept: true,
-                histogram: true,
-                traversal: true,
-            },
-        )
+        VerifyData::for_config(tree, &VerifyConfig::ALL)
     }
 
     /// Precomputes the inputs of the stages `filters` enables; disabled
     /// stages cost neither setup time nor memory.
     pub fn for_config(tree: &Tree, filters: &VerifyConfig) -> VerifyData {
-        let mut shape = Vec::new();
-        let mut shape_hash = 0u64;
-        if filters.shape_accept {
-            shape.reserve_exact(tree.len());
+        VerifyData::for_config_with(tree, filters, &mut VerifyPrep::new())
+    }
+
+    /// [`VerifyData::for_config`] using caller-provided preparation
+    /// temporaries — the building block of [`VerifyData::batch_for_config`].
+    pub fn for_config_with(
+        tree: &Tree,
+        filters: &VerifyConfig,
+        prep: &mut VerifyPrep,
+    ) -> VerifyData {
+        let mut data = VerifyData {
+            prepared: PreparedTree::new_with(tree, &mut prep.ted),
+            traversals: TraversalStrings {
+                preorder: Vec::new(),
+                postorder: Vec::new(),
+            },
+            histogram: Vec::new(),
+            shape: Vec::new(),
+            shape_hash: 0,
+        };
+        data.fill_stage_inputs(tree, filters, prep);
+        data
+    }
+
+    /// Prepares a whole collection through one shared set of temporaries
+    /// (full stage inputs, as [`VerifyData::new`] per tree).
+    pub fn batch(trees: &[Tree]) -> Vec<VerifyData> {
+        VerifyData::batch_for_config(trees, &VerifyConfig::ALL)
+    }
+
+    /// Prepares a whole collection through one shared set of temporaries,
+    /// materializing only the inputs of enabled stages. Equivalent to
+    /// mapping [`VerifyData::for_config`] but the walk/build scratch is
+    /// allocated once instead of per tree.
+    pub fn batch_for_config(trees: &[Tree], filters: &VerifyConfig) -> Vec<VerifyData> {
+        let mut prep = VerifyPrep::new();
+        trees
+            .iter()
+            .map(|tree| VerifyData::for_config_with(tree, filters, &mut prep))
+            .collect()
+    }
+
+    /// Rebuilds this instance in place for a new `tree`, reusing every
+    /// buffer. Equivalent to `*self = VerifyData::for_config(tree,
+    /// filters)` but allocation-free once buffers fit the largest tree
+    /// seen — repeated probes reuse one instance through a scratch.
+    pub fn rebuild(&mut self, tree: &Tree, filters: &VerifyConfig, prep: &mut VerifyPrep) {
+        self.prepared.rebuild(tree, &mut prep.ted);
+        self.fill_stage_inputs(tree, filters, prep);
+    }
+
+    /// (Re)fills the per-stage inputs: one preorder walk produces the
+    /// preorder label string, the shape sequence and its hash together;
+    /// one postorder walk produces the postorder string; the histogram
+    /// is an in-place sort. All buffers are cleared first, so disabled
+    /// stages leave their inputs unambiguously empty.
+    fn fill_stage_inputs(&mut self, tree: &Tree, filters: &VerifyConfig, prep: &mut VerifyPrep) {
+        self.traversals.preorder.clear();
+        self.traversals.postorder.clear();
+        self.histogram.clear();
+        self.shape.clear();
+        self.shape_hash = 0;
+
+        // The shape-accept stage reads the preorder string too (the
+        // rename-script label sequence).
+        let want_traversals = filters.traversal || filters.shape_accept;
+        if want_traversals || filters.shape_accept {
             let mut hasher = FxHasher::default();
-            for node in tree.preorder() {
-                let degree = tree.children(node).len() as u32;
-                shape.push(degree);
-                hasher.write_u32(degree);
-            }
-            shape_hash = hasher.finish();
-        }
-        VerifyData {
-            prepared: PreparedTree::new(tree),
-            // The shape-accept stage reads the preorder string too (the
-            // rename-script label sequence).
-            traversals: if filters.traversal || filters.shape_accept {
-                TraversalStrings::new(tree)
-            } else {
-                TraversalStrings {
-                    preorder: Vec::new(),
-                    postorder: Vec::new(),
+            prep.pre_stack.clear();
+            prep.pre_stack.push(tree.root());
+            while let Some(node) = prep.pre_stack.pop() {
+                if want_traversals {
+                    self.traversals.preorder.push(tree.label(node));
                 }
-            },
-            histogram: if filters.histogram {
-                label_histogram(tree)
-            } else {
-                Vec::new()
-            },
-            shape,
-            shape_hash,
+                if filters.shape_accept {
+                    let degree = tree.children(node).len() as u32;
+                    self.shape.push(degree);
+                    hasher.write_u32(degree);
+                }
+                for &child in tree.children(node).iter().rev() {
+                    prep.pre_stack.push(child);
+                }
+            }
+            if filters.shape_accept {
+                self.shape_hash = hasher.finish();
+            }
+        }
+        if want_traversals {
+            prep.post_stack.clear();
+            prep.post_stack.push((tree.root(), 0));
+            while let Some(&mut (node, ref mut next)) = prep.post_stack.last_mut() {
+                let children = tree.children(node);
+                if *next < children.len() {
+                    let child = children[*next];
+                    *next += 1;
+                    prep.post_stack.push((child, 0));
+                } else {
+                    self.traversals.postorder.push(tree.label(node));
+                    prep.post_stack.pop();
+                }
+            }
+        }
+        if filters.histogram {
+            self.histogram
+                .extend(tree.node_ids().map(|n| tree.label(n)));
+            self.histogram.sort_unstable();
         }
     }
 
@@ -167,9 +253,55 @@ pub enum StageVerdict {
     Continue,
 }
 
+/// The engine-owned scratch arena stages compute out of: per-pair
+/// working memory that must not be allocated per candidate. Each
+/// [`VerifyEngine`] owns exactly one (engines are per-worker, so no
+/// locking is ever needed) and passes it to every
+/// [`FilterStage::apply`] call.
+#[derive(Debug, Default)]
+pub struct VerifyScratch {
+    /// Row/band buffers for the SED-based stages.
+    pub sed: SedScratch,
+}
+
+impl VerifyScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> VerifyScratch {
+        VerifyScratch::default()
+    }
+}
+
+/// A reusable probe-side [`VerifyData`] slot: one data instance plus its
+/// preparation temporaries, rebuilt in place per probe tree. Holding one
+/// across a query/insert loop makes the per-probe verification setup
+/// allocation-free once the buffers fit the largest probe seen.
+#[derive(Debug, Default)]
+pub struct ProbeVerify {
+    prep: VerifyPrep,
+    data: Option<VerifyData>,
+}
+
+impl ProbeVerify {
+    /// An empty slot; buffers are grown on first use.
+    pub fn new() -> ProbeVerify {
+        ProbeVerify::default()
+    }
+
+    /// Prepares the verification inputs of `tree` for the stages
+    /// `filters` enables. The result is valid until the next call.
+    pub fn prepare(&mut self, tree: &Tree, filters: &VerifyConfig) -> &VerifyData {
+        match &mut self.data {
+            Some(data) => data.rebuild(tree, filters, &mut self.prep),
+            None => self.data = Some(VerifyData::for_config_with(tree, filters, &mut self.prep)),
+        }
+        self.data.as_ref().expect("prepared above")
+    }
+}
+
 /// A pluggable verification filter. Implementations must be `Send + Sync`
 /// so parallel verify pools can build one chain per worker; all per-pair
-/// state lives in the [`VerifyData`] arguments.
+/// state lives in the [`VerifyData`] arguments and the engine-owned
+/// [`VerifyScratch`].
 ///
 /// To add a new bound: implement this trait (see the module docs for the
 /// soundness contract per [`StageKind`]), give it a distinct [`name`],
@@ -193,8 +325,16 @@ pub trait FilterStage: Send + Sync {
         1
     }
 
-    /// Evaluates the stage on one candidate pair at threshold `tau`.
-    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict;
+    /// Evaluates the stage on one candidate pair at threshold `tau`,
+    /// computing out of the engine-owned `scratch` so steady-state
+    /// verification performs no heap allocation.
+    fn apply(
+        &self,
+        a: &VerifyData,
+        b: &VerifyData,
+        tau: u32,
+        scratch: &mut VerifyScratch,
+    ) -> StageVerdict;
 }
 
 /// Size lower bound `||T1| − |T2|| ≤ TED` (§3.2 footnote 1).
@@ -214,7 +354,13 @@ impl FilterStage for SizeFilter {
     }
 
     #[inline]
-    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+    fn apply(
+        &self,
+        a: &VerifyData,
+        b: &VerifyData,
+        tau: u32,
+        _: &mut VerifyScratch,
+    ) -> StageVerdict {
         if a.len().abs_diff(b.len()) as u32 > tau {
             StageVerdict::Reject
         } else {
@@ -242,7 +388,13 @@ impl FilterStage for ShapeAcceptFilter {
     }
 
     #[inline]
-    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+    fn apply(
+        &self,
+        a: &VerifyData,
+        b: &VerifyData,
+        tau: u32,
+        _: &mut VerifyScratch,
+    ) -> StageVerdict {
         // An empty shape means the input was built without this stage
         // (trees are never empty): no decision. The preorder-length
         // check rejects mixed-construction inputs the same way.
@@ -293,7 +445,13 @@ impl FilterStage for HistogramFilter {
     }
 
     #[inline]
-    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+    fn apply(
+        &self,
+        a: &VerifyData,
+        b: &VerifyData,
+        tau: u32,
+        _: &mut VerifyScratch,
+    ) -> StageVerdict {
         // Empty histogram = input built without this stage: no decision
         // (a one-sided empty histogram would inflate the L1 bound).
         if a.histogram.is_empty() || b.histogram.is_empty() {
@@ -325,13 +483,19 @@ impl FilterStage for TraversalFilter {
     }
 
     #[inline]
-    fn apply(&self, a: &VerifyData, b: &VerifyData, tau: u32) -> StageVerdict {
+    fn apply(
+        &self,
+        a: &VerifyData,
+        b: &VerifyData,
+        tau: u32,
+        scratch: &mut VerifyScratch,
+    ) -> StageVerdict {
         // Empty strings = input built without this stage: no decision
         // (a one-sided empty string would inflate the SED bound).
         if a.traversals.preorder.is_empty() || b.traversals.preorder.is_empty() {
             return StageVerdict::Continue;
         }
-        if traversal_within(&a.traversals, &b.traversals, tau) {
+        if traversal_within_with(&a.traversals, &b.traversals, tau, &mut scratch.sed) {
             StageVerdict::Continue
         } else {
             StageVerdict::Reject
@@ -391,6 +555,9 @@ pub struct VerifyEngine {
     /// One-shot guard so [`VerifyEngine::fold_into`] publishes the stage
     /// timings to the global registry exactly once per engine.
     timings_flushed: Cell<bool>,
+    /// The engine-owned scratch arena stages compute out of; per-worker
+    /// engines therefore need no locking and no per-pair allocation.
+    scratch: VerifyScratch,
     ted: TedEngine,
 }
 
@@ -452,6 +619,7 @@ impl VerifyEngine {
             time_stages,
             stage_ns,
             timings_flushed: Cell::new(false),
+            scratch: VerifyScratch::new(),
             ted: TedEngine::unit(),
         }
     }
@@ -500,6 +668,21 @@ impl VerifyEngine {
         self.lower_skips
     }
 
+    /// Zeroes every work counter (stage counts, TED calls, skip/accept
+    /// totals) while keeping the learned evaluation order and all scratch
+    /// capacity. Callers that reuse one engine across independent runs
+    /// (e.g. repeated scratch joins) reset between runs so each run's
+    /// [`VerifyEngine::fold_into`] reports only its own work.
+    pub fn reset_counters(&mut self) {
+        self.counts.fill(0);
+        self.seen.fill(0);
+        self.stage_ns.fill(0);
+        self.since_reorder = 0;
+        self.lower_skips = 0;
+        self.early_accepts = 0;
+        self.ted.reset_counters();
+    }
+
     /// Membership check: `Some(d)` iff `TED(a, b) ≤ τ`, where `d ≤ τ` is
     /// a distance certificate — exact unless an [`AcceptWithin`] upper
     /// bound resolved the pair first. Joins and streaming monitors (which
@@ -533,7 +716,7 @@ impl VerifyEngine {
             let idx = self.order[pos];
             self.seen[idx] += 1;
             let started = self.time_stages.then(Instant::now);
-            let verdict = self.stages[idx].apply(a, b, self.tau);
+            let verdict = self.stages[idx].apply(a, b, self.tau, &mut self.scratch);
             if let Some(t) = started {
                 self.stage_ns[idx] += t.elapsed().as_nanos() as u64;
             }
@@ -618,6 +801,12 @@ impl VerifyEngine {
         stats.ted_calls += self.ted.computations();
         stats.prefilter_skips += self.lower_skips;
         stats.early_accepts += self.early_accepts;
+        if stats.stage_counts.is_empty() {
+            // One exact allocation instead of push-doubling growth — the
+            // stage-count rows are the only allocation a recycled join
+            // makes per call.
+            stats.stage_counts.reserve_exact(self.stages.len());
+        }
         for (idx, stage) in self.stages.iter().enumerate() {
             let name = stage.name();
             match stats.stage_counts.iter_mut().find(|c| c.stage == name) {
@@ -704,7 +893,11 @@ mod tests {
         // An "exact SED ≤ τ accepts" stage would report a false pair at
         // τ = 2; the shape-accept stage must not (shapes differ here).
         let d = data(&["{1{2}{1{3}}}", "{1{2{1}{3}}}"]);
-        assert!(traversal_within(&d[0].traversals, &d[1].traversals, 2));
+        assert!(tsj_ted::traversal_within(
+            &d[0].traversals,
+            &d[1].traversals,
+            2
+        ));
         let mut engine = VerifyEngine::with_filters(2, &VerifyConfig::default());
         assert_eq!(engine.check(&d[0], &d[1]), None);
         assert_eq!(engine.ted_calls(), 1, "only exact TED may decide");

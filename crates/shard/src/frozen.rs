@@ -25,7 +25,10 @@ use crate::join::build_subgraph_lists;
 use crossbeam::channel;
 use partsj::probe::ProbeCounters;
 use partsj::subgraph::Subgraph;
-use partsj::{LayerId, MatchCache, PartSjConfig, StampSink, VerifyData, VerifyEngine};
+use partsj::{
+    LayerId, MatchCache, PartSjConfig, ProbeScratch, ProbeVerify, StampSink, VerifyData,
+    VerifyEngine,
+};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
@@ -90,6 +93,128 @@ pub struct FrozenLeft<'a> {
     pub left_data: &'a [VerifyData],
 }
 
+/// Reusable scratch for [`frozen_rs_join_seq`]: the O(left) dedup stamp
+/// array, the per-shard match caches, the probe-tree preparation buffers
+/// and the probe tree's verification inputs. A serving loop holding one
+/// of these (plus a [`VerifyEngine`]) across repeated joins allocates
+/// nothing proportional to the frozen side or the probe trees in steady
+/// state — only the result pairs the caller keeps.
+#[derive(Debug, Default)]
+pub struct FrozenJoinScratch {
+    stamp: Vec<TreeIdx>,
+    caches: Vec<MatchCache>,
+    shard_scratch: Vec<usize>,
+    layer_scratch: Vec<LayerId>,
+    candidates: Vec<TreeIdx>,
+    probe: ProbeScratch,
+    probe_verify: ProbeVerify,
+}
+
+impl FrozenJoinScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> FrozenJoinScratch {
+        FrozenJoinScratch::default()
+    }
+}
+
+/// The inline (single-thread) half of [`frozen_rs_join`], exposed so
+/// serving loops can reuse one engine and one [`FrozenJoinScratch`]
+/// across repeated batch joins: result pairs are appended to `pairs`
+/// (cleared first) and the returned [`JoinStats`] cover only this call
+/// (the engine's counters are reset at entry; its learned adaptive
+/// stage order is kept).
+///
+/// Bit-identical (pairs *and* candidate/stage counters) to
+/// [`frozen_rs_join`] over the same inputs.
+pub fn frozen_rs_join_seq(
+    left: &FrozenLeft<'_>,
+    right: &[Tree],
+    tau: u32,
+    config: &PartSjConfig,
+    verify: &mut VerifyEngine,
+    scratch: &mut FrozenJoinScratch,
+    pairs: &mut Vec<(TreeIdx, TreeIdx)>,
+) -> JoinStats {
+    let mut stats = JoinStats::default();
+    let total_start = Instant::now();
+    let index = left.index;
+    let small_by_size = left.small_by_size;
+    let left_data = left.left_data;
+
+    verify.set_tau(tau);
+    verify.reset_counters();
+    pairs.clear();
+    // Stale markers from a previous join must not dedup this one's
+    // candidates: refill with the never-used sentinel (a fill, not an
+    // allocation, once the buffer has grown to the frozen side's size).
+    scratch.stamp.clear();
+    scratch.stamp.resize(left_data.len(), TreeIdx::MAX);
+    if scratch.caches.len() != index.shard_count() {
+        scratch.caches = (0..index.shard_count())
+            .map(|_| MatchCache::new())
+            .collect();
+    }
+    let mut counters = ProbeCounters::default();
+    let mut candidate_time = total_start.elapsed();
+
+    for (j, tree) in right.iter().enumerate() {
+        let probe_start = Instant::now();
+        let marker = j as TreeIdx;
+        let size_j = tree.len() as u32;
+        let (lo, hi) = partsj::window_of(size_j, tau);
+        scratch.candidates.clear();
+        for n in lo..=hi {
+            if let Some(list) = small_by_size.get(&n) {
+                for &i in list {
+                    if scratch.stamp[i as usize] != marker {
+                        scratch.stamp[i as usize] = marker;
+                        scratch.candidates.push(i);
+                    }
+                }
+            }
+        }
+        let (binary, posts) = scratch.probe.prepare(tree);
+        let mut sink = StampSink {
+            stamp: &mut scratch.stamp,
+            marker,
+            candidates: &mut scratch.candidates,
+        };
+        index.probe_tree(
+            binary,
+            posts,
+            size_j,
+            lo,
+            hi,
+            config.matching,
+            &mut scratch.caches,
+            &mut scratch.shard_scratch,
+            &mut scratch.layer_scratch,
+            &mut counters,
+            &mut sink,
+        );
+        stats.candidates += scratch.candidates.len() as u64;
+        candidate_time += probe_start.elapsed();
+
+        let verify_start = Instant::now();
+        let data_j = scratch.probe_verify.prepare(tree, &config.verify);
+        for &i in &scratch.candidates {
+            if verify.check(&left_data[i as usize], data_j).is_some() {
+                pairs.push((i, j as TreeIdx));
+            }
+        }
+        stats.verify_time += verify_start.elapsed();
+    }
+    // Same normalization as `JoinOutcome::new_bipartite`, so callers
+    // holding the raw vector see identical results.
+    pairs.sort_unstable();
+    pairs.dedup();
+    stats.results = pairs.len() as u64;
+    stats.pairs_examined = stats.candidates;
+    stats.candidate_time = candidate_time;
+    verify.fold_into(&mut stats);
+    stats
+}
+
 /// R×S join of `right` against a frozen left side: all `(i, j)` with
 /// `TED(left[i], right[j]) ≤ tau`, where `tau` may be any threshold not
 /// exceeding the one the left side was frozen for (callers enforce
@@ -114,80 +239,26 @@ pub fn frozen_rs_join(
     let left_data = left.left_data;
     let left_len = left_data.len();
 
-    let right_data: Vec<VerifyData> = right
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
-
     let parallel = probe_threads > 1 && right.len() >= config.parallel_fallback;
     if !parallel {
         let mut verify = VerifyEngine::new(tau, config);
         let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
-        let mut stamp: Vec<TreeIdx> = vec![TreeIdx::MAX; left_len];
-        let mut caches: Vec<MatchCache> = (0..index.shard_count())
-            .map(|_| MatchCache::new())
-            .collect();
-        let (mut shard_scratch, mut layer_scratch) = (Vec::new(), Vec::<LayerId>::new());
-        let mut candidates: Vec<TreeIdx> = Vec::new();
-        let mut counters = ProbeCounters::default();
-        let mut candidate_time = total_start.elapsed();
-
-        for (j, tree) in right.iter().enumerate() {
-            let probe_start = Instant::now();
-            let marker = j as TreeIdx;
-            let size_j = tree.len() as u32;
-            let (lo, hi) = partsj::window_of(size_j, tau);
-            candidates.clear();
-            for n in lo..=hi {
-                if let Some(list) = small_by_size.get(&n) {
-                    for &i in list {
-                        if stamp[i as usize] != marker {
-                            stamp[i as usize] = marker;
-                            candidates.push(i);
-                        }
-                    }
-                }
-            }
-            let binary = BinaryTree::from_tree(tree);
-            let posts = tree.postorder_numbers();
-            let mut sink = StampSink {
-                stamp: &mut stamp,
-                marker,
-                candidates: &mut candidates,
-            };
-            index.probe_tree(
-                &binary,
-                &posts,
-                size_j,
-                lo,
-                hi,
-                config.matching,
-                &mut caches,
-                &mut shard_scratch,
-                &mut layer_scratch,
-                &mut counters,
-                &mut sink,
-            );
-            stats.candidates += candidates.len() as u64;
-            candidate_time += probe_start.elapsed();
-
-            let verify_start = Instant::now();
-            for &i in &candidates {
-                if verify
-                    .check(&left_data[i as usize], &right_data[j])
-                    .is_some()
-                {
-                    pairs.push((i, j as TreeIdx));
-                }
-            }
-            stats.verify_time += verify_start.elapsed();
-        }
-        stats.pairs_examined = stats.candidates;
-        stats.candidate_time = candidate_time;
-        verify.fold_into(&mut stats);
+        let stats = frozen_rs_join_seq(
+            left,
+            right,
+            tau,
+            config,
+            &mut verify,
+            &mut FrozenJoinScratch::new(),
+            &mut pairs,
+        );
         return JoinOutcome::new_bipartite(pairs, stats);
     }
 
+    // Parallel verifiers pick right trees out of order, so every right
+    // tree's verification inputs are materialized up front, through one
+    // shared set of build temporaries.
+    let right_data: Vec<VerifyData> = VerifyData::batch_for_config(right, &config.verify);
     let batch_size = config.verify_batch.max(1);
     let (tx, rx) = channel::bounded::<Vec<(TreeIdx, TreeIdx)>>(verify_threads * 4);
     let cursor = AtomicUsize::new(0);
@@ -229,6 +300,7 @@ pub fn frozen_rs_join(
                     let mut counters = ProbeCounters::default();
                     let mut batch: Vec<(TreeIdx, TreeIdx)> = Vec::with_capacity(batch_size);
                     let mut candidates_total = 0u64;
+                    let mut probe_scratch = ProbeScratch::new();
                     loop {
                         let start = cursor.fetch_add(CLAIM_CHUNK, Ordering::Relaxed);
                         if start >= right.len() {
@@ -250,16 +322,15 @@ pub fn frozen_rs_join(
                                     }
                                 }
                             }
-                            let binary = BinaryTree::from_tree(tree);
-                            let posts = tree.postorder_numbers();
+                            let (binary, posts) = probe_scratch.prepare(tree);
                             let mut sink = StampSink {
                                 stamp: &mut stamp,
                                 marker,
                                 candidates: &mut candidates,
                             };
                             index.probe_tree(
-                                &binary,
-                                &posts,
+                                binary,
+                                posts,
                                 size_j,
                                 lo,
                                 hi,

@@ -92,10 +92,7 @@ pub fn sharded_join_detailed(
     // Shared read-only preprocessing.
     let binaries: Vec<BinaryTree> = trees.iter().map(BinaryTree::from_tree).collect();
     let general_posts: Vec<Vec<u32>> = trees.iter().map(Tree::postorder_numbers).collect();
-    let data: Vec<VerifyData> = trees
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    let data: Vec<VerifyData> = VerifyData::batch_for_config(trees, &config.verify);
     let mut order: Vec<TreeIdx> = (0..trees.len() as TreeIdx).collect();
     order.sort_by_key(|&i| (trees[i as usize].len(), i));
     let mut rank: Vec<u32> = vec![0; trees.len()];

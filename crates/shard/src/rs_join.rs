@@ -29,10 +29,7 @@ pub fn sharded_rs_join(
 ) -> JoinOutcome {
     let build_start = Instant::now();
     let (index, small_by_size) = build_frozen_left(left, tau, config, shard_cfg);
-    let left_data: Vec<VerifyData> = left
-        .iter()
-        .map(|t| VerifyData::for_config(t, &config.verify))
-        .collect();
+    let left_data: Vec<VerifyData> = VerifyData::batch_for_config(left, &config.verify);
     let build_time = build_start.elapsed();
 
     let mut outcome = frozen_rs_join(

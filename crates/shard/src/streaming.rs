@@ -54,10 +54,13 @@ use crate::index::{ShardConfig, ShardedIndex};
 use partsj::partition::cuts_for;
 use partsj::probe::ProbeCounters;
 use partsj::subgraph::build_subgraphs;
-use partsj::{LayerId, MatchCache, PartSjConfig, StampSink, VerifyData, VerifyEngine};
+use partsj::{
+    LayerId, MatchCache, PartSjConfig, ProbeScratch, StampSink, VerifyData, VerifyEngine,
+    VerifyPrep,
+};
 use std::collections::VecDeque;
 use tsj_ted::TreeIdx;
-use tsj_tree::{BinaryTree, FxHashMap, Tree};
+use tsj_tree::{FxHashMap, Tree};
 
 /// When the sliding window lets go of a tree.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -94,6 +97,9 @@ pub struct ShardedStreamingJoin {
     caches: Vec<MatchCache>,
     shard_scratch: Vec<usize>,
     layer_scratch: Vec<LayerId>,
+    candidates: Vec<TreeIdx>,
+    probe_scratch: ProbeScratch,
+    verify_prep: VerifyPrep,
     arrivals: VecDeque<(TreeIdx, u64)>,
     /// Next auto-assigned timestamp for [`Self::insert`].
     clock: u64,
@@ -131,6 +137,9 @@ impl ShardedStreamingJoin {
             caches,
             shard_scratch: Vec::new(),
             layer_scratch: Vec::new(),
+            candidates: Vec::new(),
+            probe_scratch: ProbeScratch::new(),
+            verify_prep: VerifyPrep::default(),
             arrivals: VecDeque::new(),
             clock: 0,
             last_ts: 0,
@@ -214,30 +223,29 @@ impl ShardedStreamingJoin {
         let hi = size + self.tau;
 
         // Candidates from the small-tree side lists (live only).
-        let mut candidates: Vec<TreeIdx> = Vec::new();
+        self.candidates.clear();
         for n in lo..=hi {
             if let Some(list) = self.small_by_size.get(&n) {
                 for &j in list {
                     if self.index.is_alive(j) && self.stamp[j as usize] != id {
                         self.stamp[j as usize] = id;
-                        candidates.push(j);
+                        self.candidates.push(j);
                     }
                 }
             }
         }
 
         // Candidates from the sharded index (dead trees filtered inside).
-        let binary = BinaryTree::from_tree(tree);
-        let posts = tree.postorder_numbers();
+        let (binary, posts) = self.probe_scratch.prepare(tree);
         let mut counters = ProbeCounters::default();
         let mut sink = StampSink {
             stamp: &mut self.stamp,
             marker: id,
-            candidates: &mut candidates,
+            candidates: &mut self.candidates,
         };
         self.index.probe_tree(
-            &binary,
-            &posts,
+            binary,
+            posts,
             size,
             lo,
             hi,
@@ -249,18 +257,22 @@ impl ShardedStreamingJoin {
             &mut sink,
         );
 
-        // Verify against the live window.
-        let data = VerifyData::for_config(tree, &self.config.verify);
+        // Verify against the live window. The newcomer's data is owned —
+        // it outlives the insert in `self.data` — so only the build
+        // temporaries come from the reusable prep.
+        let data = VerifyData::for_config_with(tree, &self.config.verify, &mut self.verify_prep);
         let verify = &mut self.verify;
         let known = &self.data;
-        let mut partners: Vec<TreeIdx> = candidates
-            .into_iter()
-            .filter(|&j| {
+        let mut partners: Vec<TreeIdx> = self
+            .candidates
+            .iter()
+            .filter(|&&j| {
                 let other = known[j as usize]
                     .as_ref()
                     .expect("live candidate has verification data");
                 verify.check(other, &data).is_some()
             })
+            .copied()
             .collect();
         partners.sort_unstable();
         self.pairs_found += partners.len() as u64;
@@ -270,8 +282,8 @@ impl ShardedStreamingJoin {
             self.index.track(id, size);
             self.small_by_size.entry(size).or_default().push(id);
         } else {
-            let cuts = cuts_for(&binary, delta, self.config.partitioning, u64::from(id));
-            let subgraphs = build_subgraphs(&binary, &posts, &cuts, id);
+            let cuts = cuts_for(binary, delta, self.config.partitioning, u64::from(id));
+            let subgraphs = build_subgraphs(binary, posts, &cuts, id);
             self.index.insert_tree(id, size, subgraphs);
         }
         self.data.push(Some(data));

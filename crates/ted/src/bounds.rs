@@ -12,7 +12,7 @@
 //! * **traversal string bound** — `max(SED(pre1, pre2), SED(post1, post2))
 //!   ≤ TED` (Guha et al., the STR baseline's filter).
 
-use crate::sed::{sed, sed_within};
+use crate::sed::{sed, sed_with, sed_within, sed_within_with, SedScratch};
 use tsj_tree::{Label, Tree};
 
 /// Size lower bound: `||a| − |b||`.
@@ -28,25 +28,57 @@ pub fn label_histogram(tree: &Tree) -> Vec<Label> {
     labels
 }
 
+/// One lane's worth of histogram entries for the chunked merge fast path.
+const CHUNK: usize = 8;
+
+/// Whether two `CHUNK`-sized windows are pairwise equal, as a single
+/// branch: the `&=` reduction over fixed-size windows compiles to one
+/// vector compare per chunk instead of eight data-dependent branches.
+#[inline(always)]
+fn chunk_eq<T: Copy + Eq>(a: &[T], b: &[T]) -> bool {
+    let mut eq = true;
+    for k in 0..CHUNK {
+        eq &= a[k] == b[k];
+    }
+    eq
+}
+
+/// Size of the multiset intersection of two sorted slices — the shared
+/// kernel of [`histogram_bound`] and [`degree_bound`].
+///
+/// Near-duplicate histograms (the common case for surviving candidates)
+/// are dominated by long identical runs, which the chunked fast path
+/// skips `CHUNK` entries at a time with a vectorizable compare. On
+/// divergence it falls back to a branchless scalar advance.
+#[inline]
+fn sorted_common<T: Copy + Ord>(a: &[T], b: &[T]) -> usize {
+    let mut i = 0;
+    let mut j = 0;
+    let mut common = 0usize;
+    while i < a.len() && j < b.len() {
+        if i + CHUNK <= a.len()
+            && j + CHUNK <= b.len()
+            && chunk_eq(&a[i..i + CHUNK], &b[j..j + CHUNK])
+        {
+            common += CHUNK;
+            i += CHUNK;
+            j += CHUNK;
+            continue;
+        }
+        let (x, y) = (a[i], b[j]);
+        common += usize::from(x == y);
+        i += usize::from(x <= y);
+        j += usize::from(y <= x);
+    }
+    common
+}
+
 /// Label histogram lower bound: `⌈L1 / 2⌉` where `L1` is the symmetric
 /// multiset difference size of the two (pre-sorted) label multisets.
 pub fn histogram_bound(a: &[Label], b: &[Label]) -> u32 {
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "histogram not sorted");
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "histogram not sorted");
-    let mut i = 0;
-    let mut j = 0;
-    let mut common = 0usize;
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                common += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    let common = sorted_common(a, b);
     let l1 = (a.len() - common) + (b.len() - common);
     (l1 as u32).div_ceil(2)
 }
@@ -71,20 +103,7 @@ pub fn degree_histogram(tree: &Tree) -> Vec<u32> {
 pub fn degree_bound(a: &[u32], b: &[u32]) -> u32 {
     debug_assert!(a.windows(2).all(|w| w[0] <= w[1]), "histogram not sorted");
     debug_assert!(b.windows(2).all(|w| w[0] <= w[1]), "histogram not sorted");
-    let mut i = 0;
-    let mut j = 0;
-    let mut common = 0usize;
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                common += 1;
-                i += 1;
-                j += 1;
-            }
-        }
-    }
+    let common = sorted_common(a, b);
     let l1 = (a.len() - common) + (b.len() - common);
     (l1 as u32).div_ceil(3)
 }
@@ -113,11 +132,33 @@ pub fn traversal_bound(a: &TraversalStrings, b: &TraversalStrings) -> u32 {
     sed(&a.preorder, &b.preorder).max(sed(&a.postorder, &b.postorder))
 }
 
+/// [`traversal_bound`] with caller-provided SED row buffers; allocation-
+/// free in steady state.
+pub fn traversal_bound_with(
+    a: &TraversalStrings,
+    b: &TraversalStrings,
+    scratch: &mut SedScratch,
+) -> u32 {
+    sed_with(&a.preorder, &b.preorder, scratch).max(sed_with(&a.postorder, &b.postorder, scratch))
+}
+
 /// Threshold form of [`traversal_bound`]: `true` iff both banded string
 /// distances stay within `tau`, i.e. the pair survives the STR filter.
 pub fn traversal_within(a: &TraversalStrings, b: &TraversalStrings, tau: u32) -> bool {
     sed_within(&a.preorder, &b.preorder, tau).is_some()
         && sed_within(&a.postorder, &b.postorder, tau).is_some()
+}
+
+/// [`traversal_within`] with caller-provided SED band buffers; allocation-
+/// free in steady state.
+pub fn traversal_within_with(
+    a: &TraversalStrings,
+    b: &TraversalStrings,
+    tau: u32,
+    scratch: &mut SedScratch,
+) -> bool {
+    sed_within_with(&a.preorder, &b.preorder, tau, scratch).is_some()
+        && sed_within_with(&a.postorder, &b.postorder, tau, scratch).is_some()
 }
 
 #[cfg(test)]

@@ -17,7 +17,7 @@
 //! the choice affects only running time — never the reported distance.
 
 use crate::cost::CostModel;
-use crate::ted_tree::TedTree;
+use crate::ted_tree::{TedBuildScratch, TedTree};
 use crate::zs::{tree_distance, TedWorkspace};
 use tsj_tree::Tree;
 
@@ -48,6 +48,27 @@ impl PreparedTree {
             right: TedTree::mirrored(tree),
             size: tree.len(),
         }
+    }
+
+    /// [`PreparedTree::new`] using caller-provided walk temporaries, for
+    /// batch preparation of many trees through one scratch.
+    pub fn new_with(tree: &Tree, scratch: &mut TedBuildScratch) -> PreparedTree {
+        PreparedTree {
+            left: TedTree::new_with(tree, scratch),
+            right: TedTree::mirrored_with(tree, scratch),
+            size: tree.len(),
+        }
+    }
+
+    /// Rebuilds both decompositions in place for a new `tree`.
+    ///
+    /// Equivalent to `*self = PreparedTree::new(tree)` but reuses every
+    /// array (and the walk temporaries in `scratch`), so preparing a
+    /// stream of probe trees is allocation-free in steady state.
+    pub fn rebuild(&mut self, tree: &Tree, scratch: &mut TedBuildScratch) {
+        self.left.rebuild(tree, false, scratch);
+        self.right.rebuild(tree, true, scratch);
+        self.size = tree.len();
     }
 
     /// Number of nodes.

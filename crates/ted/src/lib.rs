@@ -23,11 +23,11 @@ pub mod zs;
 
 pub use bounds::{
     degree_bound, degree_histogram, histogram_bound, label_histogram, size_bound, traversal_bound,
-    traversal_within, TraversalStrings,
+    traversal_bound_with, traversal_within, traversal_within_with, TraversalStrings,
 };
 pub use cost::CostModel;
 pub use hybrid::{ted, PreparedTree, Strategy, TedEngine};
 pub use outcome::{JoinOutcome, JoinStats, StageCount, TreeIdx};
-pub use sed::{sed, sed_within};
-pub use ted_tree::TedTree;
+pub use sed::{sed, sed_with, sed_within, sed_within_with, SedScratch};
+pub use ted_tree::{TedBuildScratch, TedTree};
 pub use zs::{tree_distance, zhang_shasha, TedWorkspace};

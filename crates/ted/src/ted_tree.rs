@@ -11,7 +11,26 @@
 //! pair — the second half of the RTED-inspired hybrid in
 //! [`crate::hybrid`].
 
-use tsj_tree::{Label, Tree};
+use tsj_tree::{Label, NodeId, Tree};
+
+/// Reusable temporaries for [`TedTree::rebuild`]: the postorder walk
+/// stack/order and the keyroot `seen` marks. Grow-only, so rebuilding a
+/// stream of probe trees through one scratch is allocation-free once the
+/// buffers reach the largest tree seen.
+#[derive(Debug, Default, Clone)]
+pub struct TedBuildScratch {
+    post_of: Vec<usize>,
+    order: Vec<NodeId>,
+    stack: Vec<(NodeId, usize)>,
+    seen: Vec<bool>,
+}
+
+impl TedBuildScratch {
+    /// An empty scratch; buffers are grown on first use.
+    pub fn new() -> TedBuildScratch {
+        TedBuildScratch::default()
+    }
+}
 
 /// A tree preprocessed for the Zhang–Shasha dynamic program.
 ///
@@ -49,16 +68,57 @@ impl TedTree {
         Self::build(tree, true)
     }
 
+    /// [`TedTree::new`] using caller-provided walk temporaries, for batch
+    /// preparation of many trees through one scratch.
+    pub fn new_with(tree: &Tree, scratch: &mut TedBuildScratch) -> TedTree {
+        let mut built = Self::placeholder();
+        built.rebuild(tree, false, scratch);
+        built
+    }
+
+    /// [`TedTree::mirrored`] using caller-provided walk temporaries.
+    pub fn mirrored_with(tree: &Tree, scratch: &mut TedBuildScratch) -> TedTree {
+        let mut built = Self::placeholder();
+        built.rebuild(tree, true, scratch);
+        built
+    }
+
+    fn placeholder() -> TedTree {
+        TedTree {
+            n: 0,
+            labels: Vec::new(),
+            lld: Vec::new(),
+            keyroots: Vec::new(),
+            decomposition_cost: 0,
+        }
+    }
+
     fn build(tree: &Tree, mirror: bool) -> TedTree {
+        let mut built = Self::placeholder();
+        built.rebuild(tree, mirror, &mut TedBuildScratch::new());
+        built
+    }
+
+    /// Rebuilds this preprocessed form in place for a new `tree`, reusing
+    /// both this tree's arrays and the walk temporaries in `scratch`.
+    /// Equivalent to `*self = TedTree::new(tree)` (or `mirrored`) but
+    /// allocation-free once every buffer has grown to the largest tree
+    /// seen — the backbone of reusable probe preparation.
+    pub fn rebuild(&mut self, tree: &Tree, mirror: bool, scratch: &mut TedBuildScratch) {
         let n = tree.len();
-        let mut labels = vec![Label::EPSILON; n + 1];
-        let mut lld = vec![0usize; n + 1];
-        let mut post_of = vec![0usize; n];
+        self.n = n;
+        self.labels.clear();
+        self.labels.resize(n + 1, Label::EPSILON);
+        self.lld.clear();
+        self.lld.resize(n + 1, 0);
+        scratch.post_of.clear();
+        scratch.post_of.resize(n, 0);
 
         // Iterative (possibly mirrored) postorder.
-        let mut order = Vec::with_capacity(n);
-        let mut stack: Vec<(tsj_tree::NodeId, usize)> = vec![(tree.root(), 0)];
-        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+        scratch.order.clear();
+        scratch.stack.clear();
+        scratch.stack.push((tree.root(), 0));
+        while let Some(&mut (node, ref mut next)) = scratch.stack.last_mut() {
             let children = tree.children(node);
             if *next < children.len() {
                 let child = if mirror {
@@ -67,52 +127,49 @@ impl TedTree {
                     children[*next]
                 };
                 *next += 1;
-                stack.push((child, 0));
+                scratch.stack.push((child, 0));
             } else {
-                post_of[node.index()] = order.len() + 1;
-                order.push(node);
-                stack.pop();
+                scratch.post_of[node.index()] = scratch.order.len() + 1;
+                scratch.order.push(node);
+                scratch.stack.pop();
             }
         }
 
-        for (i, &node) in order.iter().enumerate() {
+        for (i, &node) in scratch.order.iter().enumerate() {
             let post = i + 1;
-            labels[post] = tree.label(node);
+            self.labels[post] = tree.label(node);
             let children = tree.children(node);
             let first = if mirror {
                 children.last()
             } else {
                 children.first()
             };
-            lld[post] = match first {
+            self.lld[post] = match first {
                 // The leftmost leaf of an inner node is the leftmost leaf
                 // of its first (in visit order) child, which was already
                 // numbered because postorder visits children first.
-                Some(&c) => lld[post_of[c.index()]],
+                Some(&c) => self.lld[scratch.post_of[c.index()]],
                 None => post,
             };
         }
 
         // Keyroots: nodes with no higher-postorder node sharing their lld.
-        let mut seen = vec![false; n + 1];
-        let mut keyroots = Vec::new();
+        scratch.seen.clear();
+        scratch.seen.resize(n + 1, false);
+        self.keyroots.clear();
         for i in (1..=n).rev() {
-            if !seen[lld[i]] {
-                seen[lld[i]] = true;
-                keyroots.push(i);
+            if !scratch.seen[self.lld[i]] {
+                scratch.seen[self.lld[i]] = true;
+                self.keyroots.push(i);
             }
         }
-        keyroots.reverse();
+        self.keyroots.reverse();
 
-        let decomposition_cost = keyroots.iter().map(|&k| (k - lld[k] + 1) as u64).sum();
-
-        TedTree {
-            n,
-            labels,
-            lld,
-            keyroots,
-            decomposition_cost,
-        }
+        self.decomposition_cost = self
+            .keyroots
+            .iter()
+            .map(|&k| (k - self.lld[k] + 1) as u64)
+            .sum();
     }
 
     /// Number of nodes.
@@ -218,6 +275,38 @@ mod tests {
         let tt = TedTree::new(&tree);
         assert_eq!(tt.keyroots().len(), 4); // b, c, d, root
         assert_eq!(tt.decomposition_cost(), 1 + 1 + 1 + 5);
+    }
+
+    #[test]
+    fn rebuild_matches_fresh_build_across_mismatched_trees() {
+        // One dirty scratch + one reused TedTree cycled over trees of very
+        // different shapes and sizes must reproduce fresh builds exactly.
+        let sources = [
+            "{f{d{a}{c{b}}}{e}}",
+            "{x}",
+            "{r{a}{b}{c}{d}}",
+            "{a{b{c{d{e}}}}}",
+            "{f{d{a}{c{b}}}{e}}",
+        ];
+        let mut scratch = TedBuildScratch::new();
+        let mut reused = TedTree::new(&t("{x}"));
+        let mut reused_mirror = TedTree::mirrored(&t("{x}"));
+        for src in sources {
+            let tree = t(src);
+            reused.rebuild(&tree, false, &mut scratch);
+            reused_mirror.rebuild(&tree, true, &mut scratch);
+            let fresh = TedTree::new(&tree);
+            let fresh_mirror = TedTree::mirrored(&tree);
+            for (got, want) in [(&reused, &fresh), (&reused_mirror, &fresh_mirror)] {
+                assert_eq!(got.len(), want.len(), "{src}");
+                assert_eq!(got.keyroots(), want.keyroots(), "{src}");
+                assert_eq!(got.decomposition_cost(), want.decomposition_cost(), "{src}");
+                for i in 1..=want.len() {
+                    assert_eq!(got.label(i), want.label(i), "{src} node {i}");
+                    assert_eq!(got.lld(i), want.lld(i), "{src} node {i}");
+                }
+            }
+        }
     }
 
     #[test]

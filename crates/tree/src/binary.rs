@@ -51,6 +51,10 @@ pub struct BinaryTree {
     post_of: Vec<u32>,
     /// Binary-subtree size (node + left subtree + right subtree) per id.
     subtree_size: Vec<u32>,
+    /// Persistent traversal stack for cache rebuilds; empty between
+    /// calls but keeps its capacity, so [`BinaryTree::rebuild_from`] is
+    /// allocation-free in steady state.
+    walk: Vec<(NodeId, u8)>,
 }
 
 impl BinaryTree {
@@ -58,36 +62,50 @@ impl BinaryTree {
     ///
     /// Node ids are preserved: binary node `n` is general node `n`.
     pub fn from_tree(tree: &Tree) -> BinaryTree {
-        let n = tree.len();
-        let mut labels = Vec::with_capacity(n);
-        let mut left = vec![None; n];
-        let mut right = vec![None; n];
-        let mut parent = vec![None; n];
-        for node in tree.node_ids() {
-            labels.push(tree.label(node));
-            let children = tree.children(node);
-            if let Some(&first) = children.first() {
-                left[node.index()] = Some(first);
-                parent[first.index()] = Some((node, Side::Left));
-            }
-            for pair in children.windows(2) {
-                let (a, b) = (pair[0], pair[1]);
-                right[a.index()] = Some(b);
-                parent[b.index()] = Some((a, Side::Right));
-            }
-        }
         let mut binary = BinaryTree {
-            labels,
-            left,
-            right,
-            parent,
+            labels: Vec::new(),
+            left: Vec::new(),
+            right: Vec::new(),
+            parent: Vec::new(),
             root: tree.root(),
             postorder: Vec::new(),
             post_of: Vec::new(),
             subtree_size: Vec::new(),
+            walk: Vec::new(),
         };
-        binary.rebuild_caches();
+        binary.rebuild_from(tree);
         binary
+    }
+
+    /// Rebuilds this LC-RS representation in place for a new `tree`,
+    /// reusing every array. Equivalent to `*self =
+    /// BinaryTree::from_tree(tree)` but allocation-free once the buffers
+    /// fit the largest tree seen — repeated probes reuse one instance.
+    pub fn rebuild_from(&mut self, tree: &Tree) {
+        let n = tree.len();
+        self.labels.clear();
+        self.labels.reserve(n);
+        self.left.clear();
+        self.left.resize(n, None);
+        self.right.clear();
+        self.right.resize(n, None);
+        self.parent.clear();
+        self.parent.resize(n, None);
+        for node in tree.node_ids() {
+            self.labels.push(tree.label(node));
+            let children = tree.children(node);
+            if let Some(&first) = children.first() {
+                self.left[node.index()] = Some(first);
+                self.parent[first.index()] = Some((node, Side::Left));
+            }
+            for pair in children.windows(2) {
+                let (a, b) = (pair[0], pair[1]);
+                self.right[a.index()] = Some(b);
+                self.parent[b.index()] = Some((a, Side::Right));
+            }
+        }
+        self.root = tree.root();
+        self.rebuild_caches();
     }
 
     /// Builds a binary tree directly from explicit child links.
@@ -130,6 +148,7 @@ impl BinaryTree {
             postorder: Vec::new(),
             post_of: Vec::new(),
             subtree_size: Vec::new(),
+            walk: Vec::new(),
         };
         binary.rebuild_caches();
         assert_eq!(
@@ -142,11 +161,18 @@ impl BinaryTree {
 
     fn rebuild_caches(&mut self) {
         let n = self.labels.len();
-        self.postorder = Vec::with_capacity(n);
-        self.post_of = vec![0; n];
-        self.subtree_size = vec![1; n];
+        self.postorder.clear();
+        self.postorder.reserve(n);
+        self.post_of.clear();
+        self.post_of.resize(n, 0);
+        self.subtree_size.clear();
+        self.subtree_size.resize(n, 1);
         // Iterative postorder: 0 = descend left, 1 = descend right, 2 = emit.
-        let mut stack: Vec<(NodeId, u8)> = vec![(self.root, 0)];
+        // Taking the persistent stack sidesteps the borrow of `self`
+        // inside the loop; it is handed back (empty, capacity kept) after.
+        let mut stack = std::mem::take(&mut self.walk);
+        stack.clear();
+        stack.push((self.root, 0));
         while let Some((node, stage)) = stack.pop() {
             match stage {
                 0 => {
@@ -175,6 +201,7 @@ impl BinaryTree {
                 }
             }
         }
+        self.walk = stack;
         debug_assert_eq!(self.postorder.len(), n, "binary tree not connected");
     }
 
@@ -382,6 +409,34 @@ mod tests {
         assert_eq!(bin.post_of(bin.root()), 10);
         for node in bin.node_ids() {
             assert_eq!(bin.node_at_postorder(bin.post_of(node)), node);
+        }
+    }
+
+    #[test]
+    fn rebuild_from_matches_fresh_build_across_mismatched_trees() {
+        // One reused BinaryTree cycled over trees of different shapes and
+        // sizes must reproduce from_tree exactly, including all caches.
+        let (fig4, _) = figure4_tree();
+        let sources = [
+            Tree::leaf(Label::from_raw(7)),
+            fig4.clone(),
+            Tree::leaf(Label::from_raw(1)),
+            fig4,
+        ];
+        let mut reused = BinaryTree::from_tree(&sources[0]);
+        for tree in &sources {
+            reused.rebuild_from(tree);
+            let fresh = BinaryTree::from_tree(tree);
+            assert_eq!(reused.len(), fresh.len());
+            assert_eq!(reused.root(), fresh.root());
+            for node in fresh.node_ids() {
+                assert_eq!(reused.label(node), fresh.label(node));
+                assert_eq!(reused.left(node), fresh.left(node));
+                assert_eq!(reused.right(node), fresh.right(node));
+                assert_eq!(reused.parent(node), fresh.parent(node));
+                assert_eq!(reused.post_of(node), fresh.post_of(node));
+                assert_eq!(reused.subtree_size(node), fresh.subtree_size(node));
+            }
         }
     }
 

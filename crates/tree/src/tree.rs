@@ -153,11 +153,35 @@ impl Tree {
     /// node `n` in [`Tree::postorder`]. These are the "numbers in
     /// parentheses" of the paper's Figure 7.
     pub fn postorder_numbers(&self) -> Vec<u32> {
-        let mut numbers = vec![0u32; self.len()];
-        for (i, node) in self.postorder().into_iter().enumerate() {
-            numbers[node.index()] = i as u32 + 1;
-        }
+        let mut numbers = Vec::new();
+        self.postorder_numbers_into(&mut numbers, &mut Vec::new());
         numbers
+    }
+
+    /// [`Tree::postorder_numbers`] into caller-provided buffers.
+    ///
+    /// `numbers` receives the 1-based postorder number per node id;
+    /// `stack` is walk scratch that drains back to empty. Both are
+    /// grow-only, so repeated calls across a probe stream are
+    /// allocation-free once they fit the largest tree seen.
+    pub fn postorder_numbers_into(&self, numbers: &mut Vec<u32>, stack: &mut Vec<(NodeId, usize)>) {
+        numbers.clear();
+        numbers.resize(self.len(), 0);
+        stack.clear();
+        stack.push((self.root(), 0));
+        let mut next_post = 0u32;
+        while let Some(&mut (node, ref mut next)) = stack.last_mut() {
+            let children = self.children(node);
+            if *next < children.len() {
+                let child = children[*next];
+                *next += 1;
+                stack.push((child, 0));
+            } else {
+                next_post += 1;
+                numbers[node.index()] = next_post;
+                stack.pop();
+            }
+        }
     }
 
     /// Labels in preorder, the traversal string of Guha et al. (§2).

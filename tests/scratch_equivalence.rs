@@ -1,0 +1,135 @@
+//! The scratch-reuse refactor must be invisible: every join path now
+//! runs through grow-only probe/verify scratch (rebuilt in place per
+//! tree), and this suite pins that the results are **bit-identical** —
+//! pairs, candidate counts *and* per-stage verification counters — to
+//! the sequential reference across the full τ × window-policy ×
+//! execution-mode matrix, including dirty-scratch reuse across calls.
+
+use tree_similarity_join::prelude::*;
+use tree_similarity_join::shard::{
+    build_frozen_left, frozen_rs_join, frozen_rs_join_seq, FrozenJoinScratch, FrozenLeft,
+};
+
+fn dataset(n: usize, seed: u64) -> Vec<Tree> {
+    synthetic(
+        n,
+        &SyntheticParams {
+            avg_size: 30,
+            ..SyntheticParams::default()
+        },
+        seed,
+    )
+}
+
+/// Everything two outcomes must share to count as bit-identical.
+fn assert_same(reference: &JoinOutcome, other: &JoinOutcome, what: &str) {
+    assert_eq!(other.pairs, reference.pairs, "{what}: pairs diverged");
+    assert_eq!(
+        other.stats.candidates, reference.stats.candidates,
+        "{what}: candidate counts diverged"
+    );
+    assert_eq!(
+        other.stats.prefilter_skips, reference.stats.prefilter_skips,
+        "{what}: prefilter skips diverged"
+    );
+    assert_eq!(
+        other.stats.early_accepts, reference.stats.early_accepts,
+        "{what}: early accepts diverged"
+    );
+    assert_eq!(
+        other.stats.ted_calls, reference.stats.ted_calls,
+        "{what}: TED call counts diverged"
+    );
+    assert_eq!(
+        other.stats.stage_counts, reference.stats.stage_counts,
+        "{what}: per-stage counters diverged"
+    );
+}
+
+#[test]
+fn self_join_paths_agree_across_tau_and_window_policies() {
+    let trees = dataset(110, 48);
+    for tau in [0u32, 1, 3] {
+        for window in [
+            WindowPolicy::Safe,
+            WindowPolicy::Tight,
+            WindowPolicy::PaperAbsolute,
+        ] {
+            // The incomplete window policies may legitimately differ
+            // from `Safe` — the contract here is that all execution
+            // modes agree with the sequential run of the *same* config.
+            let config = PartSjConfig {
+                window,
+                ..PartSjConfig::default()
+            };
+            let reference = partsj_join_with(&trees, tau, &config);
+            let parallel = partsj_join_parallel(&trees, tau, &config, 4);
+            assert_same(
+                &reference,
+                &parallel,
+                &format!("parallel tau={tau} window={window:?}"),
+            );
+            let sharded = tree_similarity_join::shard::sharded_join(
+                &trees,
+                tau,
+                &config,
+                &ShardConfig::with_shards(3),
+            );
+            assert_same(
+                &reference,
+                &sharded,
+                &format!("sharded tau={tau} window={window:?}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn frozen_join_scratch_reuse_is_bit_identical() {
+    let left = dataset(80, 49);
+    let right = dataset(40, 50);
+    let config = PartSjConfig::default();
+    // One engine + scratch survive the whole τ sweep: every later call
+    // runs on buffers dirtied by a *different* threshold.
+    let mut engine = VerifyEngine::new(3, &config);
+    let mut scratch = FrozenJoinScratch::new();
+    let mut pairs = Vec::new();
+    let (index, small_by_size) = build_frozen_left(&left, 3, &config, &ShardConfig::with_shards(2));
+    let left_data: Vec<VerifyData> = VerifyData::batch_for_config(&left, &config.verify);
+    let frozen = FrozenLeft {
+        index: &index,
+        small_by_size: &small_by_size,
+        left_data: &left_data,
+    };
+    for tau in [0u32, 1, 3, 1] {
+        let reference = frozen_rs_join(&frozen, &right, tau, &config, 1, 1);
+        let stats = frozen_rs_join_seq(
+            &frozen,
+            &right,
+            tau,
+            &config,
+            &mut engine,
+            &mut scratch,
+            &mut pairs,
+        );
+        assert_eq!(pairs, reference.pairs, "tau={tau}: pairs diverged");
+        let reused = JoinOutcome::new_bipartite(pairs.clone(), stats);
+        assert_same(&reference, &reused, &format!("frozen seq tau={tau}"));
+    }
+}
+
+#[test]
+fn search_scratch_reuse_matches_fresh_queries() {
+    let collection = dataset(90, 51);
+    let probes = dataset(25, 52);
+    let config = PartSjConfig::default();
+    let index = SearchIndex::build(&collection, 2, config);
+    let mut engine = VerifyEngine::new(2, &config);
+    let mut scratch = partsj::SearchScratch::new();
+    let mut hits = Vec::new();
+    for probe in &probes {
+        let fresh = index.query(probe);
+        index.query_into(probe, &mut engine, &mut scratch, &mut hits);
+        assert_eq!(hits, fresh, "recycled search query diverged");
+    }
+}
