@@ -1,0 +1,94 @@
+//! What the TCP network layer costs over the in-process cluster.
+//!
+//! Series (same frozen catalog, same probe batch):
+//!
+//! * `catalogd_serve/in_process/*` — `Cluster::join` with in-process
+//!   nodes: the bit-identical baseline the wire must match;
+//! * `catalogd_serve/tcp_n{N}/*`   — the same batch through
+//!   `ClusterClient::join` against N live loopback `Catalogd` servers:
+//!   framing + syscalls + probe registration on top of identical
+//!   per-shard work;
+//! * `catalogd_serve/handshake/*`  — full `ClusterClient::connect`
+//!   against 2 nodes: dial + Hello + topology reconstruction, the
+//!   per-client setup cost that serving amortizes.
+//!
+//! On the 1-CPU bench container the server threads and the client
+//! serialize, so these numbers are a wire-overhead ceiling, not a
+//! fan-out claim — re-record on multi-core for the concurrency story.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use partsj::PartSjConfig;
+use std::net::SocketAddr;
+use tsj_catalogd::{interner_for, Catalogd, ClientConfig, ClusterClient, ServerConfig};
+use tsj_cluster::{Cluster, ClusterConfig};
+use tsj_datagen::swissprot_like;
+use tsj_shard::ShardConfig;
+
+fn bench_catalogd_serve(c: &mut Criterion) {
+    let config = PartSjConfig::default();
+    let tau = 2u32;
+    let shard_cfg = ShardConfig {
+        shards: 8,
+        probe_threads: 1,
+        verify_threads: 1,
+        ..Default::default()
+    };
+    let n = 400usize;
+    let left = swissprot_like(n, 2015);
+    let probes = swissprot_like(50, 2015); // prefix of the catalog: real matches
+    let labels = interner_for(&left);
+    let catalog = tsj_catalog::Catalog::freeze(left, labels.clone(), tau, &config, &shard_cfg);
+    let bytes = catalog.to_bytes();
+
+    let mut group = c.benchmark_group("catalogd_serve");
+
+    let mut cluster =
+        Cluster::from_snapshot(bytes.clone(), &ClusterConfig::new(2, 1)).expect("cluster");
+    group.bench_with_input(BenchmarkId::new("in_process", n), &probes, |b, probes| {
+        b.iter(|| {
+            let served = cluster.join(probes, tau, &config).expect("cluster join");
+            assert!(served.is_complete());
+            served
+        })
+    });
+
+    for &nodes in &[1usize, 2] {
+        let servers: Vec<_> = (0..nodes)
+            .map(|node| {
+                Catalogd::bind(
+                    bytes.clone(),
+                    &ServerConfig::new(node, nodes, 1),
+                    "127.0.0.1:0",
+                )
+                .expect("bind")
+                .spawn()
+                .expect("spawn")
+            })
+            .collect();
+        let addrs: Vec<SocketAddr> = servers.iter().map(|s| s.addr()).collect();
+        let mut client = ClusterClient::connect(&addrs, ClientConfig::default()).expect("connect");
+        group.bench_with_input(
+            BenchmarkId::new(format!("tcp_n{nodes}"), n),
+            &probes,
+            |b, probes| {
+                b.iter(|| {
+                    let served = client.join(probes, &labels, tau).expect("tcp join");
+                    assert!(served.is_complete());
+                    served
+                })
+            },
+        );
+        if nodes == 2 {
+            group.bench_with_input(BenchmarkId::new("handshake", n), &addrs, |b, addrs| {
+                b.iter(|| ClusterClient::connect(addrs, ClientConfig::default()).expect("connect"))
+            });
+        }
+        for node in 0..nodes {
+            client.shutdown_node(node).expect("graceful shutdown");
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_catalogd_serve);
+criterion_main!(benches);

@@ -1,0 +1,253 @@
+//! End-to-end `catalogd` walkthrough with real server processes:
+//! freeze a snapshot, boot a 2-node loopback cluster (replication 1 so
+//! a crash is *visible*), join through `ClusterClient`, SIGKILL one
+//! node to show the typed `Degraded` report, then restart it and show
+//! the join come back `Complete` and identical.
+//!
+//! This is the runnable companion to `docs/OPERATIONS.md` (the runbook
+//! for each step) and `docs/ARCHITECTURE.md` (why the answer survives
+//! a dead node). Run with:
+//!
+//! ```bash
+//! cargo build --release -p tsj-catalogd
+//! cargo run --release -p tsj-catalogd --example catalogd_demo
+//! ```
+//!
+//! (The demo spawns the `catalogd` binary from the same build profile,
+//! so build the package first as above.)
+
+use partsj::PartSjConfig;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use tsj_catalog::Catalog;
+use tsj_catalogd::{interner_for, ClientConfig, ClusterClient};
+use tsj_shard::ShardConfig;
+use tsj_tree::{LabelInterner, Tree};
+
+const NODES: usize = 2;
+const TAU: u32 = 2;
+
+fn main() {
+    let binary = catalogd_binary();
+    let dir = std::env::temp_dir().join(format!("tsj-catalogd-demo-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let result = run(&binary, &dir);
+    std::fs::remove_dir_all(&dir).ok();
+    if let Err(message) = result {
+        eprintln!("catalogd_demo: {message}");
+        std::process::exit(1);
+    }
+}
+
+fn run(binary: &Path, dir: &Path) -> Result<(), String> {
+    // ── 1. Freeze a snapshot (OPERATIONS.md §1) ─────────────────────
+    let trees = tsj_datagen::swissprot_like(120, 2015);
+    let labels = interner_for(&trees);
+    let config = PartSjConfig::default();
+    let catalog = Catalog::freeze(
+        trees.clone(),
+        labels,
+        TAU,
+        &config,
+        &ShardConfig::with_shards(4),
+    );
+    let snapshot = catalog.to_bytes();
+    let snapshot_path = dir.join("demo.tsjcat");
+    std::fs::write(&snapshot_path, &snapshot).map_err(|e| format!("write snapshot: {e}"))?;
+    println!(
+        "[freeze] {} trees, tau {TAU}, 4 shards -> {} ({} bytes)",
+        trees.len(),
+        snapshot_path.display(),
+        snapshot.len()
+    );
+
+    // Probes with real matches: fresh trees plus light edits of
+    // catalog entries. The single-process reference join is what every
+    // networked answer below must reproduce exactly.
+    let (probes, probe_labels) = demo_probes(&trees);
+    let reference = catalog
+        .join(&probes, TAU, &config, &ShardConfig::default())
+        .map_err(|e| format!("reference join: {e}"))?;
+    println!(
+        "[reference] single-process join: {} pairs from {} probes",
+        reference.pairs.len(),
+        probes.len()
+    );
+
+    // ── 2. Boot the cluster (OPERATIONS.md §2) ──────────────────────
+    // Replication 1: every shard has exactly one holder, so killing a
+    // node *loses* shards — which is the point of the demo. Use R=2 in
+    // production for invisible single-node failover.
+    let (mut child0, addr0) = spawn_node(binary, &snapshot_path, 0)?;
+    let (mut child1, addr1) = spawn_node(binary, &snapshot_path, 1)?;
+    println!("[serve] node 0 on {addr0}, node 1 on {addr1} (replication 1)");
+
+    // ── 3. Route traffic (OPERATIONS.md §3) ─────────────────────────
+    let mut client = ClusterClient::connect(&[addr0, addr1], ClientConfig::default())
+        .map_err(|e| format!("connect: {e}"))?;
+    let healthy = client
+        .join(&probes, &probe_labels, TAU)
+        .map_err(|e| format!("healthy join: {e}"))?;
+    expect(healthy.is_complete(), "healthy join should be Complete")?;
+    expect(
+        healthy.outcome.pairs == reference.pairs,
+        "TCP answer must be bit-identical to the reference",
+    )?;
+    println!(
+        "[join] Complete over TCP: {} pairs, {} shard requests — identical to the reference",
+        healthy.outcome.pairs.len(),
+        healthy.telemetry.requests
+    );
+
+    // ── 4. Crash a node (OPERATIONS.md §5) ──────────────────────────
+    child0.kill().map_err(|e| format!("kill node 0: {e}"))?;
+    child0.wait().map_err(|e| format!("reap node 0: {e}"))?;
+    println!("[crash] SIGKILL node 0 — no shutdown frame, no flush");
+
+    let degraded = client
+        .join(&probes, &probe_labels, TAU)
+        .map_err(|e| format!("degraded join: {e}"))?;
+    let report = degraded
+        .degraded
+        .as_ref()
+        .ok_or("R=1 with a dead node must degrade")?;
+    println!(
+        "[degraded] join still returned: {} pairs proven; typed report: \
+         lost shards {:?}, {} probes affected, {} attempts / {} retries spent",
+        degraded.outcome.pairs.len(),
+        report.lost_shards,
+        report.affected_probes(),
+        report.attempts,
+        report.retries
+    );
+    // The degradation contract: served pairs are always true pairs —
+    // degradation only ever omits.
+    for pair in &degraded.outcome.pairs {
+        expect(
+            reference.pairs.contains(pair),
+            "degraded join invented a pair",
+        )?;
+    }
+    println!("[degraded] every served pair checks out against the reference (omission only)");
+
+    // ── 5. Recover (OPERATIONS.md §6) ───────────────────────────────
+    // Restart is just "run the same command again" — the snapshot is
+    // immutable. The restarted process gets a fresh port, so rebuild
+    // the client over the new address list.
+    let (mut restarted, new_addr0) = spawn_node(binary, &snapshot_path, 0)?;
+    let mut client = ClusterClient::connect(&[new_addr0, addr1], ClientConfig::default())
+        .map_err(|e| format!("reconnect: {e}"))?;
+    let healed = client
+        .join(&probes, &probe_labels, TAU)
+        .map_err(|e| format!("healed join: {e}"))?;
+    expect(healed.is_complete(), "healed join should be Complete")?;
+    expect(
+        healed.outcome.pairs == reference.pairs,
+        "healed answer must match the reference again",
+    )?;
+    println!(
+        "[recover] node 0 restarted on {new_addr0}: join Complete again, {} pairs, identical",
+        healed.outcome.pairs.len()
+    );
+
+    // ── 6. Graceful shutdown, via the protocol ──────────────────────
+    client
+        .shutdown_node(0)
+        .map_err(|e| format!("shutdown 0: {e}"))?;
+    client
+        .shutdown_node(1)
+        .map_err(|e| format!("shutdown 1: {e}"))?;
+    restarted
+        .wait()
+        .map_err(|e| format!("reap restarted: {e}"))?;
+    child1.wait().map_err(|e| format!("reap node 1: {e}"))?;
+    println!("[shutdown] both nodes acknowledged Shutdown and exited");
+    println!("catalogd_demo: complete — see docs/OPERATIONS.md for the production runbook");
+    Ok(())
+}
+
+/// Probes with guaranteed matches: fresh SwissProt-like trees plus one
+/// lightly edited revision of every 9th catalog tree.
+fn demo_probes(catalog_trees: &[Tree]) -> (Vec<Tree>, LabelInterner) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+    let mut probes = tsj_datagen::swissprot_like(10, 2016);
+    for original in catalog_trees.iter().step_by(9).take(8) {
+        let (revision, _) = tsj_datagen::random_edit_script(original, 1, &mut rng, 84);
+        probes.push(revision);
+    }
+    let mut all = probes.clone();
+    all.extend_from_slice(catalog_trees);
+    let labels = interner_for(&all);
+    (probes, labels)
+}
+
+/// Spawns one `catalogd serve` process on an ephemeral port and reads
+/// the bound address off its startup banner.
+fn spawn_node(binary: &Path, snapshot: &Path, node: usize) -> Result<(Child, SocketAddr), String> {
+    let mut child = Command::new(binary)
+        .args([
+            "serve",
+            "--snapshot",
+            snapshot.to_str().expect("utf-8 temp path"),
+            "--node",
+            &node.to_string(),
+            "--nodes",
+            &NODES.to_string(),
+            "--replication",
+            "1",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(Stdio::piped())
+        .spawn()
+        .map_err(|e| format!("spawn {}: {e}", binary.display()))?;
+    let stdout = child.stdout.take().ok_or("no piped stdout")?;
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .map_err(|e| format!("read banner: {e}"))?;
+    let addr = line
+        .split("serving on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .ok_or_else(|| format!("unexpected banner {line:?}"))?
+        .parse()
+        .map_err(|e| format!("bad address in banner {line:?}: {e}"))?;
+    Ok((child, addr))
+}
+
+/// The `catalogd` binary from the same build profile as this example:
+/// `target/<profile>/examples/catalogd_demo` -> `target/<profile>/catalogd`.
+fn catalogd_binary() -> PathBuf {
+    let me = std::env::current_exe().expect("current_exe");
+    let profile_dir = me
+        .parent() // .../examples
+        .and_then(Path::parent) // .../<profile>
+        .expect("example lives under target/<profile>/examples");
+    let binary = profile_dir.join("catalogd");
+    if !binary.exists() {
+        eprintln!(
+            "catalogd_demo: {} not found — build the server binary first:\n  \
+             cargo build {}-p tsj-catalogd",
+            binary.display(),
+            if profile_dir.ends_with("release") {
+                "--release "
+            } else {
+                ""
+            }
+        );
+        std::process::exit(1);
+    }
+    binary
+}
+
+fn expect(condition: bool, message: &str) -> Result<(), String> {
+    if condition {
+        Ok(())
+    } else {
+        Err(message.to_string())
+    }
+}

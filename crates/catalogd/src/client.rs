@@ -1,0 +1,731 @@
+//! The TCP cluster client: the PR 7 scatter/gather router over pooled
+//! connections.
+//!
+//! [`ClusterClient`] is to a `catalogd` node set what
+//! [`tsj_cluster::Cluster`] is to in-process nodes — and deliberately
+//! *is* the same router: planning, replica choice, retry/backoff,
+//! per-probe deadlines, health marking, per-node metrics and the typed
+//! `Complete`/`Degraded` outcome all run through
+//! [`tsj_cluster::route_requests`]; only the transport differs. Where
+//! the in-process transport consults a deterministic fault injector,
+//! [`TcpTransport`] meets *real* faults and maps them onto the same
+//! [`Fault`] vocabulary:
+//!
+//! * refused / reset / closed connection → [`Fault::NodeDown`] —
+//!   immediate failover, node marked unhealthy;
+//! * socket read timeout → [`Fault::Timeout`] — charged
+//!   `request_timeout_ms` against the probe's deadline (the connection
+//!   is dropped: a late response would desync the stream);
+//! * a server [`Frame::Error`] with [`ErrorCode::Internal`] →
+//!   [`Fault::Transient`] — retried with backoff;
+//! * any other server error or protocol violation → a fatal
+//!   [`ClusterError`] (these are bugs or misconfigurations, not faults
+//!   to retry through).
+//!
+//! Because the router is shared, the bit-identity contract extends
+//! across the wire: a TCP join's pairs, candidate counts and
+//! filter-stage counters are property-tested identical to
+//! `Cluster::join` and single-node `Catalog::join`.
+
+use crate::error::CatalogdError;
+use crate::pool::{ConnPool, PoolConfig};
+use crate::wire::{encode_probes, ErrorCode, Frame, PROTOCOL_VERSION};
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+use tsj_cluster::{
+    plan_requests, route_requests, AttemptOutcome, Clock, ClusterError, ClusterJoin,
+    ClusterMetrics, Fault, NodeMetricsSnapshot, NodeTransport, RetryPolicy, RouterEnv,
+    ShardRequest, ShardResponse, Topology,
+};
+use tsj_obs::SystemClock;
+use tsj_shard::ShardMap;
+use tsj_tree::{LabelInterner, Tree};
+
+/// Client tuning.
+#[derive(Debug)]
+pub struct ClientConfig {
+    /// Retry/backoff/deadline policy — same shape and defaults as the
+    /// in-process cluster's.
+    pub retry: RetryPolicy,
+    /// Connection pool tuning.
+    pub pool: PoolConfig,
+    /// Seed of the deterministic backoff jitter.
+    pub backoff_seed: u64,
+    /// The clock deadlines and backoff run on. [`tsj_obs::SystemClock`]
+    /// by default (real waiting); tests inject a virtual clock for
+    /// deterministic accounting.
+    pub clock: std::sync::Arc<dyn Clock>,
+}
+
+impl Default for ClientConfig {
+    fn default() -> ClientConfig {
+        ClientConfig {
+            retry: RetryPolicy::default(),
+            pool: PoolConfig::default(),
+            backoff_seed: 0xCA7A_106D,
+            clock: std::sync::Arc::new(SystemClock::new()),
+        }
+    }
+}
+
+/// What one node advertised in its [`Frame::HelloAck`].
+#[derive(Debug, Clone)]
+struct NodeFacts {
+    snapshot_hash: u64,
+    nodes: u32,
+    replication: u32,
+    tau: u32,
+    shard_count: u32,
+    tree_count: u32,
+    owned_shards: Vec<u32>,
+    shard_map: Vec<u8>,
+}
+
+/// A scatter/gather join client over a `catalogd` node set.
+#[derive(Debug)]
+pub struct ClusterClient {
+    addrs: Vec<SocketAddr>,
+    pool: ConnPool,
+    topology: Topology,
+    health: Vec<bool>,
+    retry: RetryPolicy,
+    backoff_seed: u64,
+    clock: std::sync::Arc<dyn Clock>,
+    metrics: ClusterMetrics,
+    map: ShardMap,
+    shard_count: usize,
+    tau: u32,
+    tree_count: usize,
+    snapshot_hash: u64,
+}
+
+impl ClusterClient {
+    /// Connects to every node (`addrs[n]` is node `n`), handshakes, and
+    /// cross-checks what the set advertises: one protocol version, one
+    /// snapshot hash, one (nodes, replication, tau, shard count).
+    /// Placement is taken from the nodes' *advertised* owned shards, so
+    /// the client follows what the servers actually hold. Nodes that
+    /// cannot be reached come up unhealthy (requests fail over to
+    /// replicas) — as long as at least one answers.
+    pub fn connect(
+        addrs: &[SocketAddr],
+        cfg: ClientConfig,
+    ) -> Result<ClusterClient, CatalogdError> {
+        if addrs.is_empty() {
+            return Err(CatalogdError::Handshake {
+                context: "no node addresses given".into(),
+            });
+        }
+        let pool = ConnPool::new(cfg.pool.clone());
+        let mut facts: Vec<Option<NodeFacts>> = vec![None; addrs.len()];
+        for (n, &addr) in addrs.iter().enumerate() {
+            match hello(&pool, addr, 0) {
+                Ok((got_node, node_facts)) => {
+                    if got_node as usize != n {
+                        return Err(CatalogdError::Handshake {
+                            context: format!(
+                                "{addr} answered as node {got_node}, expected node {n} \
+                                 (address order must match node ids)"
+                            ),
+                        });
+                    }
+                    facts[n] = Some(node_facts);
+                }
+                Err(CatalogdError::Io { .. }) | Err(CatalogdError::Wire(_)) => {
+                    // Unreachable now; it may come back — start it dead.
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let Some(reference) = facts.iter().flatten().next().cloned() else {
+            return Err(CatalogdError::Handshake {
+                context: "no node answered the handshake".into(),
+            });
+        };
+        if reference.nodes as usize != addrs.len() {
+            return Err(CatalogdError::Handshake {
+                context: format!(
+                    "nodes advertise a {}-node set but {} addresses were given",
+                    reference.nodes,
+                    addrs.len()
+                ),
+            });
+        }
+        for (n, f) in facts.iter().enumerate() {
+            let Some(f) = f else { continue };
+            if (
+                f.snapshot_hash,
+                f.nodes,
+                f.replication,
+                f.tau,
+                f.shard_count,
+            ) != (
+                reference.snapshot_hash,
+                reference.nodes,
+                reference.replication,
+                reference.tau,
+                reference.shard_count,
+            ) {
+                return Err(CatalogdError::Handshake {
+                    context: format!("node {n} disagrees with the set: {f:?} vs {reference:?}"),
+                });
+            }
+        }
+        let topology = assemble_topology(addrs.len(), reference.shard_count as usize, &facts)?;
+        let map = tsj_catalog::snapshot::decode_shard_map(
+            &reference.shard_map,
+            reference.shard_count as usize,
+        )?;
+        let health: Vec<bool> = facts.iter().map(Option::is_some).collect();
+        Ok(ClusterClient {
+            addrs: addrs.to_vec(),
+            pool,
+            topology,
+            health,
+            retry: cfg.retry,
+            backoff_seed: cfg.backoff_seed,
+            clock: cfg.clock,
+            metrics: ClusterMetrics::new(addrs.len()),
+            map,
+            shard_count: reference.shard_count as usize,
+            tau: reference.tau,
+            tree_count: reference.tree_count as usize,
+            snapshot_hash: reference.snapshot_hash,
+        })
+    }
+
+    /// Scatter/gather join of `probes` against the node set at
+    /// threshold `tau ≤ tau_frozen` — the TCP twin of
+    /// [`tsj_cluster::Cluster::join`], same typed outcome, same
+    /// degradation contract. `labels` must resolve every probe label
+    /// (the interner the probes were parsed with).
+    pub fn join(
+        &mut self,
+        probes: &[Tree],
+        labels: &LabelInterner,
+        tau: u32,
+    ) -> Result<ClusterJoin, CatalogdError> {
+        if tau > self.tau {
+            return Err(ClusterError::TauExceedsFrozen {
+                query: tau,
+                frozen: self.tau,
+            }
+            .into());
+        }
+        let join_span = tsj_obs::tracer().span(&self.clock, "catalogd.join", "catalogd");
+        let requests = plan_requests(probes, tau, &self.map, self.shard_count);
+        let batch_frame = Frame::ProbeBatch(encode_probes(probes, labels)?).encode();
+        let mut transport = TcpTransport {
+            pool: &self.pool,
+            addrs: &self.addrs,
+            batch_frame,
+            probe_count: probes.len() as u32,
+            request_timeout_ms: self.retry.request_timeout_ms,
+            clock: &*self.clock,
+            conns: (0..self.addrs.len()).map(|_| None).collect(),
+        };
+        let mut env = RouterEnv {
+            topology: &self.topology,
+            health: &mut self.health,
+            retry: &self.retry,
+            backoff_seed: self.backoff_seed,
+            clock: &*self.clock,
+            metrics: &self.metrics,
+        };
+        let result = route_requests(&mut transport, requests, probes.len(), tau, &mut env);
+        join_span.end();
+        result.map_err(CatalogdError::from)
+    }
+
+    /// Per-node lifetime metrics, same shape as
+    /// [`tsj_cluster::Cluster::metrics`].
+    pub fn metrics(&self) -> Vec<NodeMetricsSnapshot> {
+        self.metrics.per_node(&self.health)
+    }
+
+    /// The threshold the node set's snapshot was frozen for.
+    pub fn tau(&self) -> u32 {
+        self.tau
+    }
+
+    /// Catalog trees in the served snapshot.
+    pub fn tree_count(&self) -> usize {
+        self.tree_count
+    }
+
+    /// Number of shards in the served snapshot.
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// The snapshot hash the node set agreed on.
+    pub fn snapshot_hash(&self) -> u64 {
+        self.snapshot_hash
+    }
+
+    /// Whether node `n` is currently believed alive.
+    pub fn is_alive(&self, n: usize) -> bool {
+        self.health.get(n).copied().unwrap_or(false)
+    }
+
+    /// The shard placement table the node set advertised.
+    pub fn topology(&self) -> &Topology {
+        &self.topology
+    }
+
+    /// Re-handshakes node `n` and, on success, marks it healthy again —
+    /// the client-side recovery step after a restarted process. Pooled
+    /// connections from before the failure are evicted first.
+    pub fn reconnect(&mut self, n: usize) -> Result<(), CatalogdError> {
+        let addr = *self.addrs.get(n).ok_or_else(|| CatalogdError::Handshake {
+            context: format!("no node {n}"),
+        })?;
+        self.pool.evict_addr(addr);
+        let (got_node, facts) = hello(&self.pool, addr, self.snapshot_hash)?;
+        if got_node as usize != n {
+            return Err(CatalogdError::Handshake {
+                context: format!("{addr} answered as node {got_node}, expected {n}"),
+            });
+        }
+        if facts.snapshot_hash != self.snapshot_hash {
+            return Err(CatalogdError::Handshake {
+                context: format!(
+                    "node {n} restarted with snapshot {:#018x}, set serves {:#018x}",
+                    facts.snapshot_hash, self.snapshot_hash
+                ),
+            });
+        }
+        self.health[n] = true;
+        Ok(())
+    }
+
+    /// Fetches node `n`'s metrics export (the [`Frame::Metrics`] answer:
+    /// Prometheus text ready for `tsj_obs::export::validate_prometheus`).
+    pub fn node_metrics_text(&self, n: usize) -> Result<String, CatalogdError> {
+        let addr = *self.addrs.get(n).ok_or_else(|| CatalogdError::Handshake {
+            context: format!("no node {n}"),
+        })?;
+        let mut stream = self.pool.checkout(addr)?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(5_000)))
+            .ok();
+        Frame::Metrics.write_to(&mut stream)?;
+        match Frame::read_from(&mut stream)? {
+            Frame::MetricsResp { text } => {
+                self.pool.checkin(addr, stream, true);
+                Ok(text)
+            }
+            other => Err(CatalogdError::Protocol {
+                context: format!("expected MetricsResp, got {other:?}"),
+            }),
+        }
+    }
+
+    /// Sends [`Frame::Shutdown`] to node `n` and waits for the ack —
+    /// how the smoke job and the demo stop server processes cleanly.
+    pub fn shutdown_node(&mut self, n: usize) -> Result<(), CatalogdError> {
+        let addr = *self.addrs.get(n).ok_or_else(|| CatalogdError::Handshake {
+            context: format!("no node {n}"),
+        })?;
+        let mut stream = self.pool.checkout(addr)?;
+        stream
+            .set_read_timeout(Some(Duration::from_millis(5_000)))
+            .ok();
+        Frame::Shutdown.write_to(&mut stream)?;
+        match Frame::read_from(&mut stream)? {
+            Frame::ShutdownAck => {
+                self.health[n] = false;
+                self.pool.evict_addr(addr);
+                Ok(())
+            }
+            other => Err(CatalogdError::Protocol {
+                context: format!("expected ShutdownAck, got {other:?}"),
+            }),
+        }
+    }
+}
+
+/// One handshake round-trip against `addr`; the connection is pooled on
+/// success.
+fn hello(
+    pool: &ConnPool,
+    addr: SocketAddr,
+    expect_hash: u64,
+) -> Result<(u32, NodeFacts), CatalogdError> {
+    let mut stream = pool.checkout(addr)?;
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5_000)))
+        .ok();
+    Frame::Hello {
+        version: PROTOCOL_VERSION,
+        snapshot_hash: expect_hash,
+    }
+    .write_to(&mut stream)?;
+    match Frame::read_from(&mut stream)? {
+        Frame::HelloAck {
+            version,
+            snapshot_hash,
+            node,
+            nodes,
+            replication,
+            tau,
+            shard_count,
+            tree_count,
+            owned_shards,
+            shard_map,
+        } => {
+            if version != PROTOCOL_VERSION {
+                return Err(CatalogdError::Handshake {
+                    context: format!("{addr} speaks version {version}, client {PROTOCOL_VERSION}"),
+                });
+            }
+            pool.checkin(addr, stream, true);
+            Ok((
+                node,
+                NodeFacts {
+                    snapshot_hash,
+                    nodes,
+                    replication,
+                    tau,
+                    shard_count,
+                    tree_count,
+                    owned_shards,
+                    shard_map,
+                },
+            ))
+        }
+        Frame::Error { code, message } => Err(CatalogdError::Server { code, message }),
+        other => Err(CatalogdError::Protocol {
+            context: format!("expected HelloAck, got {other:?}"),
+        }),
+    }
+}
+
+/// Builds the shard→replicas table from what the nodes advertise,
+/// ordering each shard's holders primary-first by ring distance from
+/// the shard's canonical primary `s mod N` — the order
+/// [`Topology::new`]'s round-robin placement produces, so the TCP
+/// client and the in-process cluster route identically. Shards some
+/// holders did not advertise (a node that was down during connect) fall
+/// back to the canonical round-robin slots for the advertised
+/// replication factor.
+fn assemble_topology(
+    nodes: usize,
+    shard_count: usize,
+    facts: &[Option<NodeFacts>],
+) -> Result<Topology, CatalogdError> {
+    let replication = facts
+        .iter()
+        .flatten()
+        .map(|f| f.replication as usize)
+        .max()
+        .unwrap_or(1);
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); shard_count];
+    for (n, f) in facts.iter().enumerate() {
+        let Some(f) = f else { continue };
+        for &s in &f.owned_shards {
+            if (s as usize) < shard_count {
+                assignment[s as usize].push(n);
+            }
+        }
+    }
+    for (s, holders) in assignment.iter_mut().enumerate() {
+        if holders.is_empty() {
+            // No reachable node advertised this shard: assume the
+            // canonical placement so retries can find it if its
+            // holders come back.
+            *holders = (0..replication.min(nodes))
+                .map(|k| (s + k) % nodes)
+                .collect();
+        } else {
+            let primary = s % nodes;
+            holders.sort_by_key(|&h| (h + nodes - primary) % nodes);
+        }
+    }
+    Topology::from_assignment(nodes, assignment).map_err(CatalogdError::from)
+}
+
+/// A live connection to one node, with the probe batch registered.
+#[derive(Debug)]
+struct NodeConn {
+    stream: TcpStream,
+}
+
+/// The TCP [`NodeTransport`]: one pooled connection per addressed node,
+/// held for the duration of a join; real faults mapped onto the
+/// router's [`Fault`] vocabulary (see the module docs).
+#[derive(Debug)]
+pub struct TcpTransport<'a> {
+    pool: &'a ConnPool,
+    addrs: &'a [SocketAddr],
+    /// The encoded [`Frame::ProbeBatch`], sent once per fresh
+    /// connection so retries resend it only after a reconnect.
+    batch_frame: Vec<u8>,
+    probe_count: u32,
+    request_timeout_ms: u64,
+    clock: &'a dyn Clock,
+    conns: Vec<Option<NodeConn>>,
+}
+
+impl Drop for TcpTransport<'_> {
+    fn drop(&mut self) {
+        for (n, conn) in self.conns.iter_mut().enumerate() {
+            if let Some(conn) = conn.take() {
+                // Reset the read timeout before pooling: the next user
+                // sets its own.
+                conn.stream.set_read_timeout(None).ok();
+                self.pool.checkin(self.addrs[n], conn.stream, true);
+            }
+        }
+    }
+}
+
+/// What one TCP attempt produced before outcome mapping.
+enum TcpAttempt {
+    Served(ShardResponse, u64),
+    Faulted(Fault),
+    Fatal(ClusterError),
+}
+
+/// Establishes (or reuses) the join's connection to `node`, registering
+/// the probe batch on fresh connections.
+fn ensure_conn(
+    pool: &ConnPool,
+    addr: SocketAddr,
+    batch_frame: &[u8],
+    probe_count: u32,
+    slot: &mut Option<NodeConn>,
+) -> Result<Option<NodeConn>, ClusterError> {
+    if let Some(conn) = slot.take() {
+        return Ok(Some(conn));
+    }
+    let Ok(mut stream) = pool.checkout(addr) else {
+        return Ok(None); // dial failed: the node is down
+    };
+    stream
+        .set_read_timeout(Some(Duration::from_millis(5_000)))
+        .ok();
+    let sent = std::io::Write::write_all(&mut stream, batch_frame);
+    if sent.is_err() {
+        return Ok(None);
+    }
+    match Frame::read_from(&mut stream) {
+        Ok(Frame::ProbeAck { count }) if count == probe_count => Ok(Some(NodeConn { stream })),
+        Ok(Frame::Error { code, message }) => Err(ClusterError::Topology {
+            context: format!("probe batch rejected ({code:?}): {message}"),
+        }),
+        Ok(_) | Err(_) => Ok(None),
+    }
+}
+
+/// One `JoinShard` round-trip on an established connection.
+fn attempt(
+    conn: &mut NodeConn,
+    req: &ShardRequest,
+    tau: u32,
+    timeout_ms: u64,
+    clock: &dyn Clock,
+) -> (TcpAttempt, bool) {
+    let started = clock.now_ms();
+    conn.stream
+        .set_read_timeout(Some(Duration::from_millis(timeout_ms.max(1))))
+        .ok();
+    let frame = Frame::JoinShard {
+        probe: req.probe,
+        shard: req.shard,
+        tau,
+        classes: req.classes.clone(),
+    };
+    if frame.write_to(&mut conn.stream).is_err() {
+        return (TcpAttempt::Faulted(Fault::NodeDown), false);
+    }
+    match Frame::read_from(&mut conn.stream) {
+        Ok(Frame::JoinShardResp {
+            probe,
+            matches,
+            stats,
+        }) => {
+            if probe != req.probe {
+                return (
+                    TcpAttempt::Fatal(ClusterError::Topology {
+                        context: format!("response for probe {probe}, requested {}", req.probe),
+                    }),
+                    false,
+                );
+            }
+            let latency = clock.now_ms().saturating_sub(started);
+            (
+                TcpAttempt::Served(
+                    ShardResponse {
+                        probe,
+                        matches,
+                        stats,
+                    },
+                    latency,
+                ),
+                true,
+            )
+        }
+        Ok(Frame::Error {
+            code: ErrorCode::Internal,
+            ..
+        }) => (TcpAttempt::Faulted(Fault::Transient), true),
+        Ok(Frame::Error { code, message }) => (
+            TcpAttempt::Fatal(ClusterError::Topology {
+                context: format!("server error ({code:?}): {message}"),
+            }),
+            false,
+        ),
+        Ok(other) => (
+            TcpAttempt::Fatal(ClusterError::Topology {
+                context: format!("expected JoinShardResp, got {other:?}"),
+            }),
+            false,
+        ),
+        Err(crate::wire::WireError::Io { kind, .. })
+            if kind == std::io::ErrorKind::WouldBlock || kind == std::io::ErrorKind::TimedOut =>
+        {
+            // A late response would desync the stream: the connection is
+            // unusable after a timeout.
+            (TcpAttempt::Faulted(Fault::Timeout), false)
+        }
+        Err(_) => (TcpAttempt::Faulted(Fault::NodeDown), false),
+    }
+}
+
+impl NodeTransport for TcpTransport<'_> {
+    fn scatter(
+        &mut self,
+        requests: &[ShardRequest],
+        per_node: &[Vec<usize>],
+        tau: u32,
+    ) -> Result<Vec<Option<AttemptOutcome>>, ClusterError> {
+        let mut outcomes: Vec<Option<AttemptOutcome>> = requests.iter().map(|_| None).collect();
+        let pool = self.pool;
+        let addrs = self.addrs;
+        let batch_frame = &self.batch_frame;
+        let probe_count = self.probe_count;
+        let timeout = self.request_timeout_ms;
+        let clock = self.clock;
+        // Move each addressed node's connection into its worker; they
+        // come back (with the outcomes) when the scope joins.
+        let mut slots: Vec<Option<NodeConn>> = std::mem::take(&mut self.conns);
+        type WorkerOut = (
+            usize,
+            Option<NodeConn>,
+            Result<Vec<(usize, AttemptOutcome)>, ClusterError>,
+        );
+        let gathered: Vec<WorkerOut> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = per_node
+                .iter()
+                .enumerate()
+                .filter(|(_, list)| !list.is_empty())
+                .map(|(n, list)| {
+                    let mut slot = slots[n].take();
+                    scope.spawn(move |_| -> WorkerOut {
+                        let mut out = Vec::with_capacity(list.len());
+                        let mut conn = match ensure_conn(
+                            pool,
+                            addrs[n],
+                            batch_frame,
+                            probe_count,
+                            &mut slot,
+                        ) {
+                            Ok(conn) => conn,
+                            Err(fatal) => return (n, None, Err(fatal)),
+                        };
+                        for &r in list {
+                            let req = &requests[r];
+                            let outcome = match conn.as_mut() {
+                                None => AttemptOutcome::Failed(Fault::NodeDown),
+                                Some(c) => {
+                                    let (result, keep) = attempt(c, req, tau, timeout, clock);
+                                    if !keep {
+                                        conn = None;
+                                    }
+                                    match result {
+                                        TcpAttempt::Served(resp, latency_ms) => {
+                                            AttemptOutcome::Served {
+                                                resp,
+                                                injected_delay_ms: 0,
+                                                latency_ms,
+                                            }
+                                        }
+                                        TcpAttempt::Faulted(fault) => AttemptOutcome::Failed(fault),
+                                        TcpAttempt::Fatal(e) => return (n, conn, Err(e)),
+                                    }
+                                }
+                            };
+                            out.push((r, outcome));
+                        }
+                        (n, conn, Ok(out))
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect()
+        })
+        .expect("scatter scope");
+        for (n, conn, result) in gathered {
+            slots[n] = conn;
+            match result {
+                Ok(list) => {
+                    for (r, outcome) in list {
+                        outcomes[r] = Some(outcome);
+                    }
+                }
+                Err(fatal) => {
+                    self.conns = slots;
+                    return Err(fatal);
+                }
+            }
+        }
+        self.conns = slots;
+        Ok(outcomes)
+    }
+
+    fn serve(
+        &mut self,
+        node: usize,
+        req: &ShardRequest,
+        _attempt: u32,
+        tau: u32,
+        deadline_left_ms: u64,
+    ) -> Result<AttemptOutcome, ClusterError> {
+        if deadline_left_ms == 0 {
+            return Ok(AttemptOutcome::DeadlineExceeded);
+        }
+        let timeout = self.request_timeout_ms.min(deadline_left_ms);
+        let conn = ensure_conn(
+            self.pool,
+            self.addrs[node],
+            &self.batch_frame,
+            self.probe_count,
+            &mut self.conns[node],
+        )?;
+        let Some(mut conn) = conn else {
+            return Ok(AttemptOutcome::Failed(Fault::NodeDown));
+        };
+        let (result, keep) = attempt(&mut conn, req, tau, timeout, self.clock);
+        if keep {
+            self.conns[node] = Some(conn);
+        }
+        match result {
+            TcpAttempt::Served(resp, latency_ms) => Ok(AttemptOutcome::Served {
+                resp,
+                injected_delay_ms: 0,
+                latency_ms,
+            }),
+            // The socket timeout was capped at the remaining deadline:
+            // if the cap was the deadline (not the request timeout), the
+            // attempt ran out of *probe* budget, not request budget.
+            TcpAttempt::Faulted(Fault::Timeout) if timeout < self.request_timeout_ms => {
+                Ok(AttemptOutcome::DeadlineExceeded)
+            }
+            TcpAttempt::Faulted(fault) => Ok(AttemptOutcome::Failed(fault)),
+            TcpAttempt::Fatal(e) => Err(e),
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! The `catalogd` error type: every failure in the server, the client
+//! or the pool is a typed, printable value — wire violations carry
+//! their [`WireError`], cluster-layer failures their
+//! [`ClusterError`], and handshake disagreements name both sides.
+
+use crate::wire::{ErrorCode, WireError};
+use tsj_cluster::ClusterError;
+
+/// Any error the catalogd layer can produce.
+#[derive(Debug)]
+pub enum CatalogdError {
+    /// A frame failed to encode, decode, or cross the socket.
+    Wire(WireError),
+    /// The underlying cluster layer failed (snapshot decode, topology,
+    /// threshold above frozen, …).
+    Cluster(ClusterError),
+    /// A socket-level operation failed outside framing (bind, connect,
+    /// address resolution).
+    Io {
+        /// The I/O error kind.
+        kind: std::io::ErrorKind,
+        /// What was being attempted.
+        context: String,
+    },
+    /// The peer answered the handshake with something unusable: version
+    /// or snapshot mismatch, or inconsistent cluster facts across nodes.
+    Handshake {
+        /// What disagreed.
+        context: String,
+    },
+    /// The server answered a request with a typed
+    /// [`Frame::Error`](crate::wire::Frame::Error) the client cannot
+    /// retry.
+    Server {
+        /// The error code the server sent.
+        code: ErrorCode,
+        /// The server's message.
+        message: String,
+    },
+    /// The peer sent a frame that violates the protocol state machine
+    /// (e.g. a response type that does not match the request).
+    Protocol {
+        /// What was expected and what arrived.
+        context: String,
+    },
+}
+
+impl std::fmt::Display for CatalogdError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CatalogdError::Wire(e) => write!(f, "wire error: {e}"),
+            CatalogdError::Cluster(e) => write!(f, "cluster error: {e}"),
+            CatalogdError::Io { kind, context } => write!(f, "i/o error ({kind:?}): {context}"),
+            CatalogdError::Handshake { context } => write!(f, "handshake failed: {context}"),
+            CatalogdError::Server { code, message } => {
+                write!(f, "server error {code:?}: {message}")
+            }
+            CatalogdError::Protocol { context } => write!(f, "protocol violation: {context}"),
+        }
+    }
+}
+
+impl std::error::Error for CatalogdError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CatalogdError::Wire(e) => Some(e),
+            CatalogdError::Cluster(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<WireError> for CatalogdError {
+    fn from(e: WireError) -> CatalogdError {
+        CatalogdError::Wire(e)
+    }
+}
+
+impl From<ClusterError> for CatalogdError {
+    fn from(e: ClusterError) -> CatalogdError {
+        CatalogdError::Cluster(e)
+    }
+}
+
+impl From<tsj_catalog::CatalogError> for CatalogdError {
+    fn from(e: tsj_catalog::CatalogError) -> CatalogdError {
+        CatalogdError::Cluster(ClusterError::Snapshot(e))
+    }
+}

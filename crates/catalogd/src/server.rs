@@ -1,0 +1,496 @@
+//! The `catalogd` server: one process per catalog node, restoring only
+//! its owned shard sections and answering wire frames over TCP.
+//!
+//! The server is deliberately boring: `std::net` + one thread per
+//! connection (no async runtime — the workspace's vendored-deps rule),
+//! sharing one read-only [`Node`] behind an `Arc`. Each connection owns
+//! its serve scratch and its registered probe batch, so connections
+//! never contend beyond the metrics counters (relaxed atomics).
+//!
+//! Fault discipline mirrors the wire codec's: a malformed frame is
+//! answered with a typed [`Frame::Error`] and the connection survives
+//! when framing is still trustworthy (the checksum passed); a framing
+//! violation closes the connection; nothing panics. Shutdown is a
+//! frame, not a signal: [`Frame::Shutdown`] → [`Frame::ShutdownAck`] →
+//! the accept loop exits — which is how the CI smoke job and the demo
+//! example stop their nodes without `pkill`.
+
+use crate::error::CatalogdError;
+use crate::wire::{decode_probes, ErrorCode, Frame, ProbeBatch, PROTOCOL_VERSION};
+use partsj::PartSjConfig;
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+use tsj_catalog::format::fnv1a64;
+use tsj_catalog::snapshot::encode_shard_map;
+use tsj_catalog::SnapshotReader;
+use tsj_cluster::{Node, NodeScratch, ProbeCtx, Topology};
+use tsj_obs::{labeled, Counter, Histogram, MetricsRegistry};
+use tsj_tree::{LabelInterner, Tree};
+
+/// How a server process maps itself into the node set.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// This process's node id, `0 ≤ node < nodes`.
+    pub node: usize,
+    /// Total nodes in the set.
+    pub nodes: usize,
+    /// Copies per shard (clamped to the node count, like the in-process
+    /// cluster).
+    pub replication: usize,
+    /// The join configuration requests are served under. Clients plan
+    /// only from `tau`, so this stays server-side; the default matches
+    /// `Cluster::join` with `PartSjConfig::default()`.
+    pub join_config: PartSjConfig,
+}
+
+impl ServerConfig {
+    /// Node `node` of `nodes` with `replication` copies per shard and
+    /// the default join configuration.
+    pub fn new(node: usize, nodes: usize, replication: usize) -> ServerConfig {
+        ServerConfig {
+            node,
+            nodes,
+            replication,
+            join_config: PartSjConfig::default(),
+        }
+    }
+}
+
+/// The per-server metric handles (`tsj_catalogd_*`, node-labeled).
+#[derive(Debug)]
+struct ServerCells {
+    connections: Counter,
+    frames: Counter,
+    joins: Counter,
+    probe_batches: Counter,
+    errors: Counter,
+    /// Serve time of one `JoinShard`, in microseconds.
+    join_serve_us: Histogram,
+}
+
+/// Handles to every open connection, so the accept loop can sever them
+/// when it exits. Without this, an in-thread server's handler threads
+/// would keep serving pooled client connections after `stop()` — the
+/// opposite of what "the node is down" means to a test or a pool
+/// validity ping. (A real `catalogd` process gets the same effect from
+/// process exit.)
+#[derive(Debug, Default)]
+struct ConnTable {
+    next: AtomicU64,
+    open: Mutex<HashMap<u64, TcpStream>>,
+}
+
+impl ConnTable {
+    /// Registers a connection; returns `None` (untracked) if the handle
+    /// cannot be cloned.
+    fn track(&self, stream: &TcpStream) -> Option<u64> {
+        let clone = stream.try_clone().ok()?;
+        let id = self.next.fetch_add(1, Ordering::Relaxed);
+        self.open.lock().expect("conn table lock").insert(id, clone);
+        Some(id)
+    }
+
+    fn untrack(&self, id: Option<u64>) {
+        if let Some(id) = id {
+            self.open.lock().expect("conn table lock").remove(&id);
+        }
+    }
+
+    /// Severs every open connection (graceful FIN — replies already
+    /// written are still delivered).
+    fn close_all(&self) {
+        for (_, stream) in self.open.lock().expect("conn table lock").drain() {
+            let _ = stream.shutdown(std::net::Shutdown::Both);
+        }
+    }
+}
+
+/// Everything connection threads share, read-only (metrics are interior
+/// atomics).
+#[derive(Debug)]
+struct NodeState {
+    node_id: u32,
+    nodes: u32,
+    replication: u32,
+    tau: u32,
+    shard_count: u32,
+    tree_count: u32,
+    snapshot_hash: u64,
+    owned_shards: Vec<u32>,
+    shard_map_bytes: Vec<u8>,
+    labels: LabelInterner,
+    node: Node,
+    join_config: PartSjConfig,
+    registry: MetricsRegistry,
+    cells: ServerCells,
+    conns: ConnTable,
+}
+
+/// A bound, not-yet-serving catalog node.
+#[derive(Debug)]
+pub struct Catalogd {
+    state: Arc<NodeState>,
+    listener: TcpListener,
+    stop: Arc<AtomicBool>,
+}
+
+impl Catalogd {
+    /// Restores node `cfg.node`'s owned shard sections from `snapshot`
+    /// and binds `addr` (use port 0 to let the OS pick). Placement is
+    /// the same round-robin topology the in-process cluster uses, so a
+    /// node set started with identical `nodes`/`replication` agrees on
+    /// who owns what without any coordination.
+    pub fn bind(
+        snapshot: Vec<u8>,
+        cfg: &ServerConfig,
+        addr: &str,
+    ) -> Result<Catalogd, CatalogdError> {
+        let snapshot_hash = fnv1a64(&snapshot);
+        let reader = SnapshotReader::from_bytes(snapshot)?;
+        let topology = Topology::new(reader.shard_count(), cfg.nodes, cfg.replication)?;
+        if cfg.node >= cfg.nodes {
+            return Err(CatalogdError::Handshake {
+                context: format!("node id {} out of range for {} nodes", cfg.node, cfg.nodes),
+            });
+        }
+        let owned_shards = topology.shards_of(cfg.node);
+        let node = Node::restore(cfg.node, &reader, &owned_shards)?;
+        let labels = reader.labels()?;
+        let shard_map_bytes = encode_shard_map(&reader.shard_map()?);
+        let registry = MetricsRegistry::new();
+        let n = cfg.node;
+        let cells = ServerCells {
+            connections: registry.counter(&labeled("tsj_catalogd_connections_total", "node", n)),
+            frames: registry.counter(&labeled("tsj_catalogd_frames_total", "node", n)),
+            joins: registry.counter(&labeled("tsj_catalogd_joins_served_total", "node", n)),
+            probe_batches: registry.counter(&labeled(
+                "tsj_catalogd_probe_batches_total",
+                "node",
+                n,
+            )),
+            errors: registry.counter(&labeled("tsj_catalogd_errors_total", "node", n)),
+            join_serve_us: registry.histogram(&labeled("tsj_catalogd_join_serve_us", "node", n)),
+        };
+        let state = Arc::new(NodeState {
+            node_id: cfg.node as u32,
+            nodes: cfg.nodes as u32,
+            replication: topology.replication() as u32,
+            tau: reader.tau(),
+            shard_count: reader.shard_count() as u32,
+            tree_count: reader.tree_count() as u32,
+            snapshot_hash,
+            owned_shards,
+            shard_map_bytes,
+            labels,
+            node,
+            join_config: cfg.join_config,
+            registry,
+            cells,
+            conns: ConnTable::default(),
+        });
+        let listener = TcpListener::bind(addr).map_err(|e| CatalogdError::Io {
+            kind: e.kind(),
+            context: format!("binding {addr}"),
+        })?;
+        Ok(Catalogd {
+            state,
+            listener,
+            stop: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The address actually bound (resolves port 0).
+    pub fn local_addr(&self) -> Result<SocketAddr, CatalogdError> {
+        self.listener.local_addr().map_err(|e| CatalogdError::Io {
+            kind: e.kind(),
+            context: "reading bound address".into(),
+        })
+    }
+
+    /// Serves until a [`Frame::Shutdown`] arrives. One thread per
+    /// connection; the accepting thread is the caller's.
+    pub fn run(self) -> Result<(), CatalogdError> {
+        let addr = self.local_addr()?;
+        for stream in self.listener.incoming() {
+            if self.stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = stream else { continue };
+            let state = Arc::clone(&self.state);
+            let stop = Arc::clone(&self.stop);
+            let conn_id = state.conns.track(&stream);
+            std::thread::spawn(move || {
+                handle_conn(Arc::clone(&state), stream, stop, addr);
+                state.conns.untrack(conn_id);
+            });
+        }
+        // The node is going down: sever open connections so clients see
+        // a dead node, not a half-alive one (process exit would do the
+        // same for a standalone `catalogd`).
+        self.state.conns.close_all();
+        Ok(())
+    }
+
+    /// Runs the serve loop on a background thread — the in-process form
+    /// the tests, the demo example and the bit-identity suite use.
+    pub fn spawn(self) -> Result<RunningServer, CatalogdError> {
+        let addr = self.local_addr()?;
+        let stop = Arc::clone(&self.stop);
+        let handle = std::thread::spawn(move || {
+            let _ = self.run();
+        });
+        Ok(RunningServer {
+            addr,
+            stop,
+            handle: Some(handle),
+        })
+    }
+}
+
+/// A serve loop running on a background thread.
+#[derive(Debug)]
+pub struct RunningServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    handle: Option<std::thread::JoinHandle<()>>,
+}
+
+impl RunningServer {
+    /// The address the server listens on.
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stops the accept loop, joins its thread, and severs any open
+    /// connections — after this returns the node is fully dead, like a
+    /// standalone `catalogd` process that exited.
+    pub fn stop(mut self) {
+        self.stop_inner();
+    }
+
+    fn stop_inner(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.handle.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for RunningServer {
+    fn drop(&mut self) {
+        self.stop_inner();
+    }
+}
+
+/// Per-connection serve state: the registered probe batch and the serve
+/// scratch, plus an interner clone so wire labels remap injectively
+/// onto the snapshot's ids.
+struct ConnState {
+    interner: LabelInterner,
+    probes: Vec<Tree>,
+    ctxs: Vec<ProbeCtx>,
+    scratch: NodeScratch,
+}
+
+fn handle_conn(
+    state: Arc<NodeState>,
+    mut stream: TcpStream,
+    stop: Arc<AtomicBool>,
+    addr: SocketAddr,
+) {
+    state.cells.connections.inc();
+    stream.set_nodelay(true).ok();
+    let mut conn = ConnState {
+        interner: state.labels.clone(),
+        probes: Vec::new(),
+        ctxs: Vec::new(),
+        scratch: NodeScratch::default(),
+    };
+    loop {
+        let frame = match Frame::read_from(&mut stream) {
+            Ok(frame) => frame,
+            Err(e) if e.desyncs_stream() => break,
+            Err(crate::wire::WireError::UnknownType { tag }) => {
+                state.cells.errors.inc();
+                let _ = Frame::Error {
+                    code: ErrorCode::UnknownFrameType,
+                    message: format!(
+                        "frame type {tag:#04x} is not known to version {PROTOCOL_VERSION}"
+                    ),
+                }
+                .write_to(&mut stream);
+                continue;
+            }
+            Err(e) => {
+                // Checksummed but undecodable payload: framing is still
+                // trustworthy, answer typed and keep serving.
+                state.cells.errors.inc();
+                let _ = Frame::Error {
+                    code: ErrorCode::BadRequest,
+                    message: e.to_string(),
+                }
+                .write_to(&mut stream);
+                continue;
+            }
+        };
+        state.cells.frames.inc();
+        let shutdown = matches!(frame, Frame::Shutdown);
+        let reply = respond(&state, &mut conn, frame);
+        if matches!(reply, Frame::Error { .. }) {
+            state.cells.errors.inc();
+        }
+        if reply.write_to(&mut stream).is_err() {
+            break;
+        }
+        if shutdown {
+            stop.store(true, Ordering::SeqCst);
+            // Unblock the accept loop so the process can exit.
+            let _ = TcpStream::connect(addr);
+            break;
+        }
+    }
+}
+
+/// Computes the reply to one decoded frame. Pure protocol logic — all
+/// I/O stays in [`handle_conn`].
+fn respond(state: &NodeState, conn: &mut ConnState, frame: Frame) -> Frame {
+    match frame {
+        Frame::Hello {
+            version,
+            snapshot_hash,
+        } => {
+            if version != PROTOCOL_VERSION {
+                return Frame::Error {
+                    code: ErrorCode::VersionMismatch,
+                    message: format!("server speaks version {PROTOCOL_VERSION}, client {version}"),
+                };
+            }
+            if snapshot_hash != 0 && snapshot_hash != state.snapshot_hash {
+                return Frame::Error {
+                    code: ErrorCode::SnapshotMismatch,
+                    message: format!(
+                        "server snapshot {:#018x}, client expects {snapshot_hash:#018x}",
+                        state.snapshot_hash
+                    ),
+                };
+            }
+            Frame::HelloAck {
+                version: PROTOCOL_VERSION,
+                snapshot_hash: state.snapshot_hash,
+                node: state.node_id,
+                nodes: state.nodes,
+                replication: state.replication,
+                tau: state.tau,
+                shard_count: state.shard_count,
+                tree_count: state.tree_count,
+                owned_shards: state.owned_shards.clone(),
+                shard_map: state.shard_map_bytes.clone(),
+            }
+        }
+        Frame::ProbeBatch(batch) => register_probes(state, conn, batch, true),
+        Frame::Probe { batch } => register_probes(state, conn, batch, false),
+        Frame::JoinShard {
+            probe,
+            shard,
+            tau,
+            classes,
+        } => {
+            if tau > state.tau {
+                return Frame::Error {
+                    code: ErrorCode::TauExceedsFrozen,
+                    message: format!("tau {tau} exceeds frozen {}", state.tau),
+                };
+            }
+            let Some(ctx) = conn.ctxs.get(probe as usize) else {
+                return Frame::Error {
+                    code: ErrorCode::UnknownProbe,
+                    message: format!(
+                        "probe {probe} not registered ({} in batch)",
+                        conn.ctxs.len()
+                    ),
+                };
+            };
+            let req = tsj_cluster::ShardRequest {
+                probe,
+                shard,
+                classes,
+            };
+            let start = Instant::now();
+            match state
+                .node
+                .serve(&req, ctx, tau, &state.join_config, &mut conn.scratch)
+            {
+                Ok(resp) => {
+                    state.cells.joins.inc();
+                    state
+                        .cells
+                        .join_serve_us
+                        .record(start.elapsed().as_micros() as u64);
+                    Frame::JoinShardResp {
+                        probe: resp.probe,
+                        matches: resp.matches,
+                        stats: resp.stats,
+                    }
+                }
+                Err(tsj_cluster::ClusterError::ShardNotOwned { node, shard }) => Frame::Error {
+                    code: ErrorCode::ShardNotOwned,
+                    message: format!("node {node} does not own shard {shard}"),
+                },
+                Err(e) => Frame::Error {
+                    code: ErrorCode::Internal,
+                    message: e.to_string(),
+                },
+            }
+        }
+        Frame::Metrics => {
+            let mut text = tsj_obs::export::to_prometheus(&state.registry.snapshot());
+            let global = tsj_obs::global();
+            if global.is_enabled() {
+                text.push_str(&tsj_obs::export::to_prometheus(&global.snapshot()));
+            }
+            Frame::MetricsResp { text }
+        }
+        Frame::Health => Frame::HealthAck {
+            node: state.node_id,
+            owned_shards: state.owned_shards.len() as u32,
+        },
+        Frame::Shutdown => Frame::ShutdownAck,
+        // Server-bound connections never expect responses or acks.
+        other => Frame::Error {
+            code: ErrorCode::BadRequest,
+            message: format!("unexpected frame {other:?} on a server connection"),
+        },
+    }
+}
+
+fn register_probes(
+    state: &NodeState,
+    conn: &mut ConnState,
+    batch: ProbeBatch,
+    replace: bool,
+) -> Frame {
+    match decode_probes(&batch, &mut conn.interner) {
+        Ok(mut trees) => {
+            if replace {
+                conn.probes.clear();
+            }
+            conn.probes.append(&mut trees);
+            // Re-prepare the whole batch so `VerifyData::batch_for_config`
+            // sees the same inputs the in-process router gives it.
+            conn.ctxs = ProbeCtx::batch(&conn.probes, &state.join_config);
+            state.cells.probe_batches.inc();
+            Frame::ProbeAck {
+                count: conn.ctxs.len() as u32,
+            }
+        }
+        Err(e) => Frame::Error {
+            code: ErrorCode::BadRequest,
+            message: e.to_string(),
+        },
+    }
+}

@@ -1,0 +1,56 @@
+//! Shared fixtures for the catalogd integration suites.
+//!
+//! Each integration test binary compiles its own copy and uses a
+//! subset, so unused-item warnings are expected noise here.
+#![allow(dead_code)]
+
+use partsj::PartSjConfig;
+use tsj_catalog::Catalog;
+use tsj_catalogd::interner_for;
+use tsj_shard::ShardConfig;
+use tsj_tree::{LabelInterner, Tree};
+
+/// Freezes a deterministic demo catalog: `n` SwissProt-like trees at
+/// threshold `tau` over `shards` shards. Returns the snapshot bytes and
+/// the exact trees + interner it was frozen with, so tests can replay
+/// the single-node reference join.
+pub fn freeze_demo(
+    n: usize,
+    tau: u32,
+    shards: usize,
+    seed: u64,
+) -> (Vec<u8>, Vec<Tree>, LabelInterner) {
+    let trees = tsj_datagen::swissprot_like(n, seed);
+    let labels = interner_for(&trees);
+    let catalog = Catalog::freeze(
+        trees.clone(),
+        labels.clone(),
+        tau,
+        &PartSjConfig::default(),
+        &ShardConfig::with_shards(shards),
+    );
+    (catalog.to_bytes(), trees, labels)
+}
+
+/// A probe batch with real matches against [`freeze_demo`]'s catalog:
+/// a slice of fresh trees plus lightly edited revisions of catalog
+/// entries.
+pub fn probe_batch(
+    catalog_trees: &[Tree],
+    fresh: usize,
+    edited: usize,
+    seed: u64,
+) -> (Vec<Tree>, LabelInterner) {
+    use rand::SeedableRng;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut probes = tsj_datagen::swissprot_like(fresh, seed.wrapping_add(1));
+    for original in catalog_trees.iter().step_by(7).take(edited) {
+        let (revision, _) = tsj_datagen::random_edit_script(original, 1, &mut rng, 84);
+        probes.push(revision);
+    }
+    let mut all = probes.clone();
+    all.extend_from_slice(catalog_trees);
+    // Intern over probes AND catalog so edited labels resolve too.
+    let labels = interner_for(&all);
+    (probes, labels)
+}

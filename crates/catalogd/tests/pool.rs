@@ -1,0 +1,155 @@
+//! Connection-pool behavior against a live loopback server: checkout /
+//! checkin reuse, dead-connection eviction, idle caps, and concurrent
+//! checkout contention.
+
+mod common;
+
+use std::io::Write;
+use tsj_catalogd::wire::Frame;
+use tsj_catalogd::{Catalogd, ConnPool, PoolConfig, ServerConfig};
+
+fn spawn_server() -> tsj_catalogd::RunningServer {
+    let (snapshot, _, _) = common::freeze_demo(40, 1, 4, 11);
+    Catalogd::bind(snapshot, &ServerConfig::new(0, 1, 1), "127.0.0.1:0")
+        .expect("bind")
+        .spawn()
+        .expect("spawn")
+}
+
+#[test]
+fn checkout_checkin_reuses_connections() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let pool = ConnPool::new(PoolConfig::default());
+
+    assert_eq!(pool.idle_count(addr), 0);
+    let conn = pool.checkout(addr).expect("fresh dial");
+    pool.checkin(addr, conn, true);
+    assert_eq!(pool.idle_count(addr), 1);
+
+    // The pooled connection comes back out (LIFO) and still works.
+    let mut conn = pool.checkout(addr).expect("pooled checkout");
+    assert_eq!(pool.idle_count(addr), 0);
+    Frame::Health.write_to(&mut conn).expect("ping out");
+    match Frame::read_from(&mut conn).expect("ping back") {
+        Frame::HealthAck { node, .. } => assert_eq!(node, 0),
+        other => panic!("expected HealthAck, got {other:?}"),
+    }
+    pool.checkin(addr, conn, true);
+    assert_eq!(pool.idle_count(addr), 1);
+}
+
+#[test]
+fn unhealthy_checkin_drops_the_connection() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let pool = ConnPool::new(PoolConfig::default());
+    let conn = pool.checkout(addr).expect("dial");
+    pool.checkin(addr, conn, false);
+    assert_eq!(pool.idle_count(addr), 0, "unhealthy conns never re-enter");
+}
+
+#[test]
+fn idle_cap_is_enforced() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let pool = ConnPool::new(PoolConfig {
+        max_idle_per_addr: 2,
+        ..PoolConfig::default()
+    });
+    let conns: Vec<_> = (0..4).map(|_| pool.checkout(addr).expect("dial")).collect();
+    for conn in conns {
+        pool.checkin(addr, conn, true);
+    }
+    assert_eq!(pool.idle_count(addr), 2, "surplus checkins close");
+}
+
+#[test]
+fn ping_on_checkout_evicts_dead_idle_connections() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let pool = ConnPool::new(PoolConfig {
+        ping_on_checkout: true,
+        ..PoolConfig::default()
+    });
+    // Pool two live connections, then kill the server: both idle conns
+    // are now dead, and a fresh dial cannot succeed either.
+    let a = pool.checkout(addr).expect("dial a");
+    let b = pool.checkout(addr).expect("dial b");
+    pool.checkin(addr, a, true);
+    pool.checkin(addr, b, true);
+    assert_eq!(pool.idle_count(addr), 2);
+    server.stop();
+
+    let result = pool.checkout(addr);
+    assert!(
+        result.is_err(),
+        "dead idle conns must be evicted, not handed out"
+    );
+    assert_eq!(pool.idle_count(addr), 0, "both dead conns were dropped");
+}
+
+#[test]
+fn ping_on_checkout_survives_a_server_restart_with_fresh_dials() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let pool = ConnPool::new(PoolConfig {
+        ping_on_checkout: true,
+        ..PoolConfig::default()
+    });
+    let conn = pool.checkout(addr).expect("dial");
+    pool.checkin(addr, conn, true);
+    server.stop();
+
+    // Restart on the same port (loopback, SO_REUSEADDR not needed once
+    // the listener is fully closed).
+    let (snapshot, _, _) = common::freeze_demo(40, 1, 4, 11);
+    let restarted = Catalogd::bind(snapshot, &ServerConfig::new(0, 1, 1), &addr.to_string())
+        .expect("rebind same addr")
+        .spawn()
+        .expect("respawn");
+
+    // The stale idle conn fails its ping and a fresh dial replaces it.
+    let mut conn = pool.checkout(addr).expect("fresh dial after restart");
+    Frame::Health.write_to(&mut conn).expect("ping out");
+    assert!(matches!(
+        Frame::read_from(&mut conn).expect("ping back"),
+        Frame::HealthAck { .. }
+    ));
+    drop(restarted);
+}
+
+#[test]
+fn concurrent_checkouts_contend_safely() {
+    let server = spawn_server();
+    let addr = server.addr();
+    let pool = ConnPool::new(PoolConfig {
+        max_idle_per_addr: 4,
+        ..PoolConfig::default()
+    });
+    std::thread::scope(|scope| {
+        for _ in 0..8 {
+            scope.spawn(|| {
+                for _ in 0..25 {
+                    let mut conn = pool.checkout(addr).expect("checkout under contention");
+                    Frame::Health.write_to(&mut conn).expect("ping out");
+                    let healthy =
+                        matches!(Frame::read_from(&mut conn), Ok(Frame::HealthAck { .. }));
+                    pool.checkin(addr, conn, healthy);
+                }
+            });
+        }
+    });
+    assert!(
+        pool.idle_count(addr) <= 4,
+        "idle cap holds under contention"
+    );
+    // Everything pooled is still usable.
+    let mut conn = pool.checkout(addr).expect("post-contention checkout");
+    Frame::Health.write_to(&mut conn).expect("ping out");
+    assert!(matches!(
+        Frame::read_from(&mut conn).expect("ping back"),
+        Frame::HealthAck { .. }
+    ));
+    let _ = conn.flush();
+}

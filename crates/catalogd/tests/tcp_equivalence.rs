@@ -1,0 +1,326 @@
+//! The cross-the-wire bit-identity contract: a TCP scatter/gather join
+//! through real sockets must produce **exactly** what the in-process
+//! cluster and the single-node catalog produce — pairs, candidate
+//! counts, and every filter-stage counter — across node counts,
+//! replication factors and thresholds, including after killing a real
+//! server process at replication 2.
+
+mod common;
+
+use partsj::PartSjConfig;
+use std::io::BufRead;
+use std::net::SocketAddr;
+use tsj_catalog::Catalog;
+use tsj_catalogd::{Catalogd, ClientConfig, ClusterClient, RunningServer, ServerConfig};
+use tsj_cluster::{Cluster, ClusterConfig};
+use tsj_shard::ShardConfig;
+use tsj_ted::JoinOutcome;
+
+const SHARDS: usize = 8;
+const FROZEN_TAU: u32 = 3;
+
+/// Stage counters as comparable values (stage names on the TCP side are
+/// re-interned `&'static str`s, so compare by string).
+fn stages(outcome: &JoinOutcome) -> Vec<(String, u64)> {
+    let mut v: Vec<(String, u64)> = outcome
+        .stats
+        .stage_counts
+        .iter()
+        .map(|sc| (sc.stage.to_string(), sc.count))
+        .collect();
+    v.sort();
+    v
+}
+
+/// Asserts everything deterministic about two outcomes is identical
+/// (durations are wall-clock and excluded by design).
+fn assert_bit_identical(got: &JoinOutcome, want: &JoinOutcome, context: &str) {
+    assert_eq!(got.pairs, want.pairs, "{context}: pairs");
+    assert_eq!(
+        got.stats.candidates, want.stats.candidates,
+        "{context}: candidates"
+    );
+    assert_eq!(
+        got.stats.pairs_examined, want.stats.pairs_examined,
+        "{context}: pairs_examined"
+    );
+    assert_eq!(got.stats.results, want.stats.results, "{context}: results");
+    assert_eq!(
+        got.stats.ted_calls, want.stats.ted_calls,
+        "{context}: ted_calls"
+    );
+    assert_eq!(
+        got.stats.prefilter_skips, want.stats.prefilter_skips,
+        "{context}: prefilter_skips"
+    );
+    assert_eq!(
+        got.stats.early_accepts, want.stats.early_accepts,
+        "{context}: early_accepts"
+    );
+    assert_eq!(stages(got), stages(want), "{context}: stage counters");
+}
+
+fn spawn_node_set(snapshot: &[u8], nodes: usize, replication: usize) -> Vec<RunningServer> {
+    (0..nodes)
+        .map(|n| {
+            Catalogd::bind(
+                snapshot.to_vec(),
+                &ServerConfig::new(n, nodes, replication),
+                "127.0.0.1:0",
+            )
+            .expect("bind")
+            .spawn()
+            .expect("spawn")
+        })
+        .collect()
+}
+
+/// The full sweep: nodes × replication × tau, every TCP join held
+/// against both the single-node catalog and the in-process cluster.
+#[test]
+fn tcp_join_is_bit_identical_across_the_sweep() {
+    let (snapshot, catalog_trees, _) = common::freeze_demo(150, FROZEN_TAU, SHARDS, 2015);
+    let (probes, probe_labels) = common::probe_batch(&catalog_trees, 20, 15, 77);
+    let config = PartSjConfig::default();
+    let catalog = Catalog::from_bytes(snapshot.clone()).expect("reference catalog");
+
+    for &tau in &[0u32, 1, 3] {
+        let reference = catalog
+            .join(&probes, tau, &config, &ShardConfig::default())
+            .expect("single-node reference");
+        for &nodes in &[1usize, 2, 4] {
+            for &replication in &[1usize, 2] {
+                let context = format!("nodes={nodes} R={replication} tau={tau}");
+
+                // The in-process cluster: the PR 7 contract.
+                let mut cluster = Cluster::from_snapshot(
+                    snapshot.clone(),
+                    &ClusterConfig::new(nodes, replication),
+                )
+                .expect("cluster");
+                let in_process = cluster.join(&probes, tau, &config).expect("cluster join");
+                assert!(in_process.is_complete(), "{context}: in-process complete");
+                assert_bit_identical(&in_process.outcome, &reference, &context);
+
+                // The same snapshot over real sockets.
+                let servers = spawn_node_set(&snapshot, nodes, replication);
+                let addrs: Vec<SocketAddr> = servers.iter().map(RunningServer::addr).collect();
+                let mut client =
+                    ClusterClient::connect(&addrs, ClientConfig::default()).expect("connect");
+                let over_tcp = client.join(&probes, &probe_labels, tau).expect("tcp join");
+                assert!(over_tcp.is_complete(), "{context}: tcp complete");
+                assert_bit_identical(&over_tcp.outcome, &reference, &format!("{context} (tcp)"));
+                assert_eq!(
+                    over_tcp.telemetry.requests, in_process.telemetry.requests,
+                    "{context}: same scatter plan"
+                );
+            }
+        }
+    }
+}
+
+/// Requests above the frozen threshold are refused client-side, exactly
+/// like the in-process cluster.
+#[test]
+fn tau_above_frozen_is_refused() {
+    let (snapshot, catalog_trees, _) = common::freeze_demo(40, 1, 4, 5);
+    let (probes, probe_labels) = common::probe_batch(&catalog_trees, 4, 2, 9);
+    let servers = spawn_node_set(&snapshot, 2, 1);
+    let addrs: Vec<SocketAddr> = servers.iter().map(RunningServer::addr).collect();
+    let mut client = ClusterClient::connect(&addrs, ClientConfig::default()).expect("connect");
+    assert!(client.join(&probes, &probe_labels, 2).is_err());
+}
+
+/// Spawns a real `catalogd` server process and reads its bound address
+/// off stdout (`--addr 127.0.0.1:0` lets the OS pick the port).
+fn spawn_process(
+    snapshot_path: &std::path::Path,
+    node: usize,
+    nodes: usize,
+) -> (std::process::Child, SocketAddr) {
+    let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_catalogd"))
+        .args([
+            "serve",
+            "--snapshot",
+            snapshot_path.to_str().unwrap(),
+            "--node",
+            &node.to_string(),
+            "--nodes",
+            &nodes.to_string(),
+            "--replication",
+            "2",
+            "--addr",
+            "127.0.0.1:0",
+        ])
+        .stdout(std::process::Stdio::piped())
+        .spawn()
+        .expect("spawn catalogd process");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    std::io::BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("read serve banner");
+    // "catalogd: node N serving on ADDR (...)"
+    let addr = line
+        .split("serving on ")
+        .nth(1)
+        .and_then(|rest| rest.split_whitespace().next())
+        .unwrap_or_else(|| panic!("unexpected banner {line:?}"))
+        .parse()
+        .expect("bound address");
+    (child, addr)
+}
+
+/// Kill a real server process mid-workload at replication 2: the router
+/// fails over to the surviving replica and the answer stays
+/// bit-identical. Restart the node and `reconnect` restores full
+/// health.
+#[test]
+fn killed_process_fails_over_bit_identically() {
+    let (snapshot, catalog_trees, _) = common::freeze_demo(120, 2, SHARDS, 2015);
+    let (probes, probe_labels) = common::probe_batch(&catalog_trees, 12, 10, 41);
+    let config = PartSjConfig::default();
+    let reference = Catalog::from_bytes(snapshot.clone())
+        .expect("reference catalog")
+        .join(&probes, 2, &config, &ShardConfig::default())
+        .expect("reference join");
+
+    let dir = std::env::temp_dir().join(format!("tsj-catalogd-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot_path = dir.join("kill.snap");
+    std::fs::write(&snapshot_path, &snapshot).expect("write snapshot");
+
+    let (mut child0, addr0) = spawn_process(&snapshot_path, 0, 2);
+    let (mut child1, addr1) = spawn_process(&snapshot_path, 1, 2);
+    let addrs = vec![addr0, addr1];
+
+    let mut client = ClusterClient::connect(&addrs, ClientConfig::default()).expect("connect");
+    let healthy = client
+        .join(&probes, &probe_labels, 2)
+        .expect("healthy join");
+    assert!(healthy.is_complete());
+    assert_bit_identical(&healthy.outcome, &reference, "both processes up");
+
+    // SIGKILL node 0 — no shutdown frame, no flush, a real crash.
+    child0.kill().expect("kill node 0");
+    child0.wait().expect("reap node 0");
+
+    let failed_over = client
+        .join(&probes, &probe_labels, 2)
+        .expect("failover join");
+    assert!(
+        failed_over.is_complete(),
+        "R=2 covers every shard after one process dies"
+    );
+    assert_bit_identical(&failed_over.outcome, &reference, "node 0 killed");
+    assert!(!client.is_alive(0), "client observed the death");
+    assert!(
+        failed_over.telemetry.failovers > 0,
+        "failover was exercised"
+    );
+
+    // Restart the dead node (same id, new port) and reconnect.
+    let (mut restarted, new_addr0) = spawn_process(&snapshot_path, 0, 2);
+    // The client set was built for addr0; a restarted process on a new
+    // port is a new address — rebuild the client, the normal operator
+    // flow in docs/OPERATIONS.md.
+    let mut client = ClusterClient::connect(&[new_addr0, addr1], ClientConfig::default())
+        .expect("reconnect after restart");
+    let healed = client.join(&probes, &probe_labels, 2).expect("healed join");
+    assert!(healed.is_complete());
+    assert_bit_identical(&healed.outcome, &reference, "node 0 restarted");
+
+    // Clean shutdown via the protocol, then reap both.
+    client.shutdown_node(0).expect("shutdown restarted node");
+    client.shutdown_node(1).expect("shutdown node 1");
+    restarted.wait().expect("reap restarted node");
+    child1.wait().expect("reap node 1");
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+/// Killing one process at replication 1 degrades — typed, never silent,
+/// and recovery is reconnect-after-restart.
+#[test]
+fn killed_process_at_r1_degrades_then_recovers() {
+    let (snapshot, catalog_trees, _) = common::freeze_demo(80, 1, 4, 2015);
+    let (probes, probe_labels) = common::probe_batch(&catalog_trees, 8, 8, 13);
+    let config = PartSjConfig::default();
+    let reference = Catalog::from_bytes(snapshot.clone())
+        .expect("reference catalog")
+        .join(&probes, 1, &config, &ShardConfig::default())
+        .expect("reference join");
+
+    let dir = std::env::temp_dir().join(format!("tsj-catalogd-test-r1-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let snapshot_path = dir.join("r1.snap");
+    std::fs::write(&snapshot_path, &snapshot).expect("write snapshot");
+
+    let spawn_r1 = |node: usize| {
+        let mut child = std::process::Command::new(env!("CARGO_BIN_EXE_catalogd"))
+            .args([
+                "serve",
+                "--snapshot",
+                snapshot_path.to_str().unwrap(),
+                "--node",
+                &node.to_string(),
+                "--nodes",
+                "2",
+                "--replication",
+                "1",
+                "--addr",
+                "127.0.0.1:0",
+            ])
+            .stdout(std::process::Stdio::piped())
+            .spawn()
+            .expect("spawn");
+        let stdout = child.stdout.take().expect("stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("banner");
+        let addr: SocketAddr = line
+            .split("serving on ")
+            .nth(1)
+            .and_then(|rest| rest.split_whitespace().next())
+            .expect("addr in banner")
+            .parse()
+            .expect("addr parses");
+        (child, addr)
+    };
+
+    let (mut child0, addr0) = spawn_r1(0);
+    let (mut child1, addr1) = spawn_r1(1);
+    let mut client =
+        ClusterClient::connect(&[addr0, addr1], ClientConfig::default()).expect("connect");
+    let healthy = client
+        .join(&probes, &probe_labels, 1)
+        .expect("healthy join");
+    assert!(healthy.is_complete());
+    assert_bit_identical(&healthy.outcome, &reference, "R=1 both up");
+
+    child0.kill().expect("kill node 0");
+    child0.wait().expect("reap node 0");
+
+    let degraded = client
+        .join(&probes, &probe_labels, 1)
+        .expect("degraded join");
+    let report = degraded.degraded.as_ref().expect("typed degradation");
+    assert!(!report.lost_shards.is_empty());
+    // Degradation only omits: every pair it still proves is a true pair.
+    for pair in &degraded.outcome.pairs {
+        assert!(reference.pairs.contains(pair), "no invented pairs");
+    }
+
+    let (mut restarted, new_addr0) = spawn_r1(0);
+    let mut client =
+        ClusterClient::connect(&[new_addr0, addr1], ClientConfig::default()).expect("reconnect");
+    let healed = client.join(&probes, &probe_labels, 1).expect("healed join");
+    assert!(healed.is_complete());
+    assert_bit_identical(&healed.outcome, &reference, "R=1 restarted");
+
+    client.shutdown_node(0).expect("shutdown node 0");
+    client.shutdown_node(1).expect("shutdown node 1");
+    restarted.wait().expect("reap restarted");
+    child1.wait().expect("reap node 1");
+    std::fs::remove_dir_all(&dir).ok();
+}

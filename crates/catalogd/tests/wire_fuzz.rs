@@ -1,0 +1,174 @@
+//! Wire-codec robustness: arbitrary corruption of valid frames (and
+//! outright byte soup) must decode to a typed [`WireError`] or a valid
+//! frame — never a panic, never an uncontrolled allocation. This is the
+//! wire twin of the snapshot corruption suite.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use tsj_catalogd::wire::{encode_probes, ErrorCode, Frame, WireError, PROTOCOL_VERSION};
+use tsj_ted::{JoinStats, StageCount};
+use tsj_tree::{parse_bracket, LabelInterner};
+
+/// One instance of every frame type, with non-trivial payloads.
+fn sample_frames() -> Vec<Frame> {
+    let mut labels = LabelInterner::new();
+    let probes = vec![
+        parse_bracket("{a{b}{c{d}}}", &mut labels).unwrap(),
+        parse_bracket("{x{y}{y}{z}}", &mut labels).unwrap(),
+    ];
+    let batch = encode_probes(&probes, &labels).unwrap();
+    vec![
+        Frame::Hello {
+            version: PROTOCOL_VERSION,
+            snapshot_hash: 0x1234_5678_9ABC_DEF0,
+        },
+        Frame::HelloAck {
+            version: PROTOCOL_VERSION,
+            snapshot_hash: 42,
+            node: 1,
+            nodes: 4,
+            replication: 2,
+            tau: 3,
+            shard_count: 8,
+            tree_count: 500,
+            owned_shards: vec![1, 2, 5, 6],
+            shard_map: vec![0, 1, 2, 3, 4, 5, 6, 7],
+        },
+        Frame::Probe {
+            batch: batch.clone(),
+        },
+        Frame::ProbeBatch(batch),
+        Frame::ProbeAck { count: 2 },
+        Frame::JoinShard {
+            probe: 0,
+            shard: 5,
+            tau: 2,
+            classes: vec![10, 11, 12, 13],
+        },
+        Frame::JoinShardResp {
+            probe: 0,
+            matches: vec![3, 14, 159],
+            stats: JoinStats {
+                pairs_examined: 100,
+                candidates: 40,
+                results: 3,
+                ted_calls: 7,
+                prefilter_skips: 33,
+                early_accepts: 1,
+                candidate_time: std::time::Duration::from_nanos(1_000),
+                verify_time: std::time::Duration::from_nanos(2_000),
+                stage_counts: vec![
+                    StageCount {
+                        stage: "twig",
+                        count: 40,
+                    },
+                    StageCount {
+                        stage: "traversal-sed",
+                        count: 12,
+                    },
+                ],
+            },
+        },
+        Frame::Metrics,
+        Frame::MetricsResp {
+            text: "# TYPE tsj_catalogd_joins_served_total counter\n\
+                   tsj_catalogd_joins_served_total{node=\"0\"} 17\n"
+                .into(),
+        },
+        Frame::Health,
+        Frame::HealthAck {
+            node: 2,
+            owned_shards: 4,
+        },
+        Frame::Shutdown,
+        Frame::ShutdownAck,
+        Frame::Error {
+            code: ErrorCode::ShardNotOwned,
+            message: "node 1 does not own shard 7".into(),
+        },
+    ]
+}
+
+/// Exercise the error's public surface; any panic here fails the test.
+fn touch(e: &WireError) {
+    let _ = e.to_string();
+    let _ = e.desyncs_stream();
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn mutated_frames_decode_to_typed_errors(
+        frame_idx in 0usize..14,
+        flips in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let frames = sample_frames();
+        let mut bytes = frames[frame_idx % frames.len()].encode();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..flips {
+            let pos = rng.gen_range(0..bytes.len());
+            bytes[pos] ^= rng.gen_range(1u8..=255);
+        }
+        // Decoding must terminate in a frame or a typed error — the
+        // property is "never a panic", enforced by running at all.
+        match Frame::decode(&bytes) {
+            Ok((frame, consumed)) => {
+                // A surviving decode must account for its bytes and
+                // re-encode without panicking.
+                prop_assert!(consumed <= bytes.len());
+                let _ = frame.encode();
+            }
+            Err(e) => touch(&e),
+        }
+    }
+
+    #[test]
+    fn byte_soup_decodes_to_typed_errors(len in 0usize..96, seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let bytes: Vec<u8> = (0..len).map(|_| rng.gen()).collect();
+        match Frame::decode(&bytes) {
+            Ok((frame, consumed)) => {
+                prop_assert!(consumed <= bytes.len());
+                let _ = frame.encode();
+            }
+            Err(e) => touch(&e),
+        }
+    }
+
+    #[test]
+    fn corrupted_length_prefix_never_allocates_unbounded(
+        frame_idx in 0usize..14,
+        fake_len in any::<u32>(),
+    ) {
+        let frames = sample_frames();
+        let mut bytes = frames[frame_idx % frames.len()].encode();
+        bytes[..4].copy_from_slice(&fake_len.to_le_bytes());
+        // Whatever the prefix claims, decode must finish promptly with a
+        // typed result; the alloc guard rejects large claims before
+        // reserving memory.
+        if let Err(e) = Frame::decode(&bytes) {
+            touch(&e);
+        }
+    }
+}
+
+/// Every strict prefix of a valid frame is an error, and every cut point
+/// is typed — the stream-reassembly contract `read_from` relies on.
+#[test]
+fn truncation_at_every_boundary_is_typed() {
+    for frame in sample_frames() {
+        let bytes = frame.encode();
+        for cut in 0..bytes.len() {
+            match Frame::decode(&bytes[..cut]) {
+                Ok(_) => panic!("strict prefix of {frame:?} decoded at cut {cut}"),
+                Err(e) => touch(&e),
+            }
+        }
+        let (decoded, consumed) = Frame::decode(&bytes).expect("whole frame decodes");
+        assert_eq!(consumed, bytes.len());
+        assert_eq!(decoded, frame);
+    }
+}

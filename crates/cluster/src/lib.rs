@@ -79,6 +79,7 @@ mod outcome;
 mod retry;
 mod router;
 mod topology;
+mod transport;
 
 /// The injectable clock, promoted into [`tsj_obs`] (so trace spans and
 /// the router share one notion of time) and re-exported here unchanged.
@@ -87,8 +88,10 @@ pub use tsj_obs::{Clock, SystemClock, VirtualClock};
 pub use cluster::{Cluster, ClusterConfig};
 pub use error::ClusterError;
 pub use fault::{corrupt_range, mix, mix_unit, Fault, FaultInjector, FaultPlan};
-pub use metrics::NodeMetricsSnapshot;
+pub use metrics::{ClusterMetrics, NodeMetricsSnapshot};
 pub use node::{Node, NodeScratch, ProbeCtx, ShardRequest, ShardResponse};
 pub use outcome::{ClusterJoin, Degraded, RequestStats, Telemetry};
 pub use retry::RetryPolicy;
+pub use router::{plan_requests, route_requests, RouterEnv};
 pub use topology::Topology;
+pub use transport::{AttemptOutcome, LocalTransport, NodeTransport};

@@ -35,9 +35,11 @@ pub(crate) struct NodeCells {
     pub(crate) latency: Histogram,
 }
 
-/// The cluster's registry plus per-node handle table.
+/// The cluster's registry plus per-node handle table. Public so the
+/// `tsj-catalogd` TCP client can attribute router decisions to nodes
+/// through the exact same handles the in-process cluster uses.
 #[derive(Debug)]
-pub(crate) struct ClusterMetrics {
+pub struct ClusterMetrics {
     registry: MetricsRegistry,
     nodes: Vec<NodeCells>,
 }
@@ -46,7 +48,7 @@ impl ClusterMetrics {
     /// Registers the full per-node series set for `nodes` nodes. The
     /// registry starts disabled (sink cells) when the global
     /// observability registry is disabled at this moment.
-    pub(crate) fn new(nodes: usize) -> ClusterMetrics {
+    pub fn new(nodes: usize) -> ClusterMetrics {
         let registry = if tsj_obs::global().is_enabled() {
             MetricsRegistry::new()
         } else {
@@ -75,11 +77,13 @@ impl ClusterMetrics {
         &self.nodes[n]
     }
 
-    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+    /// A point-in-time snapshot of every registered series.
+    pub fn snapshot(&self) -> MetricsSnapshot {
         self.registry.snapshot()
     }
 
-    pub(crate) fn per_node(&self, health: &[bool]) -> Vec<NodeMetricsSnapshot> {
+    /// Typed per-node views; `health[n]` supplies each node's liveness.
+    pub fn per_node(&self, health: &[bool]) -> Vec<NodeMetricsSnapshot> {
         if !self.registry.is_enabled() {
             // Handles are shared sinks; report zeros, not sink garbage.
             return health

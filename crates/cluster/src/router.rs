@@ -1,4 +1,5 @@
-//! The scatter/gather router: planning, fan-out, retry, degradation.
+//! The scatter/gather router: planning, fan-out, retry, degradation —
+//! generic over the [`NodeTransport`] that carries attempts to nodes.
 //!
 //! A join runs in three deterministic phases:
 //!
@@ -7,12 +8,11 @@
 //!    one [`ShardRequest`] per owning shard, carrying exactly the classes
 //!    that shard owns (the unit of coverage accounting). Requests go to
 //!    the first *alive* replica of their shard.
-//! 2. **Scatter** — one worker per addressed node serves its batch in
-//!    planning order over the crossbeam scope. The fault injector is
-//!    consulted *before* any compute, so failed attempts contribute no
-//!    stats and retries can never double-count. Fault decisions are
-//!    stateless hashes, so the schedule is identical under any thread
-//!    interleaving.
+//! 2. **Scatter** — the transport fans first attempts out, one worker per
+//!    addressed node, in planning order. The in-process transport
+//!    consults the fault injector *before* any compute, so failed
+//!    attempts contribute no stats and retries can never double-count;
+//!    the TCP transport sends real frames over pooled connections.
 //! 3. **Gather + retry** — failed requests are retried *sequentially* in
 //!    request order against replicas: a dead node means immediate
 //!    failover (and a health mark the rest of the join sees); anything
@@ -24,7 +24,10 @@
 //! Because every catalog tree's postings live in exactly one shard,
 //! per-request candidate sets are disjoint and the gathered union is
 //! bit-identical — pairs, candidate counts and filter-stage counters —
-//! to single-node `Catalog::join`.
+//! to single-node `Catalog::join`. The router is *one* implementation
+//! ([`route_requests`]) shared by the in-process [`Cluster`] and the
+//! `tsj-catalogd` TCP client, so the property suites that pin the
+//! contract cover both transports.
 //!
 //! **Accounting**: every [`crate::Telemetry`] increment has a per-node
 //! twin in [`crate::Cluster::metrics`] (recorded in the sequential
@@ -32,24 +35,347 @@
 //! and a per-request row in [`crate::RequestStats`]. The whole join runs
 //! under a `cluster.join` trace span on the cluster's clock.
 
-use crate::cluster::{Cluster, NodeSlot};
+use crate::cluster::Cluster;
 use crate::error::ClusterError;
 use crate::fault::Fault;
-use crate::node::{NodeScratch, ProbeCtx, ShardRequest, ShardResponse};
+use crate::metrics::ClusterMetrics;
+use crate::node::ShardRequest;
 use crate::outcome::{ClusterJoin, Degraded, RequestStats, Telemetry};
+use crate::retry::RetryPolicy;
+use crate::topology::Topology;
+use crate::transport::{AttemptOutcome, LocalTransport, NodeTransport};
 use partsj::{window_of, PartSjConfig};
 use std::collections::BTreeMap;
+use tsj_obs::Clock;
+use tsj_shard::ShardMap;
 use tsj_ted::{JoinOutcome, JoinStats, TreeIdx};
 use tsj_tree::Tree;
 
-/// Outcome of a request's first (scattered) attempt.
-enum Attempt {
-    /// Served by this node, absorbing this much injected delay.
-    Served(ShardResponse, u64, usize),
-    /// Failed with this fault on this node.
-    Failed(Fault, usize),
-    /// Never attempted: no alive replica at planning time.
-    NoReplica,
+/// Splits each probe's size window across the owning shards: one
+/// [`ShardRequest`] per `(probe, shard)` combination, in probe order —
+/// the plan phase, shared by the in-process cluster and the TCP client.
+pub fn plan_requests(
+    probes: &[Tree],
+    tau: u32,
+    map: &ShardMap,
+    shard_count: usize,
+) -> Vec<ShardRequest> {
+    let mut requests: Vec<ShardRequest> = Vec::new();
+    for (j, tree) in probes.iter().enumerate() {
+        let (lo, hi) = window_of(tree.len() as u32, tau);
+        let mut by_shard: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
+        for n in lo..=hi {
+            by_shard
+                .entry(map.shard_of(n, shard_count) as u32)
+                .or_default()
+                .push(n);
+        }
+        for (shard, classes) in by_shard {
+            requests.push(ShardRequest {
+                probe: j as TreeIdx,
+                shard,
+                classes,
+            });
+        }
+    }
+    requests
+}
+
+/// Everything the generic router borrows from whoever drives it —
+/// topology and health for replica choice, policy and clock for
+/// retry/backoff, metrics for per-node attribution.
+pub struct RouterEnv<'a> {
+    /// The shard→replica placement table.
+    pub topology: &'a Topology,
+    /// Per-node liveness; the router clears entries when an attempt
+    /// finds a node dead, and consults it for failover targets.
+    pub health: &'a mut [bool],
+    /// Retry/backoff/deadline policy.
+    pub retry: &'a RetryPolicy,
+    /// Seed of the deterministic backoff jitter
+    /// ([`RetryPolicy::backoff_ms`]).
+    pub backoff_seed: u64,
+    /// The clock backoff sleeps on.
+    pub clock: &'a dyn Clock,
+    /// Per-node lifetime counters and latency histograms.
+    pub metrics: &'a ClusterMetrics,
+}
+
+impl std::fmt::Debug for RouterEnv<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("RouterEnv")
+            .field("nodes", &self.topology.nodes())
+            .field("health", &self.health)
+            .finish()
+    }
+}
+
+/// The one scatter/gather implementation: fans `requests` out through
+/// `transport`, retries failures sequentially with backoff and
+/// failover, and unions the responses into a [`ClusterJoin`] whose
+/// degradation report accounts for every unserved `(probe, class)`.
+///
+/// Both transports run through here — [`Cluster::join`] with the
+/// in-process [`LocalTransport`], the `tsj-catalogd` `ClusterClient`
+/// with its TCP transport — so retry policy, deadline accounting,
+/// health marking, metrics attribution and the degradation contract
+/// have exactly one implementation to test.
+pub fn route_requests(
+    transport: &mut dyn NodeTransport,
+    requests: Vec<ShardRequest>,
+    probe_count: usize,
+    tau: u32,
+    env: &mut RouterEnv<'_>,
+) -> Result<ClusterJoin, ClusterError> {
+    let mut telemetry = Telemetry {
+        requests: requests.len() as u64,
+        ..Telemetry::default()
+    };
+
+    // Phase 2: scatter to the first alive replica of each shard.
+    let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); env.topology.nodes()];
+    let mut assigned: Vec<Option<usize>> = vec![None; requests.len()];
+    for (r, req) in requests.iter().enumerate() {
+        if let Some(n) = env
+            .topology
+            .replicas(req.shard)
+            .iter()
+            .copied()
+            .find(|&n| env.health[n])
+        {
+            per_node[n].push(r);
+            assigned[r] = Some(n);
+        }
+    }
+    let outcomes = transport.scatter(&requests, &per_node, tau)?;
+
+    // Phase 3: gather; retry failures sequentially, in request order.
+    // All metric attribution happens here (never in the scatter
+    // workers), so per-node counters are deterministic under any
+    // thread interleaving.
+    let mut responses = Vec::new();
+    let mut unserved: Vec<(TreeIdx, u32)> = Vec::new();
+    let mut probe_spent: Vec<u64> = vec![0; probe_count];
+    // Effort sunk into requests that still went unserved.
+    let (mut lost_attempts, mut lost_retries, mut lost_backoff) = (0u64, 0u64, 0u64);
+    for (r, outcome) in outcomes.into_iter().enumerate() {
+        let req = &requests[r];
+        let p = req.probe as usize;
+        let mut request = RequestStats {
+            probe: req.probe,
+            shard: req.shard,
+            attempts: 0,
+            retries: 0,
+            backoff_ms: 0,
+            spent_ms: 0,
+            served: false,
+        };
+        let mut last_fault = match (outcome, assigned[r]) {
+            (
+                Some(AttemptOutcome::Served {
+                    resp,
+                    injected_delay_ms,
+                    latency_ms,
+                }),
+                Some(node),
+            ) => {
+                telemetry.attempts += 1;
+                request.attempts = 1;
+                request.served = true;
+                let cells = env.metrics.node(node);
+                cells.attempts.inc();
+                cells.served.inc();
+                probe_spent[p] += latency_ms;
+                request.spent_ms += latency_ms;
+                if injected_delay_ms > 0 {
+                    telemetry.faults += 1;
+                    telemetry.delay_ms += injected_delay_ms;
+                    cells.delays.inc();
+                    cells.delay_ms.add(injected_delay_ms);
+                }
+                cells.latency.record(request.spent_ms);
+                telemetry.per_request.push(request);
+                responses.push(resp);
+                continue;
+            }
+            (Some(AttemptOutcome::Failed(fault)), Some(n)) => {
+                telemetry.attempts += 1;
+                request.attempts = 1;
+                telemetry.faults += 1;
+                let cells = env.metrics.node(n);
+                cells.attempts.inc();
+                cells.failed.inc();
+                match fault {
+                    Fault::NodeDown => {
+                        env.health[n] = false;
+                        telemetry.failovers += 1;
+                        cells.failovers.inc();
+                    }
+                    Fault::Timeout => {
+                        probe_spent[p] += env.retry.request_timeout_ms;
+                        request.spent_ms += env.retry.request_timeout_ms;
+                    }
+                    Fault::Transient => {}
+                    Fault::Delay(_) => unreachable!("transports resolve delays before reporting"),
+                }
+                fault
+            }
+            (Some(AttemptOutcome::DeadlineExceeded), Some(n)) => {
+                // A first attempt that already knows it cannot land in
+                // time: charge the fault, degrade without retrying.
+                telemetry.attempts += 1;
+                request.attempts = 1;
+                telemetry.faults += 1;
+                probe_spent[p] = env.retry.probe_deadline_ms;
+                let cells = env.metrics.node(n);
+                cells.attempts.inc();
+                cells.failed.inc();
+                unserved.extend(req.classes.iter().map(|&c| (req.probe, c)));
+                lost_attempts += 1;
+                telemetry.per_request.push(request);
+                continue;
+            }
+            // Never attempted: no alive replica at planning time.
+            _ => Fault::NodeDown,
+        };
+        let mut served = false;
+        for attempt in 1..env.retry.max_attempts {
+            // Failover target: scan the replica ring from `attempt`
+            // so consecutive retries of the same request prefer
+            // different copies; skip anything known dead.
+            let replicas = env.topology.replicas(req.shard);
+            let target = (0..replicas.len())
+                .map(|i| replicas[(attempt as usize + i) % replicas.len()])
+                .find(|&n| env.health[n]);
+            let Some(target) = target else {
+                break; // every replica lost: unrecoverable
+            };
+            if last_fault != Fault::NodeDown {
+                // Dead nodes fail over immediately; everything else
+                // backs off first — within the probe's deadline.
+                let backoff = env
+                    .retry
+                    .backoff_ms(env.backoff_seed, req.probe, req.shard, attempt);
+                if probe_spent[p] + backoff > env.retry.probe_deadline_ms {
+                    break;
+                }
+                env.clock.sleep_ms(backoff);
+                probe_spent[p] += backoff;
+                telemetry.backoff_ms += backoff;
+                request.backoff_ms += backoff;
+                request.spent_ms += backoff;
+                env.metrics.node(target).backoff_ms.add(backoff);
+            }
+            telemetry.retries += 1;
+            telemetry.attempts += 1;
+            request.retries += 1;
+            request.attempts += 1;
+            let cells = env.metrics.node(target);
+            cells.retries.inc();
+            cells.attempts.inc();
+            let deadline_left = env.retry.probe_deadline_ms.saturating_sub(probe_spent[p]);
+            match transport.serve(target, req, attempt, tau, deadline_left)? {
+                AttemptOutcome::Served {
+                    resp,
+                    injected_delay_ms,
+                    latency_ms,
+                } => {
+                    if injected_delay_ms > 0 {
+                        telemetry.faults += 1;
+                        telemetry.delay_ms += injected_delay_ms;
+                        cells.delays.inc();
+                        cells.delay_ms.add(injected_delay_ms);
+                    }
+                    probe_spent[p] += latency_ms;
+                    request.spent_ms += latency_ms;
+                    responses.push(resp);
+                    cells.served.inc();
+                    cells.latency.record(request.spent_ms);
+                    served = true;
+                    break;
+                }
+                AttemptOutcome::DeadlineExceeded => {
+                    telemetry.faults += 1;
+                    probe_spent[p] = env.retry.probe_deadline_ms;
+                    // The late response is discarded: the attempt
+                    // produced nothing usable.
+                    cells.failed.inc();
+                    break; // the late response would land past the deadline
+                }
+                AttemptOutcome::Failed(Fault::Timeout)
+                | AttemptOutcome::Failed(Fault::Delay(_)) => {
+                    telemetry.faults += 1;
+                    probe_spent[p] += env.retry.request_timeout_ms;
+                    request.spent_ms += env.retry.request_timeout_ms;
+                    cells.failed.inc();
+                    last_fault = Fault::Timeout;
+                    if probe_spent[p] >= env.retry.probe_deadline_ms {
+                        break;
+                    }
+                }
+                AttemptOutcome::Failed(Fault::Transient) => {
+                    telemetry.faults += 1;
+                    cells.failed.inc();
+                    last_fault = Fault::Transient;
+                }
+                AttemptOutcome::Failed(Fault::NodeDown) => {
+                    telemetry.faults += 1;
+                    env.health[target] = false;
+                    telemetry.failovers += 1;
+                    cells.failed.inc();
+                    cells.failovers.inc();
+                    last_fault = Fault::NodeDown;
+                }
+            }
+        }
+        request.served = served;
+        if !served {
+            unserved.extend(req.classes.iter().map(|&c| (req.probe, c)));
+            lost_attempts += u64::from(request.attempts);
+            lost_retries += u64::from(request.retries);
+            lost_backoff += request.backoff_ms;
+        }
+        telemetry.per_request.push(request);
+    }
+
+    // Union: pair sets are disjoint across shards, stats fold by name.
+    telemetry.served = responses.len() as u64;
+    let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
+    let mut stats = JoinStats::default();
+    for resp in &responses {
+        pairs.extend(resp.matches.iter().map(|&i| (i, resp.probe)));
+        stats.merge_partial(&resp.stats);
+    }
+    let outcome = JoinOutcome::new_bipartite(pairs, stats);
+    let degraded = if unserved.is_empty() {
+        None
+    } else {
+        unserved.sort_unstable();
+        unserved.dedup();
+        let lost_shards = (0..env.topology.shards() as u32)
+            .filter(|&s| env.topology.replicas(s).iter().all(|&n| !env.health[n]))
+            .collect();
+        tsj_obs::tracer().instant(env.clock, "cluster.degraded", "cluster");
+        Some(Degraded {
+            unserved,
+            lost_shards,
+            attempts: lost_attempts,
+            retries: lost_retries,
+            backoff_ms: lost_backoff,
+        })
+    };
+    let obs = tsj_obs::global();
+    if obs.is_enabled() {
+        obs.counter("tsj_cluster_joins_total").inc();
+        if degraded.is_some() {
+            obs.counter("tsj_cluster_degraded_joins_total").inc();
+        }
+    }
+    Ok(ClusterJoin {
+        outcome,
+        degraded,
+        telemetry,
+    })
 }
 
 impl Cluster {
@@ -71,328 +397,27 @@ impl Cluster {
             });
         }
         let join_span = tsj_obs::tracer().span(&self.clock, "cluster.join", "cluster");
-        let mut telemetry = Telemetry::default();
 
         // Phase 1: plan shard requests.
-        let mut requests: Vec<ShardRequest> = Vec::new();
-        for (j, tree) in probes.iter().enumerate() {
-            let (lo, hi) = window_of(tree.len() as u32, tau);
-            let mut by_shard: BTreeMap<u32, Vec<u32>> = BTreeMap::new();
-            for n in lo..=hi {
-                by_shard
-                    .entry(self.map.shard_of(n, self.shard_count) as u32)
-                    .or_default()
-                    .push(n);
-            }
-            for (shard, classes) in by_shard {
-                requests.push(ShardRequest {
-                    probe: j as TreeIdx,
-                    shard,
-                    classes,
-                });
-            }
-        }
-        telemetry.requests = requests.len() as u64;
-        let ctxs: Vec<ProbeCtx> = ProbeCtx::batch(probes, config);
-
-        // Phase 2: scatter to the first alive replica of each shard.
-        let mut outcomes: Vec<Option<Attempt>> = requests.iter().map(|_| None).collect();
-        let mut per_node: Vec<Vec<usize>> = vec![Vec::new(); self.topology.nodes()];
-        for (r, req) in requests.iter().enumerate() {
-            match self
-                .topology
-                .replicas(req.shard)
-                .iter()
-                .copied()
-                .find(|&n| self.health[n])
-            {
-                Some(n) => per_node[n].push(r),
-                None => outcomes[r] = Some(Attempt::NoReplica),
-            }
-        }
-        {
-            let slots = &self.slots;
-            let injector = &self.injector;
-            let clock = &*self.clock;
-            let timeout = self.retry.request_timeout_ms;
-            let requests = &requests;
-            let ctxs = &ctxs;
-            let gathered = crossbeam::scope(|scope| {
-                let handles: Vec<_> = per_node
-                    .iter()
-                    .enumerate()
-                    .filter(|(_, list)| !list.is_empty())
-                    .map(|(n, list)| {
-                        scope.spawn(move |_| -> Result<Vec<(usize, Attempt)>, ClusterError> {
-                            let NodeSlot::Up(node) = &slots[n] else {
-                                unreachable!("healthy nodes are restored")
-                            };
-                            let mut scratch = NodeScratch::default();
-                            let mut out = Vec::with_capacity(list.len());
-                            for &r in list {
-                                let req = &requests[r];
-                                let ctx = &ctxs[req.probe as usize];
-                                let attempt = match injector.decide(n, req.probe, req.shard, 0) {
-                                    None => Attempt::Served(
-                                        node.serve(req, ctx, tau, config, &mut scratch)?,
-                                        0,
-                                        n,
-                                    ),
-                                    Some(Fault::Delay(d)) if d <= timeout => {
-                                        clock.sleep_ms(d);
-                                        Attempt::Served(
-                                            node.serve(req, ctx, tau, config, &mut scratch)?,
-                                            d,
-                                            n,
-                                        )
-                                    }
-                                    // A delay past the timeout *is* a
-                                    // timeout: the response is discarded
-                                    // before any work runs.
-                                    Some(Fault::Delay(_)) => Attempt::Failed(Fault::Timeout, n),
-                                    Some(fault) => Attempt::Failed(fault, n),
-                                };
-                                out.push((r, attempt));
-                            }
-                            Ok(out)
-                        })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scatter worker panicked"))
-                    .collect::<Vec<_>>()
-            })
-            .expect("scatter scope");
-            for worker in gathered {
-                for (r, attempt) in worker? {
-                    outcomes[r] = Some(attempt);
-                }
-            }
-        }
-
-        // Phase 3: gather; retry failures sequentially, in request order.
-        // All metric attribution happens here (never in the scatter
-        // workers), so per-node counters are deterministic under any
-        // thread interleaving.
-        let mut responses: Vec<ShardResponse> = Vec::new();
-        let mut unserved: Vec<(TreeIdx, u32)> = Vec::new();
-        let mut probe_spent: Vec<u64> = vec![0; probes.len()];
-        let mut scratch = NodeScratch::default();
-        // Effort sunk into requests that still went unserved.
-        let (mut lost_attempts, mut lost_retries, mut lost_backoff) = (0u64, 0u64, 0u64);
-        for (r, outcome) in outcomes.into_iter().enumerate() {
-            let req = &requests[r];
-            let p = req.probe as usize;
-            let mut request = RequestStats {
-                probe: req.probe,
-                shard: req.shard,
-                attempts: 0,
-                retries: 0,
-                backoff_ms: 0,
-                spent_ms: 0,
-                served: false,
-            };
-            let mut last_fault = match outcome.expect("every request got a first attempt") {
-                Attempt::Served(resp, delay, node) => {
-                    telemetry.attempts += 1;
-                    request.attempts = 1;
-                    request.served = true;
-                    let cells = self.metrics.node(node);
-                    cells.attempts.inc();
-                    cells.served.inc();
-                    if delay > 0 {
-                        telemetry.faults += 1;
-                        telemetry.delay_ms += delay;
-                        probe_spent[p] += delay;
-                        request.spent_ms += delay;
-                        cells.delays.inc();
-                        cells.delay_ms.add(delay);
-                    }
-                    cells.latency.record(request.spent_ms);
-                    telemetry.per_request.push(request);
-                    responses.push(resp);
-                    continue;
-                }
-                Attempt::Failed(fault, n) => {
-                    telemetry.attempts += 1;
-                    request.attempts = 1;
-                    telemetry.faults += 1;
-                    let cells = self.metrics.node(n);
-                    cells.attempts.inc();
-                    cells.failed.inc();
-                    match fault {
-                        Fault::NodeDown => {
-                            self.health[n] = false;
-                            telemetry.failovers += 1;
-                            cells.failovers.inc();
-                        }
-                        Fault::Timeout => {
-                            probe_spent[p] += self.retry.request_timeout_ms;
-                            request.spent_ms += self.retry.request_timeout_ms;
-                        }
-                        Fault::Transient => {}
-                        Fault::Delay(_) => unreachable!("scatter maps delays to served/timeout"),
-                    }
-                    fault
-                }
-                Attempt::NoReplica => Fault::NodeDown,
-            };
-            let mut served = false;
-            for attempt in 1..self.retry.max_attempts {
-                // Failover target: scan the replica ring from `attempt`
-                // so consecutive retries of the same request prefer
-                // different copies; skip anything known dead.
-                let replicas = self.topology.replicas(req.shard);
-                let target = (0..replicas.len())
-                    .map(|i| replicas[(attempt as usize + i) % replicas.len()])
-                    .find(|&n| self.health[n]);
-                let Some(target) = target else {
-                    break; // every replica lost: unrecoverable
-                };
-                if last_fault != Fault::NodeDown {
-                    // Dead nodes fail over immediately; everything else
-                    // backs off first — within the probe's deadline.
-                    let backoff = self.retry.backoff_ms(
-                        self.injector.plan().seed,
-                        req.probe,
-                        req.shard,
-                        attempt,
-                    );
-                    if probe_spent[p] + backoff > self.retry.probe_deadline_ms {
-                        break;
-                    }
-                    self.clock.sleep_ms(backoff);
-                    probe_spent[p] += backoff;
-                    telemetry.backoff_ms += backoff;
-                    request.backoff_ms += backoff;
-                    request.spent_ms += backoff;
-                    self.metrics.node(target).backoff_ms.add(backoff);
-                }
-                telemetry.retries += 1;
-                telemetry.attempts += 1;
-                request.retries += 1;
-                request.attempts += 1;
-                let cells = self.metrics.node(target);
-                cells.retries.inc();
-                cells.attempts.inc();
-                match self.injector.decide(target, req.probe, req.shard, attempt) {
-                    None => {
-                        let NodeSlot::Up(node) = &self.slots[target] else {
-                            unreachable!("healthy nodes are restored")
-                        };
-                        responses.push(node.serve(
-                            req,
-                            &ctxs[req.probe as usize],
-                            tau,
-                            config,
-                            &mut scratch,
-                        )?);
-                        cells.served.inc();
-                        cells.latency.record(request.spent_ms);
-                        served = true;
-                        break;
-                    }
-                    Some(Fault::Delay(d)) if d <= self.retry.request_timeout_ms => {
-                        telemetry.faults += 1;
-                        if probe_spent[p] + d > self.retry.probe_deadline_ms {
-                            probe_spent[p] = self.retry.probe_deadline_ms;
-                            // The late response is discarded: the attempt
-                            // produced nothing usable.
-                            cells.failed.inc();
-                            break; // the late response would land past the deadline
-                        }
-                        self.clock.sleep_ms(d);
-                        probe_spent[p] += d;
-                        telemetry.delay_ms += d;
-                        request.spent_ms += d;
-                        cells.delays.inc();
-                        cells.delay_ms.add(d);
-                        let NodeSlot::Up(node) = &self.slots[target] else {
-                            unreachable!("healthy nodes are restored")
-                        };
-                        responses.push(node.serve(
-                            req,
-                            &ctxs[req.probe as usize],
-                            tau,
-                            config,
-                            &mut scratch,
-                        )?);
-                        cells.served.inc();
-                        cells.latency.record(request.spent_ms);
-                        served = true;
-                        break;
-                    }
-                    Some(Fault::Delay(_)) | Some(Fault::Timeout) => {
-                        telemetry.faults += 1;
-                        probe_spent[p] += self.retry.request_timeout_ms;
-                        request.spent_ms += self.retry.request_timeout_ms;
-                        cells.failed.inc();
-                        last_fault = Fault::Timeout;
-                        if probe_spent[p] >= self.retry.probe_deadline_ms {
-                            break;
-                        }
-                    }
-                    Some(Fault::Transient) => {
-                        telemetry.faults += 1;
-                        cells.failed.inc();
-                        last_fault = Fault::Transient;
-                    }
-                    Some(Fault::NodeDown) => {
-                        telemetry.faults += 1;
-                        self.health[target] = false;
-                        telemetry.failovers += 1;
-                        cells.failed.inc();
-                        cells.failovers.inc();
-                        last_fault = Fault::NodeDown;
-                    }
-                }
-            }
-            request.served = served;
-            if !served {
-                unserved.extend(req.classes.iter().map(|&c| (req.probe, c)));
-                lost_attempts += u64::from(request.attempts);
-                lost_retries += u64::from(request.retries);
-                lost_backoff += request.backoff_ms;
-            }
-            telemetry.per_request.push(request);
-        }
-
-        // Union: pair sets are disjoint across shards, stats fold by name.
-        telemetry.served = responses.len() as u64;
-        let mut pairs: Vec<(TreeIdx, TreeIdx)> = Vec::new();
-        let mut stats = JoinStats::default();
-        for resp in &responses {
-            pairs.extend(resp.matches.iter().map(|&i| (i, resp.probe)));
-            stats.merge_partial(&resp.stats);
-        }
-        let outcome = JoinOutcome::new_bipartite(pairs, stats);
-        let degraded = if unserved.is_empty() {
-            None
-        } else {
-            unserved.sort_unstable();
-            unserved.dedup();
-            tsj_obs::tracer().instant(&*self.clock, "cluster.degraded", "cluster");
-            Some(Degraded {
-                unserved,
-                lost_shards: self.lost_shards(),
-                attempts: lost_attempts,
-                retries: lost_retries,
-                backoff_ms: lost_backoff,
-            })
+        let requests = plan_requests(probes, tau, &self.map, self.shard_count);
+        let mut transport = LocalTransport::new(
+            &self.slots,
+            &self.injector,
+            &*self.clock,
+            self.retry.request_timeout_ms,
+            probes,
+            config,
+        );
+        let mut env = RouterEnv {
+            topology: &self.topology,
+            health: &mut self.health,
+            retry: &self.retry,
+            backoff_seed: self.injector.plan().seed,
+            clock: &*self.clock,
+            metrics: &self.metrics,
         };
-        let obs = tsj_obs::global();
-        if obs.is_enabled() {
-            obs.counter("tsj_cluster_joins_total").inc();
-            if degraded.is_some() {
-                obs.counter("tsj_cluster_degraded_joins_total").inc();
-            }
-        }
+        let result = route_requests(&mut transport, requests, probes.len(), tau, &mut env);
         join_span.end();
-        Ok(ClusterJoin {
-            outcome,
-            degraded,
-            telemetry,
-        })
+        result
     }
 }

@@ -40,6 +40,44 @@ impl Topology {
         })
     }
 
+    /// Builds a topology from an explicit `assignment[shard]` replica
+    /// table (each list primary first) — how a TCP client reconstructs
+    /// placement from what a node set *advertises* rather than assuming
+    /// round-robin. Every list must be non-empty, duplicate-free, and
+    /// within `0..nodes`.
+    pub fn from_assignment(
+        nodes: usize,
+        assignment: Vec<Vec<usize>>,
+    ) -> Result<Topology, ClusterError> {
+        if nodes == 0 {
+            return Err(ClusterError::Topology {
+                context: "a cluster needs at least one node".into(),
+            });
+        }
+        let mut replication = 1;
+        for (s, replicas) in assignment.iter().enumerate() {
+            if replicas.is_empty() {
+                return Err(ClusterError::Topology {
+                    context: format!("shard {s} has no replicas"),
+                });
+            }
+            let mut seen = replicas.clone();
+            seen.sort_unstable();
+            seen.dedup();
+            if seen.len() != replicas.len() || seen.last().copied().unwrap_or(0) >= nodes {
+                return Err(ClusterError::Topology {
+                    context: format!("shard {s} has an invalid replica list {replicas:?}"),
+                });
+            }
+            replication = replication.max(replicas.len());
+        }
+        Ok(Topology {
+            nodes,
+            replication,
+            assignment,
+        })
+    }
+
     /// Number of nodes.
     pub fn nodes(&self) -> usize {
         self.nodes

@@ -1,0 +1,271 @@
+//! The transport seam between the scatter/gather router and whatever
+//! actually serves a shard request.
+//!
+//! PR 7's router talked to nodes by calling [`crate::Node::serve`]
+//! directly; `catalogd` needs the *same* plan/retry/failover/degradation
+//! logic to drive requests over TCP. [`NodeTransport`] is the cut line:
+//! the router plans requests, picks replicas, sleeps backoff, charges
+//! deadlines and folds responses — a transport only answers "attempt
+//! this request on that node" and reports what happened as an
+//! [`AttemptOutcome`]. Two implementations exist:
+//!
+//! * [`LocalTransport`] (here) — the in-process path: consults the
+//!   deterministic [`crate::FaultInjector`] *before* any compute, then
+//!   calls `Node::serve` on the restored node. This is bit-for-bit the
+//!   PR 7 behavior; every cluster property suite runs through it.
+//! * `TcpTransport` (in the `tsj-catalogd` crate) — the same contract
+//!   over pooled TCP connections, where faults are real: a refused or
+//!   reset connection is [`Fault::NodeDown`], a socket read timeout is
+//!   [`Fault::Timeout`], a server `Error` frame is [`Fault::Transient`].
+//!
+//! Because both transports feed the one router implementation
+//! ([`crate::router::route_requests`]), the bit-identity contract —
+//! pairs, candidate counts, filter-stage counters identical to
+//! single-node `Catalog::join` — and the typed degradation contract are
+//! proven once and inherited by every transport.
+
+use crate::cluster::NodeSlot;
+use crate::error::ClusterError;
+use crate::fault::{Fault, FaultInjector};
+use crate::node::{NodeScratch, ProbeCtx, ShardRequest, ShardResponse};
+use partsj::PartSjConfig;
+use tsj_obs::Clock;
+use tsj_tree::Tree;
+
+/// What one serve attempt produced, as the router's gather phase
+/// consumes it.
+#[derive(Debug)]
+pub enum AttemptOutcome {
+    /// The node answered.
+    Served {
+        /// The shard response (matches + partial stats).
+        resp: ShardResponse,
+        /// Injected delay the attempt absorbed before answering, in
+        /// clock milliseconds — counted as a fault by the router.
+        /// Real transports report `0` here.
+        injected_delay_ms: u64,
+        /// Deadline-accounted time the attempt cost, in clock
+        /// milliseconds. For the in-process transport this equals the
+        /// injected delay (compute is free on a virtual clock); a TCP
+        /// transport reports measured wall time.
+        latency_ms: u64,
+    },
+    /// The attempt failed with a retryable fault ([`Fault::Delay`] never
+    /// appears here — transports resolve delays into `Served` or
+    /// [`Fault::Timeout`] before reporting).
+    Failed(Fault),
+    /// The response would have landed past the probe's remaining
+    /// deadline, so it was discarded before any wait: the request stops
+    /// retrying and degrades.
+    DeadlineExceeded,
+}
+
+/// One way of getting a [`ShardRequest`] answered by a node.
+///
+/// The router owns *policy* (replica choice, retry, backoff, deadlines,
+/// health, metrics attribution); a transport owns *mechanism* (how an
+/// attempt reaches a node and what its failure modes are). Transports
+/// are constructed per join — they capture the probe batch and config up
+/// front so retries can resend without re-preparing.
+pub trait NodeTransport {
+    /// First attempts, fanned out: `per_node[n]` lists the indices into
+    /// `requests` routed to node `n` (only alive nodes appear). Returns
+    /// one outcome per request index; entries for requests not listed in
+    /// `per_node` stay `None` (the router treats them as having no alive
+    /// replica). A returned error aborts the whole join — reserved for
+    /// non-fault failures (a routing bug, a poisoned local node).
+    fn scatter(
+        &mut self,
+        requests: &[ShardRequest],
+        per_node: &[Vec<usize>],
+        tau: u32,
+    ) -> Result<Vec<Option<AttemptOutcome>>, ClusterError>;
+
+    /// One sequential retry attempt of `req` against `node`, `attempt`
+    /// being the 1-based retry ordinal (the fault injector and any
+    /// server see fresh coordinates per attempt). `deadline_left_ms` is
+    /// the probe's remaining deadline budget: a transport that knows the
+    /// answer would land later returns
+    /// [`AttemptOutcome::DeadlineExceeded`] without waiting.
+    fn serve(
+        &mut self,
+        node: usize,
+        req: &ShardRequest,
+        attempt: u32,
+        tau: u32,
+        deadline_left_ms: u64,
+    ) -> Result<AttemptOutcome, ClusterError>;
+}
+
+/// The in-process transport: the PR 7 scatter/gather mechanics against
+/// restored [`crate::Node`]s, faults decided by the deterministic
+/// injector *before* any compute runs (so failed attempts contribute no
+/// stats and retries can never double-count).
+pub struct LocalTransport<'a> {
+    slots: &'a [NodeSlot],
+    injector: &'a FaultInjector,
+    clock: &'a dyn Clock,
+    request_timeout_ms: u64,
+    config: &'a PartSjConfig,
+    /// Probe-side contexts, prepared once per join and shared by every
+    /// shard request of a probe (scatter workers and retries alike).
+    ctxs: Vec<ProbeCtx>,
+    /// Serve scratch for the sequential retry path; scatter workers keep
+    /// their own.
+    scratch: NodeScratch,
+}
+
+impl<'a> LocalTransport<'a> {
+    /// Prepares the transport for one join of `probes` under `config`.
+    /// Crate-internal: only [`crate::Cluster::join`] builds one (the
+    /// node slots it wraps are not public API).
+    pub(crate) fn new(
+        slots: &'a [NodeSlot],
+        injector: &'a FaultInjector,
+        clock: &'a dyn Clock,
+        request_timeout_ms: u64,
+        probes: &[Tree],
+        config: &'a PartSjConfig,
+    ) -> LocalTransport<'a> {
+        LocalTransport {
+            slots,
+            injector,
+            clock,
+            request_timeout_ms,
+            config,
+            ctxs: ProbeCtx::batch(probes, config),
+            scratch: NodeScratch::default(),
+        }
+    }
+
+    fn node(&self, n: usize) -> &'a crate::Node {
+        let NodeSlot::Up(node) = &self.slots[n] else {
+            unreachable!("the router only routes to healthy nodes, which are restored")
+        };
+        node
+    }
+}
+
+impl NodeTransport for LocalTransport<'_> {
+    fn scatter(
+        &mut self,
+        requests: &[ShardRequest],
+        per_node: &[Vec<usize>],
+        tau: u32,
+    ) -> Result<Vec<Option<AttemptOutcome>>, ClusterError> {
+        let mut outcomes: Vec<Option<AttemptOutcome>> = requests.iter().map(|_| None).collect();
+        let slots = self.slots;
+        let injector = self.injector;
+        let clock = self.clock;
+        let timeout = self.request_timeout_ms;
+        let config = self.config;
+        let ctxs = &self.ctxs;
+        let gathered = crossbeam::scope(|scope| {
+            let handles: Vec<_> = per_node
+                .iter()
+                .enumerate()
+                .filter(|(_, list)| !list.is_empty())
+                .map(|(n, list)| {
+                    scope.spawn(
+                        move |_| -> Result<Vec<(usize, AttemptOutcome)>, ClusterError> {
+                            let NodeSlot::Up(node) = &slots[n] else {
+                                unreachable!("healthy nodes are restored")
+                            };
+                            let mut scratch = NodeScratch::default();
+                            let mut out = Vec::with_capacity(list.len());
+                            for &r in list {
+                                let req = &requests[r];
+                                let ctx = &ctxs[req.probe as usize];
+                                let outcome = match injector.decide(n, req.probe, req.shard, 0) {
+                                    None => AttemptOutcome::Served {
+                                        resp: node.serve(req, ctx, tau, config, &mut scratch)?,
+                                        injected_delay_ms: 0,
+                                        latency_ms: 0,
+                                    },
+                                    Some(Fault::Delay(d)) if d <= timeout => {
+                                        clock.sleep_ms(d);
+                                        AttemptOutcome::Served {
+                                            resp: node.serve(
+                                                req,
+                                                ctx,
+                                                tau,
+                                                config,
+                                                &mut scratch,
+                                            )?,
+                                            injected_delay_ms: d,
+                                            latency_ms: d,
+                                        }
+                                    }
+                                    // A delay past the timeout *is* a
+                                    // timeout: the response is discarded
+                                    // before any work runs.
+                                    Some(Fault::Delay(_)) => AttemptOutcome::Failed(Fault::Timeout),
+                                    Some(fault) => AttemptOutcome::Failed(fault),
+                                };
+                                out.push((r, outcome));
+                            }
+                            Ok(out)
+                        },
+                    )
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("scatter worker panicked"))
+                .collect::<Vec<_>>()
+        })
+        .expect("scatter scope");
+        for worker in gathered {
+            for (r, outcome) in worker? {
+                outcomes[r] = Some(outcome);
+            }
+        }
+        Ok(outcomes)
+    }
+
+    fn serve(
+        &mut self,
+        node: usize,
+        req: &ShardRequest,
+        attempt: u32,
+        tau: u32,
+        deadline_left_ms: u64,
+    ) -> Result<AttemptOutcome, ClusterError> {
+        let ctx = &self.ctxs[req.probe as usize];
+        match self.injector.decide(node, req.probe, req.shard, attempt) {
+            None => Ok(AttemptOutcome::Served {
+                resp: self
+                    .node(node)
+                    .serve(req, ctx, tau, self.config, &mut self.scratch)?,
+                injected_delay_ms: 0,
+                latency_ms: 0,
+            }),
+            Some(Fault::Delay(d)) if d <= self.request_timeout_ms => {
+                if d > deadline_left_ms {
+                    // The late response would land past the deadline:
+                    // discard it before any work (or waiting) happens.
+                    return Ok(AttemptOutcome::DeadlineExceeded);
+                }
+                self.clock.sleep_ms(d);
+                Ok(AttemptOutcome::Served {
+                    resp: self
+                        .node(node)
+                        .serve(req, ctx, tau, self.config, &mut self.scratch)?,
+                    injected_delay_ms: d,
+                    latency_ms: d,
+                })
+            }
+            Some(Fault::Delay(_)) => Ok(AttemptOutcome::Failed(Fault::Timeout)),
+            Some(fault) => Ok(AttemptOutcome::Failed(fault)),
+        }
+    }
+}
+
+impl std::fmt::Debug for LocalTransport<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LocalTransport")
+            .field("nodes", &self.slots.len())
+            .field("probes", &self.ctxs.len())
+            .finish()
+    }
+}
